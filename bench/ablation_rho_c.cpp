@@ -1,0 +1,43 @@
+// Ablation X3: sensitivity to the paper's two tuning knobs (§VI discusses
+// both): C trades margin width against violations; rho trades consensus
+// speed against per-step fidelity ("If rho is set to be high, we put more
+// emphasis on convergence than the max-margin property").
+#include "bench/bench_common.h"
+#include "core/linear_horizontal.h"
+#include "core/vertical.h"
+#include "data/partition.h"
+
+using namespace ppml;
+
+int main() {
+  const auto dataset = bench::make_bench_dataset("cancer");
+  const auto hp = data::partition_horizontally(dataset.split.train, 4, 7);
+  const auto vp = data::partition_vertically(dataset.split.train, 4, 7);
+
+  std::printf("# Ablation: rho sweep (C = 50), cancer_like, 60 iterations\n");
+  std::printf("%-10s %10s %12s %12s %12s\n", "rho", "acc_horiz", "dz2_horiz",
+              "acc_vert", "dz2_vert");
+  for (double rho : {0.1, 1.0, 10.0, 100.0, 1000.0}) {
+    core::AdmmParams params = bench::paper_params(60);
+    params.rho = rho;
+    const auto h = core::train_linear_horizontal(hp, params,
+                                                 &dataset.split.test);
+    const auto v = core::train_linear_vertical(vp, params,
+                                               &dataset.split.test);
+    std::printf("%-10.1f %9.1f%% %12.3e %11.1f%% %12.3e\n", rho,
+                h.trace.final_accuracy() * 100.0, h.trace.final_delta_sq(),
+                v.trace.final_accuracy() * 100.0, v.trace.final_delta_sq());
+  }
+
+  std::printf("\n# Ablation: C sweep (rho = 100), cancer_like\n");
+  std::printf("%-10s %10s %12s\n", "C", "acc_horiz", "dz2_horiz");
+  for (double c : {0.1, 1.0, 10.0, 50.0, 200.0}) {
+    core::AdmmParams params = bench::paper_params(60);
+    params.c = c;
+    const auto h = core::train_linear_horizontal(hp, params,
+                                                 &dataset.split.test);
+    std::printf("%-10.1f %9.1f%% %12.3e\n", c,
+                h.trace.final_accuracy() * 100.0, h.trace.final_delta_sq());
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Shared setup for the evaluation harness (paper §VI).
+//
+// Every fig4_* binary reproduces one panel pair of the paper's Fig. 4 on
+// the three datasets (cancer / higgs / ocr substitutes — DESIGN.md §3),
+// with the paper's settings: M = 4 learners, C = 50, rho = 100, 50/50
+// train/test split, random row/feature assignment, 100 iterations.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/params.h"
+#include "data/generators.h"
+#include "data/standardize.h"
+#include "svm/metrics.h"
+#include "svm/trainer.h"
+
+namespace ppml::bench {
+
+struct BenchDataset {
+  std::string name;
+  data::SplitDataset split;  ///< standardized, 50/50
+};
+
+/// Build one of the three paper datasets, 50/50 split, standardized.
+/// `cap` truncates the generated sample count (0 = paper-size).
+inline BenchDataset make_bench_dataset(const std::string& which,
+                                       std::size_t cap = 0,
+                                       std::uint64_t seed = 1) {
+  data::Dataset raw;
+  if (which == "cancer") {
+    raw = data::make_cancer_like(seed);
+    if (cap != 0 && cap < raw.size()) {
+      std::vector<std::size_t> rows(cap);
+      for (std::size_t i = 0; i < cap; ++i) rows[i] = i;
+      raw = raw.subset(rows);
+    }
+  } else if (which == "higgs") {
+    raw = data::make_higgs_like(seed, cap == 0 ? 11000 : cap);
+  } else if (which == "ocr") {
+    raw = data::make_ocr_like(seed, cap == 0 ? 5620 : cap);
+  } else {
+    throw InvalidArgument("make_bench_dataset: unknown dataset " + which);
+  }
+  BenchDataset out;
+  out.name = which;
+  out.split = data::train_test_split(raw, 0.5, 42);
+  data::StandardScaler scaler;
+  scaler.fit_transform(out.split);
+  return out;
+}
+
+/// Paper defaults (§VI): C = 50, rho = 100, 100 iterations.
+inline core::AdmmParams paper_params(std::size_t iterations = 100) {
+  core::AdmmParams params;
+  params.c = 50.0;
+  params.rho = 100.0;
+  params.max_iterations = iterations;
+  return params;
+}
+
+/// Print one trace in the Fig. 4 format: iteration, ||dz||^2 (panels a-d),
+/// correct ratio (panels e-h).
+inline void print_trace(const std::string& dataset,
+                        const core::ConvergenceTrace& trace) {
+  for (const auto& record : trace.records) {
+    std::printf("%s %4zu %.6e %.4f\n", dataset.c_str(), record.iteration + 1,
+                record.z_delta_sq, record.test_accuracy);
+  }
+}
+
+inline void print_header(const std::string& figure, const std::string& scheme,
+                         const core::AdmmParams& params) {
+  std::printf("# %s — %s\n", figure.c_str(), scheme.c_str());
+  std::printf("# M=4 learners, C=%.0f, rho=%.0f, %zu iterations, 50/50 split\n",
+              params.c, params.rho, params.max_iterations);
+  std::printf("# columns: dataset iteration ||z(t+1)-z(t)||^2 correct_ratio\n");
+}
+
+}  // namespace ppml::bench

@@ -1,0 +1,121 @@
+// Ablation X1: cost of privacy at the Reducer (google-benchmark).
+//
+// The paper's core efficiency argument is that a few symmetric-crypto
+// operations at Reduce() are cheap, whereas SMC-style public-key
+// approaches pay per-value asymmetric costs. This bench quantifies that
+// gap on the exact summation task the Reducer performs:
+//   - plaintext sum (no privacy, lower bound)
+//   - the paper's masking protocol (mask generation + ring sum + decode)
+//   - Paillier encrypt+add+decrypt (toy 48-bit modulus — real deployments
+//     use 2048-bit+, so the measured gap is a LOWER bound on the real one)
+#include <benchmark/benchmark.h>
+
+#include "crypto/paillier.h"
+#include "crypto/secure_sum.h"
+
+using namespace ppml;
+
+namespace {
+
+constexpr std::size_t kParties = 4;
+
+std::vector<std::vector<double>> party_values(std::size_t dim) {
+  std::vector<std::vector<double>> values(kParties,
+                                          std::vector<double>(dim));
+  crypto::Xoshiro256 rng(7);
+  for (auto& v : values)
+    for (double& x : v) x = rng.next_double() * 10.0 - 5.0;
+  return values;
+}
+
+void BM_PlaintextSum(benchmark::State& state) {
+  const std::size_t dim = static_cast<std::size_t>(state.range(0));
+  const auto values = party_values(dim);
+  for (auto _ : state) {
+    std::vector<double> sum(dim, 0.0);
+    for (const auto& v : values)
+      for (std::size_t j = 0; j < dim; ++j) sum[j] += v[j];
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dim * kParties));
+}
+BENCHMARK(BM_PlaintextSum)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_SecureSumSeededMasks(benchmark::State& state) {
+  const std::size_t dim = static_cast<std::size_t>(state.range(0));
+  const auto values = party_values(dim);
+  const crypto::FixedPointCodec codec(20, kParties);
+  const auto seeds = crypto::agree_pairwise_seeds(kParties, 5);
+  std::vector<crypto::SecureSumParty> parties;
+  for (std::size_t i = 0; i < kParties; ++i)
+    parties.emplace_back(i, kParties, codec, seeds[i]);
+  std::size_t round = 0;
+  for (auto _ : state) {
+    crypto::SecureSumAggregator aggregator(kParties, codec);
+    for (std::size_t i = 0; i < kParties; ++i)
+      aggregator.add(parties[i].masked_contribution(values[i], round));
+    benchmark::DoNotOptimize(aggregator.average());
+    ++round;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dim * kParties));
+}
+BENCHMARK(BM_SecureSumSeededMasks)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_SecureSumExchangedMasks(benchmark::State& state) {
+  const std::size_t dim = static_cast<std::size_t>(state.range(0));
+  const auto values = party_values(dim);
+  const crypto::FixedPointCodec codec(20, kParties);
+  std::size_t round = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::secure_average(
+        values, codec, 9, crypto::MaskVariant::kExchangedMasks, round));
+    ++round;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dim * kParties));
+}
+BENCHMARK(BM_SecureSumExchangedMasks)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_PaillierSum(benchmark::State& state) {
+  const std::size_t dim = static_cast<std::size_t>(state.range(0));
+  const auto values = party_values(dim);
+  crypto::Xoshiro256 rng(11);
+  const auto keys = crypto::paillier_keygen(24, rng);
+  const crypto::FixedPointCodec codec(10, kParties);
+  for (auto _ : state) {
+    std::vector<std::uint64_t> decoded(dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+      crypto::u128 acc = crypto::paillier_encrypt(keys.public_key, 0, rng);
+      for (std::size_t i = 0; i < kParties; ++i) {
+        // Encode each real into the plaintext space (scaled, offset).
+        const std::uint64_t m = crypto::paillier_encode_signed(
+            keys.public_key,
+            static_cast<std::int64_t>(values[i][j] * 1024.0));
+        acc = crypto::paillier_add(
+            keys.public_key, acc,
+            crypto::paillier_encrypt(keys.public_key, m, rng));
+      }
+      decoded[j] =
+          crypto::paillier_decrypt(keys.public_key, keys.private_key, acc);
+    }
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dim * kParties));
+}
+BENCHMARK(BM_PaillierSum)->Arg(16)->Arg(256);
+
+void BM_DhKeyAgreement(benchmark::State& state) {
+  const std::size_t parties = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::agree_pairwise_seeds(parties, seed++));
+  }
+}
+BENCHMARK(BM_DhKeyAgreement)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Extension experiments beyond the paper's evaluation:
+//   (1) privacy-preserving one-vs-rest multiclass on the real-world shape
+//       of the OCR task (10 digit classes), and
+//   (2) the distributed feature-selection protocol the paper names as
+//       future work, measured as a preprocessing step for training.
+#include "bench/bench_common.h"
+#include "core/feature_selection.h"
+#include "core/multiclass_horizontal.h"
+#include "data/partition.h"
+
+using namespace ppml;
+
+int main() {
+  // ---- (1) multiclass OCR ----
+  std::printf("# Extension 1: privacy-preserving 10-class OCR (one-vs-rest, "
+              "linear horizontal, M=4)\n");
+  const auto digits = svm::make_digits_like(10, 2000, 2);
+  const auto [train, test] = digits.split(0.5, 7);
+  const auto mc_partition = core::partition_multiclass_horizontally(train, 4, 7);
+
+  core::AdmmParams params = bench::paper_params(40);
+  params.c = 10.0;
+  const auto distributed =
+      core::train_multiclass_linear_horizontal(mc_partition, params, &test);
+
+  svm::TrainOptions central;
+  central.c = 10.0;
+  const auto reference = svm::train_one_vs_rest_linear(train, central);
+  std::printf("centralized OvR accuracy : %.1f%%\n",
+              svm::multiclass_accuracy(reference.predict_all(test.x),
+                                       test.y) *
+                  100.0);
+  std::printf("distributed OvR accuracy : %.1f%% (10 consensus runs)\n",
+              distributed.test_accuracy * 100.0);
+
+  // ---- (2) distributed feature selection ----
+  std::printf("\n# Extension 2: secure Fisher-score feature selection "
+              "(paper's future work), ocr_like\n");
+  auto ocr = bench::make_bench_dataset("ocr", 2400);
+  const auto partition = data::partition_horizontally(ocr.split.train, 4, 7);
+  const auto selection =
+      core::secure_fisher_scores(partition, core::AdmmParams{});
+  std::printf("protocol: %zu round, %zu-dim statistics vector per learner\n",
+              selection.protocol_rounds, selection.contribution_dim);
+
+  std::printf("%8s %10s\n", "keep", "accuracy");
+  for (std::size_t keep : {4, 8, 16, 32, 64}) {
+    const auto [reduced, kept] =
+        core::select_top_features(partition, selection, keep);
+    core::AdmmParams train_params = bench::paper_params(40);
+    const auto result =
+        core::train_linear_horizontal(reduced, train_params, nullptr);
+    const data::Dataset projected_test = ocr.split.test.feature_subset(kept);
+    const double acc = svm::accuracy(
+        result.model.predict_all(projected_test.x), projected_test.y);
+    std::printf("%8zu %9.1f%%\n", keep, acc * 100.0);
+  }
+  return 0;
+}

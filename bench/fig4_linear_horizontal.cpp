@@ -1,0 +1,27 @@
+// Reproduces paper Fig. 4(a) + 4(e): convergence ||z^{t+1}-z^t||^2 and
+// correct ratio per iteration for the LINEAR SVM on HORIZONTALLY
+// partitioned data, across the three datasets.
+#include "bench/bench_common.h"
+#include "core/linear_horizontal.h"
+#include "data/partition.h"
+
+using namespace ppml;
+
+int main() {
+  const core::AdmmParams params = bench::paper_params();
+  bench::print_header("Fig. 4(a)/(e)", "linear SVM, horizontal partition",
+                      params);
+
+  for (const std::string& name : {"cancer", "higgs", "ocr"}) {
+    const auto dataset = bench::make_bench_dataset(name);
+    const auto partition =
+        data::partition_horizontally(dataset.split.train, 4, 7);
+    const auto result =
+        core::train_linear_horizontal(partition, params, &dataset.split.test);
+    bench::print_trace(dataset.name, result.trace);
+    std::printf("# %s final: dz2=%.3e accuracy=%.4f\n", dataset.name.c_str(),
+                result.trace.final_delta_sq(),
+                result.trace.final_accuracy());
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Scalability study (paper abstract/§VI claim: "demonstrate its
+// scalability"). Runs the linear-horizontal trainer as a full MapReduce
+// job on the simulated cluster while sweeping the number of learners M and
+// the training-set size N, and reports per-round communication (bytes,
+// messages), simulated network time, task attempts and wall-clock time.
+//
+// The key shape the paper's design predicts: per-round traffic grows with
+// M (and with M^2 for the literal exchanged-mask protocol) but is
+// INDEPENDENT of N — the training data never moves (data locality).
+#include <chrono>
+
+#include "bench/bench_common.h"
+#include "core/linear_horizontal.h"
+#include "core/mapreduce_adapter.h"
+#include "data/partition.h"
+
+using namespace ppml;
+
+namespace {
+
+struct RunStats {
+  double wall_seconds = 0.0;
+  double network_seconds = 0.0;
+  std::size_t bytes = 0;
+  std::size_t messages = 0;
+  double accuracy = 0.0;
+};
+
+RunStats run_job(const data::SplitDataset& split, std::size_t m,
+                 crypto::MaskVariant variant, std::size_t iterations) {
+  core::AdmmParams params = bench::paper_params(iterations);
+  params.mask_variant = variant;
+
+  const auto partition = data::partition_horizontally(split.train, m, 7);
+  std::vector<mapreduce::Bytes> shards;
+  for (const auto& shard : partition.shards)
+    shards.push_back(core::serialize_horizontal_shard(shard));
+
+  mapreduce::ClusterConfig config;
+  config.num_nodes = m + 1;  // + dedicated reducer node
+  mapreduce::Cluster cluster(config);
+
+  const std::size_t k = split.train.features();
+  core::AveragingCoordinator coordinator(k + 1);
+  const core::AdmmParams captured = params;
+  const core::LearnerFactory factory = [captured, m](
+                                           const mapreduce::Bytes& payload,
+                                           std::size_t) {
+    return std::make_shared<core::LinearHorizontalLearner>(
+        core::deserialize_horizontal_shard(payload), m, captured);
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = core::run_consensus_on_cluster(
+      cluster, shards, factory, coordinator, k + 1, /*reducer_node=*/m,
+      params);
+  const auto stop = std::chrono::steady_clock::now();
+
+  RunStats stats;
+  stats.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  stats.network_seconds = result.job.simulated_network_seconds;
+  const auto totals = cluster.network().totals();
+  stats.bytes = totals.bytes;
+  stats.messages = totals.messages;
+  const svm::LinearModel model{coordinator.z(), coordinator.s()};
+  stats.accuracy = svm::accuracy(model.predict_all(split.test.x), split.test.y);
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kIterations = 30;
+  std::printf("# Scalability: linear-horizontal on the simulated cluster\n");
+  std::printf("# %zu iterations; traffic is the full job total\n",
+              kIterations);
+
+  std::printf("\n## Sweep M (learners), cancer_like, seeded-mask protocol\n");
+  std::printf("%4s %10s %10s %12s %12s %9s\n", "M", "wall_s", "net_s",
+              "bytes", "messages", "accuracy");
+  const auto cancer = bench::make_bench_dataset("cancer");
+  for (std::size_t m : {2, 4, 8, 16}) {
+    const RunStats s = run_job(cancer.split, m,
+                               crypto::MaskVariant::kSeededMasks, kIterations);
+    std::printf("%4zu %10.3f %10.5f %12zu %12zu %8.1f%%\n", m, s.wall_seconds,
+                s.network_seconds, s.bytes, s.messages, s.accuracy * 100.0);
+  }
+
+  std::printf(
+      "\n## Same sweep with the literal exchanged-mask protocol (O(M^2) "
+      "mask traffic per round)\n");
+  std::printf("%4s %10s %10s %12s %12s %9s\n", "M", "wall_s", "net_s",
+              "bytes", "messages", "accuracy");
+  for (std::size_t m : {2, 4, 8, 16}) {
+    const RunStats s = run_job(
+        cancer.split, m, crypto::MaskVariant::kExchangedMasks, kIterations);
+    std::printf("%4zu %10.3f %10.5f %12zu %12zu %8.1f%%\n", m, s.wall_seconds,
+                s.network_seconds, s.bytes, s.messages, s.accuracy * 100.0);
+  }
+
+  std::printf(
+      "\n## Sweep N (training rows), higgs_like, M=4: traffic must stay "
+      "flat (data locality — only results move)\n");
+  std::printf("%6s %10s %10s %12s %12s %9s\n", "N", "wall_s", "net_s",
+              "bytes", "messages", "accuracy");
+  for (std::size_t n : {1000, 2000, 4000, 8000}) {
+    const auto dataset = bench::make_bench_dataset("higgs", n);
+    const RunStats s = run_job(dataset.split, 4,
+                               crypto::MaskVariant::kSeededMasks, kIterations);
+    std::printf("%6zu %10.3f %10.5f %12zu %12zu %8.1f%%\n", n, s.wall_seconds,
+                s.network_seconds, s.bytes, s.messages, s.accuracy * 100.0);
+  }
+  return 0;
+}

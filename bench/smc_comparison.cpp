@@ -1,0 +1,76 @@
+// Head-to-head with the SMC-based prior art (paper §II refs [28]/[31]):
+// secure-dot-product kernel construction + central solve, versus this
+// paper's data-local ADMM + secure summation.
+//
+// The paper's claim: SMC approaches pay per-kernel-entry protocol costs
+// that scale O(N^2) in the data size, while its own design moves only
+// O(M * dim) masked model bytes per round regardless of N. This bench
+// measures both pipelines end-to-end on the same tasks.
+#include <chrono>
+
+#include "baselines/smc_svm.h"
+#include "bench/bench_common.h"
+#include "core/cluster_trainers.h"
+#include "data/partition.h"
+
+using namespace ppml;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  const auto dataset = bench::make_bench_dataset("cancer");
+  std::printf("# SMC baseline (secure-dot kernel + central solve) vs this "
+              "paper's scheme\n");
+  std::printf("# cancer_like, M = 4 learners; paper scheme runs 30 rounds on "
+              "the simulated cluster\n");
+  std::printf("%6s | %12s %10s %9s | %12s %10s %9s\n", "N", "smc_bytes",
+              "smc_wall_s", "smc_acc", "ppml_bytes", "ppml_wall_s",
+              "ppml_acc");
+
+  for (std::size_t n : {64, 128, 256}) {
+    std::vector<std::size_t> rows(n);
+    for (std::size_t i = 0; i < n; ++i) rows[i] = i;
+    const data::Dataset subset = dataset.split.train.subset(rows);
+    const auto partition = data::partition_horizontally(subset, 4, 7);
+
+    // --- SMC pipeline ---
+    baselines::SmcSvmOptions smc_options;
+    smc_options.train.c = 10.0;
+    auto start = std::chrono::steady_clock::now();
+    const auto smc = baselines::train_smc_linear_svm(partition, smc_options);
+    const double smc_wall = seconds_since(start);
+    const double smc_acc = smc.accuracy_on(dataset.split.test);
+
+    // --- this paper's pipeline on the simulated cluster ---
+    core::AdmmParams params = bench::paper_params(30);
+    params.c = 10.0;
+    mapreduce::ClusterConfig config;
+    config.num_nodes = 5;
+    mapreduce::Cluster cluster(config);
+    start = std::chrono::steady_clock::now();
+    const auto ours = core::train_linear_horizontal_on_cluster(
+        cluster, partition, params);
+    const double our_wall = seconds_since(start);
+    const double our_acc = svm::accuracy(
+        ours.model.predict_all(dataset.split.test.x), dataset.split.test.y);
+    const auto totals = cluster.network().totals();
+
+    std::printf("%6zu | %12zu %10.3f %8.1f%% | %12zu %10.3f %8.1f%%\n", n,
+                smc.protocol.total_bytes(), smc_wall, smc_acc * 100.0,
+                totals.bytes, our_wall, our_acc * 100.0);
+  }
+  std::printf(
+      "\n# Note: SMC bytes grow ~O(N^2) (one Du–Atallah run per cross-\n"
+      "# learner kernel entry); the paper's scheme is flat in N. The SMC\n"
+      "# pipeline additionally RELEASES the Gram matrix, which enables the\n"
+      "# paper's §V reconstruction attack (tests/secure_dot_test.cpp).\n");
+  return 0;
+}

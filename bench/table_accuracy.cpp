@@ -1,0 +1,88 @@
+// Reproduces the paper's in-text benchmark table (§VI): centralized SVM
+// accuracy at 50/50 train/test on the three datasets — the paper reports
+// cancer 95%, higgs 70%, OCR 98% — plus the final accuracy each of our
+// four distributed privacy-preserving schemes reaches against that
+// benchmark.
+#include "bench/bench_common.h"
+#include "core/kernel_horizontal.h"
+#include "core/linear_horizontal.h"
+#include "core/vertical.h"
+#include "data/partition.h"
+
+using namespace ppml;
+
+namespace {
+
+struct Row {
+  std::string dataset;
+  double paper_benchmark;
+  double centralized;
+  double linear_h;
+  double kernel_h;
+  double linear_v;
+  double kernel_v;
+};
+
+double centralized_accuracy(const bench::BenchDataset& dataset) {
+  svm::TrainOptions options;
+  options.c = 50.0;
+  // Accuracy is insensitive to full SMO convergence at C=50 on these tasks
+  // (verified in tests/); cap the pair-step budget to keep runtime sane.
+  options.max_iterations = 3'000'000;
+  const auto model = svm::train_linear_svm(dataset.split.train, options);
+  return svm::accuracy(model.predict_all(dataset.split.test.x),
+                       dataset.split.test.y);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# In-text accuracy table (paper §VI)\n");
+  std::printf(
+      "# centralized = our centralized SVM benchmark; paper = the paper's "
+      "reported benchmark on the real dataset\n");
+  std::printf(
+      "%-8s %8s %12s %10s %10s %10s %10s\n", "dataset", "paper",
+      "centralized", "linear-h", "kernel-h", "linear-v", "kernel-v");
+
+  const core::AdmmParams params = bench::paper_params(60);
+  for (const auto& [name, paper_acc, cap] :
+       {std::tuple<std::string, double, std::size_t>{"cancer", 0.95, 0},
+        {"higgs", 0.70, 4000},
+        {"ocr", 0.98, 2400}}) {
+    const auto dataset = bench::make_bench_dataset(name, cap);
+    Row row;
+    row.dataset = name;
+    row.paper_benchmark = paper_acc;
+    row.centralized = centralized_accuracy(dataset);
+
+    const auto hp = data::partition_horizontally(dataset.split.train, 4, 7);
+    const auto vp = data::partition_vertically(dataset.split.train, 4, 7);
+    const double k = static_cast<double>(dataset.split.train.features());
+
+    row.linear_h =
+        core::train_linear_horizontal(hp, params, &dataset.split.test)
+            .trace.final_accuracy();
+    core::AdmmParams kernel_params = params;
+    kernel_params.landmarks = 60;
+    kernel_params.rho = params.rho / 16.0;  // paper-effective penalty, see F4b
+    kernel_params.qp_tolerance = 1e-5;
+    row.kernel_h =
+        core::train_kernel_horizontal(hp, svm::Kernel::rbf(1.0 / k),
+                                      kernel_params, &dataset.split.test)
+            .trace.final_accuracy();
+    row.linear_v = core::train_linear_vertical(vp, params, &dataset.split.test)
+                       .trace.final_accuracy();
+    row.kernel_v =
+        core::train_kernel_vertical(vp, svm::Kernel::rbf(4.0 / k), params,
+                                    &dataset.split.test)
+            .trace.final_accuracy();
+
+    std::printf("%-8s %7.0f%% %11.1f%% %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n",
+                row.dataset.c_str(), row.paper_benchmark * 100.0,
+                row.centralized * 100.0, row.linear_h * 100.0,
+                row.kernel_h * 100.0, row.linear_v * 100.0,
+                row.kernel_v * 100.0);
+  }
+  return 0;
+}

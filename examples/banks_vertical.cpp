@@ -1,0 +1,70 @@
+// Scenario from the paper's introduction: "several banks wishing to
+// conduct credit risk analysis to identify non-profitable customers based
+// on past transaction records" — VERTICALLY partitioned data: the banks
+// share the same customers but each holds different attributes.
+#include <cstdio>
+
+#include "core/vertical.h"
+#include "data/generators.h"
+#include "data/partition.h"
+#include "data/standardize.h"
+#include "svm/metrics.h"
+
+using namespace ppml;
+
+int main() {
+  constexpr std::size_t kBanks = 4;
+
+  // Customer records: 28 behavioural/transaction features per customer,
+  // hard-to-separate classes (profitable vs non-profitable).
+  auto split =
+      data::train_test_split(data::make_higgs_like(5, 3000), 0.5, 17);
+  data::StandardScaler scaler;
+  scaler.fit_transform(split);
+  const auto partition = data::partition_vertically(split.train, kBanks, 3);
+
+  std::printf("=== Credit-risk model across %zu banks ===\n", kBanks);
+  std::printf("%zu shared customers; labels agreed among banks\n",
+              partition.rows());
+  for (std::size_t m = 0; m < kBanks; ++m) {
+    std::printf("bank %zu holds %zu private attributes: [", m,
+                partition.feature_indices[m].size());
+    for (std::size_t j : partition.feature_indices[m]) std::printf(" %zu", j);
+    std::printf(" ]\n");
+  }
+
+  core::AdmmParams params;
+  params.max_iterations = 80;
+
+  // Linear variant.
+  const auto linear =
+      core::train_linear_vertical(partition, params, &split.test);
+  std::printf("\nlinear model:    accuracy %.1f%%\n",
+              linear.trace.final_accuracy() * 100.0);
+
+  // Kernel variant: each bank kernelizes over its own attribute subset;
+  // the joint model is additive across banks.
+  const auto kernel = core::train_kernel_vertical(
+      partition, svm::Kernel::rbf(4.0 / 28.0), params, &split.test);
+  std::printf("kernel model:    accuracy %.1f%%\n",
+              kernel.trace.final_accuracy() * 100.0);
+
+  // What each bank keeps to itself at prediction time: its weight block.
+  std::printf("\nper-bank linear weight blocks (never pooled in clear):\n");
+  for (std::size_t m = 0; m < kBanks; ++m) {
+    double norm = 0.0;
+    for (double v : linear.model.w_blocks[m]) norm += v * v;
+    std::printf("  bank %zu: ||w_%zu||^2 = %.4f over %zu attributes\n", m, m,
+                norm, linear.model.w_blocks[m].size());
+  }
+
+  // Convergence story (paper Fig. 4(c)/(g)): the aggregated prediction
+  // vector settles while accuracy climbs.
+  std::printf("\niteration   ||dz||^2     accuracy\n");
+  for (std::size_t i : {0ul, 4ul, 9ul, 19ul, 39ul, 79ul}) {
+    const auto& r = linear.trace.records[i];
+    std::printf("%9zu   %.3e   %.1f%%\n", r.iteration + 1, r.z_delta_sq,
+                r.test_accuracy * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Regenerate the paper's Fig. 4 panels as PNGs from the bench binaries.
+# Requires gnuplot. Usage:  scripts/plot_fig4.sh [build-dir] [out-dir]
+set -euo pipefail
+
+build_dir="${1:-build}"
+out_dir="${2:-fig4}"
+mkdir -p "$out_dir"
+
+declare -A benches=(
+  [a_linear_horizontal]="fig4_linear_horizontal"
+  [b_kernel_horizontal]="fig4_kernel_horizontal"
+  [c_linear_vertical]="fig4_linear_vertical"
+  [d_kernel_vertical]="fig4_kernel_vertical"
+)
+
+for panel in "${!benches[@]}"; do
+  bench="${benches[$panel]}"
+  data="$out_dir/$panel.dat"
+  "$build_dir/bench/$bench" | grep -v '^#' > "$data"
+  for dataset in cancer higgs ocr; do
+    grep "^$dataset " "$data" > "$out_dir/$panel.$dataset.dat" || true
+  done
+
+  gnuplot <<EOF
+set terminal pngcairo size 640,480
+set datafile missing "nan"
+set logscale y
+set xlabel "iterations"
+set ylabel "||z(t+1)-z(t)||^2"
+set key top right
+set output "$out_dir/fig4${panel%%_*}_convergence.png"
+plot "$out_dir/$panel.cancer.dat" using 2:3 with lines title "cancer", \
+     "$out_dir/$panel.higgs.dat"  using 2:3 with lines title "higgs", \
+     "$out_dir/$panel.ocr.dat"    using 2:3 with lines title "ocr"
+
+unset logscale y
+set yrange [0:1]
+set ylabel "correct ratio"
+set output "$out_dir/fig4${panel%%_*}_accuracy.png"
+plot "$out_dir/$panel.cancer.dat" using 2:4 with lines title "cancer", \
+     "$out_dir/$panel.higgs.dat"  using 2:4 with lines title "higgs", \
+     "$out_dir/$panel.ocr.dat"    using 2:4 with lines title "ocr"
+EOF
+  echo "rendered $out_dir/fig4${panel%%_*}_*.png"
+done

@@ -1,0 +1,45 @@
+#include "baselines/dp_output_perturbation.h"
+
+#include <random>
+
+#include "linalg/blas.h"
+
+namespace ppml::baselines {
+
+double dp_noise_scale(std::size_t samples, const DpOptions& options) {
+  PPML_CHECK(samples >= 1, "dp_noise_scale: empty dataset");
+  PPML_CHECK(options.epsilon > 0.0 && options.regularization > 0.0,
+             "dp_noise_scale: epsilon and regularization must be positive");
+  return 2.0 / (static_cast<double>(samples) * options.regularization *
+                options.epsilon);
+}
+
+svm::LinearModel train_dp_linear_svm(const data::Dataset& dataset,
+                                     const DpOptions& options) {
+  dataset.validate();
+  // The C&M objective is (1/n) sum loss + (lambda/2)||w||^2; our SVM solves
+  // (1/2)||w||^2 + C sum loss. Map C = 1 / (n * lambda).
+  svm::TrainOptions train = options.train;
+  train.c = 1.0 / (static_cast<double>(dataset.size()) *
+                   options.regularization);
+  svm::LinearModel model = svm::train_linear_svm(dataset, train);
+
+  // Noise: direction uniform on the sphere, norm ~ Gamma(k, scale).
+  const std::size_t k = dataset.features();
+  std::mt19937_64 rng(options.seed);
+  std::normal_distribution<double> normal(0.0, 1.0);
+  std::gamma_distribution<double> gamma(static_cast<double>(k),
+                                        dp_noise_scale(dataset.size(), options));
+
+  linalg::Vector direction(k);
+  double nrm = 0.0;
+  while (nrm < 1e-12) {
+    for (double& v : direction) v = normal(rng);
+    nrm = linalg::norm(direction);
+  }
+  linalg::scale(gamma(rng) / nrm, direction);
+  linalg::axpy(1.0, direction, model.w);
+  return model;
+}
+
+}  // namespace ppml::baselines

@@ -1,0 +1,35 @@
+// Differential-privacy baseline (paper §II, ref [7], Chaudhuri &
+// Monteleoni): output perturbation for regularized ERM.
+//
+// Train a (regularized) linear SVM, then release w + noise where the noise
+// direction is uniform on the sphere and the norm is Gamma(k, scale)
+// distributed with scale = 2 / (n * reg * epsilon) — the classic DP-ERM
+// output-perturbation mechanism. The hinge loss is not differentiable, so
+// strictly the C&M theorem wants a smoothed loss; we keep the standard SVM
+// and document the mechanism as the *shape* baseline the paper argues
+// against (privacy here costs accuracy as epsilon shrinks — exactly the
+// trade-off bench/baseline_tradeoff plots).
+#pragma once
+
+#include "data/dataset.h"
+#include "svm/model.h"
+#include "svm/trainer.h"
+
+namespace ppml::baselines {
+
+struct DpOptions {
+  double epsilon = 1.0;      ///< privacy budget (smaller = more private)
+  double regularization = 1e-2;  ///< lambda of the ERM objective
+  svm::TrainOptions train;
+  std::uint64_t seed = 1;
+};
+
+/// Returns the epsilon-DP perturbed linear model.
+svm::LinearModel train_dp_linear_svm(const data::Dataset& dataset,
+                                     const DpOptions& options);
+
+/// The noise-norm scale used for the given dataset/options (exposed for
+/// tests: monotone in 1/epsilon and 1/n).
+double dp_noise_scale(std::size_t samples, const DpOptions& options);
+
+}  // namespace ppml::baselines

@@ -1,0 +1,39 @@
+#include "baselines/random_kernel.h"
+
+#include "core/kernel_horizontal.h"  // sample_landmarks
+
+namespace ppml::baselines {
+
+double RandomKernelModel::decision_value(std::span<const double> x) const {
+  const linalg::Vector features = svm::kernel_row(kernel, x, reference);
+  return linear.decision_value(features);
+}
+
+linalg::Vector RandomKernelModel::predict_all(const linalg::Matrix& x) const {
+  linalg::Vector out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    out[i] = decision_value(x.row(i)) >= 0.0 ? 1.0 : -1.0;
+  return out;
+}
+
+RandomKernelModel train_random_kernel(const data::Dataset& dataset,
+                                      const RandomKernelOptions& options) {
+  dataset.validate();
+  PPML_CHECK(options.reference_rows >= 1,
+             "train_random_kernel: need >= 1 reference row");
+
+  RandomKernelModel model;
+  model.kernel = options.kernel;
+  model.reference =
+      core::sample_landmarks(dataset.x, options.reference_rows, options.seed);
+
+  // Randomized features K(x_i, R), then an ordinary linear SVM on them.
+  data::Dataset projected;
+  projected.name = dataset.name + "/random-kernel";
+  projected.y = dataset.y;
+  projected.x = svm::cross_gram(options.kernel, dataset.x, model.reference);
+  model.linear = svm::train_linear_svm(projected, options.train);
+  return model;
+}
+
+}  // namespace ppml::baselines

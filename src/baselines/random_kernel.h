@@ -1,0 +1,38 @@
+// Random-kernel privacy baseline (paper §II, refs [21]/[22], Mangasarian &
+// Wild).
+//
+// Instead of sharing data, learners share K(X, R) for a random public
+// reference matrix R — a randomized feature map. Privacy comes from the
+// lossy projection (r < k rows of R make exact inversion impossible); the
+// paper criticizes this family because R acts as a common key and the
+// approach fits only client/server settings. We implement it as the
+// perturbation-family baseline for bench/baseline_tradeoff.
+#pragma once
+
+#include "data/dataset.h"
+#include "svm/model.h"
+#include "svm/trainer.h"
+
+namespace ppml::baselines {
+
+struct RandomKernelOptions {
+  std::size_t reference_rows = 20;  ///< r — privacy/utility knob
+  svm::Kernel kernel = svm::Kernel::rbf(0.5);
+  svm::TrainOptions train;
+  std::uint64_t seed = 1;
+};
+
+/// Classifier f(x) = <w, K(x, R)> + b trained on the randomized features.
+struct RandomKernelModel {
+  linalg::Matrix reference;  ///< R (public)
+  svm::Kernel kernel;
+  svm::LinearModel linear;   ///< trained in the K(., R) feature space
+
+  double decision_value(std::span<const double> x) const;
+  linalg::Vector predict_all(const linalg::Matrix& x) const;
+};
+
+RandomKernelModel train_random_kernel(const data::Dataset& dataset,
+                                      const RandomKernelOptions& options);
+
+}  // namespace ppml::baselines

@@ -1,0 +1,88 @@
+#include "baselines/smc_svm.h"
+
+#include "linalg/blas.h"
+#include "linalg/cholesky.h"
+#include "qp/smo.h"
+#include "svm/metrics.h"
+
+namespace ppml::baselines {
+
+double SmcSvmResult::accuracy_on(const data::Dataset& test) const {
+  return svm::accuracy(model.predict_all(test.x), test.y);
+}
+
+SmcSvmResult train_smc_linear_svm(const data::HorizontalPartition& partition,
+                                  const SmcSvmOptions& options) {
+  PPML_CHECK(partition.learners() >= 2,
+             "train_smc_linear_svm: need >= 2 learners");
+
+  // Pool the rows *logically* (each stays with its owner; the protocol only
+  // touches cross-owner pairs).
+  const std::size_t n = partition.total_rows();
+  const std::size_t k = partition.shards.front().features();
+  linalg::Matrix rows(n, k);
+  linalg::Vector labels(n);
+  std::vector<std::size_t> owner(n);
+  std::size_t cursor = 0;
+  for (std::size_t m = 0; m < partition.learners(); ++m) {
+    const data::Dataset& shard = partition.shards[m];
+    for (std::size_t i = 0; i < shard.size(); ++i) {
+      std::copy(shard.x.row(i).begin(), shard.x.row(i).end(),
+                rows.row(cursor).begin());
+      labels[cursor] = shard.y[i];
+      owner[cursor] = m;
+      ++cursor;
+    }
+  }
+
+  // SMC step: one Du–Atallah run per cross-learner Gram entry.
+  SmcSvmResult result;
+  const crypto::FixedPointCodec codec(options.fixed_point_bits, 2);
+  crypto::Xoshiro256 rng(options.seed);
+  const linalg::Matrix gram = crypto::secure_gram_matrix(
+      rows, owner, codec, rng, &result.protocol);
+
+  // Central solve on the (securely computed) Gram — standard SVM dual.
+  qp::SmoProblem dual;
+  dual.q.resize(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      dual.q(i, j) = labels[i] * labels[j] * gram(i, j);
+  dual.p.assign(n, 1.0);
+  dual.y = labels;
+  dual.c = options.train.c;
+  qp::Options qp_options;
+  qp_options.tolerance = options.train.tolerance;
+  qp_options.max_iterations = options.train.max_iterations;
+  const qp::Result solved = qp::solve_smo(dual, qp_options);
+
+  // Bias from the Gram (no raw-row access needed).
+  linalg::Vector coeffs(n);
+  for (std::size_t i = 0; i < n; ++i) coeffs[i] = solved.x[i] * labels[i];
+  const linalg::Vector f0 = linalg::gemv(gram, coeffs);
+  const double bias = svm::recover_bias(solved.x, labels, f0, dual.c);
+
+  result.model.kernel = svm::Kernel::linear();
+  result.model.b = bias;
+  result.model.points = rows;
+  result.model.coeffs = coeffs;
+  return result;
+}
+
+linalg::Vector kernel_reconstruction_attack(
+    const linalg::Matrix& known_rows,
+    std::span<const double> gram_column_for_victim) {
+  PPML_CHECK(known_rows.rows() == gram_column_for_victim.size(),
+             "kernel_reconstruction_attack: need one Gram entry per known "
+             "row");
+  PPML_CHECK(known_rows.rows() >= known_rows.cols(),
+             "kernel_reconstruction_attack: need at least k known rows");
+  // Least squares: X_known x = g  =>  (X^T X) x = X^T g. With >= k
+  // independent rows this pins the victim's features exactly.
+  const linalg::Matrix normal = linalg::gram_at_a(known_rows);
+  const linalg::Vector rhs =
+      linalg::gemv_t(known_rows, gram_column_for_victim);
+  return linalg::Cholesky(normal).solve(rhs);
+}
+
+}  // namespace ppml::baselines

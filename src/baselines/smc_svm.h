@@ -1,0 +1,47 @@
+// SMC-based SVM baseline (the paper's §II adversary: refs [28]/[31]).
+//
+// The prior-art recipe: learners jointly compute the FULL kernel matrix
+// with secure dot products (one protocol run per cross-learner entry),
+// send it to a central solver, and train there. This file implements that
+// pipeline end to end so bench/smc_comparison can price it against the
+// paper's design — and implements the §V reconstruction attack that shows
+// why releasing the kernel matrix itself leaks the training rows:
+//
+//   "if the kernel matrix is obtained by a learner with more than k
+//    training samples, he can calculate all the private training samples
+//    of the other learners by solving a set of linear equations."
+#pragma once
+
+#include "crypto/secure_dot.h"
+#include "data/partition.h"
+#include "svm/model.h"
+#include "svm/trainer.h"
+
+namespace ppml::baselines {
+
+struct SmcSvmOptions {
+  svm::TrainOptions train;
+  unsigned fixed_point_bits = 16;  ///< product carries 2x fraction bits
+  std::uint64_t seed = 1;
+};
+
+struct SmcSvmResult {
+  svm::KernelModel model;          ///< linear-kernel expansion model
+  crypto::SecureDotStats protocol;  ///< what the SMC step cost
+  double accuracy_on(const data::Dataset& test) const;
+};
+
+/// Train the [28]-style baseline over a horizontal partition: securely
+/// build the pooled linear Gram, solve the dual centrally with SMO.
+SmcSvmResult train_smc_linear_svm(const data::HorizontalPartition& partition,
+                                  const SmcSvmOptions& options);
+
+/// The paper's §V attack: a learner who knows `known` rows (m >= k of
+/// them) of the pooled matrix and the Gram column of a victim row solves
+/// X_known * x = g for the victim's features. Returns the reconstructed
+/// row. Throws NumericError when the known rows are rank-deficient.
+linalg::Vector kernel_reconstruction_attack(
+    const linalg::Matrix& known_rows,
+    std::span<const double> gram_column_for_victim);
+
+}  // namespace ppml::baselines

@@ -1,0 +1,56 @@
+// High-level "train on the simulated cluster" facades for all four
+// schemes: shard placement, factories, secure protocol and job wiring in
+// one call. Use these when you want the full deployment shape (bytes on
+// the wire, data locality, failure injection); use the train_* functions
+// in linear_horizontal.h / kernel_horizontal.h / vertical.h for fast
+// in-memory runs with per-iteration accuracy traces.
+#pragma once
+
+#include "core/kernel_horizontal.h"
+#include "core/linear_horizontal.h"
+#include "core/mapreduce_adapter.h"
+#include "core/vertical.h"
+
+namespace ppml::core {
+
+struct LinearHorizontalClusterResult {
+  svm::LinearModel model;
+  ClusterTrainResult cluster;
+};
+
+struct KernelHorizontalClusterResult {
+  svm::KernelModel model;  ///< learner 0's discriminant (paper eq. (25))
+  ClusterTrainResult cluster;
+};
+
+struct LinearVerticalClusterResult {
+  VerticalLinearModelView model;
+  ClusterTrainResult cluster;
+};
+
+struct KernelVerticalClusterResult {
+  VerticalKernelModelView model;
+  ClusterTrainResult cluster;
+};
+
+/// The cluster must have at least partition.learners() + 1 nodes; the
+/// reducer runs on node M (learners on 0..M-1, data-local).
+LinearHorizontalClusterResult train_linear_horizontal_on_cluster(
+    mapreduce::Cluster& cluster, const data::HorizontalPartition& partition,
+    const AdmmParams& params, mapreduce::JobConfig job_config = {});
+
+KernelHorizontalClusterResult train_kernel_horizontal_on_cluster(
+    mapreduce::Cluster& cluster, const data::HorizontalPartition& partition,
+    const svm::Kernel& kernel, const AdmmParams& params,
+    mapreduce::JobConfig job_config = {});
+
+LinearVerticalClusterResult train_linear_vertical_on_cluster(
+    mapreduce::Cluster& cluster, const data::VerticalPartition& partition,
+    const AdmmParams& params, mapreduce::JobConfig job_config = {});
+
+KernelVerticalClusterResult train_kernel_vertical_on_cluster(
+    mapreduce::Cluster& cluster, const data::VerticalPartition& partition,
+    const svm::Kernel& kernel, const AdmmParams& params,
+    mapreduce::JobConfig job_config = {});
+
+}  // namespace ppml::core

@@ -1,0 +1,154 @@
+#include "core/consensus.h"
+
+#include <algorithm>
+#include <future>
+#include <thread>
+
+namespace ppml::core {
+
+ConsensusRunResult run_consensus_in_memory(
+    std::vector<std::shared_ptr<ConsensusLearner>>& learners,
+    ConsensusCoordinator& coordinator, const AdmmParams& params,
+    const RoundObserver& observer) {
+  PPML_CHECK(learners.size() >= 2,
+             "run_consensus_in_memory: need >= 2 learners");
+  const std::size_t m = learners.size();
+  const std::size_t dim = learners.front()->contribution_dim();
+  for (const auto& learner : learners)
+    PPML_CHECK(learner->contribution_dim() == dim,
+               "run_consensus_in_memory: contribution dims differ");
+
+  const crypto::FixedPointCodec codec(params.fixed_point_bits, m);
+
+  // Key agreement happens once; per-round masks are expanded from the
+  // pairwise seeds (kSeededMasks) or regenerated per round (kExchangedMasks
+  // — modelled here by per-round ChaCha streams keyed per sender).
+  std::vector<crypto::SecureSumParty> parties;
+  parties.reserve(m);
+  if (params.mask_variant == crypto::MaskVariant::kSeededMasks) {
+    const auto seeds = crypto::agree_pairwise_seeds(m, params.protocol_seed);
+    for (std::size_t i = 0; i < m; ++i)
+      parties.emplace_back(i, m, codec, seeds[i]);
+  } else {
+    for (std::size_t i = 0; i < m; ++i)
+      parties.emplace_back(i, m, codec,
+                           params.protocol_seed ^ (i * 0x9e3779b97f4a7c15ULL));
+  }
+
+  // Local steps are independent within a round; optionally fan them out.
+  const bool parallelize = params.parallel_learners && m > 1 &&
+                           std::thread::hardware_concurrency() > 1;
+  const auto run_local_steps = [&](const Vector& broadcast_in) {
+    std::vector<Vector> contributions(m);
+    if (parallelize) {
+      std::vector<std::future<Vector>> futures;
+      futures.reserve(m);
+      for (std::size_t i = 0; i < m; ++i) {
+        futures.push_back(std::async(std::launch::async, [&, i] {
+          return learners[i]->local_step(broadcast_in);
+        }));
+      }
+      for (std::size_t i = 0; i < m; ++i) contributions[i] = futures[i].get();
+    } else {
+      for (std::size_t i = 0; i < m; ++i)
+        contributions[i] = learners[i]->local_step(broadcast_in);
+    }
+    return contributions;
+  };
+
+  ConsensusRunResult result;
+  Vector broadcast;  // empty on round 0 — learners treat it as "cold start"
+  for (std::size_t round = 0; round < params.max_iterations; ++round) {
+    crypto::SecureSumAggregator aggregator(m, codec);
+    if (params.mask_variant == crypto::MaskVariant::kSeededMasks) {
+      const std::vector<Vector> contributions = run_local_steps(broadcast);
+      for (std::size_t i = 0; i < m; ++i) {
+        aggregator.add(parties[i].masked_contribution(contributions[i], round));
+      }
+    } else {
+      // Literal protocol: exchange fresh masks, then contribute.
+      const std::vector<Vector> contributions = run_local_steps(broadcast);
+      std::vector<std::vector<std::vector<std::uint64_t>>> sent(m);
+      for (std::size_t i = 0; i < m; ++i)
+        sent[i] = parties[i].outgoing_masks(round, dim);
+      for (std::size_t i = 0; i < m; ++i) {
+        std::vector<std::vector<std::uint64_t>> received(m);
+        for (std::size_t j = 0; j < m; ++j)
+          if (j != i) received[j] = sent[j][i];
+        aggregator.add(
+            parties[i].masked_contribution(contributions[i], received, round));
+      }
+    }
+
+    broadcast = coordinator.combine(aggregator.average());
+    ++result.iterations;
+    if (observer) observer(round);
+    if (params.convergence_tolerance > 0.0 &&
+        coordinator.last_delta_sq() <= params.convergence_tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+ConsensusRunResult run_consensus_partial_participation(
+    std::vector<std::shared_ptr<ConsensusLearner>>& learners,
+    ConsensusCoordinator& coordinator, const AdmmParams& params,
+    std::size_t participants_per_round, std::uint64_t sampling_seed,
+    const RoundObserver& observer) {
+  const std::size_t m = learners.size();
+  PPML_CHECK(m >= 2, "partial participation: need >= 2 learners");
+  PPML_CHECK(participants_per_round >= 2 && participants_per_round <= m,
+             "partial participation: participants must be in [2, M]");
+  PPML_CHECK(params.mask_variant == crypto::MaskVariant::kSeededMasks,
+             "partial participation: requires the seeded-mask variant");
+  const std::size_t dim = learners.front()->contribution_dim();
+  for (const auto& learner : learners)
+    PPML_CHECK(learner->contribution_dim() == dim,
+               "partial participation: contribution dims differ");
+
+  const crypto::FixedPointCodec codec(params.fixed_point_bits,
+                                      participants_per_round);
+  const auto seeds = crypto::agree_pairwise_seeds(m, params.protocol_seed);
+  std::vector<crypto::SecureSumParty> parties;
+  parties.reserve(m);
+  for (std::size_t i = 0; i < m; ++i)
+    parties.emplace_back(i, m, codec, seeds[i]);
+
+  crypto::Xoshiro256 sampler(sampling_seed);
+  std::vector<std::size_t> ids(m);
+  for (std::size_t i = 0; i < m; ++i) ids[i] = i;
+
+  ConsensusRunResult result;
+  Vector broadcast;
+  for (std::size_t round = 0; round < params.max_iterations; ++round) {
+    // Fisher–Yates prefix: this round's participant set.
+    for (std::size_t i = 0; i < participants_per_round; ++i) {
+      const std::size_t j = i + sampler.next() % (m - i);
+      std::swap(ids[i], ids[j]);
+    }
+    std::vector<std::size_t> participants(
+        ids.begin(),
+        ids.begin() + static_cast<std::ptrdiff_t>(participants_per_round));
+    std::sort(participants.begin(), participants.end());
+
+    crypto::SecureSumAggregator aggregator(participants_per_round, codec);
+    for (std::size_t i : participants) {
+      const Vector contribution = learners[i]->local_step(broadcast);
+      aggregator.add(parties[i].masked_contribution_subset(
+          contribution, round, participants));
+    }
+    broadcast = coordinator.combine(aggregator.average());
+    ++result.iterations;
+    if (observer) observer(round);
+    if (params.convergence_tolerance > 0.0 &&
+        coordinator.last_delta_sq() <= params.convergence_tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace ppml::core

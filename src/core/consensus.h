@@ -1,0 +1,86 @@
+// The consensus abstraction all four trainers share.
+//
+// Every scheme in the paper reduces to the same loop (Fig. 1):
+//
+//   repeat:
+//     reducer broadcasts the current consensus state
+//     each learner runs a local step on its PRIVATE shard
+//     the learners' contribution vectors are securely AVERAGED
+//     the coordinator (reducer logic) turns the average into the next
+//     consensus state and checks convergence
+//
+// ConsensusLearner is the Map() side; ConsensusCoordinator is the Reduce()
+// side minus the secure summation, which the drivers own. Two drivers run
+// the identical logic: an in-memory one (fast iteration for benches/tests)
+// and a MapReduce-backed one (full simulated cluster, bytes on the wire) —
+// see mapreduce_adapter.h for the latter.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/params.h"
+#include "linalg/matrix.h"
+
+namespace ppml::core {
+
+using linalg::Vector;
+
+/// Map() side: one learner's iterative local training.
+class ConsensusLearner {
+ public:
+  virtual ~ConsensusLearner() = default;
+
+  /// Dimension of the contribution vector (constant across rounds).
+  virtual std::size_t contribution_dim() const = 0;
+
+  /// One local ADMM step. `broadcast` is the coordinator's current state
+  /// (empty on round 0). Returns this learner's contribution, which the
+  /// protocol will average with all peers' — the individual vector is never
+  /// revealed to anyone.
+  virtual Vector local_step(const Vector& broadcast) = 0;
+};
+
+/// Reduce() side minus the secure sum: consumes the average, produces the
+/// next broadcast.
+class ConsensusCoordinator {
+ public:
+  virtual ~ConsensusCoordinator() = default;
+
+  /// Consume the secure average of contributions; return the next broadcast.
+  virtual Vector combine(const Vector& average) = 0;
+
+  /// ||z^{t+1} - z^t||^2 of the consensus variable after the last combine.
+  virtual double last_delta_sq() const = 0;
+};
+
+/// Per-round observation hook (used to record Fig. 4 traces). Receives the
+/// 0-based iteration index just completed.
+using RoundObserver = std::function<void(std::size_t iteration)>;
+
+struct ConsensusRunResult {
+  std::size_t iterations = 0;
+  bool converged = false;  ///< stopped early via convergence_tolerance
+};
+
+/// In-memory driver: runs the loop with the real secure-summation protocol
+/// (mask algebra and fixed-point codec included) but without the simulated
+/// cluster plumbing.
+ConsensusRunResult run_consensus_in_memory(
+    std::vector<std::shared_ptr<ConsensusLearner>>& learners,
+    ConsensusCoordinator& coordinator, const AdmmParams& params,
+    const RoundObserver& observer = nullptr);
+
+/// Randomized PARTIAL participation: each round samples
+/// `participants_per_round` learners (without replacement, deterministic
+/// in `sampling_seed`); only they run a local step and enter the secure
+/// average — randomized block-coordinate ADMM. Models sampled rounds /
+/// planned absences; masks are generated per round against the actual
+/// participant set so the protocol stays exact. Requires kSeededMasks.
+ConsensusRunResult run_consensus_partial_participation(
+    std::vector<std::shared_ptr<ConsensusLearner>>& learners,
+    ConsensusCoordinator& coordinator, const AdmmParams& params,
+    std::size_t participants_per_round, std::uint64_t sampling_seed,
+    const RoundObserver& observer = nullptr);
+
+}  // namespace ppml::core

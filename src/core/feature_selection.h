@@ -1,0 +1,47 @@
+// Privacy-preserving distributed feature selection.
+//
+// The paper closes its evaluation with: "Feature selection could be used
+// to remove the jumps, however, feature selection is also a centralized
+// operation. We may need to design another totally different protocol to
+// achieve distributed feature selection." — this module implements that
+// protocol for the horizontal case.
+//
+// One protocol round: every learner computes per-feature, per-class
+// sufficient statistics over its PRIVATE shard (counts, sums, sums of
+// squares) and contributes them through the same coalition-resistant
+// secure summation used for training. The reducer sees only the global
+// aggregates — exactly what a centralized Fisher-score ranking needs and
+// nothing more (no row, no local statistic, is revealed).
+//
+//   fisher(j) = (mu+_j - mu-_j)^2 / (var+_j + var-_j)
+#pragma once
+
+#include "core/params.h"
+#include "data/partition.h"
+
+namespace ppml::core {
+
+struct FeatureSelectionResult {
+  linalg::Vector fisher_scores;            ///< one per feature (global)
+  std::vector<std::size_t> ranking;        ///< feature ids, best first
+  std::size_t protocol_rounds = 1;
+  std::size_t contribution_dim = 0;        ///< stats vector length per learner
+};
+
+/// Run the protocol over a horizontal partition. Only `params`'
+/// protocol-related fields are used (mask variant, seeds, codec bits).
+FeatureSelectionResult secure_fisher_scores(
+    const data::HorizontalPartition& partition, const AdmmParams& params);
+
+/// Centralized reference (same formula, pooled data) — used by tests to
+/// show the secure protocol computes the identical ranking.
+linalg::Vector centralized_fisher_scores(const data::Dataset& dataset);
+
+/// Keep the `keep` best-ranked features of every shard (also returns the
+/// kept ids so test data can be projected consistently).
+std::pair<data::HorizontalPartition, std::vector<std::size_t>>
+select_top_features(const data::HorizontalPartition& partition,
+                    const FeatureSelectionResult& selection,
+                    std::size_t keep);
+
+}  // namespace ppml::core

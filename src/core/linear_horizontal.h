@@ -1,0 +1,90 @@
+// Linear SVM over horizontally partitioned data (paper §IV-A).
+//
+// Consensus ADMM: every learner m holds (X_m, y_m) and repeatedly solves
+// the box-QP dual of
+//
+//   min (1/2M) w^T w + C ||xi||_1 + (rho/2)||w - z + gamma_m||^2
+//                                 + (rho/2)(b - s + beta_m)^2
+//   s.t. Y_m (X_m w + 1 b) >= 1 - xi,  xi >= 0
+//
+// (derivation in DESIGN.md §2.1; the b-penalty removes the equality
+// constraint from the dual, so Q is constant across iterations and the
+// solver warm-starts). The reducer securely averages (w_m + gamma_m,
+// b_m + beta_m) into (z, s) and feeds them back (paper eq. (13)).
+#pragma once
+
+#include "core/consensus.h"
+#include "data/partition.h"
+#include "qp/box_qp.h"
+#include "svm/model.h"
+#include "svm/trainer.h"
+
+namespace ppml::core {
+
+/// Map() side of the linear horizontal scheme.
+class LinearHorizontalLearner final : public ConsensusLearner {
+ public:
+  /// `shard` is this learner's private data; `num_learners` is M.
+  LinearHorizontalLearner(data::Dataset shard, std::size_t num_learners,
+                          const AdmmParams& params);
+
+  std::size_t contribution_dim() const override { return features_ + 1; }
+  Vector local_step(const Vector& broadcast) override;
+
+  // Introspection for tests and model assembly.
+  const Vector& w() const noexcept { return w_; }
+  double b() const noexcept { return b_; }
+  const Vector& lambda() const noexcept { return lambda_; }
+
+ private:
+  data::Dataset shard_;
+  std::size_t m_;          // number of learners
+  std::size_t features_;   // k
+  double c_;
+  double rho_;
+  double a_;               // M / (1 + rho M)
+  qp::Options qp_options_;
+  qp::BoxQpSolver solver_;  // constant Q, built once
+
+  Vector gamma_;  // k-dim residual for w
+  double beta_ = 0.0;
+  Vector w_;
+  double b_ = 0.0;
+  Vector lambda_;  // warm start
+  bool have_step_ = false;
+};
+
+/// Reduce() side (shared with the kernel-horizontal scheme: consensus is
+/// simply the average, with the bias carried in the last slot).
+class AveragingCoordinator final : public ConsensusCoordinator {
+ public:
+  explicit AveragingCoordinator(std::size_t consensus_dim);
+
+  Vector combine(const Vector& average) override;
+  double last_delta_sq() const override { return delta_sq_; }
+
+  /// Consensus weight part z (everything but the trailing bias slot).
+  Vector z() const;
+  /// Consensus bias s (trailing slot).
+  double s() const;
+
+ private:
+  std::size_t consensus_dim_;  // length including bias slot
+  Vector state_;
+  double delta_sq_ = 0.0;
+};
+
+/// Result of a horizontal linear run.
+struct LinearHorizontalResult {
+  svm::LinearModel model;  ///< the consensus classifier (w = z, b = s)
+  ConvergenceTrace trace;
+  ConsensusRunResult run;
+};
+
+/// Train in memory with the full secure-summation protocol. When `test` is
+/// non-null the trace records per-iteration test accuracy (Fig. 4(e)).
+LinearHorizontalResult train_linear_horizontal(
+    const data::HorizontalPartition& partition, const AdmmParams& params,
+    const data::Dataset* test = nullptr);
+
+}  // namespace ppml::core

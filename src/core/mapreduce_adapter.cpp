@@ -1,0 +1,224 @@
+#include "core/mapreduce_adapter.h"
+
+#include <optional>
+
+#include "data/dataset.h"
+
+namespace ppml::core {
+
+using mapreduce::Bytes;
+using mapreduce::Reader;
+using mapreduce::Writer;
+
+namespace {
+
+Bytes serialize_doubles(const Vector& v) {
+  Writer writer;
+  writer.put_double_vector(v);
+  return writer.take();
+}
+
+Vector deserialize_doubles(const Bytes& payload) {
+  if (payload.empty()) return {};
+  Reader reader(payload);
+  return reader.get_double_vector();
+}
+
+/// Map() participant: loads its shard data-locally, runs the learner, and
+/// only ever emits masked contributions.
+class SecureConsensusMapper final : public mapreduce::IterativeMapper {
+ public:
+  SecureConsensusMapper(std::size_t index, std::size_t num_learners,
+                        mapreduce::BlockId home_block, LearnerFactory factory,
+                        const AdmmParams& params,
+                        crypto::FixedPointCodec codec,
+                        std::vector<std::uint64_t> pairwise_seeds)
+      : index_(index),
+        home_block_(home_block),
+        factory_(std::move(factory)),
+        variant_(params.mask_variant),
+        codec_(codec) {
+    if (variant_ == crypto::MaskVariant::kSeededMasks) {
+      party_.emplace(index, num_learners, codec, std::move(pairwise_seeds));
+    } else {
+      party_.emplace(index, num_learners, codec,
+                     params.protocol_seed ^
+                         (index * 0x9e3779b97f4a7c15ULL));
+    }
+  }
+
+  void configure(const mapreduce::BlockStore& storage,
+                 mapreduce::NodeId node) override {
+    // Locality-enforcing read: throws if this node holds no replica.
+    const Bytes& payload = storage.read_local(home_block_, node);
+    learner_ = factory_(payload, index_);
+    PPML_CHECK(learner_ != nullptr,
+               "SecureConsensusMapper: factory returned null");
+  }
+
+  std::vector<std::pair<std::size_t, Bytes>> exchange(
+      std::size_t round) override {
+    if (variant_ != crypto::MaskVariant::kExchangedMasks) return {};
+    PPML_CHECK(learner_ != nullptr, "SecureConsensusMapper: not configured");
+    std::vector<std::pair<std::size_t, Bytes>> out;
+    auto masks = party_->outgoing_masks(round, learner_->contribution_dim());
+    for (std::size_t peer = 0; peer < masks.size(); ++peer) {
+      if (peer == index_) continue;
+      Writer writer;
+      writer.put_u64_vector(masks[peer]);
+      out.emplace_back(peer, writer.take());
+    }
+    return out;
+  }
+
+  Bytes map(std::size_t round, const Bytes& broadcast,
+            const std::vector<Bytes>& peer_messages) override {
+    PPML_CHECK(learner_ != nullptr, "SecureConsensusMapper: not configured");
+    const Vector contribution =
+        learner_->local_step(deserialize_doubles(broadcast));
+
+    std::vector<std::uint64_t> masked;
+    if (variant_ == crypto::MaskVariant::kSeededMasks) {
+      masked = party_->masked_contribution(contribution, round);
+    } else {
+      std::vector<std::vector<std::uint64_t>> received(peer_messages.size());
+      for (std::size_t j = 0; j < peer_messages.size(); ++j) {
+        if (j == index_ || peer_messages[j].empty()) continue;
+        Reader reader(peer_messages[j]);
+        received[j] = reader.get_u64_vector();
+      }
+      masked = party_->masked_contribution(contribution, received, round);
+    }
+    Writer writer;
+    writer.put_u64_vector(masked);
+    return writer.take();
+  }
+
+ private:
+  std::size_t index_;
+  mapreduce::BlockId home_block_;
+  LearnerFactory factory_;
+  crypto::MaskVariant variant_;
+  crypto::FixedPointCodec codec_;
+  std::optional<crypto::SecureSumParty> party_;
+  std::shared_ptr<ConsensusLearner> learner_;
+};
+
+/// Reduce() participant: secure aggregation + coordinator + convergence.
+class SecureConsensusReducer final : public mapreduce::IterativeReducer {
+ public:
+  SecureConsensusReducer(ConsensusCoordinator& coordinator,
+                         std::size_t num_learners,
+                         crypto::FixedPointCodec codec, double tolerance,
+                         std::vector<double>& delta_trace)
+      : coordinator_(coordinator),
+        num_learners_(num_learners),
+        codec_(codec),
+        tolerance_(tolerance),
+        delta_trace_(delta_trace) {}
+
+  Bytes reduce(std::size_t round,
+               const std::vector<Bytes>& contributions) override {
+    (void)round;
+    crypto::SecureSumAggregator aggregator(num_learners_, codec_);
+    for (const Bytes& payload : contributions) {
+      Reader reader(payload);
+      aggregator.add(reader.get_u64_vector());
+    }
+    const Vector broadcast = coordinator_.combine(aggregator.average());
+    delta_trace_.push_back(coordinator_.last_delta_sq());
+    converged_ =
+        tolerance_ > 0.0 && coordinator_.last_delta_sq() <= tolerance_;
+    return serialize_doubles(broadcast);
+  }
+
+  bool converged() const override { return converged_; }
+
+ private:
+  ConsensusCoordinator& coordinator_;
+  std::size_t num_learners_;
+  crypto::FixedPointCodec codec_;
+  double tolerance_;
+  std::vector<double>& delta_trace_;
+  bool converged_ = false;
+};
+
+}  // namespace
+
+ClusterTrainResult run_consensus_on_cluster(
+    mapreduce::Cluster& cluster, const std::vector<Bytes>& shards,
+    const LearnerFactory& factory, ConsensusCoordinator& coordinator,
+    std::size_t consensus_dim, mapreduce::NodeId reducer_node,
+    const AdmmParams& params, mapreduce::JobConfig job_config) {
+  (void)consensus_dim;
+  const std::size_t m = shards.size();
+  PPML_CHECK(m >= 2, "run_consensus_on_cluster: need >= 2 learners");
+  PPML_CHECK(cluster.num_nodes() >= m,
+             "run_consensus_on_cluster: fewer nodes than learners");
+  PPML_CHECK(reducer_node < cluster.num_nodes(),
+             "run_consensus_on_cluster: reducer node out of range");
+
+  const crypto::FixedPointCodec codec(params.fixed_point_bits, m);
+
+  // Pairwise key agreement (once, before the job).
+  std::vector<std::vector<std::uint64_t>> seeds;
+  if (params.mask_variant == crypto::MaskVariant::kSeededMasks) {
+    seeds = crypto::agree_pairwise_seeds(m, params.protocol_seed);
+  } else {
+    seeds.assign(m, {});
+  }
+
+  job_config.max_rounds = params.max_iterations;
+  mapreduce::IterativeJob job(cluster, job_config);
+
+  // Each learner's shard lives on its own node — data locality.
+  for (std::size_t i = 0; i < m; ++i) {
+    const mapreduce::BlockId block = cluster.store_shard(
+        "learner" + std::to_string(i) + "/shard", shards[i], i);
+    job.add_mapper(std::make_shared<SecureConsensusMapper>(
+                       i, m, block, factory, params, codec, seeds[i]),
+                   block);
+  }
+
+  ClusterTrainResult result;
+  auto reducer = std::make_shared<SecureConsensusReducer>(
+      coordinator, m, codec, params.convergence_tolerance,
+      result.delta_trace);
+  job.set_reducer(reducer, reducer_node);
+
+  result.job = job.run({});
+  result.run.iterations = result.job.rounds;
+  result.run.converged = result.job.converged;
+  return result;
+}
+
+Bytes serialize_horizontal_shard(const data::Dataset& shard) {
+  Writer writer;
+  writer.put_string(shard.name);
+  writer.put_matrix(shard.x);
+  writer.put_double_vector(shard.y);
+  return writer.take();
+}
+
+data::Dataset deserialize_horizontal_shard(const Bytes& payload) {
+  Reader reader(payload);
+  data::Dataset shard;
+  shard.name = reader.get_string();
+  shard.x = reader.get_matrix();
+  shard.y = reader.get_double_vector();
+  shard.validate();
+  return shard;
+}
+
+Bytes serialize_vertical_block(const linalg::Matrix& block) {
+  Writer writer;
+  writer.put_matrix(block);
+  return writer.take();
+}
+
+linalg::Matrix deserialize_vertical_block(const Bytes& payload) {
+  Reader reader(payload);
+  return reader.get_matrix();
+}
+
+}  // namespace ppml::core

@@ -1,0 +1,53 @@
+// Bridges the consensus abstraction onto the simulated MapReduce cluster.
+//
+// This is the deployment shape of the paper's Fig. 1: each learner's shard
+// is written to the HDFS-like block store pinned to that learner's node;
+// the mapper loads it through the locality-enforcing read API and builds
+// the ConsensusLearner from the *bytes on its own disk* — raw training data
+// never crosses the network (tests assert this on the wire). Contributions
+// travel masked; the reducer node runs SecureSumAggregator + the
+// coordinator and feeds the consensus back over the broadcast channel.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/consensus.h"
+#include "data/dataset.h"
+#include "mapreduce/cluster.h"
+#include "mapreduce/iterative_job.h"
+
+namespace ppml::core {
+
+/// Builds a learner from its shard payload once the mapper knows it is
+/// running data-local. Receives (shard bytes, learner index).
+using LearnerFactory = std::function<std::shared_ptr<ConsensusLearner>(
+    const mapreduce::Bytes&, std::size_t)>;
+
+struct ClusterTrainResult {
+  ConsensusRunResult run;
+  mapreduce::JobStats job;
+  std::vector<double> delta_trace;  ///< per-round ||dz||^2 from the reducer
+};
+
+/// Run the consensus loop as an iterative MapReduce job.
+///
+/// `shards[i]` is learner i's serialized private data, stored on node i
+/// (with the cluster's replication factor). `coordinator` runs on
+/// `reducer_node`. Requires cluster.num_nodes() >= shards.size() and a
+/// distinct reducer node is recommended (the paper's reducer is a separate
+/// role).
+ClusterTrainResult run_consensus_on_cluster(
+    mapreduce::Cluster& cluster, const std::vector<mapreduce::Bytes>& shards,
+    const LearnerFactory& factory, ConsensusCoordinator& coordinator,
+    std::size_t consensus_dim, mapreduce::NodeId reducer_node,
+    const AdmmParams& params, mapreduce::JobConfig job_config = {});
+
+/// Shard payload helpers shared by the trainers and tests.
+mapreduce::Bytes serialize_horizontal_shard(const data::Dataset& shard);
+data::Dataset deserialize_horizontal_shard(const mapreduce::Bytes& payload);
+
+mapreduce::Bytes serialize_vertical_block(const linalg::Matrix& block);
+linalg::Matrix deserialize_vertical_block(const mapreduce::Bytes& payload);
+
+}  // namespace ppml::core

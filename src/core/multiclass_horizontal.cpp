@@ -1,0 +1,83 @@
+#include "core/multiclass_horizontal.h"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+namespace ppml::core {
+
+MulticlassHorizontalPartition partition_multiclass_horizontally(
+    const svm::MulticlassDataset& dataset, std::size_t learners,
+    std::uint64_t seed) {
+  dataset.validate();
+  PPML_CHECK(learners >= 1,
+             "partition_multiclass_horizontally: need >= 1 learner");
+  PPML_CHECK(dataset.size() >= learners * dataset.classes,
+             "partition_multiclass_horizontally: too few rows");
+
+  std::vector<std::size_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::mt19937_64 rng(seed);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  MulticlassHorizontalPartition out;
+  out.shards.assign(learners, {});
+  std::vector<std::vector<std::size_t>> assignment(learners);
+  for (std::size_t i = 0; i < order.size(); ++i)
+    assignment[i % learners].push_back(order[i]);
+
+  for (std::size_t m = 0; m < learners; ++m) {
+    svm::MulticlassDataset& shard = out.shards[m];
+    shard.classes = dataset.classes;
+    shard.x.resize(assignment[m].size(), dataset.features());
+    shard.y.resize(assignment[m].size());
+    std::vector<std::size_t> per_class(dataset.classes, 0);
+    for (std::size_t i = 0; i < assignment[m].size(); ++i) {
+      const std::size_t row = assignment[m][i];
+      std::copy(dataset.x.row(row).begin(), dataset.x.row(row).end(),
+                shard.x.row(i).begin());
+      shard.y[i] = dataset.y[row];
+      per_class[shard.y[i]] += 1;
+    }
+    for (std::size_t c = 0; c < dataset.classes; ++c)
+      PPML_CHECK(per_class[c] > 0,
+                 "partition_multiclass_horizontally: learner " +
+                     std::to_string(m) + " has no rows of class " +
+                     std::to_string(c) + "; re-seed or use fewer learners");
+  }
+  return out;
+}
+
+MulticlassHorizontalResult train_multiclass_linear_horizontal(
+    const MulticlassHorizontalPartition& partition, const AdmmParams& params,
+    const svm::MulticlassDataset* test) {
+  PPML_CHECK(partition.learners() >= 2,
+             "train_multiclass_linear_horizontal: need >= 2 learners");
+  const std::size_t classes = partition.shards.front().classes;
+
+  MulticlassHorizontalResult result;
+  result.model.models.reserve(classes);
+  result.per_class_traces.reserve(classes);
+
+  for (std::size_t c = 0; c < classes; ++c) {
+    // Each learner re-codes ITS OWN labels locally (class c vs rest); no
+    // label information crosses the trust boundary beyond what the binary
+    // scheme already shares.
+    data::HorizontalPartition binary;
+    binary.shards.reserve(partition.learners());
+    for (const auto& shard : partition.shards)
+      binary.shards.push_back(shard.binary_view(c));
+
+    auto trained = train_linear_horizontal(binary, params, nullptr);
+    result.model.models.push_back(std::move(trained.model));
+    result.per_class_traces.push_back(std::move(trained.trace));
+  }
+
+  if (test != nullptr) {
+    result.test_accuracy = svm::multiclass_accuracy(
+        result.model.predict_all(test->x), test->y);
+  }
+  return result;
+}
+
+}  // namespace ppml::core

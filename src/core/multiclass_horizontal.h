@@ -1,0 +1,39 @@
+// Privacy-preserving one-vs-rest multiclass over horizontal partitions.
+//
+// The paper evaluates OCR as a binary task; the real optdigits set is
+// 10-class. One-vs-rest composes directly with the distributed trainers:
+// one consensus run per class, each protected by the same secure
+// summation protocol (labels are re-coded locally by each learner, so the
+// reduction adds NO extra leakage).
+#pragma once
+
+#include "core/linear_horizontal.h"
+#include "svm/multiclass.h"
+
+namespace ppml::core {
+
+/// Multiclass rows split across learners (same features, disjoint rows).
+struct MulticlassHorizontalPartition {
+  std::vector<svm::MulticlassDataset> shards;
+
+  std::size_t learners() const noexcept { return shards.size(); }
+};
+
+/// Random row assignment; every learner gets at least one row of every
+/// class when possible (throws otherwise, like the binary partitioner).
+MulticlassHorizontalPartition partition_multiclass_horizontally(
+    const svm::MulticlassDataset& dataset, std::size_t learners,
+    std::uint64_t seed);
+
+struct MulticlassHorizontalResult {
+  svm::OneVsRestLinear model;
+  std::vector<ConvergenceTrace> per_class_traces;
+  double test_accuracy = 0.0;  ///< filled when a test set is supplied
+};
+
+/// One linear-horizontal consensus run per class.
+MulticlassHorizontalResult train_multiclass_linear_horizontal(
+    const MulticlassHorizontalPartition& partition, const AdmmParams& params,
+    const svm::MulticlassDataset* test = nullptr);
+
+}  // namespace ppml::core

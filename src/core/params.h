@@ -1,0 +1,63 @@
+// Parameters and result types shared by the four privacy-preserving
+// trainers (paper §IV, evaluation defaults from §VI).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/secure_sum.h"
+#include "svm/kernel.h"
+
+namespace ppml::core {
+
+/// ADMM + protocol knobs. Defaults are the paper's §VI settings.
+struct AdmmParams {
+  double c = 50.0;     ///< slack penalty (paper: C = 50)
+  double rho = 100.0;  ///< augmented-Lagrangian weight (paper: rho = 100)
+  std::size_t max_iterations = 100;  ///< paper's plots run 100 iterations
+  double convergence_tolerance = 0.0;  ///< stop early when ||dz||^2 below
+                                       ///< this (0 = run all iterations,
+                                       ///< like the paper's figures)
+
+  // Inner QP controls.
+  double qp_tolerance = 1e-6;
+  std::size_t qp_max_sweeps = 2000;
+
+  // Kernel-horizontal specifics (paper §IV-B).
+  std::size_t landmarks = 50;  ///< l — size of the reduced consensus space
+
+  // Secure summation.
+  unsigned fixed_point_bits = 20;
+  crypto::MaskVariant mask_variant = crypto::MaskVariant::kSeededMasks;
+  std::uint64_t protocol_seed = 0xC0FFEE;
+
+  std::uint64_t seed = 7;  ///< landmark sampling etc.
+
+  /// Run learners' local steps on parallel threads in the in-memory driver
+  /// (results are bit-identical either way: contributions are aggregated
+  /// in learner order). Ignored on single-core hosts, where concurrent QP
+  /// solves only thrash the cache.
+  bool parallel_learners = true;
+};
+
+/// One row of the paper's Fig. 4 series for a run.
+struct IterationRecord {
+  std::size_t iteration = 0;
+  double z_delta_sq = 0.0;       ///< ||z^{t+1} - z^t||^2 (panels a-d)
+  double test_accuracy = 0.0;    ///< correct ratio        (panels e-h)
+};
+
+/// Full per-run trace (one per dataset/scheme combination).
+struct ConvergenceTrace {
+  std::vector<IterationRecord> records;
+
+  double final_accuracy() const {
+    return records.empty() ? 0.0 : records.back().test_accuracy;
+  }
+  double final_delta_sq() const {
+    return records.empty() ? 0.0 : records.back().z_delta_sq;
+  }
+};
+
+}  // namespace ppml::core

@@ -1,0 +1,89 @@
+#include "core/secure_prediction.h"
+
+#include "crypto/secure_sum.h"
+#include "linalg/blas.h"
+#include "svm/kernel.h"
+
+namespace ppml::core {
+
+namespace {
+
+/// Run one secure-sum round over the per-learner partial-score vectors and
+/// add the bias. The codec headroom is sized from the scores themselves.
+Vector combine_partials(const std::vector<Vector>& partials, double bias,
+                        const AdmmParams& protocol) {
+  const std::size_t m = partials.size();
+  PPML_CHECK(m >= 2, "secure prediction: need >= 2 learners");
+  const std::size_t batch = partials.front().size();
+  for (const Vector& p : partials)
+    PPML_CHECK(p.size() == batch, "secure prediction: batch size mismatch");
+
+  const crypto::FixedPointCodec codec(protocol.fixed_point_bits, m);
+  const auto seeds = crypto::agree_pairwise_seeds(m, protocol.protocol_seed);
+  crypto::SecureSumAggregator aggregator(m, codec);
+  for (std::size_t i = 0; i < m; ++i) {
+    crypto::SecureSumParty party(i, m, codec, seeds[i]);
+    aggregator.add(party.masked_contribution(partials[i], /*round=*/0));
+  }
+  Vector decisions = aggregator.sum();
+  for (double& v : decisions) v += bias;
+  return decisions;
+}
+
+Vector to_labels(Vector decisions) {
+  for (double& v : decisions) v = v >= 0.0 ? 1.0 : -1.0;
+  return decisions;
+}
+
+}  // namespace
+
+Vector secure_vertical_decision_values(const VerticalLinearModelView& model,
+                                       const linalg::Matrix& x_full,
+                                       const AdmmParams& protocol) {
+  const std::size_t m = model.w_blocks.size();
+  std::vector<Vector> partials(m, Vector(x_full.rows(), 0.0));
+  for (std::size_t learner = 0; learner < m; ++learner) {
+    const auto& idx = model.feature_indices[learner];
+    for (std::size_t i = 0; i < x_full.rows(); ++i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < idx.size(); ++j)
+        acc += model.w_blocks[learner][j] * x_full(i, idx[j]);
+      partials[learner][i] = acc;
+    }
+  }
+  return combine_partials(partials, model.b, protocol);
+}
+
+Vector secure_vertical_decision_values(const VerticalKernelModelView& model,
+                                       const linalg::Matrix& x_full,
+                                       const AdmmParams& protocol) {
+  const std::size_t m = model.train_blocks.size();
+  std::vector<Vector> partials(m, Vector(x_full.rows(), 0.0));
+  std::vector<double> projected;
+  for (std::size_t learner = 0; learner < m; ++learner) {
+    const auto& idx = model.feature_indices[learner];
+    projected.resize(idx.size());
+    for (std::size_t i = 0; i < x_full.rows(); ++i) {
+      for (std::size_t j = 0; j < idx.size(); ++j)
+        projected[j] = x_full(i, idx[j]);
+      const Vector krow =
+          svm::kernel_row(model.kernel, projected, model.train_blocks[learner]);
+      partials[learner][i] = linalg::dot(krow, model.alphas[learner]);
+    }
+  }
+  return combine_partials(partials, model.b, protocol);
+}
+
+Vector secure_vertical_predict(const VerticalLinearModelView& model,
+                               const linalg::Matrix& x_full,
+                               const AdmmParams& protocol) {
+  return to_labels(secure_vertical_decision_values(model, x_full, protocol));
+}
+
+Vector secure_vertical_predict(const VerticalKernelModelView& model,
+                               const linalg::Matrix& x_full,
+                               const AdmmParams& protocol) {
+  return to_labels(secure_vertical_decision_values(model, x_full, protocol));
+}
+
+}  // namespace ppml::core

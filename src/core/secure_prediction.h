@@ -1,0 +1,37 @@
+// Secure prediction for vertically partitioned models.
+//
+// Training is only half the vertical story: at TEST time a new sample's
+// features are again split across the learners, and the decision value
+// f(x) = sum_m <w_m, x_m> + b is a sum of per-learner partial scores —
+// which are themselves sensitive (they reveal a projection of each
+// learner's private feature block). This module closes the loop: partial
+// scores for a batch of samples are combined with the SAME secure
+// summation protocol used in training, so the querier learns only the
+// final decision values.
+#pragma once
+
+#include "core/params.h"
+#include "core/vertical.h"
+
+namespace ppml::core {
+
+/// Batched secure evaluation of a vertical linear model: one protocol
+/// round for the whole batch. Returns decision VALUES (sign() classifies).
+Vector secure_vertical_decision_values(const VerticalLinearModelView& model,
+                                       const linalg::Matrix& x_full,
+                                       const AdmmParams& protocol);
+
+/// Same for the additive-kernel vertical model.
+Vector secure_vertical_decision_values(const VerticalKernelModelView& model,
+                                       const linalg::Matrix& x_full,
+                                       const AdmmParams& protocol);
+
+/// Convenience: +/-1 predictions through the secure path.
+Vector secure_vertical_predict(const VerticalLinearModelView& model,
+                               const linalg::Matrix& x_full,
+                               const AdmmParams& protocol);
+Vector secure_vertical_predict(const VerticalKernelModelView& model,
+                               const linalg::Matrix& x_full,
+                               const AdmmParams& protocol);
+
+}  // namespace ppml::core

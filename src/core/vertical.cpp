@@ -1,0 +1,278 @@
+#include "core/vertical.h"
+
+#include "linalg/blas.h"
+#include "qp/diagonal_qp.h"
+#include "svm/metrics.h"
+#include "svm/trainer.h"
+
+namespace ppml::core {
+
+LinearVerticalLearner::LinearVerticalLearner(linalg::Matrix block,
+                                             const AdmmParams& params)
+    : block_(std::move(block)), rows_(block_.rows()), rho_(params.rho) {
+  PPML_CHECK(rows_ >= 1 && block_.cols() >= 1,
+             "LinearVerticalLearner: empty block");
+  PPML_CHECK(rho_ > 0.0, "LinearVerticalLearner: rho must be positive");
+  // Factor I + rho X^T X (k_m x k_m — feature blocks are narrow).
+  linalg::Matrix normal = linalg::gram_at_a(block_);
+  for (double& v : normal.data()) v *= rho_;
+  for (std::size_t i = 0; i < normal.rows(); ++i) normal(i, i) += 1.0;
+  factor_ = std::make_unique<linalg::Cholesky>(normal);
+  w_.assign(block_.cols(), 0.0);
+  c_.assign(rows_, 0.0);
+}
+
+Vector LinearVerticalLearner::local_step(const Vector& broadcast) {
+  // d = X w^t + (zbar - cbar - u); on the cold start both terms are zero.
+  Vector d = c_;
+  if (!broadcast.empty()) {
+    PPML_CHECK(broadcast.size() == rows_,
+               "LinearVerticalLearner: bad broadcast size");
+    linalg::axpy(1.0, broadcast, d);
+  }
+  // w = rho (I + rho X^T X)^{-1} X^T d.
+  Vector xtd = linalg::gemv_t(block_, d);
+  w_ = factor_->solve(xtd);
+  linalg::scale(rho_, w_);
+  c_ = linalg::gemv(block_, w_);
+  return c_;
+}
+
+KernelVerticalLearner::KernelVerticalLearner(linalg::Matrix block,
+                                             svm::Kernel kernel,
+                                             const AdmmParams& params)
+    : block_(std::move(block)),
+      rows_(block_.rows()),
+      rho_(params.rho),
+      k_(svm::gram(kernel, block_)) {
+  PPML_CHECK(rho_ > 0.0, "KernelVerticalLearner: rho must be positive");
+  kernel_ = kernel;
+  linalg::Matrix normal = k_;
+  for (double& v : normal.data()) v *= rho_;
+  for (std::size_t i = 0; i < rows_; ++i) normal(i, i) += 1.0 + 1e-10;
+  factor_ = std::make_unique<linalg::Cholesky>(normal);
+  alpha_.assign(rows_, 0.0);
+  c_.assign(rows_, 0.0);
+}
+
+Vector KernelVerticalLearner::local_step(const Vector& broadcast) {
+  Vector d = c_;
+  if (!broadcast.empty()) {
+    PPML_CHECK(broadcast.size() == rows_,
+               "KernelVerticalLearner: bad broadcast size");
+    linalg::axpy(1.0, broadcast, d);
+  }
+  // alpha = rho (I + rho K)^{-1} d   (push-through identity), c = K alpha.
+  alpha_ = factor_->solve(d);
+  linalg::scale(rho_, alpha_);
+  c_ = linalg::gemv(k_, alpha_);
+  return c_;
+}
+
+VerticalCoordinator::VerticalCoordinator(Vector labels,
+                                         std::size_t num_learners,
+                                         const AdmmParams& params)
+    : y_(std::move(labels)),
+      m_(num_learners),
+      rho_(params.rho),
+      c_(params.c) {
+  PPML_CHECK(num_learners >= 2, "VerticalCoordinator: need M >= 2");
+  PPML_CHECK(!y_.empty(), "VerticalCoordinator: empty labels");
+  for (double label : y_)
+    PPML_CHECK(label == 1.0 || label == -1.0,
+               "VerticalCoordinator: labels must be +/-1");
+  u_.assign(y_.size(), 0.0);
+  zeta_.assign(y_.size(), 0.0);
+}
+
+Vector VerticalCoordinator::combine(const Vector& average) {
+  const std::size_t n = y_.size();
+  PPML_CHECK(average.size() == n, "VerticalCoordinator: bad average size");
+  const double mm = static_cast<double>(m_);
+  const Vector& cbar = average;
+
+  // Hinge proximal step via its exact diagonal-QP dual (DESIGN.md §2.3):
+  //   min C sum hinge(y_i (zeta_i + b)) + rho/(2M) ||zeta - q||^2,
+  //   q = M (cbar + u)  =>  dual: d_i = M/rho, p_i = 1 - y_i q_i,
+  //   0 <= lambda <= C, y^T lambda = 0;  zeta = q + (M/rho) Y lambda.
+  Vector q(n);
+  for (std::size_t i = 0; i < n; ++i) q[i] = mm * (cbar[i] + u_[i]);
+
+  qp::DiagonalQpProblem dual;
+  dual.d.assign(n, mm / rho_);
+  dual.p.resize(n);
+  for (std::size_t i = 0; i < n; ++i) dual.p[i] = 1.0 - y_[i] * q[i];
+  dual.y = y_;
+  dual.c = c_;
+  dual.delta = 0.0;
+  const qp::Result solved = qp::solve_diagonal_qp(dual);
+
+  Vector zeta_new(n);
+  for (std::size_t i = 0; i < n; ++i)
+    zeta_new[i] = q[i] + (mm / rho_) * y_[i] * solved.x[i];
+
+  b_ = svm::recover_bias(solved.x, y_, zeta_new, c_);
+
+  delta_sq_ = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = zeta_new[i] - zeta_[i];
+    delta_sq_ += d * d;
+  }
+  zeta_ = std::move(zeta_new);
+
+  // u^{k+1} = u^k + cbar - zbar;  broadcast = zbar - cbar - u^{k+1}.
+  Vector broadcast(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double zbar = zeta_[i] / mm;
+    u_[i] += cbar[i] - zbar;
+    broadcast[i] = zbar - cbar[i] - u_[i];
+  }
+  return broadcast;
+}
+
+double VerticalLinearModelView::decision_value(
+    std::span<const double> x_full) const {
+  double acc = b;
+  for (std::size_t m = 0; m < w_blocks.size(); ++m) {
+    const auto& idx = feature_indices[m];
+    for (std::size_t j = 0; j < idx.size(); ++j)
+      acc += w_blocks[m][j] * x_full[idx[j]];
+  }
+  return acc;
+}
+
+Vector VerticalLinearModelView::predict_all(
+    const linalg::Matrix& x_full) const {
+  Vector out(x_full.rows());
+  for (std::size_t i = 0; i < x_full.rows(); ++i)
+    out[i] = decision_value(x_full.row(i)) >= 0.0 ? 1.0 : -1.0;
+  return out;
+}
+
+double VerticalKernelModelView::decision_value(
+    std::span<const double> x_full) const {
+  double acc = b;
+  std::vector<double> projected;
+  for (std::size_t m = 0; m < train_blocks.size(); ++m) {
+    const auto& idx = feature_indices[m];
+    projected.resize(idx.size());
+    for (std::size_t j = 0; j < idx.size(); ++j) projected[j] = x_full[idx[j]];
+    const Vector krow = svm::kernel_row(kernel, projected, train_blocks[m]);
+    acc += linalg::dot(krow, alphas[m]);
+  }
+  return acc;
+}
+
+Vector VerticalKernelModelView::predict_all(
+    const linalg::Matrix& x_full) const {
+  Vector out(x_full.rows());
+  for (std::size_t i = 0; i < x_full.rows(); ++i)
+    out[i] = decision_value(x_full.row(i)) >= 0.0 ? 1.0 : -1.0;
+  return out;
+}
+
+LinearVerticalResult train_linear_vertical(
+    const data::VerticalPartition& partition, const AdmmParams& params,
+    const data::Dataset* test) {
+  PPML_CHECK(partition.learners() >= 2,
+             "train_linear_vertical: need >= 2 learners");
+  const std::size_t m = partition.learners();
+
+  std::vector<std::shared_ptr<ConsensusLearner>> learners;
+  std::vector<std::shared_ptr<LinearVerticalLearner>> typed;
+  for (std::size_t i = 0; i < m; ++i) {
+    auto learner =
+        std::make_shared<LinearVerticalLearner>(partition.blocks[i], params);
+    typed.push_back(learner);
+    learners.push_back(learner);
+  }
+  VerticalCoordinator coordinator(partition.y, m, params);
+
+  LinearVerticalResult result;
+  result.model.feature_indices = partition.feature_indices;
+
+  const RoundObserver observer = [&](std::size_t iteration) {
+    IterationRecord record;
+    record.iteration = iteration;
+    record.z_delta_sq = coordinator.last_delta_sq();
+    if (test != nullptr) {
+      VerticalLinearModelView view;
+      view.feature_indices = partition.feature_indices;
+      view.b = coordinator.bias();
+      for (const auto& learner : typed) view.w_blocks.push_back(learner->w());
+      record.test_accuracy = svm::accuracy(view.predict_all(test->x), test->y);
+    }
+    result.trace.records.push_back(record);
+  };
+
+  result.run =
+      run_consensus_in_memory(learners, coordinator, params, observer);
+  for (const auto& learner : typed)
+    result.model.w_blocks.push_back(learner->w());
+  result.model.b = coordinator.bias();
+  return result;
+}
+
+KernelVerticalResult train_kernel_vertical(
+    const data::VerticalPartition& partition, const svm::Kernel& kernel,
+    const AdmmParams& params, const data::Dataset* test) {
+  PPML_CHECK(partition.learners() >= 2,
+             "train_kernel_vertical: need >= 2 learners");
+  const std::size_t m = partition.learners();
+
+  std::vector<std::shared_ptr<ConsensusLearner>> learners;
+  std::vector<std::shared_ptr<KernelVerticalLearner>> typed;
+  for (std::size_t i = 0; i < m; ++i) {
+    auto learner = std::make_shared<KernelVerticalLearner>(
+        partition.blocks[i], kernel, params);
+    typed.push_back(learner);
+    learners.push_back(learner);
+  }
+  VerticalCoordinator coordinator(partition.y, m, params);
+
+  // Evaluation caches: per-learner K(test feature view, train block),
+  // computed once — decision per round is then one gemv per learner.
+  std::vector<linalg::Matrix> test_grams;
+  if (test != nullptr) {
+    test_grams.reserve(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      linalg::Matrix projected(test->size(), partition.feature_indices[i].size());
+      for (std::size_t r = 0; r < test->size(); ++r)
+        for (std::size_t j = 0; j < partition.feature_indices[i].size(); ++j)
+          projected(r, j) = test->x(r, partition.feature_indices[i][j]);
+      test_grams.push_back(
+          svm::cross_gram(kernel, projected, partition.blocks[i]));
+    }
+  }
+
+  KernelVerticalResult result;
+  const RoundObserver observer = [&](std::size_t iteration) {
+    IterationRecord record;
+    record.iteration = iteration;
+    record.z_delta_sq = coordinator.last_delta_sq();
+    if (test != nullptr) {
+      Vector decision(test->size(), coordinator.bias());
+      for (std::size_t i = 0; i < m; ++i) {
+        const Vector part = linalg::gemv(test_grams[i], typed[i]->alpha());
+        linalg::axpy(1.0, part, decision);
+      }
+      for (double& v : decision) v = v >= 0.0 ? 1.0 : -1.0;
+      record.test_accuracy = svm::accuracy(decision, test->y);
+    }
+    result.trace.records.push_back(record);
+  };
+
+  result.run =
+      run_consensus_in_memory(learners, coordinator, params, observer);
+
+  result.model.kernel = kernel;
+  result.model.feature_indices = partition.feature_indices;
+  result.model.b = coordinator.bias();
+  for (std::size_t i = 0; i < m; ++i) {
+    result.model.train_blocks.push_back(partition.blocks[i]);
+    result.model.alphas.push_back(typed[i]->alpha());
+  }
+  return result;
+}
+
+}  // namespace ppml::core

@@ -1,0 +1,55 @@
+#include "crypto/dh.h"
+
+#include "linalg/common.h"
+
+namespace ppml::crypto {
+
+DhGroup DhGroup::generate(unsigned bits, Xoshiro256& rng) {
+  DhGroup group;
+  const auto [p, q] = random_safe_prime(bits, rng);
+  group.p = p;
+  group.q = q;
+  // Squares generate the order-q subgroup of quadratic residues.
+  std::uint64_t h = 2;
+  std::uint64_t g = 0;
+  do {
+    g = static_cast<std::uint64_t>(mulmod(h, h, p));
+    ++h;
+  } while (g == 1);
+  group.g = g;
+  return group;
+}
+
+DhGroup DhGroup::standard_group() {
+  // Deterministic seed => every party derives the identical group, playing
+  // the role of published standard parameters (cf. RFC 3526 groups).
+  static const DhGroup group = [] {
+    Xoshiro256 rng(0x70706d6c2d646821ULL);  // "ppml-dh!"
+    return generate(61, rng);
+  }();
+  return group;
+}
+
+DhKeyPair dh_keygen(const DhGroup& group, Xoshiro256& rng) {
+  PPML_CHECK(group.p > 3 && group.q > 1 && group.g > 1, "dh_keygen: bad group");
+  DhKeyPair pair;
+  // Uniform secret in [1, q-1] by rejection.
+  do {
+    pair.secret = rng.next() % group.q;
+  } while (pair.secret == 0);
+  pair.public_value =
+      static_cast<std::uint64_t>(powmod(group.g, pair.secret, group.p));
+  return pair;
+}
+
+std::uint64_t dh_shared_secret(const DhGroup& group, std::uint64_t my_secret,
+                               std::uint64_t peer_public) {
+  PPML_CHECK(peer_public > 1 && peer_public < group.p - 1,
+             "dh_shared_secret: peer public value out of range");
+  // Subgroup check: element must have order q (i.e., be a QR).
+  PPML_CHECK(powmod(peer_public, group.q, group.p) == 1,
+             "dh_shared_secret: peer value not in the prime-order subgroup");
+  return static_cast<std::uint64_t>(powmod(peer_public, my_secret, group.p));
+}
+
+}  // namespace ppml::crypto

@@ -1,0 +1,112 @@
+#include "crypto/dropout_recovery.h"
+
+#include <algorithm>
+
+namespace ppml::crypto {
+
+DropoutRecoverySession::DropoutRecoverySession(
+    const std::vector<std::vector<std::uint64_t>>& pairwise_seeds,
+    std::size_t threshold, std::uint64_t sharing_seed)
+    : parties_(pairwise_seeds.size()), threshold_(threshold) {
+  PPML_CHECK(parties_ >= 3,
+             "DropoutRecoverySession: need >= 3 parties (someone must "
+             "survive to reconstruct)");
+  PPML_CHECK(threshold >= 2 && threshold <= parties_ - 1,
+             "DropoutRecoverySession: threshold must be in [2, M-1]");
+  for (const auto& row : pairwise_seeds)
+    PPML_CHECK(row.size() == parties_,
+               "DropoutRecoverySession: seed matrix must be M x M");
+
+  Xoshiro256 rng(sharing_seed);
+  shares_.assign(parties_, {});
+  for (std::size_t owner = 0; owner < parties_; ++owner) {
+    shares_[owner].assign(parties_, {});
+    for (std::size_t peer = owner + 1; peer < parties_; ++peer) {
+      const std::uint64_t seed = pairwise_seeds[owner][peer];
+      PPML_CHECK(seed == pairwise_seeds[peer][owner],
+                 "DropoutRecoverySession: seed matrix not symmetric");
+      PPML_CHECK(seed < kShamirPrime,
+                 "DropoutRecoverySession: seed exceeds the sharing field");
+      shares_[owner][peer] = shamir_share(seed, parties_, threshold_, rng);
+    }
+  }
+}
+
+ShamirShare DropoutRecoverySession::share(std::size_t holder,
+                                          std::size_t owner,
+                                          std::size_t peer) const {
+  PPML_CHECK(holder < parties_ && owner < parties_ && peer < parties_,
+             "DropoutRecoverySession::share: index out of range");
+  PPML_CHECK(owner != peer, "DropoutRecoverySession::share: no self-seed");
+  const std::size_t lo = std::min(owner, peer);
+  const std::size_t hi = std::max(owner, peer);
+  return shares_[lo][hi][holder];
+}
+
+std::uint64_t DropoutRecoverySession::reconstruct_seed(
+    std::span<const ShamirShare> shares) {
+  return shamir_reconstruct(shares);
+}
+
+std::vector<std::uint64_t> DropoutRecoverySession::mask_correction(
+    std::size_t dropped, const std::vector<std::size_t>& survivors,
+    const std::vector<std::uint64_t>& reconstructed_seeds, std::size_t round,
+    std::size_t dim) {
+  std::vector<std::uint64_t> correction(dim, 0);
+  std::vector<std::uint64_t> mask(dim);
+  for (std::size_t j : survivors) {
+    PPML_CHECK(j != dropped, "mask_correction: dropped party in survivors");
+    PPML_CHECK(j < reconstructed_seeds.size(),
+               "mask_correction: missing reconstructed seed");
+    ChaCha20Stream prg(reconstructed_seeds[j], round);
+    prg.fill(mask);
+    // Survivor j added sign(j, dropped) * mask to its contribution; remove.
+    if (j < dropped) {
+      ring_sub_inplace(correction, mask);
+    } else {
+      ring_add_inplace(correction, mask);
+    }
+  }
+  return correction;
+}
+
+std::vector<double> recover_survivor_sum(
+    const DropoutRecoverySession& session,
+    const std::vector<std::vector<std::uint64_t>>& survivor_contributions,
+    const std::vector<std::size_t>& survivors, std::size_t dropped,
+    std::size_t round, const FixedPointCodec& codec) {
+  PPML_CHECK(survivor_contributions.size() == survivors.size(),
+             "recover_survivor_sum: contribution count mismatch");
+  PPML_CHECK(survivors.size() >= session.threshold(),
+             "recover_survivor_sum: not enough survivors to reconstruct");
+  PPML_CHECK(!survivor_contributions.empty(),
+             "recover_survivor_sum: no survivors");
+  const std::size_t dim = survivor_contributions.front().size();
+
+  // Sum the survivors' masked contributions. Masks between survivors
+  // cancel pairwise as usual; only masks with the dropped party remain.
+  std::vector<std::uint64_t> total(dim, 0);
+  for (const auto& contribution : survivor_contributions) {
+    PPML_CHECK(contribution.size() == dim,
+               "recover_survivor_sum: dimension mismatch");
+    ring_add_inplace(total, contribution);
+  }
+
+  // Reconstruct s_{dropped, j} for every survivor j from the first
+  // `threshold` survivors' revealed shares.
+  std::vector<std::uint64_t> reconstructed(session.parties(), 0);
+  for (std::size_t j : survivors) {
+    std::vector<ShamirShare> revealed;
+    revealed.reserve(session.threshold());
+    for (std::size_t r = 0; r < session.threshold(); ++r)
+      revealed.push_back(session.share(survivors[r], dropped, j));
+    reconstructed[j] = DropoutRecoverySession::reconstruct_seed(revealed);
+  }
+
+  ring_add_inplace(total,
+                   DropoutRecoverySession::mask_correction(
+                       dropped, survivors, reconstructed, round, dim));
+  return codec.decode_vector(total);
+}
+
+}  // namespace ppml::crypto

@@ -1,0 +1,71 @@
+#include "crypto/fixed_point.h"
+
+#include <cmath>
+
+namespace ppml::crypto {
+
+FixedPointCodec::FixedPointCodec(unsigned fractional_bits,
+                                 std::size_t max_terms)
+    : fractional_bits_(fractional_bits),
+      scale_(std::ldexp(1.0, static_cast<int>(fractional_bits))) {
+  PPML_CHECK(fractional_bits >= 1 && fractional_bits <= 52,
+             "FixedPointCodec: fractional_bits must be in [1, 52]");
+  PPML_CHECK(max_terms >= 1, "FixedPointCodec: max_terms must be >= 1");
+  // Keep the sum of max_terms encoded magnitudes below 2^62.
+  max_encodable_ =
+      std::ldexp(1.0, 62 - static_cast<int>(fractional_bits)) /
+      static_cast<double>(max_terms);
+}
+
+std::uint64_t FixedPointCodec::encode(double v) const {
+  if (!std::isfinite(v)) {
+    throw NumericError("FixedPointCodec::encode: non-finite value");
+  }
+  if (std::abs(v) > max_encodable_) {
+    throw NumericError(
+        "FixedPointCodec::encode: magnitude " + std::to_string(v) +
+        " exceeds safe range " + std::to_string(max_encodable_) +
+        " (raise headroom or lower fractional_bits)");
+  }
+  const double scaled = std::nearbyint(v * scale_);
+  const auto as_int = static_cast<std::int64_t>(scaled);
+  return static_cast<std::uint64_t>(as_int);  // two's complement embedding
+}
+
+double FixedPointCodec::decode(std::uint64_t r) const {
+  const auto as_int = static_cast<std::int64_t>(r);  // interpret sign
+  return static_cast<double>(as_int) / scale_;
+}
+
+std::vector<std::uint64_t> FixedPointCodec::encode_vector(
+    std::span<const double> v) const {
+  std::vector<std::uint64_t> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = encode(v[i]);
+  return out;
+}
+
+std::vector<double> FixedPointCodec::decode_vector(
+    std::span<const std::uint64_t> r) const {
+  std::vector<double> out(r.size());
+  for (std::size_t i = 0; i < r.size(); ++i) out[i] = decode(r[i]);
+  return out;
+}
+
+double FixedPointCodec::quantization_bound(std::size_t terms) const noexcept {
+  return static_cast<double>(terms) /
+         std::ldexp(1.0, static_cast<int>(fractional_bits_) + 1);
+}
+
+void ring_add_inplace(std::span<std::uint64_t> acc,
+                      std::span<const std::uint64_t> v) {
+  PPML_CHECK(acc.size() == v.size(), "ring_add_inplace: size mismatch");
+  for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += v[i];
+}
+
+void ring_sub_inplace(std::span<std::uint64_t> acc,
+                      std::span<const std::uint64_t> v) {
+  PPML_CHECK(acc.size() == v.size(), "ring_sub_inplace: size mismatch");
+  for (std::size_t i = 0; i < acc.size(); ++i) acc[i] -= v[i];
+}
+
+}  // namespace ppml::crypto

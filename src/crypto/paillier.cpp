@@ -1,0 +1,94 @@
+#include "crypto/paillier.h"
+
+#include "linalg/common.h"
+
+namespace ppml::crypto {
+
+namespace {
+/// L(x) = (x - 1) / n, defined on x ≡ 1 (mod n).
+std::uint64_t paillier_l(u128 x, std::uint64_t n) {
+  return static_cast<std::uint64_t>((x - 1) / n);
+}
+}  // namespace
+
+PaillierKeyPair paillier_keygen(unsigned prime_bits, Xoshiro256& rng) {
+  PPML_CHECK(prime_bits >= 16 && prime_bits <= 31,
+             "paillier_keygen: prime_bits must be in [16, 31]");
+  std::uint64_t p = 0;
+  std::uint64_t q = 0;
+  do {
+    p = random_prime(prime_bits, rng);
+    q = random_prime(prime_bits, rng);
+  } while (p == q || gcd_u64(p * q, (p - 1) * (q - 1)) != 1);
+
+  PaillierKeyPair keys;
+  keys.public_key.n = p * q;
+  keys.public_key.n_squared =
+      static_cast<u128>(keys.public_key.n) * keys.public_key.n;
+  keys.private_key.lambda = lcm_u64(p - 1, q - 1);
+
+  // mu = (L(g^lambda mod n^2))^{-1} mod n with g = n + 1.
+  const u128 g = static_cast<u128>(keys.public_key.n) + 1;
+  const u128 g_lambda =
+      powmod(g, keys.private_key.lambda, keys.public_key.n_squared);
+  const std::uint64_t l_value = paillier_l(g_lambda, keys.public_key.n);
+  keys.private_key.mu = static_cast<std::uint64_t>(
+      invmod(l_value, keys.public_key.n));
+  return keys;
+}
+
+u128 paillier_encrypt(const PaillierPublicKey& key, std::uint64_t m,
+                      Xoshiro256& rng) {
+  PPML_CHECK(key.n != 0, "paillier_encrypt: uninitialized key");
+  PPML_CHECK(m < key.n, "paillier_encrypt: plaintext out of range");
+  // Blinding factor r uniform in [1, n) with gcd(r, n) = 1.
+  std::uint64_t r = 0;
+  do {
+    r = rng.next() % key.n;
+  } while (r == 0 || gcd_u64(r, key.n) != 1);
+
+  // c = (n+1)^m * r^n mod n^2; (n+1)^m = 1 + m*n (mod n^2) — binomial trick.
+  const u128 gm = (1 + mulmod(static_cast<u128>(m), key.n, key.n_squared)) %
+                  key.n_squared;
+  const u128 rn = powmod(r, key.n, key.n_squared);
+  return mulmod(gm, rn, key.n_squared);
+}
+
+std::uint64_t paillier_decrypt(const PaillierPublicKey& public_key,
+                               const PaillierPrivateKey& private_key,
+                               u128 ciphertext) {
+  PPML_CHECK(public_key.n != 0, "paillier_decrypt: uninitialized key");
+  const u128 c_lambda =
+      powmod(ciphertext, private_key.lambda, public_key.n_squared);
+  const std::uint64_t l_value = paillier_l(c_lambda, public_key.n);
+  return static_cast<std::uint64_t>(
+      mulmod(l_value, private_key.mu, public_key.n));
+}
+
+u128 paillier_add(const PaillierPublicKey& key, u128 c1, u128 c2) {
+  return mulmod(c1, c2, key.n_squared);
+}
+
+u128 paillier_scale(const PaillierPublicKey& key, u128 c, std::uint64_t k) {
+  return powmod(c, k, key.n_squared);
+}
+
+std::uint64_t paillier_encode_signed(const PaillierPublicKey& key,
+                                     std::int64_t v) {
+  const std::uint64_t half = key.n / 2;
+  PPML_CHECK(v >= 0 ? static_cast<std::uint64_t>(v) < half
+                    : static_cast<std::uint64_t>(-v) <= half,
+             "paillier_encode_signed: value out of range");
+  if (v >= 0) return static_cast<std::uint64_t>(v);
+  return key.n - static_cast<std::uint64_t>(-v);
+}
+
+std::int64_t paillier_decode_signed(const PaillierPublicKey& key,
+                                    std::uint64_t m) {
+  PPML_CHECK(m < key.n, "paillier_decode_signed: value out of range");
+  const std::uint64_t half = key.n / 2;
+  if (m < half) return static_cast<std::int64_t>(m);
+  return -static_cast<std::int64_t>(key.n - m);
+}
+
+}  // namespace ppml::crypto

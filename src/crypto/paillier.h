@@ -1,0 +1,60 @@
+// Paillier additively-homomorphic encryption (toy parameters).
+//
+// Role in this repo: the SMC-based prior work the paper argues against
+// (Yuan & Yu back-prop, secure-sum via HE) pays a public-key operation per
+// value. bench/crypto_overhead uses this implementation to measure that
+// cost gap against the paper's masking protocol. Parameters are
+// simulation-scale (n ~ 60 bits, arithmetic in unsigned __int128); the
+// asymmetric-vs-symmetric cost *shape* is what matters and is faithful.
+// NOT for protecting real data — documented in DESIGN.md §6.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/modmath.h"
+
+namespace ppml::crypto {
+
+struct PaillierPublicKey {
+  std::uint64_t n = 0;  ///< modulus p*q
+  u128 n_squared = 0;
+  // g = n + 1 (standard simplification).
+};
+
+struct PaillierPrivateKey {
+  std::uint64_t lambda = 0;  ///< lcm(p-1, q-1)
+  std::uint64_t mu = 0;      ///< (L(g^lambda mod n^2))^{-1} mod n
+};
+
+struct PaillierKeyPair {
+  PaillierPublicKey public_key;
+  PaillierPrivateKey private_key;
+};
+
+/// Generate a key pair with two random primes of `prime_bits` bits each
+/// (prime_bits in [16, 31] so n^2 fits comfortably in __int128).
+PaillierKeyPair paillier_keygen(unsigned prime_bits, Xoshiro256& rng);
+
+/// Encrypt m in [0, n). Randomized: uses rng for the blinding factor r.
+u128 paillier_encrypt(const PaillierPublicKey& key, std::uint64_t m,
+                      Xoshiro256& rng);
+
+/// Decrypt a ciphertext back to [0, n).
+std::uint64_t paillier_decrypt(const PaillierPublicKey& public_key,
+                               const PaillierPrivateKey& private_key,
+                               u128 ciphertext);
+
+/// Homomorphic addition: Dec(add(c1, c2)) = m1 + m2 (mod n).
+u128 paillier_add(const PaillierPublicKey& key, u128 c1, u128 c2);
+
+/// Homomorphic scalar multiply: Dec(mul(c, k)) = k * m (mod n).
+u128 paillier_scale(const PaillierPublicKey& key, u128 c, std::uint64_t k);
+
+/// Encode a signed small integer into [0, n) with wraparound decode helper.
+std::uint64_t paillier_encode_signed(const PaillierPublicKey& key,
+                                     std::int64_t v);
+std::int64_t paillier_decode_signed(const PaillierPublicKey& key,
+                                    std::uint64_t m);
+
+}  // namespace ppml::crypto

@@ -1,0 +1,108 @@
+#include "crypto/secret_sharing.h"
+
+#include <unordered_set>
+
+#include "crypto/modmath.h"
+#include "linalg/common.h"
+
+namespace ppml::crypto {
+
+std::vector<std::uint64_t> additive_share(std::uint64_t secret, std::size_t n,
+                                          Xoshiro256& rng) {
+  PPML_CHECK(n >= 2, "additive_share: need >= 2 shares");
+  std::vector<std::uint64_t> shares(n);
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    shares[i] = rng.next();
+    acc += shares[i];
+  }
+  shares[n - 1] = secret - acc;  // mod 2^64
+  return shares;
+}
+
+std::uint64_t additive_reconstruct(std::span<const std::uint64_t> shares) {
+  std::uint64_t acc = 0;
+  for (std::uint64_t s : shares) acc += s;
+  return acc;
+}
+
+std::uint64_t shamir_field_add(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a + b;  // < 2^62, no overflow
+  if (s >= kShamirPrime) s -= kShamirPrime;
+  return s;
+}
+
+std::uint64_t shamir_field_sub(std::uint64_t a, std::uint64_t b) {
+  return a >= b ? a - b : a + kShamirPrime - b;
+}
+
+std::uint64_t shamir_field_mul(std::uint64_t a, std::uint64_t b) {
+  const u128 product = static_cast<u128>(a) * b;
+  // Reduction mod 2^61 - 1: fold high bits down (2^61 ≡ 1).
+  std::uint64_t lo = static_cast<std::uint64_t>(product) & kShamirPrime;
+  std::uint64_t hi = static_cast<std::uint64_t>(product >> 61);
+  std::uint64_t s = lo + hi;
+  if (s >= kShamirPrime) s -= kShamirPrime;
+  return s;
+}
+
+std::uint64_t shamir_field_inv(std::uint64_t a) {
+  PPML_CHECK(a % kShamirPrime != 0, "shamir_field_inv: zero has no inverse");
+  // Fermat: a^(p-2) mod p.
+  return static_cast<std::uint64_t>(powmod(a, kShamirPrime - 2, kShamirPrime));
+}
+
+std::vector<ShamirShare> shamir_share(std::uint64_t secret, std::size_t n,
+                                      std::size_t threshold, Xoshiro256& rng) {
+  PPML_CHECK(secret < kShamirPrime, "shamir_share: secret out of field");
+  PPML_CHECK(threshold >= 1 && threshold <= n,
+             "shamir_share: need 1 <= threshold <= n");
+  PPML_CHECK(n < kShamirPrime, "shamir_share: too many shares");
+
+  // Random polynomial of degree threshold-1 with constant term = secret.
+  std::vector<std::uint64_t> coeffs(threshold);
+  coeffs[0] = secret;
+  for (std::size_t i = 1; i < threshold; ++i)
+    coeffs[i] = rng.next() % kShamirPrime;
+
+  std::vector<ShamirShare> shares(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t x = static_cast<std::uint64_t>(i + 1);
+    // Horner evaluation in the field.
+    std::uint64_t y = 0;
+    for (std::size_t c = threshold; c-- > 0;)
+      y = shamir_field_add(shamir_field_mul(y, x), coeffs[c]);
+    shares[i] = ShamirShare{x, y};
+  }
+  return shares;
+}
+
+std::uint64_t shamir_reconstruct(std::span<const ShamirShare> shares) {
+  PPML_CHECK(!shares.empty(), "shamir_reconstruct: no shares");
+  std::unordered_set<std::uint64_t> seen;
+  for (const auto& s : shares) {
+    PPML_CHECK(s.x != 0 && s.x < kShamirPrime,
+               "shamir_reconstruct: bad evaluation point");
+    PPML_CHECK(seen.insert(s.x).second,
+               "shamir_reconstruct: duplicate evaluation point");
+  }
+  // Lagrange interpolation at x = 0.
+  std::uint64_t secret = 0;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    std::uint64_t numerator = 1;
+    std::uint64_t denominator = 1;
+    for (std::size_t j = 0; j < shares.size(); ++j) {
+      if (j == i) continue;
+      numerator = shamir_field_mul(numerator, shares[j].x);
+      denominator = shamir_field_mul(
+          denominator, shamir_field_sub(shares[j].x, shares[i].x));
+    }
+    const std::uint64_t weight =
+        shamir_field_mul(numerator, shamir_field_inv(denominator));
+    secret = shamir_field_add(secret,
+                              shamir_field_mul(shares[i].y % kShamirPrime, weight));
+  }
+  return secret;
+}
+
+}  // namespace ppml::crypto

@@ -1,0 +1,50 @@
+// Secret sharing schemes.
+//
+// Additive sharing over Z_2^64 backs the SMC comparison baselines; Shamir
+// sharing over GF(2^61 - 1) provides threshold reconstruction (an extension
+// point the paper's protocol lacks — if a mapper drops out mid-round the
+// paper's masks never cancel, whereas Shamir-shared seeds can be recovered).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/prng.h"
+
+namespace ppml::crypto {
+
+// ---------------------------------------------------------------- additive
+
+/// Split `secret` into `n` uniformly random shares summing to it mod 2^64.
+std::vector<std::uint64_t> additive_share(std::uint64_t secret, std::size_t n,
+                                          Xoshiro256& rng);
+
+/// Reconstruct: sum of all shares mod 2^64.
+std::uint64_t additive_reconstruct(std::span<const std::uint64_t> shares);
+
+// ------------------------------------------------------------------ Shamir
+
+/// The Mersenne prime 2^61 - 1; field arithmetic reduces with shifts.
+inline constexpr std::uint64_t kShamirPrime = (1ULL << 61) - 1;
+
+struct ShamirShare {
+  std::uint64_t x = 0;  ///< evaluation point (non-zero, distinct)
+  std::uint64_t y = 0;  ///< polynomial value
+};
+
+/// Split `secret` (must be < kShamirPrime) into n shares with threshold t:
+/// any t shares reconstruct, any t-1 reveal nothing.
+std::vector<ShamirShare> shamir_share(std::uint64_t secret, std::size_t n,
+                                      std::size_t threshold, Xoshiro256& rng);
+
+/// Lagrange interpolation at 0. Requires >= threshold distinct shares (the
+/// caller passes whichever subset it has). Throws on duplicate x.
+std::uint64_t shamir_reconstruct(std::span<const ShamirShare> shares);
+
+/// Field helpers exposed for tests.
+std::uint64_t shamir_field_add(std::uint64_t a, std::uint64_t b);
+std::uint64_t shamir_field_sub(std::uint64_t a, std::uint64_t b);
+std::uint64_t shamir_field_mul(std::uint64_t a, std::uint64_t b);
+std::uint64_t shamir_field_inv(std::uint64_t a);
+
+}  // namespace ppml::crypto

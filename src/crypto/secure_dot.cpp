@@ -1,0 +1,107 @@
+#include "crypto/secure_dot.h"
+
+#include <cmath>
+
+#include "linalg/blas.h"
+
+namespace ppml::crypto {
+
+namespace {
+
+/// Ring dot product: sum_i a_i * b_i mod 2^64 (wrapping multiply).
+std::uint64_t ring_dot(std::span<const std::uint64_t> a,
+                       std::span<const std::uint64_t> b) {
+  PPML_CHECK(a.size() == b.size(), "ring_dot: size mismatch");
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+/// Decode a ring value that carries 2 * fractional_bits of fraction (a
+/// product of two encodings).
+double decode_product(std::uint64_t r, const FixedPointCodec& codec) {
+  const auto as_int = static_cast<std::int64_t>(r);
+  return static_cast<double>(as_int) /
+         std::ldexp(1.0, 2 * static_cast<int>(codec.fractional_bits()));
+}
+
+}  // namespace
+
+DotCorrelation generate_dot_correlation(std::size_t dim, Xoshiro256& rng) {
+  PPML_CHECK(dim >= 1, "generate_dot_correlation: empty dimension");
+  DotCorrelation out;
+  out.ra.resize(dim);
+  out.rb.resize(dim);
+  rng.fill(out.ra);
+  rng.fill(out.rb);
+  out.ra_scalar = rng.next();
+  out.rb_scalar = ring_dot(out.ra, out.rb) - out.ra_scalar;
+  return out;
+}
+
+double secure_dot_product(std::span<const double> x, std::span<const double> y,
+                          const FixedPointCodec& codec, Xoshiro256& rng,
+                          SecureDotStats* stats) {
+  PPML_CHECK(x.size() == y.size(), "secure_dot_product: size mismatch");
+  const std::size_t dim = x.size();
+
+  // --- commodity server ---
+  const DotCorrelation corr = generate_dot_correlation(dim, rng);
+
+  // --- Alice's and Bob's private encodings (never exchanged in clear) ---
+  const std::vector<std::uint64_t> x_enc = codec.encode_vector(x);
+  const std::vector<std::uint64_t> y_enc = codec.encode_vector(y);
+
+  // --- Alice -> Bob: x + Ra ---
+  AliceToBob a2b;
+  a2b.x_masked = x_enc;
+  ring_add_inplace(a2b.x_masked, corr.ra);
+
+  // --- Bob -> Alice: y + Rb and w = <x^, y> + rb - v (v stays with Bob) ---
+  BobToAlice b2a;
+  b2a.y_masked = y_enc;
+  ring_add_inplace(b2a.y_masked, corr.rb);
+  const std::uint64_t v = rng.next();  // Bob's output share
+  b2a.w = ring_dot(a2b.x_masked, y_enc) + corr.rb_scalar - v;
+
+  // --- Alice: u = w - <Ra, y^> + ra ---
+  const std::uint64_t u =
+      b2a.w - ring_dot(corr.ra, b2a.y_masked) + corr.ra_scalar;
+
+  if (stats != nullptr) {
+    stats->products += 1;
+    stats->bytes_server_to_parties += 8 * (2 * dim + 2);
+    stats->bytes_between_parties += 8 * (2 * dim + 1);
+  }
+
+  // Reconstruction (in the real protocol each party keeps its share; the
+  // learner that needs the kernel entry receives both).
+  return decode_product(u + v, codec);
+}
+
+linalg::Matrix secure_gram_matrix(const linalg::Matrix& rows,
+                                  const std::vector<std::size_t>& row_owner,
+                                  const FixedPointCodec& codec,
+                                  Xoshiro256& rng, SecureDotStats* stats) {
+  PPML_CHECK(row_owner.size() == rows.rows(),
+             "secure_gram_matrix: owner list size mismatch");
+  const std::size_t n = rows.rows();
+  linalg::Matrix gram(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      double value;
+      if (row_owner[i] == row_owner[j]) {
+        // Same learner: plain local dot product, no protocol cost.
+        value = linalg::dot(rows.row(i), rows.row(j));
+      } else {
+        value = secure_dot_product(rows.row(i), rows.row(j), codec, rng,
+                                   stats);
+      }
+      gram(i, j) = value;
+      gram(j, i) = value;
+    }
+  }
+  return gram;
+}
+
+}  // namespace ppml::crypto

@@ -1,0 +1,83 @@
+// Du–Atallah secure two-party dot product (with a commodity server).
+//
+// This is the building block of the SMC-based prior work the paper argues
+// against (§II: Yu/Jiang/Vaidya compute the SVM kernel matrix with secure
+// dot products). Alice holds x, Bob holds y; they end with additive shares
+// u + v = <x, y> without revealing the vectors. A semi-honest commodity
+// server provides correlated randomness and sees no data (Du & Atallah,
+// 2001):
+//
+//   server:  random Ra, Rb, ra;  rb = <Ra, Rb> - ra
+//            -> Alice (Ra, ra), -> Bob (Rb, rb)
+//   Alice -> Bob:   x^ = x + Ra
+//   Bob   -> Alice: y^ = y + Rb,  w = <x^, y> + rb - v   (v random, kept)
+//   Alice:  u = w - <Ra, y^> + ra        =>  u + v = <x, y>
+//
+// All arithmetic is exact in Z_2^64 via FixedPointCodec. Byte counts are
+// tracked so bench/smc_comparison can price a full kernel-matrix
+// construction against the paper's masking protocol.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/fixed_point.h"
+#include "crypto/prng.h"
+#include "linalg/matrix.h"
+
+namespace ppml::crypto {
+
+/// Correlated randomness from the commodity server for one dot product.
+struct DotCorrelation {
+  std::vector<std::uint64_t> ra;  ///< for Alice
+  std::vector<std::uint64_t> rb;  ///< for Bob
+  std::uint64_t ra_scalar = 0;    ///< for Alice
+  std::uint64_t rb_scalar = 0;    ///< for Bob: <Ra, Rb> - ra
+};
+
+/// Messages on the wire (sizes are what the comparison bench prices).
+struct AliceToBob {
+  std::vector<std::uint64_t> x_masked;  ///< x + Ra
+};
+struct BobToAlice {
+  std::vector<std::uint64_t> y_masked;  ///< y + Rb
+  std::uint64_t w = 0;                  ///< <x^, y> + rb - v
+};
+
+/// Commodity-server step: generate the correlated randomness for a
+/// dot product of dimension `dim` (deterministic in rng state).
+DotCorrelation generate_dot_correlation(std::size_t dim, Xoshiro256& rng);
+
+/// Protocol statistics for one or more runs.
+struct SecureDotStats {
+  std::size_t products = 0;
+  std::size_t bytes_server_to_parties = 0;
+  std::size_t bytes_between_parties = 0;
+
+  std::size_t total_bytes() const {
+    return bytes_server_to_parties + bytes_between_parties;
+  }
+};
+
+/// Run the whole protocol in one process (the two parties' computations are
+/// kept separate internally). Returns the exact fixed-point <x, y> and
+/// accumulates message sizes into `stats` (pass nullptr to skip).
+///
+/// Note: the product of two fixed-point values carries 2*fractional_bits;
+/// the codec's range checks bound the inputs so the ring sum cannot wrap.
+double secure_dot_product(std::span<const double> x, std::span<const double> y,
+                          const FixedPointCodec& codec, Xoshiro256& rng,
+                          SecureDotStats* stats = nullptr);
+
+/// SMC-style Gram-matrix construction over a horizontal partition: entries
+/// within one learner are computed locally for free; entries whose rows
+/// live at different learners each cost one secure dot product (this is
+/// the [28]-style baseline's dominant cost). `row_owner[i]` gives the
+/// owner of row i. Returns the N x N linear-kernel Gram.
+linalg::Matrix secure_gram_matrix(const linalg::Matrix& rows,
+                                  const std::vector<std::size_t>& row_owner,
+                                  const FixedPointCodec& codec,
+                                  Xoshiro256& rng, SecureDotStats* stats);
+
+}  // namespace ppml::crypto

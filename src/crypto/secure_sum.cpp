@@ -1,0 +1,213 @@
+#include "crypto/secure_sum.h"
+
+#include <algorithm>
+
+namespace ppml::crypto {
+
+SecureSumParty::SecureSumParty(std::size_t party_id, std::size_t num_parties,
+                               FixedPointCodec codec, std::uint64_t seed)
+    : party_id_(party_id),
+      num_parties_(num_parties),
+      codec_(codec),
+      variant_(MaskVariant::kExchangedMasks),
+      seed_(seed) {
+  PPML_CHECK(num_parties >= 2, "SecureSumParty: need >= 2 parties");
+  PPML_CHECK(party_id < num_parties, "SecureSumParty: bad party id");
+}
+
+SecureSumParty::SecureSumParty(std::size_t party_id, std::size_t num_parties,
+                               FixedPointCodec codec,
+                               std::vector<std::uint64_t> pairwise_seeds)
+    : party_id_(party_id),
+      num_parties_(num_parties),
+      codec_(codec),
+      variant_(MaskVariant::kSeededMasks),
+      pairwise_seeds_(std::move(pairwise_seeds)) {
+  PPML_CHECK(num_parties >= 2, "SecureSumParty: need >= 2 parties");
+  PPML_CHECK(party_id < num_parties, "SecureSumParty: bad party id");
+  PPML_CHECK(pairwise_seeds_.size() == num_parties,
+             "SecureSumParty: need one seed slot per party");
+}
+
+std::vector<std::vector<std::uint64_t>> SecureSumParty::outgoing_masks(
+    std::size_t round, std::size_t dim) {
+  PPML_CHECK(variant_ == MaskVariant::kExchangedMasks,
+             "outgoing_masks: only meaningful for the exchanged variant");
+  std::vector<std::vector<std::uint64_t>> out(num_parties_);
+  for (std::size_t peer = 0; peer < num_parties_; ++peer) {
+    if (peer == party_id_) continue;
+    // Stream id encodes (sender, receiver, round) so masks never repeat.
+    const std::uint64_t stream =
+        (static_cast<std::uint64_t>(party_id_) << 40) ^
+        (static_cast<std::uint64_t>(peer) << 20) ^ round;
+    ChaCha20Stream prg(seed_, stream);
+    out[peer].resize(dim);
+    prg.fill(out[peer]);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> SecureSumParty::masked_contribution(
+    std::span<const double> values,
+    const std::vector<std::vector<std::uint64_t>>& received,
+    std::size_t round) {
+  PPML_CHECK(variant_ == MaskVariant::kExchangedMasks,
+             "masked_contribution(received): exchanged variant only");
+  PPML_CHECK(received.size() == num_parties_,
+             "masked_contribution: need one slot per party");
+  std::vector<std::uint64_t> out = codec_.encode_vector(values);
+  // + Sed_i: the masks this party generated for its peers this round.
+  const auto sent = outgoing_masks(round, values.size());
+  for (std::size_t peer = 0; peer < num_parties_; ++peer) {
+    if (peer == party_id_) continue;
+    ring_add_inplace(out, sent[peer]);
+  }
+  // - Rev_i: the masks received from peers.
+  for (std::size_t peer = 0; peer < num_parties_; ++peer) {
+    if (peer == party_id_) continue;
+    PPML_CHECK(received[peer].size() == values.size(),
+               "masked_contribution: received mask dimension mismatch");
+    ring_sub_inplace(out, received[peer]);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> SecureSumParty::masked_contribution(
+    std::span<const double> values, std::size_t round) {
+  PPML_CHECK(variant_ == MaskVariant::kSeededMasks,
+             "masked_contribution(round): seeded variant only");
+  std::vector<std::uint64_t> out = codec_.encode_vector(values);
+  std::vector<std::uint64_t> mask(values.size());
+  for (std::size_t peer = 0; peer < num_parties_; ++peer) {
+    if (peer == party_id_) continue;
+    ChaCha20Stream prg(pairwise_seeds_[peer], round);
+    prg.fill(mask);
+    // Antisymmetric sign convention: the lower-id party adds, the higher-id
+    // party subtracts, so each pair's masks cancel in the reducer's sum.
+    if (party_id_ < peer) {
+      ring_add_inplace(out, mask);
+    } else {
+      ring_sub_inplace(out, mask);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> SecureSumParty::masked_contribution_subset(
+    std::span<const double> values, std::size_t round,
+    std::span<const std::size_t> participants) {
+  PPML_CHECK(variant_ == MaskVariant::kSeededMasks,
+             "masked_contribution_subset: seeded variant only");
+  bool included = false;
+  for (std::size_t p : participants) {
+    PPML_CHECK(p < num_parties_,
+               "masked_contribution_subset: participant out of range");
+    if (p == party_id_) included = true;
+  }
+  PPML_CHECK(included,
+             "masked_contribution_subset: this party must participate");
+  std::vector<std::uint64_t> out = codec_.encode_vector(values);
+  std::vector<std::uint64_t> mask(values.size());
+  for (std::size_t peer : participants) {
+    if (peer == party_id_) continue;
+    ChaCha20Stream prg(pairwise_seeds_[peer], round);
+    prg.fill(mask);
+    if (party_id_ < peer) {
+      ring_add_inplace(out, mask);
+    } else {
+      ring_sub_inplace(out, mask);
+    }
+  }
+  return out;
+}
+
+SecureSumAggregator::SecureSumAggregator(std::size_t num_parties,
+                                         FixedPointCodec codec)
+    : num_parties_(num_parties), codec_(codec) {
+  PPML_CHECK(num_parties >= 2, "SecureSumAggregator: need >= 2 parties");
+}
+
+void SecureSumAggregator::add(std::span<const std::uint64_t> contribution) {
+  PPML_CHECK(contributions_ < num_parties_,
+             "SecureSumAggregator: too many contributions");
+  if (accumulator_.empty()) {
+    accumulator_.assign(contribution.begin(), contribution.end());
+  } else {
+    ring_add_inplace(accumulator_, contribution);
+  }
+  ++contributions_;
+}
+
+std::vector<double> SecureSumAggregator::sum() const {
+  PPML_CHECK(contributions_ == num_parties_,
+             "SecureSumAggregator: masks cancel only with all " +
+                 std::to_string(num_parties_) + " contributions (have " +
+                 std::to_string(contributions_) + ")");
+  return codec_.decode_vector(accumulator_);
+}
+
+std::vector<double> SecureSumAggregator::average() const {
+  std::vector<double> out = sum();
+  for (double& v : out) v /= static_cast<double>(num_parties_);
+  return out;
+}
+
+std::vector<std::vector<std::uint64_t>> agree_pairwise_seeds(
+    std::size_t num_parties, std::uint64_t session_seed) {
+  PPML_CHECK(num_parties >= 2, "agree_pairwise_seeds: need >= 2 parties");
+  const DhGroup group = DhGroup::standard_group();
+  std::vector<DhKeyPair> keys(num_parties);
+  for (std::size_t i = 0; i < num_parties; ++i) {
+    Xoshiro256 rng(session_seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+    keys[i] = dh_keygen(group, rng);
+  }
+  std::vector<std::vector<std::uint64_t>> seeds(
+      num_parties, std::vector<std::uint64_t>(num_parties, 0));
+  for (std::size_t i = 0; i < num_parties; ++i) {
+    for (std::size_t j = 0; j < num_parties; ++j) {
+      if (i == j) continue;
+      seeds[i][j] =
+          dh_shared_secret(group, keys[i].secret, keys[j].public_value);
+    }
+  }
+  return seeds;
+}
+
+std::vector<double> secure_average(
+    const std::vector<std::vector<double>>& party_values,
+    const FixedPointCodec& codec, std::uint64_t session_seed,
+    MaskVariant variant, std::size_t round) {
+  const std::size_t m = party_values.size();
+  PPML_CHECK(m >= 2, "secure_average: need >= 2 parties");
+  const std::size_t dim = party_values.front().size();
+  for (const auto& v : party_values)
+    PPML_CHECK(v.size() == dim, "secure_average: dimension mismatch");
+
+  SecureSumAggregator aggregator(m, codec);
+  if (variant == MaskVariant::kSeededMasks) {
+    const auto seeds = agree_pairwise_seeds(m, session_seed);
+    for (std::size_t i = 0; i < m; ++i) {
+      SecureSumParty party(i, m, codec, seeds[i]);
+      aggregator.add(party.masked_contribution(party_values[i], round));
+    }
+  } else {
+    std::vector<SecureSumParty> parties;
+    parties.reserve(m);
+    for (std::size_t i = 0; i < m; ++i)
+      parties.emplace_back(i, m, codec, session_seed ^ (i * 0x2545f4914f6cdd1dULL));
+    // Step 1-2: exchange masks.
+    std::vector<std::vector<std::vector<std::uint64_t>>> sent(m);
+    for (std::size_t i = 0; i < m; ++i)
+      sent[i] = parties[i].outgoing_masks(round, dim);
+    for (std::size_t i = 0; i < m; ++i) {
+      std::vector<std::vector<std::uint64_t>> received(m);
+      for (std::size_t j = 0; j < m; ++j)
+        if (j != i) received[j] = sent[j][i];
+      aggregator.add(
+          parties[i].masked_contribution(party_values[i], received, round));
+    }
+  }
+  return aggregator.average();
+}
+
+}  // namespace ppml::crypto

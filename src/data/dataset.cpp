@@ -1,0 +1,84 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+namespace ppml::data {
+
+void Dataset::validate() const {
+  PPML_CHECK(x.rows() == y.size(), "Dataset: row/label count mismatch");
+  for (double label : y)
+    PPML_CHECK(label == 1.0 || label == -1.0,
+               "Dataset: labels must be +/-1");
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& rows) const {
+  Dataset out;
+  out.name = name;
+  out.x.resize(rows.size(), x.cols());
+  out.y.resize(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    PPML_CHECK(rows[i] < size(), "Dataset::subset: row index out of range");
+    std::copy(x.row(rows[i]).begin(), x.row(rows[i]).end(),
+              out.x.row(i).begin());
+    out.y[i] = y[rows[i]];
+  }
+  return out;
+}
+
+Dataset Dataset::feature_subset(const std::vector<std::size_t>& cols) const {
+  Dataset out;
+  out.name = name;
+  out.x.resize(size(), cols.size());
+  out.y = y;
+  for (std::size_t i = 0; i < size(); ++i) {
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      PPML_CHECK(cols[j] < features(),
+                 "Dataset::feature_subset: column index out of range");
+      out.x(i, j) = x(i, cols[j]);
+    }
+  }
+  return out;
+}
+
+std::pair<std::size_t, std::size_t> Dataset::class_counts() const {
+  std::size_t pos = 0;
+  for (double label : y)
+    if (label > 0.0) ++pos;
+  return {pos, y.size() - pos};
+}
+
+void shuffle_rows(Dataset& dataset, std::uint64_t seed) {
+  std::vector<std::size_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::mt19937_64 rng(seed);
+  std::shuffle(order.begin(), order.end(), rng);
+  dataset = dataset.subset(order);
+}
+
+SplitDataset train_test_split(const Dataset& dataset, double train_fraction,
+                              std::uint64_t seed) {
+  PPML_CHECK(train_fraction > 0.0 && train_fraction < 1.0,
+             "train_test_split: fraction must be in (0, 1)");
+  Dataset shuffled = dataset;
+  shuffle_rows(shuffled, seed);
+  const auto n_train = static_cast<std::size_t>(
+      static_cast<double>(dataset.size()) * train_fraction);
+  PPML_CHECK(n_train > 0 && n_train < dataset.size(),
+             "train_test_split: split leaves an empty side");
+
+  std::vector<std::size_t> train_idx(n_train);
+  std::iota(train_idx.begin(), train_idx.end(), 0);
+  std::vector<std::size_t> test_idx(dataset.size() - n_train);
+  std::iota(test_idx.begin(), test_idx.end(), n_train);
+
+  SplitDataset out;
+  out.train = shuffled.subset(train_idx);
+  out.test = shuffled.subset(test_idx);
+  out.train.name = dataset.name + "/train";
+  out.test.name = dataset.name + "/test";
+  return out;
+}
+
+}  // namespace ppml::data

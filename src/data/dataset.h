@@ -1,0 +1,52 @@
+// Labeled dataset container used across the library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace ppml::data {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+/// A binary-classification dataset: N rows of k features plus labels in
+/// {-1, +1}. Invariant: x.rows() == y.size(); every label is +/-1.
+struct Dataset {
+  Matrix x;       ///< N x k feature matrix
+  Vector y;       ///< N labels in {-1, +1}
+  std::string name;  ///< human-readable tag for logs/benches
+
+  std::size_t size() const noexcept { return y.size(); }
+  std::size_t features() const noexcept { return x.cols(); }
+
+  /// Throws InvalidArgument when the invariants above are violated.
+  void validate() const;
+
+  /// Row subset in the given order (indices may repeat).
+  Dataset subset(const std::vector<std::size_t>& rows) const;
+
+  /// Column (feature) subset in the given order.
+  Dataset feature_subset(const std::vector<std::size_t>& cols) const;
+
+  /// Counts of +1 / -1 labels.
+  std::pair<std::size_t, std::size_t> class_counts() const;
+};
+
+/// Train/test pair produced by splitting.
+struct SplitDataset {
+  Dataset train;
+  Dataset test;
+};
+
+/// Shuffle rows in place using the given seed (deterministic).
+void shuffle_rows(Dataset& dataset, std::uint64_t seed);
+
+/// Split into train/test with `train_fraction` of rows in train, after a
+/// deterministic shuffle. The paper evaluates at 50/50.
+SplitDataset train_test_split(const Dataset& dataset, double train_fraction,
+                              std::uint64_t seed);
+
+}  // namespace ppml::data

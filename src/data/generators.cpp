@@ -1,0 +1,181 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "linalg/blas.h"
+
+namespace ppml::data {
+
+namespace {
+
+/// Random unit vector of dimension k.
+Vector random_unit_direction(std::size_t k, std::mt19937_64& rng) {
+  std::normal_distribution<double> normal(0.0, 1.0);
+  Vector dir(k);
+  double nrm = 0.0;
+  while (nrm < 1e-9) {
+    for (double& v : dir) v = normal(rng);
+    nrm = linalg::norm(dir);
+  }
+  linalg::scale(1.0 / nrm, dir);
+  return dir;
+}
+
+}  // namespace
+
+Dataset make_gaussian_task(const GaussianTaskConfig& config) {
+  PPML_CHECK(config.samples >= 2, "make_gaussian_task: need >= 2 samples");
+  PPML_CHECK(config.features >= 1, "make_gaussian_task: need >= 1 feature");
+  PPML_CHECK(config.positive_fraction > 0.0 && config.positive_fraction < 1.0,
+             "make_gaussian_task: positive_fraction must be in (0,1)");
+
+  std::mt19937_64 rng(config.seed);
+  std::normal_distribution<double> normal(0.0, 1.0);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+
+  const std::size_t n = config.samples;
+  const std::size_t k = config.features;
+
+  Dataset out;
+  out.name = config.name;
+  out.x.resize(n, k);
+  out.y.resize(n);
+
+  // Latent factor: class structure lives in latent space, features are a
+  // random linear image of it (creates feature correlation when
+  // latent_dim < k).
+  const std::size_t r = config.latent_dim == 0 ? k : config.latent_dim;
+  Matrix w;  // k x r mixing matrix; identity when latent_dim == 0
+  const bool use_latent = config.latent_dim > 0;
+  if (use_latent) {
+    w.resize(k, r);
+    for (std::size_t i = 0; i < w.size(); ++i) w.data()[i] = normal(rng);
+    // Normalize rows so feature scales stay O(1).
+    for (std::size_t i = 0; i < k; ++i) {
+      const double nrm = linalg::norm(w.row(i));
+      if (nrm > 0.0)
+        for (double& v : w.row(i)) v /= nrm;
+    }
+  }
+
+  const Vector direction = random_unit_direction(r, rng);
+  const double half = config.separation / 2.0;
+
+  const auto n_pos = static_cast<std::size_t>(
+      std::round(static_cast<double>(n) * config.positive_fraction));
+  Vector latent(r);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double label = i < n_pos ? 1.0 : -1.0;
+    out.y[i] = label;
+    for (std::size_t j = 0; j < r; ++j)
+      latent[j] = normal(rng) + label * half * direction[j];
+    if (use_latent) {
+      auto row = out.x.row(i);
+      linalg::gemv(w, latent, row);
+      for (double& v : row) v += config.latent_noise * normal(rng);
+    } else {
+      std::copy(latent.begin(), latent.end(), out.x.row(i).begin());
+    }
+  }
+
+  if (config.label_noise > 0.0) {
+    for (std::size_t i = 0; i < n; ++i)
+      if (uniform(rng) < config.label_noise) out.y[i] = -out.y[i];
+  }
+
+  shuffle_rows(out, config.seed ^ 0x9e3779b97f4a7c15ULL);
+  return out;
+}
+
+Dataset make_cancer_like(std::uint64_t seed) {
+  GaussianTaskConfig config;
+  config.samples = 569;
+  config.features = 9;
+  // Phi(d/2) ~ 0.95 at d ~ 3.3; a touch more to absorb finite-sample noise.
+  config.separation = 3.9;
+  config.positive_fraction = 357.0 / 569.0;  // benign fraction of the UCI set
+  config.seed = seed;
+  config.name = "cancer_like";
+  return make_gaussian_task(config);
+}
+
+Dataset make_higgs_like(std::uint64_t seed, std::size_t samples) {
+  GaussianTaskConfig config;
+  config.samples = samples;
+  config.features = 28;
+  // Phi(d/2) ~ 0.70 at d ~ 1.05 — heavily overlapping classes.
+  config.separation = 1.05;
+  config.positive_fraction = 0.5;
+  config.label_noise = 0.0;
+  config.seed = seed;
+  config.name = "higgs_like";
+  return make_gaussian_task(config);
+}
+
+Dataset make_ocr_like(std::uint64_t seed, std::size_t samples) {
+  GaussianTaskConfig config;
+  config.samples = samples;
+  config.features = 64;
+  config.latent_dim = 8;   // pixels are a low-rank image of stroke structure
+  config.latent_noise = 0.25;
+  config.separation = 4.0;  // easy task: ~98% centralized
+  config.positive_fraction = 0.5;
+  config.seed = seed;
+  config.name = "ocr_like";
+  Dataset out = make_gaussian_task(config);
+  // Saturate to optdigits-style pixel counts in [0, 16].
+  for (double& v : out.x.data()) {
+    v = std::clamp(8.0 + 3.0 * v, 0.0, 16.0);
+  }
+  return out;
+}
+
+Dataset make_two_rings(std::size_t samples, double inner_radius,
+                       double outer_radius, double noise, std::uint64_t seed) {
+  PPML_CHECK(inner_radius > 0.0 && outer_radius > inner_radius,
+             "make_two_rings: radii must satisfy 0 < inner < outer");
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> normal(0.0, 1.0);
+  std::uniform_real_distribution<double> angle(0.0, 2.0 * std::numbers::pi);
+
+  Dataset out;
+  out.name = "two_rings";
+  out.x.resize(samples, 2);
+  out.y.resize(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const bool inner = i % 2 == 0;
+    const double radius = inner ? inner_radius : outer_radius;
+    const double theta = angle(rng);
+    out.x(i, 0) = radius * std::cos(theta) + noise * normal(rng);
+    out.x(i, 1) = radius * std::sin(theta) + noise * normal(rng);
+    out.y[i] = inner ? 1.0 : -1.0;
+  }
+  shuffle_rows(out, seed ^ 0xabcdef12345ULL);
+  return out;
+}
+
+Dataset make_xor_blobs(std::size_t samples, double spread,
+                       std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> normal(0.0, 1.0);
+  Dataset out;
+  out.name = "xor_blobs";
+  out.x.resize(samples, 2);
+  out.y.resize(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const int quadrant = static_cast<int>(i % 4);
+    const double cx = (quadrant == 0 || quadrant == 3) ? 1.0 : -1.0;
+    const double cy = (quadrant == 0 || quadrant == 1) ? 1.0 : -1.0;
+    out.x(i, 0) = cx + spread * normal(rng);
+    out.x(i, 1) = cy + spread * normal(rng);
+    // Same-sign quadrants are +1, mixed-sign are -1 (classic XOR).
+    out.y[i] = cx * cy > 0.0 ? 1.0 : -1.0;
+  }
+  shuffle_rows(out, seed ^ 0x5555aaaa5555ULL);
+  return out;
+}
+
+}  // namespace ppml::data

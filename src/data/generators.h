@@ -1,0 +1,60 @@
+// Synthetic dataset generators.
+//
+// The paper evaluates on three public datasets we substitute with synthetic
+// equivalents matched in dimensionality, size, and — crucially — the
+// centralized-SVM accuracy the paper reports (see DESIGN.md §3):
+//
+//   UCI breast-cancer  ->  make_cancer_like():  9 x 569,  ~95% separable
+//   HIGGS (11k subset) ->  make_higgs_like():  28 x 11000, ~70% separable
+//   UCI optdigits      ->  make_ocr_like():    64 x 5620,  ~98% separable,
+//                          features strongly correlated (low-rank latent)
+//
+// The generic make_gaussian_task() underneath is exposed for tests and
+// ablations.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace ppml::data {
+
+/// Parameters for a two-class Gaussian task.
+struct GaussianTaskConfig {
+  std::size_t samples = 1000;        ///< total rows N
+  std::size_t features = 10;         ///< dimensionality k
+  double separation = 2.0;           ///< distance between class means
+  double positive_fraction = 0.5;    ///< fraction of +1 rows
+  std::size_t latent_dim = 0;        ///< 0 = isotropic; else low-rank factor
+  double latent_noise = 0.3;         ///< residual noise when latent_dim > 0
+  double label_noise = 0.0;          ///< fraction of labels flipped
+  std::uint64_t seed = 1;
+  std::string name = "gaussian";
+};
+
+/// Two Gaussian classes with means +/- separation/2 along a random unit
+/// direction. With latent_dim > 0 the features are W * latent + noise for a
+/// random k x latent_dim factor W, producing strongly correlated features.
+Dataset make_gaussian_task(const GaussianTaskConfig& config);
+
+/// Breast-cancer-like: easy, well-separated (paper: 95% centralized).
+Dataset make_cancer_like(std::uint64_t seed = 1);
+
+/// HIGGS-like: heavily overlapping classes (paper: 70% centralized). Uses
+/// the paper's 11,000-row subset size by default; pass a smaller `samples`
+/// for quick tests.
+Dataset make_higgs_like(std::uint64_t seed = 1, std::size_t samples = 11000);
+
+/// Optdigits-like: many correlated features (paper: 98% centralized),
+/// pixel-like values saturated to [0, 16].
+Dataset make_ocr_like(std::uint64_t seed = 1, std::size_t samples = 5620);
+
+/// A task that is NOT linearly separable but is separable with an RBF
+/// kernel (two concentric rings). Used by kernel-SVM tests and examples.
+Dataset make_two_rings(std::size_t samples, double inner_radius,
+                       double outer_radius, double noise, std::uint64_t seed);
+
+/// XOR-style four-blob task (linear fails ~50%, kernels succeed).
+Dataset make_xor_blobs(std::size_t samples, double spread, std::uint64_t seed);
+
+}  // namespace ppml::data

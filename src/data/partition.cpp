@@ -1,0 +1,98 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+namespace ppml::data {
+
+std::size_t HorizontalPartition::total_rows() const {
+  std::size_t acc = 0;
+  for (const Dataset& shard : shards) acc += shard.size();
+  return acc;
+}
+
+std::size_t VerticalPartition::total_features() const {
+  std::size_t acc = 0;
+  for (const Matrix& block : blocks) acc += block.cols();
+  return acc;
+}
+
+Matrix VerticalPartition::project(std::size_t learner,
+                                  const Matrix& x_full) const {
+  PPML_CHECK(learner < learners(), "VerticalPartition::project: bad learner");
+  const auto& cols = feature_indices[learner];
+  Matrix out(x_full.rows(), cols.size());
+  for (std::size_t i = 0; i < x_full.rows(); ++i)
+    for (std::size_t j = 0; j < cols.size(); ++j)
+      out(i, j) = x_full(i, cols[j]);
+  return out;
+}
+
+HorizontalPartition partition_horizontally(const Dataset& dataset,
+                                           std::size_t learners,
+                                           std::uint64_t seed) {
+  PPML_CHECK(learners >= 1, "partition_horizontally: need >= 1 learner");
+  PPML_CHECK(dataset.size() >= learners,
+             "partition_horizontally: fewer rows than learners");
+  dataset.validate();
+
+  std::mt19937_64 rng(seed);
+  std::vector<std::size_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  // Round-robin over a shuffled order == uniformly random assignment with
+  // balanced shard sizes, and makes "each learner has both classes" far more
+  // likely; we still verify below.
+  std::vector<std::vector<std::size_t>> assignment(learners);
+  for (std::size_t i = 0; i < order.size(); ++i)
+    assignment[i % learners].push_back(order[i]);
+
+  HorizontalPartition out;
+  out.shards.reserve(learners);
+  for (std::size_t m = 0; m < learners; ++m) {
+    Dataset shard = dataset.subset(assignment[m]);
+    shard.name = dataset.name + "/learner" + std::to_string(m);
+    const auto [pos, neg] = shard.class_counts();
+    PPML_CHECK(pos > 0 && neg > 0,
+               "partition_horizontally: learner " + std::to_string(m) +
+                   " received a single-class shard; re-seed or use fewer "
+                   "learners");
+    out.shards.push_back(std::move(shard));
+  }
+  return out;
+}
+
+VerticalPartition partition_vertically(const Dataset& dataset,
+                                       std::size_t learners,
+                                       std::uint64_t seed) {
+  PPML_CHECK(learners >= 1, "partition_vertically: need >= 1 learner");
+  PPML_CHECK(dataset.features() >= learners,
+             "partition_vertically: fewer features than learners");
+  dataset.validate();
+
+  std::mt19937_64 rng(seed);
+  std::vector<std::size_t> order(dataset.features());
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  VerticalPartition out;
+  out.y = dataset.y;
+  out.feature_indices.assign(learners, {});
+  for (std::size_t j = 0; j < order.size(); ++j)
+    out.feature_indices[j % learners].push_back(order[j]);
+
+  out.blocks.reserve(learners);
+  for (std::size_t m = 0; m < learners; ++m) {
+    const auto& cols = out.feature_indices[m];
+    Matrix block(dataset.size(), cols.size());
+    for (std::size_t i = 0; i < dataset.size(); ++i)
+      for (std::size_t j = 0; j < cols.size(); ++j)
+        block(i, j) = dataset.x(i, cols[j]);
+    out.blocks.push_back(std::move(block));
+  }
+  return out;
+}
+
+}  // namespace ppml::data

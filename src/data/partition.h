@@ -1,0 +1,51 @@
+// Partitioning of a training set across M learners, matching the paper's
+// two collaboration scenarios (Figs. 2 and 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace ppml::data {
+
+/// Horizontal partition: rows (records) are split across learners; every
+/// learner sees all k features of its own rows (paper Fig. 2).
+struct HorizontalPartition {
+  std::vector<Dataset> shards;  ///< one labeled shard per learner
+
+  std::size_t learners() const noexcept { return shards.size(); }
+  std::size_t total_rows() const;
+};
+
+/// Vertical partition: features (columns) are split across learners; every
+/// learner sees all N rows of its own feature block, and the label vector is
+/// shared by agreement among learners (paper Fig. 3, §IV-C reason 1).
+struct VerticalPartition {
+  std::vector<Matrix> blocks;  ///< per-learner N x k_m feature blocks
+  std::vector<std::vector<std::size_t>> feature_indices;  ///< global column ids
+  Vector y;  ///< shared labels
+
+  std::size_t learners() const noexcept { return blocks.size(); }
+  std::size_t rows() const noexcept { return y.size(); }
+  std::size_t total_features() const;
+
+  /// Project a full-width matrix (e.g. the test set) onto learner m's
+  /// feature subset — used at prediction time.
+  Matrix project(std::size_t learner, const Matrix& x_full) const;
+};
+
+/// Randomly assign each row to one of `learners` (paper §VI: "each record is
+/// randomly assigned to one learner"). Guarantees every learner receives at
+/// least one row of each class when possible; throws otherwise.
+HorizontalPartition partition_horizontally(const Dataset& dataset,
+                                           std::size_t learners,
+                                           std::uint64_t seed);
+
+/// Randomly assign each feature to one of `learners` (paper §VI: "features
+/// are randomly assigned"). Every learner receives at least one feature.
+VerticalPartition partition_vertically(const Dataset& dataset,
+                                       std::size_t learners,
+                                       std::uint64_t seed);
+
+}  // namespace ppml::data

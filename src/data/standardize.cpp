@@ -1,0 +1,41 @@
+#include "data/standardize.h"
+
+#include <cmath>
+
+namespace ppml::data {
+
+void StandardScaler::fit(const Matrix& x) {
+  PPML_CHECK(x.rows() > 0, "StandardScaler::fit: empty matrix");
+  const std::size_t n = x.rows();
+  const std::size_t k = x.cols();
+  mean_.assign(k, 0.0);
+  std_.assign(k, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < k; ++j) mean_[j] += x(i, j);
+  for (double& v : mean_) v /= static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < k; ++j) {
+      const double d = x(i, j) - mean_[j];
+      std_[j] += d * d;
+    }
+  for (double& v : std_) v = std::sqrt(v / static_cast<double>(n));
+}
+
+void StandardScaler::transform(Matrix& x) const {
+  PPML_CHECK(fitted(), "StandardScaler::transform: not fitted");
+  PPML_CHECK(x.cols() == mean_.size(),
+             "StandardScaler::transform: feature count mismatch");
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      x(i, j) -= mean_[j];
+      if (std_[j] > 0.0) x(i, j) /= std_[j];
+    }
+}
+
+void StandardScaler::fit_transform(SplitDataset& split) {
+  fit(split.train.x);
+  transform(split.train.x);
+  transform(split.test.x);
+}
+
+}  // namespace ppml::data

@@ -1,0 +1,30 @@
+// Feature standardization (zero mean, unit variance), fit on train only.
+#pragma once
+
+#include "data/dataset.h"
+
+namespace ppml::data {
+
+/// Standard scaler: x' = (x - mean) / std per feature. Constant features
+/// (std == 0) are passed through centered only.
+class StandardScaler {
+ public:
+  /// Fit on a feature matrix (typically the training split).
+  void fit(const Matrix& x);
+
+  /// Transform in place. Must be fitted; column count must match.
+  void transform(Matrix& x) const;
+
+  /// Convenience: fit on train.x and transform both splits in place.
+  void fit_transform(SplitDataset& split);
+
+  bool fitted() const noexcept { return !mean_.empty(); }
+  const Vector& mean() const noexcept { return mean_; }
+  const Vector& std_dev() const noexcept { return std_; }
+
+ private:
+  Vector mean_;
+  Vector std_;
+};
+
+}  // namespace ppml::data

@@ -1,0 +1,133 @@
+#include "linalg/blas.h"
+
+#include <cmath>
+
+namespace ppml::linalg {
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  PPML_CHECK(x.size() == y.size(), "dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double squared_norm(std::span<const double> x) { return dot(x, x); }
+
+double norm(std::span<const double> x) { return std::sqrt(squared_norm(x)); }
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  PPML_CHECK(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+double squared_distance(std::span<const double> x, std::span<const double> y) {
+  PPML_CHECK(x.size() == y.size(), "squared_distance: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+void gemv(const Matrix& a, std::span<const double> x, std::span<double> out) {
+  PPML_CHECK(a.cols() == x.size() && a.rows() == out.size(),
+             "gemv: shape mismatch");
+  for (std::size_t i = 0; i < a.rows(); ++i) out[i] = dot(a.row(i), x);
+}
+
+Vector gemv(const Matrix& a, std::span<const double> x) {
+  Vector out(a.rows());
+  gemv(a, x, out);
+  return out;
+}
+
+void gemv_t(const Matrix& a, std::span<const double> x, std::span<double> out) {
+  PPML_CHECK(a.rows() == x.size() && a.cols() == out.size(),
+             "gemv_t: shape mismatch");
+  std::fill(out.begin(), out.end(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) axpy(x[i], a.row(i), out);
+}
+
+Vector gemv_t(const Matrix& a, std::span<const double> x) {
+  Vector out(a.cols());
+  gemv_t(a, x, out);
+  return out;
+}
+
+Matrix gemm(const Matrix& a, const Matrix& b) {
+  PPML_CHECK(a.cols() == b.rows(), "gemm: inner dimension mismatch");
+  Matrix c(a.rows(), b.cols());
+  // ikj loop order keeps the inner loop streaming over contiguous rows.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    auto crow = c.row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      axpy(aik, b.row(k), crow);
+    }
+  }
+  return c;
+}
+
+Matrix gemm_nt(const Matrix& a, const Matrix& b) {
+  PPML_CHECK(a.cols() == b.cols(), "gemm_nt: inner dimension mismatch");
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < b.rows(); ++j)
+      c(i, j) = dot(a.row(i), b.row(j));
+  return c;
+}
+
+Matrix gram_at_a(const Matrix& a) {
+  Matrix c(a.cols(), a.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const auto row = a.row(r);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double v = row[i];
+      if (v == 0.0) continue;
+      for (std::size_t j = i; j < a.cols(); ++j) c(i, j) += v * row[j];
+    }
+  }
+  for (std::size_t i = 0; i < a.cols(); ++i)
+    for (std::size_t j = 0; j < i; ++j) c(i, j) = c(j, i);
+  return c;
+}
+
+Matrix gram_a_at(const Matrix& a) {
+  Matrix c(a.rows(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = i; j < a.rows(); ++j) {
+      const double v = dot(a.row(i), a.row(j));
+      c(i, j) = v;
+      c(j, i) = v;
+    }
+  }
+  return c;
+}
+
+Vector add(std::span<const double> x, std::span<const double> y) {
+  PPML_CHECK(x.size() == y.size(), "add: size mismatch");
+  Vector out(x.begin(), x.end());
+  axpy(1.0, y, out);
+  return out;
+}
+
+Vector sub(std::span<const double> x, std::span<const double> y) {
+  PPML_CHECK(x.size() == y.size(), "sub: size mismatch");
+  Vector out(x.begin(), x.end());
+  axpy(-1.0, y, out);
+  return out;
+}
+
+Vector scaled(double alpha, std::span<const double> x) {
+  Vector out(x.begin(), x.end());
+  scale(alpha, out);
+  return out;
+}
+
+}  // namespace ppml::linalg

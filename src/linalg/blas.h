@@ -1,0 +1,57 @@
+// BLAS-like free functions over Matrix / std::span<double>.
+//
+// Naming loosely follows BLAS (gemv, gemm, syrk, axpy, dot, nrm2) so readers
+// coming from numerical code recognize the operations immediately.
+#pragma once
+
+#include <span>
+
+#include "linalg/matrix.h"
+
+namespace ppml::linalg {
+
+/// Dot product <x, y>. Sizes must match.
+double dot(std::span<const double> x, std::span<const double> y);
+
+/// Squared Euclidean norm ||x||^2.
+double squared_norm(std::span<const double> x);
+
+/// Euclidean norm ||x||.
+double norm(std::span<const double> x);
+
+/// y += alpha * x (sizes must match).
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha.
+void scale(double alpha, std::span<double> x);
+
+/// Squared Euclidean distance ||x - y||^2.
+double squared_distance(std::span<const double> x, std::span<const double> y);
+
+/// out = A * x  (A: m x n, x: n, out: m). out may not alias x.
+void gemv(const Matrix& a, std::span<const double> x, std::span<double> out);
+Vector gemv(const Matrix& a, std::span<const double> x);
+
+/// out = A^T * x  (A: m x n, x: m, out: n). out may not alias x.
+void gemv_t(const Matrix& a, std::span<const double> x, std::span<double> out);
+Vector gemv_t(const Matrix& a, std::span<const double> x);
+
+/// C = A * B (A: m x k, B: k x n).
+Matrix gemm(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T (A: m x k, B: n x k). Row-major friendly: both operands are
+/// traversed along contiguous rows.
+Matrix gemm_nt(const Matrix& a, const Matrix& b);
+
+/// C = A^T * A (k x k Gram of an m x k matrix). Symmetric by construction.
+Matrix gram_at_a(const Matrix& a);
+
+/// C = A * A^T (m x m Gram of an m x k matrix). Symmetric by construction.
+Matrix gram_a_at(const Matrix& a);
+
+/// Elementwise vector helpers.
+Vector add(std::span<const double> x, std::span<const double> y);
+Vector sub(std::span<const double> x, std::span<const double> y);
+Vector scaled(double alpha, std::span<const double> x);
+
+}  // namespace ppml::linalg

@@ -1,0 +1,143 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include "linalg/blas.h"
+
+namespace ppml::linalg {
+
+namespace {
+void check_square_symmetric(const Matrix& a, const char* who) {
+  PPML_CHECK(a.rows() == a.cols(), std::string(who) + ": matrix not square");
+  // Spot-check symmetry cheaply; full check is O(n^2) and fine at our sizes.
+  const std::size_t n = a.rows();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      PPML_CHECK(std::abs(a(i, j) - a(j, i)) <=
+                     1e-8 * (1.0 + std::abs(a(i, j))),
+                 std::string(who) + ": matrix not symmetric");
+}
+
+void forward_substitute(const Matrix& l, Vector& x) {
+  const std::size_t n = l.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = x[i];
+    const auto row = l.row(i);
+    for (std::size_t j = 0; j < i; ++j) acc -= row[j] * x[j];
+    x[i] = acc / row[i];
+  }
+}
+
+void backward_substitute_transposed(const Matrix& l, Vector& x) {
+  const std::size_t n = l.rows();
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= l(j, ii) * x[j];
+    x[ii] = acc / l(ii, ii);
+  }
+}
+}  // namespace
+
+Cholesky::Cholesky(const Matrix& a) {
+  check_square_symmetric(a, "Cholesky");
+  const std::size_t n = a.rows();
+  l_ = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    const auto lrow_j = l_.row(j);
+    for (std::size_t k = 0; k < j; ++k) diag -= lrow_j[k] * lrow_j[k];
+    if (!(diag > 0.0)) {
+      throw NumericError("Cholesky: matrix is not positive definite (pivot " +
+                         std::to_string(diag) + " at column " +
+                         std::to_string(j) + ")");
+    }
+    const double ljj = std::sqrt(diag);
+    l_(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      const auto lrow_i = l_.row(i);
+      for (std::size_t k = 0; k < j; ++k) acc -= lrow_i[k] * lrow_j[k];
+      l_(i, j) = acc / ljj;
+    }
+  }
+}
+
+Vector Cholesky::solve(std::span<const double> b) const {
+  PPML_CHECK(b.size() == dim(), "Cholesky::solve: rhs size mismatch");
+  Vector x(b.begin(), b.end());
+  forward_substitute(l_, x);
+  backward_substitute_transposed(l_, x);
+  return x;
+}
+
+Matrix Cholesky::solve(const Matrix& b) const {
+  PPML_CHECK(b.rows() == dim(), "Cholesky::solve: rhs rows mismatch");
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    Vector column = solve(b.col(j));
+    for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = column[i];
+  }
+  return x;
+}
+
+Matrix Cholesky::inverse() const { return solve(Matrix::identity(dim())); }
+
+double Cholesky::log_det() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < dim(); ++i) acc += std::log(l_(i, i));
+  return 2.0 * acc;
+}
+
+Ldlt::Ldlt(const Matrix& a) {
+  check_square_symmetric(a, "Ldlt");
+  const std::size_t n = a.rows();
+  l_ = Matrix::identity(n);
+  d_.assign(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double dj = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) dj -= l_(j, k) * l_(j, k) * d_[k];
+    if (std::abs(dj) < 1e-14) {
+      throw NumericError("Ldlt: zero pivot at column " + std::to_string(j));
+    }
+    d_[j] = dj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l_(i, k) * l_(j, k) * d_[k];
+      l_(i, j) = acc / dj;
+    }
+  }
+}
+
+Vector Ldlt::solve(std::span<const double> b) const {
+  PPML_CHECK(b.size() == dim(), "Ldlt::solve: rhs size mismatch");
+  Vector x(b.begin(), b.end());
+  const std::size_t n = dim();
+  // L y = b (unit diagonal).
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = x[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= l_(i, j) * x[j];
+    x[i] = acc;
+  }
+  for (std::size_t i = 0; i < n; ++i) x[i] /= d_[i];
+  // L^T z = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= l_(j, ii) * x[j];
+    x[ii] = acc;
+  }
+  return x;
+}
+
+Vector solve_spd(const Matrix& a, std::span<const double> b) {
+  return Cholesky(a).solve(b);
+}
+
+Matrix woodbury_small_inverse(const Matrix& kgg, double c) {
+  PPML_CHECK(kgg.rows() == kgg.cols(), "woodbury: Kgg must be square");
+  Matrix m = kgg;
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] *= c;
+  for (std::size_t i = 0; i < m.rows(); ++i) m(i, i) += 1.0;
+  return Cholesky(m).inverse();
+}
+
+}  // namespace ppml::linalg

@@ -1,0 +1,64 @@
+// Symmetric positive-definite factorizations and solves.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace ppml::linalg {
+
+/// Cholesky factorization A = L L^T of a symmetric positive-definite matrix.
+///
+/// Throws NumericError if A is not (numerically) positive definite.
+/// The factor is reusable for many right-hand sides — the ADMM trainers
+/// factor once and solve every iteration.
+class Cholesky {
+ public:
+  /// Factor `a` (must be square, symmetric, positive definite).
+  explicit Cholesky(const Matrix& a);
+
+  std::size_t dim() const noexcept { return l_.rows(); }
+
+  /// Lower-triangular factor L.
+  const Matrix& l() const noexcept { return l_; }
+
+  /// Solve A x = b.
+  Vector solve(std::span<const double> b) const;
+
+  /// Solve A X = B column-by-column (B: dim x n).
+  Matrix solve(const Matrix& b) const;
+
+  /// Inverse A^{-1} (prefer solve() when possible).
+  Matrix inverse() const;
+
+  /// log det(A) = 2 * sum log L_ii.
+  double log_det() const;
+
+ private:
+  Matrix l_;
+};
+
+/// LDL^T factorization for symmetric (possibly indefinite but full-rank,
+/// diagonally dominated) matrices; no pivoting. Used where small negative
+/// curvature from round-off would break plain Cholesky.
+class Ldlt {
+ public:
+  explicit Ldlt(const Matrix& a);
+
+  std::size_t dim() const noexcept { return l_.rows(); }
+  Vector solve(std::span<const double> b) const;
+
+ private:
+  Matrix l_;   // unit lower triangular
+  Vector d_;   // diagonal of D
+};
+
+/// Solve the small dense SPD system (I*alpha + B) x = b via Cholesky.
+/// Convenience for ridge-type solves.
+Vector solve_spd(const Matrix& a, std::span<const double> b);
+
+/// Apply the Sherman–Morrison–Woodbury identity used in the paper (eq. 20):
+///   (I + c * G^T G)^{-1} = I − c * G^T (I + c * G G^T)^{-1} G
+/// materialized in the *small* l x l space. Returns (I + c*Kgg)^{-1} where
+/// Kgg = G G^T is supplied by the caller (computed with kernel tricks).
+Matrix woodbury_small_inverse(const Matrix& kgg, double c);
+
+}  // namespace ppml::linalg

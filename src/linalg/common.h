@@ -1,0 +1,47 @@
+// Common error-handling and small utilities shared across the ppml library.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ppml {
+
+/// Base exception for all errors raised by the ppml library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a function argument violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a numeric routine fails (singular matrix, non-PSD input, ...).
+class NumericError : public Error {
+ public:
+  explicit NumericError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "PPML_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvalidArgument(os.str());
+}
+}  // namespace detail
+
+}  // namespace ppml
+
+/// Precondition check: throws ppml::InvalidArgument when `cond` is false.
+/// Always enabled (these guard public API boundaries, not hot inner loops).
+#define PPML_CHECK(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::ppml::detail::throw_check_failure(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                       \
+  } while (false)

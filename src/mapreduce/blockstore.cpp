@@ -1,0 +1,100 @@
+#include "mapreduce/blockstore.h"
+
+#include <algorithm>
+
+namespace ppml::mapreduce {
+
+BlockStore::BlockStore(std::size_t num_nodes)
+    : num_nodes_(num_nodes), alive_(num_nodes, true) {
+  PPML_CHECK(num_nodes >= 1, "BlockStore: need >= 1 node");
+}
+
+BlockId BlockStore::put(std::string name, Bytes data,
+                        std::vector<NodeId> replicas) {
+  PPML_CHECK(!replicas.empty(), "BlockStore::put: need >= 1 replica");
+  std::sort(replicas.begin(), replicas.end());
+  replicas.erase(std::unique(replicas.begin(), replicas.end()),
+                 replicas.end());
+  for (NodeId node : replicas)
+    PPML_CHECK(node < num_nodes_, "BlockStore::put: replica node out of range");
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const BlockId id = next_id_++;
+  Stored stored;
+  stored.info = BlockInfo{id, std::move(name), data.size(), std::move(replicas)};
+  stored.data = std::move(data);
+  blocks_.emplace(id, std::move(stored));
+  return id;
+}
+
+BlockId BlockStore::put_with_locality(std::string name, Bytes data,
+                                      NodeId preferred,
+                                      std::size_t replication) {
+  PPML_CHECK(preferred < num_nodes_,
+             "BlockStore::put_with_locality: preferred node out of range");
+  PPML_CHECK(replication >= 1 && replication <= num_nodes_,
+             "BlockStore::put_with_locality: bad replication factor");
+  std::vector<NodeId> replicas;
+  replicas.reserve(replication);
+  for (std::size_t i = 0; i < replication; ++i)
+    replicas.push_back((preferred + i) % num_nodes_);
+  return put(std::move(name), std::move(data), std::move(replicas));
+}
+
+const Bytes& BlockStore::read_local(BlockId block, NodeId node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PPML_CHECK(node < num_nodes_, "BlockStore::read_local: node out of range");
+  PPML_CHECK(alive_[node], "BlockStore::read_local: node " +
+                               std::to_string(node) + " is dead");
+  const auto it = blocks_.find(block);
+  PPML_CHECK(it != blocks_.end(), "BlockStore::read_local: unknown block");
+  const auto& replicas = it->second.info.replicas;
+  PPML_CHECK(std::find(replicas.begin(), replicas.end(), node) !=
+                 replicas.end(),
+             "BlockStore::read_local: data-locality violation — node " +
+                 std::to_string(node) + " holds no replica of block '" +
+                 it->second.info.name + "'");
+  return it->second.data;
+}
+
+BlockInfo BlockStore::info(BlockId block) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = blocks_.find(block);
+  PPML_CHECK(it != blocks_.end(), "BlockStore::info: unknown block");
+  return it->second.info;
+}
+
+std::vector<NodeId> BlockStore::live_replicas(BlockId block) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = blocks_.find(block);
+  PPML_CHECK(it != blocks_.end(), "BlockStore::live_replicas: unknown block");
+  std::vector<NodeId> out;
+  for (NodeId node : it->second.info.replicas)
+    if (alive_[node]) out.push_back(node);
+  return out;
+}
+
+void BlockStore::kill_node(NodeId node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PPML_CHECK(node < num_nodes_, "BlockStore::kill_node: node out of range");
+  alive_[node] = false;
+}
+
+void BlockStore::revive_node(NodeId node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PPML_CHECK(node < num_nodes_, "BlockStore::revive_node: node out of range");
+  alive_[node] = true;
+}
+
+bool BlockStore::is_alive(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PPML_CHECK(node < num_nodes_, "BlockStore::is_alive: node out of range");
+  return alive_[node];
+}
+
+std::size_t BlockStore::block_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return blocks_.size();
+}
+
+}  // namespace ppml::mapreduce

@@ -1,0 +1,77 @@
+// HDFS-like replicated block storage with locality metadata.
+//
+// Each learner's private shard is written as a block pinned to that
+// learner's own node(s) — this is the paper's central privacy argument:
+// data locality means Map() reads only blocks resident on its node, so raw
+// training data never crosses the network. The store enforces exactly that:
+// reads must name the node they run on, and a read of a block with no
+// replica on that node throws (tests assert this).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mapreduce/serde.h"
+#include "mapreduce/network.h"
+
+namespace ppml::mapreduce {
+
+using BlockId = std::uint64_t;
+
+struct BlockInfo {
+  BlockId id = 0;
+  std::string name;            ///< human-readable label
+  std::size_t size_bytes = 0;
+  std::vector<NodeId> replicas;  ///< nodes holding a copy
+};
+
+class BlockStore {
+ public:
+  explicit BlockStore(std::size_t num_nodes);
+
+  std::size_t num_nodes() const noexcept { return num_nodes_; }
+
+  /// Store `data` replicated on the given nodes (deduplicated, must be
+  /// non-empty and within range). Returns the new block id.
+  BlockId put(std::string name, Bytes data, std::vector<NodeId> replicas);
+
+  /// Convenience: place `replication` replicas starting at `preferred`
+  /// (HDFS-style: first replica local, the rest on successive nodes).
+  BlockId put_with_locality(std::string name, Bytes data, NodeId preferred,
+                            std::size_t replication);
+
+  /// Locality-enforcing read: `node` must hold a replica and be alive.
+  const Bytes& read_local(BlockId block, NodeId node) const;
+
+  /// Metadata lookup (throws on unknown block).
+  BlockInfo info(BlockId block) const;
+
+  /// Replica nodes of `block` that are currently alive.
+  std::vector<NodeId> live_replicas(BlockId block) const;
+
+  /// Node failure simulation. Dead nodes refuse reads; blocks whose every
+  /// replica is dead are unavailable until a node is revived.
+  void kill_node(NodeId node);
+  void revive_node(NodeId node);
+  bool is_alive(NodeId node) const;
+
+  std::size_t block_count() const;
+
+ private:
+  struct Stored {
+    BlockInfo info;
+    Bytes data;
+  };
+
+  std::size_t num_nodes_;
+  mutable std::mutex mutex_;
+  std::map<BlockId, Stored> blocks_;
+  std::vector<bool> alive_;
+  BlockId next_id_ = 1;
+};
+
+}  // namespace ppml::mapreduce

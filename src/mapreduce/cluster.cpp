@@ -1,0 +1,35 @@
+#include "mapreduce/cluster.h"
+
+namespace ppml::mapreduce {
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(config),
+      network_(config.num_nodes, config.latency),
+      storage_(config.num_nodes) {
+  PPML_CHECK(config_.num_nodes >= 1, "Cluster: need >= 1 node");
+  PPML_CHECK(config_.replication >= 1 &&
+                 config_.replication <= config_.num_nodes,
+             "Cluster: replication must be in [1, num_nodes]");
+  PPML_CHECK(config_.node_speed_factors.empty() ||
+                 config_.node_speed_factors.size() == config_.num_nodes,
+             "Cluster: node_speed_factors must be empty or one per node");
+  for (double factor : config_.node_speed_factors)
+    PPML_CHECK(factor > 0.0, "Cluster: speed factors must be positive");
+  const std::size_t slots =
+      config_.task_slots == 0 ? config_.num_nodes : config_.task_slots;
+  executor_ = std::make_unique<Executor>(slots);
+}
+
+double Cluster::node_speed_factor(NodeId node) const {
+  PPML_CHECK(node < config_.num_nodes,
+             "Cluster::node_speed_factor: node out of range");
+  if (config_.node_speed_factors.empty()) return 1.0;
+  return config_.node_speed_factors[node];
+}
+
+BlockId Cluster::store_shard(std::string name, Bytes data, NodeId owner) {
+  return storage_.put_with_locality(std::move(name), std::move(data), owner,
+                                    config_.replication);
+}
+
+}  // namespace ppml::mapreduce

@@ -1,0 +1,31 @@
+#include "mapreduce/counters.h"
+
+namespace ppml::mapreduce {
+
+void Counters::increment(const std::string& name, std::int64_t by) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  values_[name] += by;
+}
+
+std::int64_t Counters::value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = values_.find(name);
+  return it == values_.end() ? 0 : it->second;
+}
+
+std::map<std::string, std::int64_t> Counters::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return values_;
+}
+
+void Counters::merge(const std::map<std::string, std::int64_t>& other) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, value] : other) values_[name] += value;
+}
+
+void Counters::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  values_.clear();
+}
+
+}  // namespace ppml::mapreduce

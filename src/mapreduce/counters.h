@@ -1,0 +1,37 @@
+// Hadoop-style job counters: named, monotonically accumulated, thread-safe.
+//
+// The driver records system counters (rounds, task attempts, retries);
+// user code (mapper factories, reducers) can record its own through the
+// Cluster's counters() — e.g. the trainers count inner-QP sweeps so the
+// scalability benches can report work, not just traffic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace ppml::mapreduce {
+
+class Counters {
+ public:
+  /// Add `by` to counter `name` (creates it at zero first).
+  void increment(const std::string& name, std::int64_t by = 1);
+
+  /// Current value (0 for unknown counters).
+  std::int64_t value(const std::string& name) const;
+
+  /// Snapshot of all counters.
+  std::map<std::string, std::int64_t> snapshot() const;
+
+  /// Fold another snapshot in (used when merging per-task counters).
+  void merge(const std::map<std::string, std::int64_t>& other);
+
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::int64_t> values_;
+};
+
+}  // namespace ppml::mapreduce

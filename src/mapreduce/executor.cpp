@@ -1,0 +1,54 @@
+#include "mapreduce/executor.h"
+
+#include "linalg/common.h"
+
+namespace ppml::mapreduce {
+
+Executor::Executor(std::size_t threads) {
+  PPML_CHECK(threads >= 1, "Executor: need >= 1 thread");
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void Executor::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures exceptions into the future
+  }
+}
+
+void Executor::parallel_for(std::size_t n,
+                            const std::function<void(std::size_t)>& fn) {
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    futures.push_back(submit([&fn, i] { fn(i); }));
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace ppml::mapreduce

@@ -1,0 +1,55 @@
+// Fixed-size thread pool used to run map tasks in parallel, mirroring the
+// per-node task slots of a real cluster.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ppml::mapreduce {
+
+class Executor {
+ public:
+  /// `threads` worker threads (>= 1).
+  explicit Executor(std::size_t threads);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  std::size_t threads() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; the future reports its result or exception.
+  template <typename F>
+  auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> future = packaged->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([packaged] { (*packaged)(); });
+    }
+    wake_.notify_one();
+    return future;
+  }
+
+  /// Run fn(i) for i in [0, n) across the pool and wait; the first thrown
+  /// exception (if any) is rethrown in the caller.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ppml::mapreduce

@@ -1,0 +1,184 @@
+#include "mapreduce/iterative_job.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "crypto/prng.h"
+
+namespace ppml::mapreduce {
+
+IterativeJob::IterativeJob(Cluster& cluster, JobConfig config)
+    : cluster_(cluster), config_(config) {
+  PPML_CHECK(config_.max_rounds >= 1, "IterativeJob: max_rounds must be >= 1");
+  PPML_CHECK(config_.max_task_attempts >= 1,
+             "IterativeJob: max_task_attempts must be >= 1");
+  PPML_CHECK(config_.task_failure_probability >= 0.0 &&
+                 config_.task_failure_probability < 1.0,
+             "IterativeJob: failure probability must be in [0, 1)");
+}
+
+void IterativeJob::add_mapper(std::shared_ptr<IterativeMapper> mapper,
+                              BlockId home_block) {
+  PPML_CHECK(mapper != nullptr, "IterativeJob::add_mapper: null mapper");
+  mappers_.push_back(MapperSlot{std::move(mapper), home_block, false});
+}
+
+void IterativeJob::set_reducer(std::shared_ptr<IterativeReducer> reducer,
+                               NodeId node) {
+  PPML_CHECK(reducer != nullptr, "IterativeJob::set_reducer: null reducer");
+  PPML_CHECK(node < cluster_.num_nodes(),
+             "IterativeJob::set_reducer: node out of range");
+  reducer_ = std::move(reducer);
+  reducer_node_ = node;
+  has_reducer_ = true;
+}
+
+NodeId IterativeJob::place_mapper(std::size_t index, std::size_t round,
+                                  JobStats& stats) {
+  const auto& slot = mappers_[index];
+  const std::vector<NodeId> candidates =
+      cluster_.storage().live_replicas(slot.home_block);
+  if (candidates.empty()) {
+    throw JobError("mapper " + std::to_string(index) +
+                   ": no live replica of its home block — data lost");
+  }
+  // Deterministic failure injection per (round, mapper, attempt).
+  for (std::size_t attempt = 0; attempt < config_.max_task_attempts;
+       ++attempt) {
+    ++stats.map_task_attempts;
+    const NodeId node = candidates[attempt % candidates.size()];
+    if (config_.task_failure_probability > 0.0) {
+      crypto::SplitMix64 coin(config_.failure_seed ^ (round * 7919) ^
+                              (index * 104729) ^ (attempt * 1299709));
+      const double roll = static_cast<double>(coin.next() >> 11) * 0x1.0p-53;
+      if (roll < config_.task_failure_probability) {
+        ++stats.task_retries;
+        continue;  // placement failed, try another replica
+      }
+    }
+    return node;
+  }
+  throw JobError("mapper " + std::to_string(index) + ": placement failed " +
+                 std::to_string(config_.max_task_attempts) + " times");
+}
+
+JobStats IterativeJob::run(Bytes initial_broadcast) {
+  PPML_CHECK(!mappers_.empty(), "IterativeJob::run: no mappers registered");
+  PPML_CHECK(has_reducer_, "IterativeJob::run: no reducer registered");
+
+  const std::size_t m = mappers_.size();
+  Network& network = cluster_.network();
+  JobStats stats;
+  mapper_nodes_.assign(m, 0);
+
+  Bytes broadcast = std::move(initial_broadcast);
+  for (std::size_t round = 0; round < config_.max_rounds; ++round) {
+    ++stats.rounds;
+
+    // Placement + one-time configure (locality-enforced shard load).
+    for (std::size_t i = 0; i < m; ++i) {
+      mapper_nodes_[i] = place_mapper(i, round, stats);
+      if (!mappers_[i].configured) {
+        mappers_[i].mapper->configure(cluster_.storage(), mapper_nodes_[i]);
+        mappers_[i].configured = true;
+      }
+    }
+
+    // 1. Broadcast feedback from the reducer node to every mapper node.
+    for (std::size_t i = 0; i < m; ++i) {
+      network.send(Message{reducer_node_, mapper_nodes_[i], "broadcast",
+                           broadcast});
+    }
+    network.end_phase();
+
+    // 2. Peer exchange (mask distribution). Collected serially per mapper
+    //    (cheap), delivered through the network fabric. The envelope names
+    //    both sender and destination mapper because several mappers can
+    //    share a node after failover.
+    for (std::size_t i = 0; i < m; ++i) {
+      for (auto& [peer, payload] : mappers_[i].mapper->exchange(round)) {
+        PPML_CHECK(peer < m, "IterativeJob: exchange peer out of range");
+        Writer wrapped;
+        wrapped.put_u64(i);     // sender mapper index
+        wrapped.put_u64(peer);  // destination mapper index
+        wrapped.put_bytes(payload);
+        network.send(Message{mapper_nodes_[i], mapper_nodes_[peer],
+                             "peer-exchange", wrapped.take()});
+      }
+    }
+    network.end_phase();
+
+    // Deliver peer messages: drain each hosting node once and route by the
+    // envelope's destination mapper. Broadcast copies arrive in the same
+    // drain; split by channel tag.
+    std::vector<std::vector<Bytes>> inboxes(m, std::vector<Bytes>(m));
+    std::vector<bool> drained(cluster_.num_nodes(), false);
+    for (std::size_t i = 0; i < m; ++i) {
+      const NodeId node = mapper_nodes_[i];
+      if (drained[node]) continue;
+      drained[node] = true;
+      for (Message& message : network.drain(node)) {
+        if (message.channel != "peer-exchange") continue;  // broadcast copy
+        Reader reader(message.payload);
+        const std::size_t sender = reader.get_u64();
+        const std::size_t dest = reader.get_u64();
+        PPML_CHECK(sender < m && dest < m,
+                   "IterativeJob: bad peer-exchange envelope");
+        inboxes[dest][sender] = reader.get_bytes();
+      }
+    }
+
+    // 3+4. Map in parallel; contributions go to the reducer node. Each
+    // task's wall time, scaled by its node's speed factor, feeds the
+    // simulated clock; the synchronous barrier takes the per-round max.
+    std::vector<Bytes> contributions(m);
+    std::vector<double> task_seconds(m, 0.0);
+    std::exception_ptr map_error;
+    std::mutex error_mutex;
+    cluster_.executor().parallel_for(m, [&](std::size_t i) {
+      try {
+        const auto start = std::chrono::steady_clock::now();
+        contributions[i] =
+            mappers_[i].mapper->map(round, broadcast, inboxes[i]);
+        const double wall =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        task_seconds[i] = wall * cluster_.node_speed_factor(mapper_nodes_[i]);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!map_error) map_error = std::current_exception();
+      }
+    });
+    if (map_error) std::rethrow_exception(map_error);
+    stats.simulated_compute_seconds +=
+        *std::max_element(task_seconds.begin(), task_seconds.end());
+    for (std::size_t i = 0; i < m; ++i) {
+      network.send(Message{mapper_nodes_[i], reducer_node_, "contribution",
+                           contributions[i]});
+    }
+    network.end_phase();
+    // The reducer consumes its mailbox (keeps the fabric drained).
+    network.drain(reducer_node_);
+
+    // 5. Reduce and check convergence.
+    broadcast = reducer_->reduce(round, contributions);
+    if (reducer_->converged()) {
+      stats.converged = true;
+      break;
+    }
+  }
+
+  stats.channels = network.channel_stats();
+  stats.simulated_network_seconds = network.simulated_seconds();
+  cluster_.counters().increment("job.rounds",
+                                static_cast<std::int64_t>(stats.rounds));
+  cluster_.counters().increment(
+      "job.map_task_attempts",
+      static_cast<std::int64_t>(stats.map_task_attempts));
+  cluster_.counters().increment("job.task_retries",
+                                static_cast<std::int64_t>(stats.task_retries));
+  return stats;
+}
+
+}  // namespace ppml::mapreduce

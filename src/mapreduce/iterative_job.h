@@ -1,0 +1,132 @@
+// Iterative MapReduce driver (Twister-style, paper §I Fig. 1).
+//
+// Per round:
+//   1. broadcast : reducer node -> every mapper node   (feedback channel)
+//   2. exchange  : mapper -> mapper peer messages      (e.g. protocol masks)
+//   3. map       : mappers run in parallel on their data-local nodes
+//   4. contribute: mapper node -> reducer node
+//   5. reduce    : reducer combines, emits next broadcast, may declare
+//                  convergence ("Repeat until Reduce() converge")
+//
+// Placement is locality-driven: a map task runs on a live replica of the
+// mapper's home block. Failure injection knocks out task *placements*
+// (attempts), which the driver retries on other replicas — mirroring
+// speculative re-execution on Hadoop; mapper state is never re-run within a
+// round, so trainer semantics are unaffected.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "mapreduce/cluster.h"
+
+namespace ppml::mapreduce {
+
+/// One logical Map() participant (a learner, in the paper's terms).
+class IterativeMapper {
+ public:
+  virtual ~IterativeMapper() = default;
+
+  /// Called once when the mapper is bound to a node; typically loads the
+  /// local shard through the locality-enforcing BlockStore API.
+  virtual void configure(const BlockStore& storage, NodeId node) {
+    (void)storage;
+    (void)node;
+  }
+
+  /// Optional peer-to-peer step before map (mask distribution). Returns
+  /// (destination mapper index, payload) pairs.
+  virtual std::vector<std::pair<std::size_t, Bytes>> exchange(
+      std::size_t round) {
+    (void)round;
+    return {};
+  }
+
+  /// One local-training iteration. `peer_messages[j]` holds the payload
+  /// sent by mapper j this round (empty if none). Returns the contribution
+  /// for the reducer.
+  virtual Bytes map(std::size_t round, const Bytes& broadcast,
+                    const std::vector<Bytes>& peer_messages) = 0;
+};
+
+/// The Reduce() participant.
+class IterativeReducer {
+ public:
+  virtual ~IterativeReducer() = default;
+
+  /// Combine this round's contributions (indexed by mapper) into the next
+  /// broadcast payload.
+  virtual Bytes reduce(std::size_t round,
+                       const std::vector<Bytes>& contributions) = 0;
+
+  /// Checked after each reduce; true ends the job.
+  virtual bool converged() const { return false; }
+};
+
+struct JobConfig {
+  std::size_t max_rounds = 100;
+  double task_failure_probability = 0.0;  ///< per placement attempt
+  std::uint64_t failure_seed = 0x5eed;
+  std::size_t max_task_attempts = 3;
+};
+
+struct JobStats {
+  std::size_t rounds = 0;
+  std::size_t map_task_attempts = 0;
+  std::size_t task_retries = 0;
+  std::map<std::string, ChannelStats> channels;
+  double simulated_network_seconds = 0.0;
+  /// Per-round critical path of map-task compute time, scaled by each
+  /// node's speed factor, summed over rounds (synchronous barrier: the
+  /// slowest mapper gates every round — stragglers hurt).
+  double simulated_compute_seconds = 0.0;
+  bool converged = false;
+};
+
+/// Raised when a job cannot make progress (e.g. a mapper's block has no
+/// live replica, or retries are exhausted).
+class JobError : public Error {
+ public:
+  explicit JobError(const std::string& what) : Error(what) {}
+};
+
+class IterativeJob {
+ public:
+  IterativeJob(Cluster& cluster, JobConfig config);
+
+  /// Register a mapper whose home data is `home_block`. The mapper runs on
+  /// a live replica of that block each round.
+  void add_mapper(std::shared_ptr<IterativeMapper> mapper, BlockId home_block);
+
+  /// Register the reducer and the node it runs on.
+  void set_reducer(std::shared_ptr<IterativeReducer> reducer, NodeId node);
+
+  std::size_t num_mappers() const noexcept { return mappers_.size(); }
+
+  /// Run to convergence or max_rounds. `initial_broadcast` seeds round 0.
+  JobStats run(Bytes initial_broadcast);
+
+  /// Node each mapper was configured on (after run() or configure_all()).
+  const std::vector<NodeId>& mapper_nodes() const noexcept {
+    return mapper_nodes_;
+  }
+
+ private:
+  NodeId place_mapper(std::size_t index, std::size_t round, JobStats& stats);
+
+  struct MapperSlot {
+    std::shared_ptr<IterativeMapper> mapper;
+    BlockId home_block = 0;
+    bool configured = false;
+  };
+
+  Cluster& cluster_;
+  JobConfig config_;
+  std::vector<MapperSlot> mappers_;
+  std::vector<NodeId> mapper_nodes_;
+  std::shared_ptr<IterativeReducer> reducer_;
+  NodeId reducer_node_ = 0;
+  bool has_reducer_ = false;
+};
+
+}  // namespace ppml::mapreduce

@@ -1,0 +1,75 @@
+#include "mapreduce/network.h"
+
+#include <algorithm>
+
+namespace ppml::mapreduce {
+
+Network::Network(std::size_t num_nodes, LatencyModel latency)
+    : num_nodes_(num_nodes),
+      latency_(latency),
+      mailboxes_(num_nodes),
+      phase_send_seconds_(num_nodes, 0.0) {
+  PPML_CHECK(num_nodes >= 1, "Network: need >= 1 node");
+}
+
+void Network::send(Message message) {
+  PPML_CHECK(message.from < num_nodes_ && message.to < num_nodes_,
+             "Network::send: node id out of range");
+  std::lock_guard<std::mutex> lock(mutex_);
+  ChannelStats& stats = stats_[message.channel];
+  stats.messages += 1;
+  stats.bytes += message.payload.size();
+  // Loopback messages are free in the latency model (local handoff), but
+  // still counted in channel stats so protocol message counts stay exact.
+  if (message.from != message.to) {
+    phase_send_seconds_[message.from] += latency_.cost(message.payload.size());
+  }
+  mailboxes_[message.to].push_back(std::move(message));
+}
+
+std::vector<Message> Network::drain(NodeId node) {
+  PPML_CHECK(node < num_nodes_, "Network::drain: node id out of range");
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Message> out;
+  out.swap(mailboxes_[node]);
+  return out;
+}
+
+std::map<std::string, ChannelStats> Network::channel_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+ChannelStats Network::totals() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ChannelStats total;
+  for (const auto& [channel, stats] : stats_) {
+    total.messages += stats.messages;
+    total.bytes += stats.bytes;
+  }
+  return total;
+}
+
+double Network::simulated_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Include the (not yet closed) current phase's critical path.
+  const double current =
+      *std::max_element(phase_send_seconds_.begin(), phase_send_seconds_.end());
+  return simulated_seconds_ + current;
+}
+
+void Network::end_phase() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  simulated_seconds_ +=
+      *std::max_element(phase_send_seconds_.begin(), phase_send_seconds_.end());
+  std::fill(phase_send_seconds_.begin(), phase_send_seconds_.end(), 0.0);
+}
+
+void Network::reset_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.clear();
+  simulated_seconds_ = 0.0;
+  std::fill(phase_send_seconds_.begin(), phase_send_seconds_.end(), 0.0);
+}
+
+}  // namespace ppml::mapreduce

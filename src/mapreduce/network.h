@@ -1,0 +1,81 @@
+// Simulated cluster network with byte accounting and a latency model.
+//
+// Delivery is immediate (the synchronous round driver orders everything),
+// but every send is recorded: per-channel byte/message counts feed the
+// scalability benches, and a simple latency model (fixed cost + bytes over
+// bandwidth, with per-round critical-path accounting) produces the
+// "simulated wall clock" numbers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mapreduce/serde.h"
+
+namespace ppml::mapreduce {
+
+using NodeId = std::size_t;
+
+struct Message {
+  NodeId from = 0;
+  NodeId to = 0;
+  std::string channel;  ///< e.g. "broadcast", "peer-mask", "contribution"
+  Bytes payload;
+};
+
+struct ChannelStats {
+  std::size_t messages = 0;
+  std::size_t bytes = 0;
+};
+
+struct LatencyModel {
+  double per_message_seconds = 1e-4;   ///< fixed per-message cost
+  double seconds_per_byte = 1e-9;      ///< 1/bandwidth (~1 GB/s default)
+
+  double cost(std::size_t bytes) const {
+    return per_message_seconds +
+           seconds_per_byte * static_cast<double>(bytes);
+  }
+};
+
+/// Thread-safe message fabric. Mailboxes are per-destination FIFOs; the
+/// driver drains them between phases.
+class Network {
+ public:
+  Network(std::size_t num_nodes, LatencyModel latency = {});
+
+  std::size_t num_nodes() const noexcept { return num_nodes_; }
+
+  /// Send (records stats, accrues simulated latency, enqueues).
+  void send(Message message);
+
+  /// Drain all messages addressed to `node` (FIFO order).
+  std::vector<Message> drain(NodeId node);
+
+  /// Total messages/bytes per channel since construction or last reset.
+  std::map<std::string, ChannelStats> channel_stats() const;
+  ChannelStats totals() const;
+
+  /// Simulated seconds spent on the network, assuming sends within one
+  /// phase are parallel across source nodes (per-phase critical path:
+  /// max over sources of that source's serialized send time). Phases are
+  /// delimited by the driver calling end_phase().
+  double simulated_seconds() const;
+  void end_phase();
+
+  void reset_stats();
+
+ private:
+  std::size_t num_nodes_;
+  LatencyModel latency_;
+  mutable std::mutex mutex_;
+  std::vector<std::vector<Message>> mailboxes_;
+  std::map<std::string, ChannelStats> stats_;
+  std::vector<double> phase_send_seconds_;  ///< per source node, this phase
+  double simulated_seconds_ = 0.0;
+};
+
+}  // namespace ppml::mapreduce

@@ -1,0 +1,107 @@
+#include "mapreduce/serde.h"
+
+#include <bit>
+
+namespace ppml::mapreduce {
+
+void Writer::put_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<std::uint8_t>(v & 0xff));
+    v >>= 8;
+  }
+}
+
+void Writer::put_double(double v) { put_u64(std::bit_cast<std::uint64_t>(v)); }
+
+void Writer::put_string(const std::string& s) {
+  put_u64(s.size());
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+void Writer::put_bytes(std::span<const std::uint8_t> bytes) {
+  put_u64(bytes.size());
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+void Writer::put_u64_vector(std::span<const std::uint64_t> v) {
+  put_u64(v.size());
+  for (std::uint64_t x : v) put_u64(x);
+}
+
+void Writer::put_double_vector(std::span<const double> v) {
+  put_u64(v.size());
+  for (double x : v) put_double(x);
+}
+
+void Writer::put_matrix(const linalg::Matrix& m) {
+  put_u64(m.rows());
+  put_u64(m.cols());
+  for (double x : m.data()) put_double(x);
+}
+
+void Reader::require(std::size_t n) {
+  if (cursor_ + n > data_.size()) {
+    throw Error("serde: truncated message (need " + std::to_string(n) +
+                " bytes, have " + std::to_string(remaining()) + ")");
+  }
+}
+
+std::uint8_t Reader::get_u8() {
+  require(1);
+  return data_[cursor_++];
+}
+
+std::uint64_t Reader::get_u64() {
+  require(8);
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i)
+    v = (v << 8) | data_[cursor_ + static_cast<std::size_t>(i)];
+  cursor_ += 8;
+  return v;
+}
+
+double Reader::get_double() { return std::bit_cast<double>(get_u64()); }
+
+std::string Reader::get_string() {
+  const std::uint64_t n = get_u64();
+  require(n);
+  std::string s(reinterpret_cast<const char*>(data_.data() + cursor_), n);
+  cursor_ += n;
+  return s;
+}
+
+Bytes Reader::get_bytes() {
+  const std::uint64_t n = get_u64();
+  require(n);
+  Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+          data_.begin() + static_cast<std::ptrdiff_t>(cursor_ + n));
+  cursor_ += n;
+  return b;
+}
+
+std::vector<std::uint64_t> Reader::get_u64_vector() {
+  const std::uint64_t n = get_u64();
+  require(n * 8);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = get_u64();
+  return v;
+}
+
+std::vector<double> Reader::get_double_vector() {
+  const std::uint64_t n = get_u64();
+  require(n * 8);
+  std::vector<double> v(n);
+  for (auto& x : v) x = get_double();
+  return v;
+}
+
+linalg::Matrix Reader::get_matrix() {
+  const std::uint64_t rows = get_u64();
+  const std::uint64_t cols = get_u64();
+  require(rows * cols * 8);
+  linalg::Matrix m(rows, cols);
+  for (double& x : m.data()) x = get_double();
+  return m;
+}
+
+}  // namespace ppml::mapreduce

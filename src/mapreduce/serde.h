@@ -1,0 +1,69 @@
+// Binary serialization for everything that crosses the simulated network.
+//
+// Keeping wire payloads as real byte buffers (rather than passing C++
+// objects around) buys three things: byte counts in the network stats are
+// honest, the security tests can inspect exactly what an adversarial
+// reducer would see, and mapper/reducer implementations stay decoupled the
+// way they would be on a real cluster.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "linalg/common.h"
+#include "linalg/matrix.h"
+
+namespace ppml::mapreduce {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Append-only little-endian writer.
+class Writer {
+ public:
+  void put_u8(std::uint8_t v) { buffer_.push_back(v); }
+  void put_u64(std::uint64_t v);
+  void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+  void put_double(double v);
+  void put_string(const std::string& s);
+  void put_bytes(std::span<const std::uint8_t> bytes);
+  void put_u64_vector(std::span<const std::uint64_t> v);
+  void put_double_vector(std::span<const double> v);
+  void put_matrix(const linalg::Matrix& m);
+
+  Bytes take() { return std::move(buffer_); }
+  const Bytes& buffer() const { return buffer_; }
+  std::size_t size() const { return buffer_.size(); }
+
+ private:
+  Bytes buffer_;
+};
+
+/// Bounds-checked reader; throws ppml::Error on truncated input.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t get_u8();
+  std::uint64_t get_u64();
+  std::int64_t get_i64() { return static_cast<std::int64_t>(get_u64()); }
+  double get_double();
+  std::string get_string();
+  Bytes get_bytes();
+  std::vector<std::uint64_t> get_u64_vector();
+  std::vector<double> get_double_vector();
+  linalg::Matrix get_matrix();
+
+  bool exhausted() const noexcept { return cursor_ == data_.size(); }
+  std::size_t remaining() const noexcept { return data_.size() - cursor_; }
+
+ private:
+  void require(std::size_t n);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace ppml::mapreduce

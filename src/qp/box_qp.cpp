@@ -1,0 +1,119 @@
+#include "qp/box_qp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/blas.h"
+
+namespace ppml::qp {
+
+double objective_value(const Matrix& q, std::span<const double> p,
+                       std::span<const double> x) {
+  const Vector qx = linalg::gemv(q, x);
+  return 0.5 * linalg::dot(qx, x) - linalg::dot(p, x);
+}
+
+namespace {
+
+double clip(double v, double lo, double hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+/// KKT violation for the box problem at point x with gradient g:
+/// interior coordinates need g ~= 0; at the lower bound g >= 0 is optimal;
+/// at the upper bound g <= 0 is optimal.
+double box_kkt_violation(std::span<const double> x, std::span<const double> g,
+                         double lo, double hi) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double violation;
+    if (x[i] <= lo) {
+      violation = std::max(0.0, -g[i]);
+    } else if (x[i] >= hi) {
+      violation = std::max(0.0, g[i]);
+    } else {
+      violation = std::abs(g[i]);
+    }
+    worst = std::max(worst, violation);
+  }
+  return worst;
+}
+
+}  // namespace
+
+BoxQpSolver::BoxQpSolver(Matrix q, double lo, double hi)
+    : q_(std::move(q)), lo_(lo), hi_(hi) {
+  PPML_CHECK(q_.rows() == q_.cols(), "BoxQpSolver: Q must be square");
+  PPML_CHECK(lo <= hi, "BoxQpSolver: empty box");
+  diag_.resize(dim());
+  for (std::size_t i = 0; i < dim(); ++i) diag_[i] = q_(i, i);
+}
+
+Result BoxQpSolver::solve(std::span<const double> p,
+                          std::optional<Vector> warm_start,
+                          const Options& options) const {
+  const std::size_t n = dim();
+  PPML_CHECK(p.size() == n, "BoxQpSolver::solve: p size mismatch");
+
+  Result result;
+  Vector& x = result.x;
+  if (warm_start) {
+    PPML_CHECK(warm_start->size() == n, "BoxQpSolver: warm start size");
+    x = std::move(*warm_start);
+    for (double& v : x) v = clip(v, lo_, hi_);
+  } else {
+    x.assign(n, clip(0.0, lo_, hi_));
+  }
+
+  // Maintain the gradient g = Qx - p incrementally: a coordinate move of
+  // delta updates g by delta * Q[:,i]; with symmetric Q that is row i.
+  Vector g(n);
+  linalg::gemv(q_, x, g);
+  linalg::axpy(-1.0, p, g);
+
+  for (std::size_t sweep = 0; sweep < options.max_iterations; ++sweep) {
+    ++result.iterations;
+    double max_step = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double qii = diag_[i];
+      if (qii <= 0.0) {
+        // Degenerate coordinate (Q psd => qii >= 0; zero row). The objective
+        // is linear in x_i: move to whichever bound the gradient favors.
+        const double target = g[i] > 0.0 ? lo_ : (g[i] < 0.0 ? hi_ : x[i]);
+        const double delta = target - x[i];
+        if (delta != 0.0) {
+          x[i] = target;
+          linalg::axpy(delta, q_.row(i), g);
+          max_step = std::max(max_step, std::abs(delta));
+        }
+        continue;
+      }
+      const double target = clip(x[i] - g[i] / qii, lo_, hi_);
+      const double delta = target - x[i];
+      if (delta != 0.0) {
+        x[i] = target;
+        linalg::axpy(delta, q_.row(i), g);
+        max_step = std::max(max_step, std::abs(delta));
+      }
+    }
+    result.kkt_violation = box_kkt_violation(x, g, lo_, hi_);
+    if (result.kkt_violation <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+    // Cheap secondary stop: if nothing moved, further sweeps are no-ops.
+    if (max_step == 0.0) {
+      result.converged = result.kkt_violation <= options.tolerance;
+      break;
+    }
+  }
+  result.objective = objective_value(q_, p, x);
+  return result;
+}
+
+Result solve_box_qp(const Matrix& q, std::span<const double> p, double lo,
+                    double hi, const Options& options) {
+  return BoxQpSolver(q, lo, hi).solve(p, std::nullopt, options);
+}
+
+}  // namespace ppml::qp

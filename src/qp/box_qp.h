@@ -1,0 +1,44 @@
+// Cyclic coordinate descent for box-constrained convex QPs.
+//
+//   min_x  1/2 x^T Q x - p^T x    s.t.  lo <= x_i <= hi
+//
+// This is the workhorse of the horizontal ADMM trainers: their per-mapper
+// dual has a *constant* Q across ADMM iterations and only p changes, so the
+// solver supports warm starts (pass the previous lambda) and converges in a
+// handful of sweeps after the first few outer iterations.
+#pragma once
+
+#include <optional>
+
+#include "qp/qp.h"
+
+namespace ppml::qp {
+
+/// Box-QP solver with a fixed Q. Construct once, solve many times.
+class BoxQpSolver {
+ public:
+  /// `q` must be square, symmetric positive semidefinite. Rows are kept by
+  /// value; the solver is self-contained after construction.
+  BoxQpSolver(Matrix q, double lo, double hi);
+
+  std::size_t dim() const noexcept { return q_.rows(); }
+
+  /// Solve with linear term `p`. If `warm_start` is given it is projected to
+  /// the box and used as the initial point; otherwise starts at the lower
+  /// bound corner clipped into the box.
+  Result solve(std::span<const double> p,
+               std::optional<Vector> warm_start = std::nullopt,
+               const Options& options = {}) const;
+
+ private:
+  Matrix q_;
+  Vector diag_;
+  double lo_;
+  double hi_;
+};
+
+/// One-shot convenience wrapper.
+Result solve_box_qp(const Matrix& q, std::span<const double> p, double lo,
+                    double hi, const Options& options = {});
+
+}  // namespace ppml::qp

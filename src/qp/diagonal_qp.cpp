@@ -1,0 +1,80 @@
+#include "qp/diagonal_qp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ppml::qp {
+
+namespace {
+double clip(double v, double lo, double hi) {
+  return std::min(std::max(v, lo), hi);
+}
+}  // namespace
+
+Result solve_diagonal_qp(const DiagonalQpProblem& problem, double tolerance) {
+  const std::size_t n = problem.d.size();
+  PPML_CHECK(problem.p.size() == n && problem.y.size() == n,
+             "solve_diagonal_qp: size mismatch");
+  PPML_CHECK(problem.c >= 0.0, "solve_diagonal_qp: C must be non-negative");
+  std::size_t n_pos = 0;
+  std::size_t n_neg = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    PPML_CHECK(problem.d[i] > 0.0, "solve_diagonal_qp: d must be positive");
+    PPML_CHECK(problem.y[i] == 1.0 || problem.y[i] == -1.0,
+               "solve_diagonal_qp: labels must be +/-1");
+    (problem.y[i] > 0.0 ? n_pos : n_neg) += 1;
+  }
+  PPML_CHECK(problem.delta <= problem.c * static_cast<double>(n_pos) + 1e-12 &&
+                 problem.delta >=
+                     -problem.c * static_cast<double>(n_neg) - 1e-12,
+             "solve_diagonal_qp: equality constraint infeasible");
+
+  const auto x_of_nu = [&](double nu, Vector& x) {
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = clip((problem.p[i] - nu * problem.y[i]) / problem.d[i], 0.0,
+                  problem.c);
+    }
+  };
+  const auto h = [&](double nu, Vector& x) {
+    x_of_nu(nu, x);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) acc += problem.y[i] * x[i];
+    return acc;
+  };
+
+  Vector x(n, 0.0);
+  // Bracket nu: h is non-increasing, h(-inf) = +C*n_pos, h(+inf) = -C*n_neg.
+  double lo = -1.0;
+  double hi = 1.0;
+  while (h(lo, x) < problem.delta && std::isfinite(lo)) lo *= 2.0;
+  while (h(hi, x) > problem.delta && std::isfinite(hi)) hi *= 2.0;
+
+  Result result;
+  for (int iter = 0; iter < 200; ++iter) {
+    ++result.iterations;
+    const double mid = 0.5 * (lo + hi);
+    const double value = h(mid, x);
+    if (value > problem.delta) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo <= tolerance * (1.0 + std::abs(lo) + std::abs(hi))) break;
+  }
+  const double nu = 0.5 * (lo + hi);
+  x_of_nu(nu, x);
+
+  double constraint = 0.0;
+  double objective = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    constraint += problem.y[i] * x[i];
+    objective += 0.5 * problem.d[i] * x[i] * x[i] - problem.p[i] * x[i];
+  }
+  result.kkt_violation = std::abs(constraint - problem.delta);
+  result.converged = result.kkt_violation <= 1e-6 * (1.0 + std::abs(problem.delta));
+  result.objective = objective;
+  result.x = std::move(x);
+  return result;
+}
+
+}  // namespace ppml::qp

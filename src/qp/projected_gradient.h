@@ -1,0 +1,19 @@
+// Projected-gradient solver with Barzilai–Borwein steps for box QPs.
+//
+// Independent of the coordinate-descent solver; used in tests to cross-check
+// minimizers and in benchmarks to compare solver behaviour ("standard QP
+// solver" in the paper's terminology).
+#pragma once
+
+#include "qp/qp.h"
+
+namespace ppml::qp {
+
+/// Minimize 1/2 x^T Q x - p^T x over the box [lo, hi]^n using spectral
+/// projected gradient (BB step lengths, non-monotone safeguarding is not
+/// needed for convex quadratics).
+Result solve_box_qp_projected_gradient(const Matrix& q,
+                                       std::span<const double> p, double lo,
+                                       double hi, const Options& options = {});
+
+}  // namespace ppml::qp

@@ -1,0 +1,36 @@
+// Shared types for the quadratic-programming solvers.
+//
+// All solvers minimize   f(x) = 1/2 x^T Q x - p^T x   subject to constraints
+// stated per solver. This is the convention of the SVM dual in the paper
+// (problem (2) with p = 1), and of the per-mapper ADMM subproblem duals.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.h"
+
+namespace ppml::qp {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+/// Outcome of a QP solve.
+struct Result {
+  Vector x;                  ///< minimizer (feasible by construction)
+  double objective = 0.0;    ///< f(x) at the returned point
+  std::size_t iterations = 0;  ///< solver-specific iteration count (sweeps)
+  bool converged = false;    ///< optimality tolerance reached before limits
+  double kkt_violation = 0.0;  ///< final max KKT/projected-gradient violation
+};
+
+/// Common stopping controls.
+struct Options {
+  double tolerance = 1e-6;       ///< max allowed KKT violation
+  std::size_t max_iterations = 10'000;  ///< sweeps (CD/PG) or pair steps (SMO)
+};
+
+/// Evaluate 1/2 x^T Q x - p^T x.
+double objective_value(const Matrix& q, std::span<const double> p,
+                       std::span<const double> x);
+
+}  // namespace ppml::qp

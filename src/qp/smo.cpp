@@ -1,0 +1,127 @@
+#include "qp/smo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/blas.h"
+
+namespace ppml::qp {
+
+namespace {
+
+/// Build a feasible starting point satisfying y^T x = delta, 0 <= x <= C.
+Vector feasible_start(const Vector& y, double c, double delta) {
+  Vector x(y.size(), 0.0);
+  double remaining = delta;
+  const double sign = remaining >= 0.0 ? 1.0 : -1.0;
+  for (std::size_t i = 0; i < y.size() && std::abs(remaining) > 1e-12; ++i) {
+    if (y[i] != sign) continue;
+    const double take = std::min(std::abs(remaining), c);
+    x[i] = take;
+    remaining -= sign * take;
+  }
+  PPML_CHECK(std::abs(remaining) <= 1e-9,
+             "solve_smo: equality constraint infeasible within the box");
+  return x;
+}
+
+}  // namespace
+
+Result solve_smo(const SmoProblem& problem, const Options& options) {
+  const Matrix& q = problem.q;
+  const std::size_t n = q.rows();
+  PPML_CHECK(q.cols() == n, "solve_smo: Q must be square");
+  PPML_CHECK(problem.p.size() == n && problem.y.size() == n,
+             "solve_smo: p/y size mismatch");
+  PPML_CHECK(problem.c >= 0.0, "solve_smo: C must be non-negative");
+  for (double yi : problem.y)
+    PPML_CHECK(yi == 1.0 || yi == -1.0, "solve_smo: labels must be +/-1");
+
+  const double c = problem.c;
+  const Vector& y = problem.y;
+
+  Result result;
+  Vector x = feasible_start(y, c, problem.delta);
+  Vector g = linalg::gemv(q, x);
+  linalg::axpy(-1.0, problem.p, g);
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    // Maximal violating pair: i maximizes -y_i g_i over I_up,
+    // j minimizes -y_j g_j over I_low. Optimal when max - min <= tol.
+    double best_up = -std::numeric_limits<double>::infinity();
+    double best_low = std::numeric_limits<double>::infinity();
+    std::size_t i_up = n;
+    std::size_t i_low = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double score = -y[i] * g[i];
+      const bool in_up = (y[i] > 0.0 && x[i] < c) || (y[i] < 0.0 && x[i] > 0.0);
+      const bool in_low = (y[i] > 0.0 && x[i] > 0.0) || (y[i] < 0.0 && x[i] < c);
+      if (in_up && score > best_up) {
+        best_up = score;
+        i_up = i;
+      }
+      if (in_low && score < best_low) {
+        best_low = score;
+        i_low = i;
+      }
+    }
+    result.kkt_violation = (i_up == n || i_low == n)
+                               ? 0.0
+                               : std::max(0.0, best_up - best_low);
+    if (i_up == n || i_low == n ||
+        best_up - best_low <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    const std::size_t i = i_up;
+    const std::size_t j = i_low;
+    // Direction d = t * (y_i e_i - y_j e_j) keeps y^T x constant.
+    const double curvature =
+        q(i, i) + q(j, j) - 2.0 * y[i] * y[j] * q(i, j);
+    const double slope = y[i] * g[i] - y[j] * g[j];  // d/dt at t = 0
+
+    // Feasible t-interval from both box constraints.
+    double t_lo = -std::numeric_limits<double>::infinity();
+    double t_hi = std::numeric_limits<double>::infinity();
+    const auto bound = [&](double yk, double xk, bool plus) {
+      // coordinate moves as xk + (plus ? yk : -yk) * t, must stay in [0, c]
+      const double coef = plus ? yk : -yk;
+      if (coef > 0.0) {
+        t_lo = std::max(t_lo, -xk / coef);
+        t_hi = std::min(t_hi, (c - xk) / coef);
+      } else {
+        t_lo = std::max(t_lo, (c - xk) / coef);
+        t_hi = std::min(t_hi, -xk / coef);
+      }
+    };
+    bound(y[i], x[i], /*plus=*/true);
+    bound(y[j], x[j], /*plus=*/false);
+
+    double t;
+    if (curvature > 1e-14) {
+      t = std::clamp(-slope / curvature, t_lo, t_hi);
+    } else {
+      // Flat or degenerate direction: move to the boundary the slope favors.
+      t = slope > 0.0 ? t_lo : t_hi;
+    }
+    if (t == 0.0 || !std::isfinite(t)) {
+      result.converged = true;  // cannot improve along the best pair
+      break;
+    }
+    x[i] += y[i] * t;
+    x[j] -= y[j] * t;
+    x[i] = std::clamp(x[i], 0.0, c);
+    x[j] = std::clamp(x[j], 0.0, c);
+    linalg::axpy(y[i] * t, q.row(i), g);
+    linalg::axpy(-y[j] * t, q.row(j), g);
+  }
+
+  result.objective = objective_value(q, problem.p, x);
+  result.x = std::move(x);
+  return result;
+}
+
+}  // namespace ppml::qp

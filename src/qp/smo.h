@@ -1,0 +1,28 @@
+// Generalized SMO (sequential minimal optimization) solver.
+//
+//   min_x  1/2 x^T Q x - p^T x
+//   s.t.   0 <= x_i <= C,      y^T x = delta,   y_i in {-1, +1}
+//
+// This is the classic SVM dual shape (paper problem (2) with p = 1 and
+// delta = 0) and the paper's per-mapper dual (12). Working-set selection is
+// the maximal-violating-pair rule (LIBSVM WSS1); each step solves the
+// two-variable subproblem in closed form.
+#pragma once
+
+#include "qp/qp.h"
+
+namespace ppml::qp {
+
+struct SmoProblem {
+  Matrix q;        ///< n x n symmetric PSD
+  Vector p;        ///< linear term (maximize p^T x - quad)
+  Vector y;        ///< labels, entries in {-1, +1}
+  double c = 1.0;  ///< upper box bound
+  double delta = 0.0;  ///< right-hand side of the equality constraint
+};
+
+/// Solve with SMO. Throws InvalidArgument when no feasible point exists
+/// (|delta| exceeds C * count of matching-sign labels).
+Result solve_smo(const SmoProblem& problem, const Options& options = {});
+
+}  // namespace ppml::qp

@@ -1,0 +1,117 @@
+#include "svm/cross_validation.h"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "svm/metrics.h"
+
+namespace ppml::svm {
+
+data::SplitDataset kfold_split(const data::Dataset& dataset,
+                               std::size_t folds, std::size_t fold_index,
+                               std::uint64_t seed) {
+  PPML_CHECK(folds >= 2, "kfold_split: need >= 2 folds");
+  PPML_CHECK(fold_index < folds, "kfold_split: fold index out of range");
+  PPML_CHECK(dataset.size() >= folds, "kfold_split: fewer rows than folds");
+
+  std::vector<std::size_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::mt19937_64 rng(seed);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  std::vector<std::size_t> train_rows;
+  std::vector<std::size_t> validation_rows;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (i % folds == fold_index) {
+      validation_rows.push_back(order[i]);
+    } else {
+      train_rows.push_back(order[i]);
+    }
+  }
+  data::SplitDataset out;
+  out.train = dataset.subset(train_rows);
+  out.test = dataset.subset(validation_rows);
+  out.train.name = dataset.name + "/cv-train";
+  out.test.name = dataset.name + "/cv-validation";
+  return out;
+}
+
+CrossValidationResult cross_validate(const data::Dataset& dataset,
+                                     std::size_t folds, std::uint64_t seed,
+                                     const TrainEvaluate& evaluate) {
+  PPML_CHECK(static_cast<bool>(evaluate), "cross_validate: null callback");
+  CrossValidationResult result;
+  result.per_fold.reserve(folds);
+  for (std::size_t fold = 0; fold < folds; ++fold) {
+    const data::SplitDataset split = kfold_split(dataset, folds, fold, seed);
+    const double accuracy = evaluate(split.train, split.test);
+    PPML_CHECK(accuracy >= 0.0 && accuracy <= 1.0,
+               "cross_validate: callback returned an accuracy outside "
+               "[0, 1]");
+    result.per_fold.push_back(accuracy);
+    result.mean_accuracy += accuracy;
+    result.min_accuracy = std::min(result.min_accuracy, accuracy);
+    result.max_accuracy = std::max(result.max_accuracy, accuracy);
+  }
+  result.mean_accuracy /= static_cast<double>(folds);
+  return result;
+}
+
+GridSearchResult grid_search_linear(const data::Dataset& dataset,
+                                    std::span<const double> c_grid,
+                                    std::size_t folds, std::uint64_t seed,
+                                    const TrainOptions& base) {
+  PPML_CHECK(!c_grid.empty(), "grid_search_linear: empty grid");
+  GridSearchResult result;
+  for (double c : c_grid) {
+    TrainOptions options = base;
+    options.c = c;
+    const CrossValidationResult cv = cross_validate(
+        dataset, folds, seed,
+        [&options](const data::Dataset& train, const data::Dataset& val) {
+          const LinearModel model = train_linear_svm(train, options);
+          return accuracy(model.predict_all(val.x), val.y);
+        });
+    result.evaluations.emplace_back(c, 0.0, cv.mean_accuracy);
+    if (cv.mean_accuracy > result.best_accuracy) {
+      result.best_accuracy = cv.mean_accuracy;
+      result.best_c = c;
+      result.best_gamma = 0.0;
+    }
+  }
+  return result;
+}
+
+GridSearchResult grid_search_rbf(const data::Dataset& dataset,
+                                 std::span<const double> c_grid,
+                                 std::span<const double> gamma_grid,
+                                 std::size_t folds, std::uint64_t seed,
+                                 const TrainOptions& base) {
+  PPML_CHECK(!c_grid.empty() && !gamma_grid.empty(),
+             "grid_search_rbf: empty grid");
+  GridSearchResult result;
+  for (double c : c_grid) {
+    for (double gamma : gamma_grid) {
+      TrainOptions options = base;
+      options.c = c;
+      const Kernel kernel = Kernel::rbf(gamma);
+      const CrossValidationResult cv = cross_validate(
+          dataset, folds, seed,
+          [&options, &kernel](const data::Dataset& train,
+                              const data::Dataset& val) {
+            const KernelModel model = train_kernel_svm(train, kernel, options);
+            return accuracy(model.predict_all(val.x), val.y);
+          });
+      result.evaluations.emplace_back(c, gamma, cv.mean_accuracy);
+      if (cv.mean_accuracy > result.best_accuracy) {
+        result.best_accuracy = cv.mean_accuracy;
+        result.best_c = c;
+        result.best_gamma = gamma;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ppml::svm

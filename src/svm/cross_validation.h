@@ -1,0 +1,61 @@
+// K-fold cross-validation and hyper-parameter grid search.
+//
+// The paper fixes C = 50 and rho = 100 by hand; a downstream user needs a
+// principled way to pick them. These utilities work with any trainer via a
+// callback, so they serve the centralized SVMs here and the distributed
+// trainers through a thin lambda (see examples/ppml_cli.cpp docs).
+#pragma once
+
+#include <functional>
+
+#include "data/dataset.h"
+#include "svm/kernel.h"
+#include "svm/trainer.h"
+
+namespace ppml::svm {
+
+/// Deterministic k-fold split: fold i gets rows {r : r % k == i} after a
+/// seeded shuffle. Returns (train, validation) for the requested fold.
+data::SplitDataset kfold_split(const data::Dataset& dataset,
+                               std::size_t folds, std::size_t fold_index,
+                               std::uint64_t seed);
+
+/// Trains on `train` and returns validation accuracy. Implementations must
+/// be pure functions of their inputs (they run once per fold).
+using TrainEvaluate = std::function<double(const data::Dataset& train,
+                                           const data::Dataset& validation)>;
+
+struct CrossValidationResult {
+  double mean_accuracy = 0.0;
+  double min_accuracy = 1.0;
+  double max_accuracy = 0.0;
+  std::vector<double> per_fold;
+};
+
+/// Run k-fold CV with the supplied trainer callback.
+CrossValidationResult cross_validate(const data::Dataset& dataset,
+                                     std::size_t folds, std::uint64_t seed,
+                                     const TrainEvaluate& evaluate);
+
+struct GridSearchResult {
+  double best_c = 0.0;
+  double best_gamma = 0.0;  ///< 0 when the grid was linear-only
+  double best_accuracy = 0.0;
+  /// (C, gamma, mean accuracy) for every grid point, evaluation order.
+  std::vector<std::tuple<double, double, double>> evaluations;
+};
+
+/// Grid search over C for a linear SVM.
+GridSearchResult grid_search_linear(const data::Dataset& dataset,
+                                    std::span<const double> c_grid,
+                                    std::size_t folds, std::uint64_t seed,
+                                    const TrainOptions& base = {});
+
+/// Grid search over (C, gamma) for an RBF SVM.
+GridSearchResult grid_search_rbf(const data::Dataset& dataset,
+                                 std::span<const double> c_grid,
+                                 std::span<const double> gamma_grid,
+                                 std::size_t folds, std::uint64_t seed,
+                                 const TrainOptions& base = {});
+
+}  // namespace ppml::svm

@@ -1,0 +1,104 @@
+#include "svm/kernel.h"
+
+#include <cmath>
+
+#include "linalg/blas.h"
+
+namespace ppml::svm {
+
+double Kernel::operator()(std::span<const double> x,
+                          std::span<const double> y) const {
+  switch (type) {
+    case KernelType::kLinear:
+      return linalg::dot(x, y);
+    case KernelType::kPolynomial:
+      return std::pow(a * linalg::dot(x, y) + b, degree);
+    case KernelType::kRbf:
+      return std::exp(-gamma * linalg::squared_distance(x, y));
+    case KernelType::kSigmoid:
+      return std::tanh(a * linalg::dot(x, y) + c);
+  }
+  throw InvalidArgument("Kernel: unknown kernel type");
+}
+
+Kernel Kernel::linear() { return Kernel{}; }
+
+Kernel Kernel::rbf(double gamma) {
+  Kernel k;
+  k.type = KernelType::kRbf;
+  k.gamma = gamma;
+  return k;
+}
+
+Kernel Kernel::polynomial(int degree, double a, double b) {
+  Kernel k;
+  k.type = KernelType::kPolynomial;
+  k.degree = degree;
+  k.a = a;
+  k.b = b;
+  return k;
+}
+
+Kernel Kernel::sigmoid(double a, double c) {
+  Kernel k;
+  k.type = KernelType::kSigmoid;
+  k.a = a;
+  k.c = c;
+  return k;
+}
+
+std::string Kernel::describe() const {
+  switch (type) {
+    case KernelType::kLinear:
+      return "linear";
+    case KernelType::kPolynomial:
+      return "poly(d=" + std::to_string(degree) + ",a=" + std::to_string(a) +
+             ",b=" + std::to_string(b) + ")";
+    case KernelType::kRbf:
+      return "rbf(gamma=" + std::to_string(gamma) + ")";
+    case KernelType::kSigmoid:
+      return "sigmoid(a=" + std::to_string(a) + ",c=" + std::to_string(c) +
+             ")";
+  }
+  return "unknown";
+}
+
+KernelType parse_kernel_type(const std::string& name) {
+  if (name == "linear") return KernelType::kLinear;
+  if (name == "rbf") return KernelType::kRbf;
+  if (name == "poly" || name == "polynomial") return KernelType::kPolynomial;
+  if (name == "sigmoid") return KernelType::kSigmoid;
+  throw InvalidArgument("parse_kernel_type: unknown kernel '" + name + "'");
+}
+
+Matrix gram(const Kernel& kernel, const Matrix& a) {
+  const std::size_t n = a.rows();
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = kernel(a.row(i), a.row(j));
+      out(i, j) = v;
+      out(j, i) = v;
+    }
+  }
+  return out;
+}
+
+Matrix cross_gram(const Kernel& kernel, const Matrix& a, const Matrix& b) {
+  PPML_CHECK(a.cols() == b.cols(), "cross_gram: feature width mismatch");
+  Matrix out(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < b.rows(); ++j)
+      out(i, j) = kernel(a.row(i), b.row(j));
+  return out;
+}
+
+Vector kernel_row(const Kernel& kernel, std::span<const double> x,
+                  const Matrix& b) {
+  PPML_CHECK(x.size() == b.cols(), "kernel_row: feature width mismatch");
+  Vector out(b.rows());
+  for (std::size_t j = 0; j < b.rows(); ++j) out[j] = kernel(x, b.row(j));
+  return out;
+}
+
+}  // namespace ppml::svm

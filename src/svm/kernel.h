@@ -1,0 +1,56 @@
+// Kernel functions and Gram-matrix builders (paper §III-B).
+#pragma once
+
+#include <string>
+
+#include "linalg/matrix.h"
+
+namespace ppml::svm {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+enum class KernelType {
+  kLinear,      ///< K(x, x') = <x, x'>
+  kPolynomial,  ///< K(x, x') = (a <x, x'> + b)^degree
+  kRbf,         ///< K(x, x') = exp(-gamma ||x - x'||^2)
+  kSigmoid,     ///< K(x, x') = tanh(a <x, x'> + c)
+};
+
+/// Kernel configuration. The paper lists polynomial, RBF and sigmoid as the
+/// "three most popular kernels" (its RBF formula omits the minus sign and
+/// width — we use the standard exp(-gamma ||.||^2)).
+struct Kernel {
+  KernelType type = KernelType::kLinear;
+  double gamma = 1.0;   ///< RBF width
+  double a = 1.0;       ///< polynomial / sigmoid scale
+  double b = 1.0;       ///< polynomial offset
+  double c = 0.0;       ///< sigmoid offset
+  int degree = 2;       ///< polynomial degree
+
+  /// Evaluate K(x, x').
+  double operator()(std::span<const double> x,
+                    std::span<const double> y) const;
+
+  static Kernel linear();
+  static Kernel rbf(double gamma);
+  static Kernel polynomial(int degree, double a = 1.0, double b = 1.0);
+  static Kernel sigmoid(double a = 1.0, double c = 0.0);
+
+  std::string describe() const;
+};
+
+/// Parse "linear", "rbf", "poly"/"polynomial", "sigmoid".
+KernelType parse_kernel_type(const std::string& name);
+
+/// Gram matrix K(A, A) — symmetric n x n.
+Matrix gram(const Kernel& kernel, const Matrix& a);
+
+/// Cross Gram K(A, B) — rows(a) x rows(b).
+Matrix cross_gram(const Kernel& kernel, const Matrix& a, const Matrix& b);
+
+/// Kernel row k(x, B) for a single sample against a matrix of rows.
+Vector kernel_row(const Kernel& kernel, std::span<const double> x,
+                  const Matrix& b);
+
+}  // namespace ppml::svm

@@ -1,0 +1,69 @@
+#include "svm/metrics.h"
+
+#include <algorithm>
+
+namespace ppml::svm {
+
+double accuracy(std::span<const double> predictions,
+                std::span<const double> labels) {
+  PPML_CHECK(predictions.size() == labels.size(), "accuracy: size mismatch");
+  PPML_CHECK(!labels.empty(), "accuracy: empty inputs");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    if ((predictions[i] > 0.0) == (labels[i] > 0.0)) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+Confusion confusion(std::span<const double> predictions,
+                    std::span<const double> labels) {
+  PPML_CHECK(predictions.size() == labels.size(), "confusion: size mismatch");
+  Confusion c;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const bool predicted_positive = predictions[i] > 0.0;
+    const bool actually_positive = labels[i] > 0.0;
+    if (predicted_positive && actually_positive) ++c.true_positive;
+    else if (!predicted_positive && !actually_positive) ++c.true_negative;
+    else if (predicted_positive) ++c.false_positive;
+    else ++c.false_negative;
+  }
+  return c;
+}
+
+double Confusion::accuracy() const {
+  const std::size_t n = total();
+  if (n == 0) return 0.0;
+  return static_cast<double>(true_positive + true_negative) /
+         static_cast<double>(n);
+}
+
+double Confusion::precision() const {
+  const std::size_t denom = true_positive + false_positive;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(true_positive) / static_cast<double>(denom);
+}
+
+double Confusion::recall() const {
+  const std::size_t denom = true_positive + false_negative;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(true_positive) / static_cast<double>(denom);
+}
+
+double Confusion::f1() const {
+  const double p = precision();
+  const double r = recall();
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double hinge_loss(std::span<const double> decision_values,
+                  std::span<const double> labels) {
+  PPML_CHECK(decision_values.size() == labels.size(),
+             "hinge_loss: size mismatch");
+  PPML_CHECK(!labels.empty(), "hinge_loss: empty inputs");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    acc += std::max(0.0, 1.0 - labels[i] * decision_values[i]);
+  return acc / static_cast<double>(labels.size());
+}
+
+}  // namespace ppml::svm

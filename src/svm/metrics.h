@@ -1,0 +1,36 @@
+// Classification metrics used by the evaluation harness.
+#pragma once
+
+#include "data/dataset.h"
+
+namespace ppml::svm {
+
+/// Fraction of predictions equal to labels ("correct ratio" in the paper's
+/// Fig. 4(e)-(h)). Both vectors are +/-1.
+double accuracy(std::span<const double> predictions,
+                std::span<const double> labels);
+
+/// 2x2 confusion counts for +/-1 labels.
+struct Confusion {
+  std::size_t true_positive = 0;
+  std::size_t true_negative = 0;
+  std::size_t false_positive = 0;
+  std::size_t false_negative = 0;
+
+  std::size_t total() const noexcept {
+    return true_positive + true_negative + false_positive + false_negative;
+  }
+  double accuracy() const;
+  double precision() const;  ///< tp / (tp + fp); 0 when undefined
+  double recall() const;     ///< tp / (tp + fn); 0 when undefined
+  double f1() const;         ///< harmonic mean; 0 when undefined
+};
+
+Confusion confusion(std::span<const double> predictions,
+                    std::span<const double> labels);
+
+/// Mean hinge loss max(0, 1 - y f(x)) given decision values.
+double hinge_loss(std::span<const double> decision_values,
+                  std::span<const double> labels);
+
+}  // namespace ppml::svm

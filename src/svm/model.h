@@ -1,0 +1,46 @@
+// SVM model types: a trained classifier is a decision function f(x); the
+// predicted label is sign(f(x)).
+#pragma once
+
+#include <iosfwd>
+
+#include "svm/kernel.h"
+
+namespace ppml::svm {
+
+/// Linear model f(x) = <w, x> + b.
+struct LinearModel {
+  Vector w;
+  double b = 0.0;
+
+  double decision_value(std::span<const double> x) const;
+  double predict(std::span<const double> x) const;  ///< +/-1 (0 -> +1)
+  Vector predict_all(const Matrix& x) const;
+
+  /// Plain-text serialization (round-trips with load).
+  void save(std::ostream& out) const;
+  static LinearModel load(std::istream& in);
+};
+
+/// Kernel expansion model f(x) = sum_i coeff_i K(points_i, x) + b.
+/// Covers both the centralized kernel SVM (points = support vectors,
+/// coeff = lambda_i y_i) and the paper's distributed discriminant
+/// (eq. (17): training points plus landmark points).
+struct KernelModel {
+  Kernel kernel;
+  Matrix points;   ///< expansion points, one per row
+  Vector coeffs;   ///< one coefficient per row of `points`
+  double b = 0.0;
+
+  double decision_value(std::span<const double> x) const;
+  double predict(std::span<const double> x) const;
+  Vector predict_all(const Matrix& x) const;
+
+  /// Number of expansion points with |coeff| > tol ("support vectors").
+  std::size_t support_size(double tol = 1e-9) const;
+
+  void save(std::ostream& out) const;
+  static KernelModel load(std::istream& in);
+};
+
+}  // namespace ppml::svm

@@ -1,0 +1,189 @@
+#include "svm/multiclass.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+
+namespace ppml::svm {
+
+void MulticlassDataset::validate() const {
+  PPML_CHECK(x.rows() == y.size(),
+             "MulticlassDataset: row/label count mismatch");
+  PPML_CHECK(classes >= 2, "MulticlassDataset: need >= 2 classes");
+  for (std::size_t label : y)
+    PPML_CHECK(label < classes, "MulticlassDataset: label out of range");
+}
+
+data::Dataset MulticlassDataset::binary_view(std::size_t positive) const {
+  PPML_CHECK(positive < classes,
+             "MulticlassDataset::binary_view: class out of range");
+  data::Dataset out;
+  out.name = "ovr-class-" + std::to_string(positive);
+  out.x = x;
+  out.y.resize(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i)
+    out.y[i] = y[i] == positive ? 1.0 : -1.0;
+  return out;
+}
+
+std::pair<MulticlassDataset, MulticlassDataset> MulticlassDataset::split(
+    double train_fraction, std::uint64_t seed) const {
+  PPML_CHECK(train_fraction > 0.0 && train_fraction < 1.0,
+             "MulticlassDataset::split: fraction must be in (0, 1)");
+  std::vector<std::size_t> order(size());
+  std::iota(order.begin(), order.end(), 0);
+  std::mt19937_64 rng(seed);
+  std::shuffle(order.begin(), order.end(), rng);
+  const auto n_train = static_cast<std::size_t>(
+      static_cast<double>(size()) * train_fraction);
+  PPML_CHECK(n_train > 0 && n_train < size(),
+             "MulticlassDataset::split: empty side");
+
+  const auto take = [&](std::size_t begin, std::size_t end) {
+    MulticlassDataset part;
+    part.classes = classes;
+    part.x.resize(end - begin, features());
+    part.y.resize(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      std::copy(x.row(order[i]).begin(), x.row(order[i]).end(),
+                part.x.row(i - begin).begin());
+      part.y[i - begin] = y[order[i]];
+    }
+    return part;
+  };
+  return {take(0, n_train), take(n_train, size())};
+}
+
+namespace {
+
+template <typename Models>
+std::size_t argmax_decision(const Models& models, std::span<const double> x) {
+  std::size_t best = 0;
+  double best_value = models.front().decision_value(x);
+  for (std::size_t c = 1; c < models.size(); ++c) {
+    const double value = models[c].decision_value(x);
+    if (value > best_value) {
+      best_value = value;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::size_t OneVsRestLinear::predict(std::span<const double> x) const {
+  PPML_CHECK(!models.empty(), "OneVsRestLinear: no models");
+  return argmax_decision(models, x);
+}
+
+std::vector<std::size_t> OneVsRestLinear::predict_all(const Matrix& x) const {
+  std::vector<std::size_t> out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) out[i] = predict(x.row(i));
+  return out;
+}
+
+std::size_t OneVsRestKernel::predict(std::span<const double> x) const {
+  PPML_CHECK(!models.empty(), "OneVsRestKernel: no models");
+  return argmax_decision(models, x);
+}
+
+std::vector<std::size_t> OneVsRestKernel::predict_all(const Matrix& x) const {
+  std::vector<std::size_t> out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) out[i] = predict(x.row(i));
+  return out;
+}
+
+OneVsRestLinear train_one_vs_rest_linear(const MulticlassDataset& dataset,
+                                         const TrainOptions& options) {
+  dataset.validate();
+  OneVsRestLinear out;
+  out.models.reserve(dataset.classes);
+  for (std::size_t c = 0; c < dataset.classes; ++c)
+    out.models.push_back(train_linear_svm(dataset.binary_view(c), options));
+  return out;
+}
+
+OneVsRestKernel train_one_vs_rest_kernel(const MulticlassDataset& dataset,
+                                         const Kernel& kernel,
+                                         const TrainOptions& options) {
+  dataset.validate();
+  OneVsRestKernel out;
+  out.models.reserve(dataset.classes);
+  for (std::size_t c = 0; c < dataset.classes; ++c)
+    out.models.push_back(
+        train_kernel_svm(dataset.binary_view(c), kernel, options));
+  return out;
+}
+
+double multiclass_accuracy(std::span<const std::size_t> predictions,
+                           std::span<const std::size_t> labels) {
+  PPML_CHECK(predictions.size() == labels.size(),
+             "multiclass_accuracy: size mismatch");
+  PPML_CHECK(!labels.empty(), "multiclass_accuracy: empty inputs");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    if (predictions[i] == labels[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+MulticlassDataset make_digits_like(std::size_t classes, std::size_t samples,
+                                   std::uint64_t seed) {
+  PPML_CHECK(classes >= 2, "make_digits_like: need >= 2 classes");
+  PPML_CHECK(samples >= classes, "make_digits_like: need >= 1 row per class");
+  constexpr std::size_t kPixels = 64;
+  constexpr std::size_t kLatent = 8;
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> normal(0.0, 1.0);
+
+  // Class centers in latent space, spread far enough to be ~98% separable.
+  Matrix centers(classes, kLatent);
+  for (double& v : centers.data()) v = 2.2 * normal(rng);
+
+  // Pixel mixing matrix (rows normalized): correlated features.
+  Matrix mixing(kPixels, kLatent);
+  for (double& v : mixing.data()) v = normal(rng);
+  for (std::size_t i = 0; i < kPixels; ++i) {
+    double norm_sq = 0.0;
+    for (double v : mixing.row(i)) norm_sq += v * v;
+    const double norm = std::sqrt(norm_sq);
+    if (norm > 0.0)
+      for (double& v : mixing.row(i)) v /= norm;
+  }
+
+  MulticlassDataset out;
+  out.classes = classes;
+  out.x.resize(samples, kPixels);
+  out.y.resize(samples);
+  Vector latent(kLatent);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const std::size_t label = i % classes;
+    out.y[i] = label;
+    for (std::size_t j = 0; j < kLatent; ++j)
+      latent[j] = centers(label, j) + normal(rng);
+    auto row = out.x.row(i);
+    for (std::size_t p = 0; p < kPixels; ++p) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < kLatent; ++j)
+        acc += mixing(p, j) * latent[j];
+      row[p] = std::clamp(8.0 + 2.5 * (acc + 0.25 * normal(rng)), 0.0, 16.0);
+    }
+  }
+  // Shuffle rows so class order is not positional.
+  std::vector<std::size_t> order(samples);
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+  MulticlassDataset shuffled;
+  shuffled.classes = classes;
+  shuffled.x.resize(samples, kPixels);
+  shuffled.y.resize(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    std::copy(out.x.row(order[i]).begin(), out.x.row(order[i]).end(),
+              shuffled.x.row(i).begin());
+    shuffled.y[i] = out.y[order[i]];
+  }
+  return shuffled;
+}
+
+}  // namespace ppml::svm

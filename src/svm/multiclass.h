@@ -1,0 +1,68 @@
+// One-vs-rest multiclass reduction.
+//
+// The paper's OCR dataset is really the 10-digit optdigits set; binary
+// SVMs handle it through one-vs-rest. The reduction works unchanged for
+// the distributed privacy-preserving trainers (one consensus run per
+// class) — see core/multiclass_horizontal.h.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "svm/model.h"
+#include "svm/trainer.h"
+
+namespace ppml::svm {
+
+/// Multiclass dataset: labels are class ids in [0, classes).
+struct MulticlassDataset {
+  Matrix x;
+  std::vector<std::size_t> y;
+  std::size_t classes = 0;
+
+  std::size_t size() const noexcept { return y.size(); }
+  std::size_t features() const noexcept { return x.cols(); }
+  void validate() const;
+
+  /// Binary view for one-vs-rest: class `positive` -> +1, rest -> -1.
+  data::Dataset binary_view(std::size_t positive) const;
+
+  /// Deterministic shuffled split.
+  std::pair<MulticlassDataset, MulticlassDataset> split(
+      double train_fraction, std::uint64_t seed) const;
+};
+
+/// One-vs-rest over linear models: predict = argmax_c f_c(x).
+struct OneVsRestLinear {
+  std::vector<LinearModel> models;  ///< one per class
+
+  std::size_t predict(std::span<const double> x) const;
+  std::vector<std::size_t> predict_all(const Matrix& x) const;
+};
+
+/// One-vs-rest over kernel models.
+struct OneVsRestKernel {
+  std::vector<KernelModel> models;
+
+  std::size_t predict(std::span<const double> x) const;
+  std::vector<std::size_t> predict_all(const Matrix& x) const;
+};
+
+OneVsRestLinear train_one_vs_rest_linear(const MulticlassDataset& dataset,
+                                         const TrainOptions& options);
+
+OneVsRestKernel train_one_vs_rest_kernel(const MulticlassDataset& dataset,
+                                         const Kernel& kernel,
+                                         const TrainOptions& options);
+
+/// Fraction of exact class matches.
+double multiclass_accuracy(std::span<const std::size_t> predictions,
+                           std::span<const std::size_t> labels);
+
+/// Synthetic optdigits-like multiclass task: `classes` latent clusters of
+/// stroke structure mapped to 64 correlated pixel features saturated to
+/// [0, 16] (the multiclass version of data::make_ocr_like).
+MulticlassDataset make_digits_like(std::size_t classes, std::size_t samples,
+                                   std::uint64_t seed);
+
+}  // namespace ppml::svm

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "baselines/dp_output_perturbation.h"
+#include "baselines/random_kernel.h"
+#include "data/generators.h"
+#include "data/standardize.h"
+#include "svm/metrics.h"
+
+namespace ppml::baselines {
+namespace {
+
+data::SplitDataset rings_split() {
+  return data::train_test_split(data::make_two_rings(400, 1.0, 3.0, 0.1, 1),
+                                0.5, 5);
+}
+
+data::SplitDataset cancer_split() {
+  auto split = data::train_test_split(data::make_cancer_like(1), 0.5, 42);
+  data::StandardScaler scaler;
+  scaler.fit_transform(split);
+  return split;
+}
+
+TEST(RandomKernel, LearnsNonlinearTask) {
+  const auto split = rings_split();
+  RandomKernelOptions options;
+  options.reference_rows = 40;
+  options.kernel = svm::Kernel::rbf(0.5);
+  options.train.c = 10.0;
+  const RandomKernelModel model = train_random_kernel(split.train, options);
+  const double acc =
+      svm::accuracy(model.predict_all(split.test.x), split.test.y);
+  EXPECT_GE(acc, 0.9);
+}
+
+TEST(RandomKernel, FewerReferenceRowsMorePrivacyLessAccuracy) {
+  const auto split = rings_split();
+  RandomKernelOptions lo;
+  lo.reference_rows = 2;
+  lo.kernel = svm::Kernel::rbf(0.5);
+  lo.train.c = 10.0;
+  RandomKernelOptions hi = lo;
+  hi.reference_rows = 60;
+  const double acc_lo = svm::accuracy(
+      train_random_kernel(split.train, lo).predict_all(split.test.x),
+      split.test.y);
+  const double acc_hi = svm::accuracy(
+      train_random_kernel(split.train, hi).predict_all(split.test.x),
+      split.test.y);
+  EXPECT_GE(acc_hi, acc_lo);
+}
+
+TEST(RandomKernel, DeterministicInSeed) {
+  const auto split = cancer_split();
+  RandomKernelOptions options;
+  options.seed = 9;
+  const RandomKernelModel a = train_random_kernel(split.train, options);
+  const RandomKernelModel b = train_random_kernel(split.train, options);
+  EXPECT_EQ(a.reference, b.reference);
+  EXPECT_EQ(a.linear.w, b.linear.w);
+}
+
+TEST(RandomKernel, ValidatesOptions) {
+  const auto split = cancer_split();
+  RandomKernelOptions options;
+  options.reference_rows = 0;
+  EXPECT_THROW(train_random_kernel(split.train, options), InvalidArgument);
+}
+
+TEST(DpOutputPerturbation, NoiseScaleMonotoneInEpsilonAndSamples) {
+  DpOptions strict;
+  strict.epsilon = 0.1;
+  DpOptions loose;
+  loose.epsilon = 10.0;
+  EXPECT_GT(dp_noise_scale(100, strict), dp_noise_scale(100, loose));
+  EXPECT_GT(dp_noise_scale(100, strict), dp_noise_scale(10000, strict));
+  DpOptions bad;
+  bad.epsilon = 0.0;
+  EXPECT_THROW(dp_noise_scale(100, bad), InvalidArgument);
+}
+
+TEST(DpOutputPerturbation, LargeEpsilonPreservesAccuracy) {
+  const auto split = cancer_split();
+  DpOptions options;
+  options.epsilon = 1000.0;  // essentially no noise
+  const auto model = train_dp_linear_svm(split.train, options);
+  const double acc =
+      svm::accuracy(model.predict_all(split.test.x), split.test.y);
+  EXPECT_GE(acc, 0.88);
+}
+
+TEST(DpOutputPerturbation, TinyEpsilonDestroysAccuracy) {
+  const auto split = cancer_split();
+  DpOptions strict;
+  strict.epsilon = 1e-4;
+  strict.seed = 3;
+  const auto noisy = train_dp_linear_svm(split.train, strict);
+  DpOptions loose = strict;
+  loose.epsilon = 1000.0;
+  const auto clean = train_dp_linear_svm(split.train, loose);
+  const double noisy_acc =
+      svm::accuracy(noisy.predict_all(split.test.x), split.test.y);
+  const double clean_acc =
+      svm::accuracy(clean.predict_all(split.test.x), split.test.y);
+  // The privacy/utility trade-off the paper criticizes: accuracy collapses.
+  EXPECT_LT(noisy_acc, clean_acc);
+  EXPECT_LT(noisy_acc, 0.85);
+}
+
+TEST(DpOutputPerturbation, PerturbationIsSeedDeterministic) {
+  const auto split = cancer_split();
+  DpOptions options;
+  options.epsilon = 1.0;
+  options.seed = 7;
+  const auto a = train_dp_linear_svm(split.train, options);
+  const auto b = train_dp_linear_svm(split.train, options);
+  EXPECT_EQ(a.w, b.w);
+  options.seed = 8;
+  const auto c = train_dp_linear_svm(split.train, options);
+  EXPECT_NE(a.w, c.w);
+}
+
+}  // namespace
+}  // namespace ppml::baselines

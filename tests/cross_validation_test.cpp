@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/generators.h"
+#include "svm/cross_validation.h"
+#include "svm/metrics.h"
+
+namespace ppml::svm {
+namespace {
+
+data::Dataset small_cancer() {
+  // Small but learnable (keeps the grid searches fast).
+  data::GaussianTaskConfig config;
+  config.samples = 240;
+  config.features = 6;
+  config.separation = 3.0;
+  config.seed = 5;
+  return data::make_gaussian_task(config);
+}
+
+TEST(KFold, PartitionsAreDisjointAndCoverEverything) {
+  const data::Dataset d = small_cancer();
+  std::set<double> seen_first_values;
+  std::size_t total_validation = 0;
+  for (std::size_t fold = 0; fold < 5; ++fold) {
+    const auto split = kfold_split(d, 5, fold, 3);
+    EXPECT_EQ(split.train.size() + split.test.size(), d.size());
+    total_validation += split.test.size();
+  }
+  EXPECT_EQ(total_validation, d.size());  // every row validates exactly once
+}
+
+TEST(KFold, DeterministicInSeed) {
+  const data::Dataset d = small_cancer();
+  const auto a = kfold_split(d, 4, 1, 9);
+  const auto b = kfold_split(d, 4, 1, 9);
+  EXPECT_EQ(a.test.x, b.test.x);
+  const auto c = kfold_split(d, 4, 1, 10);
+  EXPECT_NE(a.test.x, c.test.x);
+}
+
+TEST(KFold, ValidatesArguments) {
+  const data::Dataset d = small_cancer();
+  EXPECT_THROW(kfold_split(d, 1, 0, 1), InvalidArgument);
+  EXPECT_THROW(kfold_split(d, 4, 4, 1), InvalidArgument);
+}
+
+TEST(CrossValidate, AggregatesFoldAccuracies) {
+  const data::Dataset d = small_cancer();
+  std::size_t calls = 0;
+  const auto result = cross_validate(
+      d, 4, 7, [&calls](const data::Dataset&, const data::Dataset&) {
+        ++calls;
+        return 0.25 * static_cast<double>(calls);  // 0.25 .. 1.0
+      });
+  EXPECT_EQ(calls, 4u);
+  EXPECT_DOUBLE_EQ(result.mean_accuracy, (0.25 + 0.5 + 0.75 + 1.0) / 4.0);
+  EXPECT_DOUBLE_EQ(result.min_accuracy, 0.25);
+  EXPECT_DOUBLE_EQ(result.max_accuracy, 1.0);
+  EXPECT_EQ(result.per_fold.size(), 4u);
+}
+
+TEST(CrossValidate, RejectsBogusCallbacks) {
+  const data::Dataset d = small_cancer();
+  EXPECT_THROW(cross_validate(d, 3, 1, nullptr), InvalidArgument);
+  EXPECT_THROW(cross_validate(d, 3, 1,
+                              [](const data::Dataset&, const data::Dataset&) {
+                                return 1.5;  // not an accuracy
+                              }),
+               InvalidArgument);
+}
+
+TEST(CrossValidate, RealTrainerScoresWell) {
+  const data::Dataset d = small_cancer();
+  TrainOptions options;
+  options.c = 1.0;
+  const auto result = cross_validate(
+      d, 4, 11, [&options](const data::Dataset& train, const data::Dataset& val) {
+        const LinearModel model = train_linear_svm(train, options);
+        return accuracy(model.predict_all(val.x), val.y);
+      });
+  EXPECT_GE(result.mean_accuracy, 0.87);
+  EXPECT_GE(result.min_accuracy, 0.8);
+}
+
+TEST(GridSearch, LinearPicksAReasonableC) {
+  const data::Dataset d = small_cancer();
+  const std::vector<double> c_grid{0.01, 1.0, 100.0};
+  const auto result = grid_search_linear(d, c_grid, 3, 5);
+  EXPECT_EQ(result.evaluations.size(), 3u);
+  EXPECT_GT(result.best_accuracy, 0.85);
+  EXPECT_TRUE(result.best_c == 0.01 || result.best_c == 1.0 ||
+              result.best_c == 100.0);
+  // Best accuracy must equal the max over evaluations.
+  double max_seen = 0.0;
+  for (const auto& [c, gamma, acc] : result.evaluations)
+    max_seen = std::max(max_seen, acc);
+  EXPECT_DOUBLE_EQ(result.best_accuracy, max_seen);
+}
+
+TEST(GridSearch, RbfFindsNonlinearStructure) {
+  // Rings: only a well-chosen gamma solves it; the grid must find one.
+  const data::Dataset rings = data::make_two_rings(240, 1.0, 3.0, 0.1, 2);
+  const std::vector<double> c_grid{10.0};
+  const std::vector<double> gamma_grid{1e-4, 0.5};
+  const auto result = grid_search_rbf(rings, c_grid, gamma_grid, 3, 5);
+  EXPECT_DOUBLE_EQ(result.best_gamma, 0.5);
+  EXPECT_GE(result.best_accuracy, 0.9);
+  EXPECT_EQ(result.evaluations.size(), 2u);
+}
+
+TEST(GridSearch, RejectsEmptyGrids) {
+  const data::Dataset d = small_cancer();
+  EXPECT_THROW(grid_search_linear(d, {}, 3, 1), InvalidArgument);
+  const std::vector<double> c_grid{1.0};
+  EXPECT_THROW(grid_search_rbf(d, c_grid, {}, 3, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ppml::svm

@@ -1,0 +1,427 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "crypto/dh.h"
+#include "crypto/fixed_point.h"
+#include "crypto/modmath.h"
+#include "crypto/paillier.h"
+#include "crypto/prng.h"
+#include "crypto/secret_sharing.h"
+#include "crypto/secure_sum.h"
+
+namespace ppml::crypto {
+namespace {
+
+TEST(Prng, SplitMix64KnownVector) {
+  // Reference values for seed 1234567 (from the SplitMix64 reference code).
+  SplitMix64 rng(1234567);
+  const std::uint64_t a = rng.next();
+  const std::uint64_t b = rng.next();
+  EXPECT_NE(a, b);
+  // Determinism.
+  SplitMix64 rng2(1234567);
+  EXPECT_EQ(rng2.next(), a);
+  EXPECT_EQ(rng2.next(), b);
+}
+
+TEST(Prng, XoshiroDeterministicAndWellSpread) {
+  Xoshiro256 rng(42);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next());
+  EXPECT_EQ(seen.size(), 1000u);  // no collisions in 1000 draws
+  Xoshiro256 rng2(42);
+  Xoshiro256 rng3(43);
+  EXPECT_EQ(Xoshiro256(42).next(), rng2.next());
+  EXPECT_NE(rng2.next(), rng3.next());
+}
+
+TEST(Prng, XoshiroDoubleInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Prng, ChaChaRfc8439BlockOne) {
+  // RFC 8439 §2.3.2 test vector: key = 00 01 02 ... 1f, nonce =
+  // 00:00:00:09:00:00:00:4a:00:00:00:00, counter = 1. Our stream starts at
+  // counter 0, so skip the first block (8 u64 draws) and check block 1's
+  // first words: state[0..3] = 0xe4e7f110 0x15593bd1 0x1fdd0f50 0xc47120a3.
+  std::array<std::uint8_t, 32> key{};
+  for (int i = 0; i < 32; ++i) key[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(i);
+  std::array<std::uint8_t, 12> nonce{0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0};
+  ChaCha20Stream stream(key, nonce);
+  for (int i = 0; i < 8; ++i) stream.next_u64();  // discard block 0
+  const std::uint64_t w01 = stream.next_u64();
+  const std::uint64_t w23 = stream.next_u64();
+  EXPECT_EQ(w01, 0x15593bd1e4e7f110ULL);  // words 0,1 little-endian packed
+  EXPECT_EQ(w23, 0xc47120a31fdd0f50ULL);  // words 2,3
+}
+
+TEST(Prng, ChaChaStreamsDifferByStreamId) {
+  ChaCha20Stream a(123, 0);
+  ChaCha20Stream b(123, 1);
+  ChaCha20Stream c(124, 0);
+  const std::uint64_t va = a.next_u64();
+  EXPECT_NE(va, b.next_u64());
+  EXPECT_NE(va, c.next_u64());
+  ChaCha20Stream a2(123, 0);
+  EXPECT_EQ(va, a2.next_u64());
+}
+
+TEST(FixedPoint, RoundTripPreservesValues) {
+  const FixedPointCodec codec(24, 16);
+  for (double v : {0.0, 1.0, -1.0, 3.14159, -123.456, 1e-5, 4096.0}) {
+    EXPECT_NEAR(codec.decode(codec.encode(v)), v, 1e-6) << v;
+  }
+}
+
+TEST(FixedPoint, NegativeValuesUseTwosComplement) {
+  const FixedPointCodec codec(10, 4);
+  const std::uint64_t r = codec.encode(-2.5);
+  EXPECT_GT(r, 1ULL << 63);  // top bit set for negatives
+  EXPECT_DOUBLE_EQ(codec.decode(r), -2.5);
+}
+
+TEST(FixedPoint, SumOfEncodedEqualsEncodedSum) {
+  const FixedPointCodec codec(20, 8);
+  const std::vector<double> values{1.25, -3.5, 0.0625, 100.0};
+  std::uint64_t acc = 0;
+  double expected = 0.0;
+  for (double v : values) {
+    acc = ring_add(acc, codec.encode(v));
+    expected += v;
+  }
+  EXPECT_NEAR(codec.decode(acc), expected, 1e-5);
+}
+
+TEST(FixedPoint, RejectsOutOfRangeAndNonFinite) {
+  const FixedPointCodec codec(24, 1024);
+  EXPECT_THROW(codec.encode(codec.max_encodable() * 2.0), NumericError);
+  EXPECT_THROW(codec.encode(std::nan("")), NumericError);
+  EXPECT_THROW(codec.encode(INFINITY), NumericError);
+  EXPECT_NO_THROW(codec.encode(codec.max_encodable() * 0.99));
+}
+
+TEST(FixedPoint, ParameterValidation) {
+  EXPECT_THROW(FixedPointCodec(0, 4), InvalidArgument);
+  EXPECT_THROW(FixedPointCodec(53, 4), InvalidArgument);
+  EXPECT_THROW(FixedPointCodec(24, 0), InvalidArgument);
+}
+
+TEST(FixedPoint, QuantizationBoundScalesWithTerms) {
+  const FixedPointCodec codec(20, 64);
+  EXPECT_DOUBLE_EQ(codec.quantization_bound(2),
+                   2.0 / std::ldexp(1.0, 21));
+  EXPECT_GT(codec.quantization_bound(64), codec.quantization_bound(2));
+}
+
+TEST(ModMath, MulmodMatchesSmallCases) {
+  EXPECT_EQ(mulmod(7, 8, 5), 1u);
+  EXPECT_EQ(mulmod(0, 123, 7), 0u);
+  // Large 64-bit operands that overflow naive multiply.
+  const std::uint64_t a = 0xFFFFFFFFFFFFFFC5ULL;
+  const std::uint64_t m = 0xFFFFFFFFFFFFFFFDULL;
+  EXPECT_EQ(mulmod(a, a, m),
+            static_cast<u128>((static_cast<u128>(a) * a) % m));
+}
+
+TEST(ModMath, PowmodMatchesReference) {
+  EXPECT_EQ(powmod(2, 10, 1000), 24u);
+  EXPECT_EQ(powmod(3, 0, 7), 1u);
+  // Fermat: a^(p-1) = 1 mod p.
+  const std::uint64_t p = 2305843009213693951ULL;  // 2^61 - 1, prime
+  EXPECT_EQ(powmod(12345, p - 1, p), 1u);
+}
+
+TEST(ModMath, GcdLcmInvmod) {
+  EXPECT_EQ(gcd_u64(12, 18), 6u);
+  EXPECT_EQ(lcm_u64(4, 6), 12u);
+  EXPECT_EQ(invmod(3, 7), 5u);  // 3*5 = 15 = 1 mod 7
+  EXPECT_THROW(invmod(2, 4), NumericError);
+}
+
+TEST(ModMath, PrimalityKnownValues) {
+  EXPECT_TRUE(is_prime_u64(2));
+  EXPECT_TRUE(is_prime_u64(3));
+  EXPECT_FALSE(is_prime_u64(1));
+  EXPECT_FALSE(is_prime_u64(561));            // Carmichael number
+  EXPECT_TRUE(is_prime_u64(2305843009213693951ULL));   // 2^61 - 1
+  EXPECT_FALSE(is_prime_u64(2305843009213693953ULL));
+  EXPECT_TRUE(is_prime_u64(18446744073709551557ULL));  // largest u64 prime
+}
+
+TEST(ModMath, RandomPrimeHasRequestedBits) {
+  Xoshiro256 rng(1);
+  for (unsigned bits : {16u, 31u, 61u}) {
+    const std::uint64_t p = random_prime(bits, rng);
+    EXPECT_TRUE(is_prime_u64(p));
+    EXPECT_GE(p, 1ULL << (bits - 1));
+    EXPECT_LT(p, 1ULL << bits);
+  }
+}
+
+TEST(Dh, SharedSecretsAgree) {
+  const DhGroup group = DhGroup::standard_group();
+  EXPECT_TRUE(is_prime_u64(group.p));
+  EXPECT_TRUE(is_prime_u64(group.q));
+  EXPECT_EQ(group.p, 2 * group.q + 1);
+
+  Xoshiro256 rng(5);
+  const DhKeyPair alice = dh_keygen(group, rng);
+  const DhKeyPair bob = dh_keygen(group, rng);
+  const std::uint64_t s1 =
+      dh_shared_secret(group, alice.secret, bob.public_value);
+  const std::uint64_t s2 =
+      dh_shared_secret(group, bob.secret, alice.public_value);
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(s1, 0u);
+}
+
+TEST(Dh, RejectsOutOfGroupPeerValues) {
+  const DhGroup group = DhGroup::standard_group();
+  Xoshiro256 rng(6);
+  const DhKeyPair key = dh_keygen(group, rng);
+  EXPECT_THROW(dh_shared_secret(group, key.secret, 0), InvalidArgument);
+  EXPECT_THROW(dh_shared_secret(group, key.secret, 1), InvalidArgument);
+  EXPECT_THROW(dh_shared_secret(group, key.secret, group.p - 1),
+               InvalidArgument);
+  // A non-residue (order 2q element) must be rejected by the subgroup check.
+  // g is a generator of the QR subgroup; find a non-QR by trial.
+  for (std::uint64_t h = 2; h < 50; ++h) {
+    if (powmod(h, group.q, group.p) != 1) {
+      EXPECT_THROW(dh_shared_secret(group, key.secret, h), InvalidArgument);
+      break;
+    }
+  }
+}
+
+class SecureSumParties : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SecureSumParties, SeededVariantAveragesExactly) {
+  const std::size_t m = GetParam();
+  const FixedPointCodec codec(24, m);
+  std::vector<std::vector<double>> values(m);
+  Xoshiro256 rng(m);
+  for (auto& v : values) {
+    v.resize(17);
+    for (double& x : v) x = (rng.next_double() - 0.5) * 200.0;
+  }
+  const auto avg =
+      secure_average(values, codec, 99, MaskVariant::kSeededMasks);
+  for (std::size_t j = 0; j < 17; ++j) {
+    double expected = 0.0;
+    for (const auto& v : values) expected += v[j];
+    expected /= static_cast<double>(m);
+    EXPECT_NEAR(avg[j], expected, 1e-5);
+  }
+}
+
+TEST_P(SecureSumParties, ExchangedVariantAveragesExactly) {
+  const std::size_t m = GetParam();
+  const FixedPointCodec codec(24, m);
+  std::vector<std::vector<double>> values(m);
+  Xoshiro256 rng(m ^ 0xF00);
+  for (auto& v : values) {
+    v.resize(9);
+    for (double& x : v) x = (rng.next_double() - 0.5) * 10.0;
+  }
+  const auto avg =
+      secure_average(values, codec, 123, MaskVariant::kExchangedMasks);
+  for (std::size_t j = 0; j < 9; ++j) {
+    double expected = 0.0;
+    for (const auto& v : values) expected += v[j];
+    expected /= static_cast<double>(m);
+    EXPECT_NEAR(avg[j], expected, 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PartyCounts, SecureSumParties,
+                         ::testing::Values(2, 3, 4, 7, 16));
+
+TEST(SecureSum, MaskedContributionHidesValue) {
+  // The masked contribution must differ from the plain encoding, and two
+  // different rounds must produce different maskings of the same value.
+  const FixedPointCodec codec(20, 4);
+  const auto seeds = agree_pairwise_seeds(4, 7);
+  SecureSumParty party(0, 4, codec, seeds[0]);
+  const std::vector<double> value{1.0, 2.0, 3.0};
+  const auto masked0 = party.masked_contribution(value, 0);
+  const auto masked1 = party.masked_contribution(value, 1);
+  const auto plain = codec.encode_vector(value);
+  EXPECT_NE(masked0, plain);
+  EXPECT_NE(masked0, masked1);
+}
+
+TEST(SecureSum, CoalitionOfAllButOneLearnsNothingDeterministic) {
+  // Reducer + parties {1, 2} collude against party 0 in a 4-party sum.
+  // Party 0's contribution minus everything the coalition can reconstruct
+  // still contains the pairwise mask with honest party 3, which is a
+  // ChaCha20 stream unknown to the coalition: two different secrets for
+  // party 0 produce coalition views that differ by exactly the secret
+  // delta ONLY after removing party 3's mask — which they cannot.
+  const FixedPointCodec codec(20, 4);
+  const auto seeds = agree_pairwise_seeds(4, 11);
+  const std::vector<double> secret_a{5.0};
+  const std::vector<double> secret_b{-17.0};
+  SecureSumParty party_a(0, 4, codec, seeds[0]);
+  SecureSumParty party_b(0, 4, codec, seeds[0]);
+  const auto view_a = party_a.masked_contribution(secret_a, 0);
+  const auto view_b = party_b.masked_contribution(secret_b, 0);
+  // Coalition knows masks (0,1) and (0,2); strip them.
+  auto strip = [&](std::vector<std::uint64_t> v) {
+    for (std::size_t peer : {1, 2}) {
+      ChaCha20Stream prg(seeds[0][peer], 0);
+      std::vector<std::uint64_t> mask(1);
+      prg.fill(mask);
+      ring_sub_inplace(v, mask);  // party 0 has id < peer => it added
+    }
+    return v;
+  };
+  const auto stripped_a = strip(view_a);
+  const auto stripped_b = strip(view_b);
+  // Residual views still don't reveal the plaintext encodings...
+  EXPECT_NE(stripped_a[0], codec.encode(5.0));
+  EXPECT_NE(stripped_b[0], codec.encode(-17.0));
+  // ...because both are still offset by the same unknown (0,3) mask:
+  EXPECT_EQ(stripped_a[0] - codec.encode(5.0),
+            stripped_b[0] - codec.encode(-17.0));
+}
+
+TEST(SecureSum, AggregatorRequiresAllContributions) {
+  const FixedPointCodec codec(20, 3);
+  SecureSumAggregator aggregator(3, codec);
+  aggregator.add(std::vector<std::uint64_t>{1, 2});
+  EXPECT_THROW(aggregator.sum(), InvalidArgument);
+  aggregator.add(std::vector<std::uint64_t>{1, 2});
+  aggregator.add(std::vector<std::uint64_t>{1, 2});
+  EXPECT_NO_THROW(aggregator.sum());
+  EXPECT_THROW(aggregator.add(std::vector<std::uint64_t>{1, 2}),
+               InvalidArgument);
+}
+
+TEST(SecureSum, PairwiseSeedsSymmetric) {
+  const auto seeds = agree_pairwise_seeds(5, 42);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 5; ++j)
+      if (i != j) EXPECT_EQ(seeds[i][j], seeds[j][i]);
+}
+
+TEST(SecretSharing, AdditiveRoundTrip) {
+  Xoshiro256 rng(1);
+  const std::uint64_t secret = 0xDEADBEEFCAFEF00DULL;
+  const auto shares = additive_share(secret, 5, rng);
+  EXPECT_EQ(shares.size(), 5u);
+  EXPECT_EQ(additive_reconstruct(shares), secret);
+  // Any strict subset sums to something else (w.h.p. — deterministic here).
+  EXPECT_NE(additive_reconstruct(
+                std::span<const std::uint64_t>(shares.data(), 4)),
+            secret);
+}
+
+TEST(SecretSharing, ShamirThresholdReconstructs) {
+  Xoshiro256 rng(2);
+  const std::uint64_t secret = 1234567890123ULL;
+  const auto shares = shamir_share(secret, 6, 3, rng);
+  // Any 3 shares reconstruct.
+  const std::vector<ShamirShare> subset{shares[1], shares[4], shares[5]};
+  EXPECT_EQ(shamir_reconstruct(subset), secret);
+  // All 6 also reconstruct.
+  EXPECT_EQ(shamir_reconstruct(shares), secret);
+}
+
+TEST(SecretSharing, ShamirBelowThresholdIsWrong) {
+  Xoshiro256 rng(3);
+  const std::uint64_t secret = 777;
+  const auto shares = shamir_share(secret, 5, 3, rng);
+  const std::vector<ShamirShare> too_few{shares[0], shares[1]};
+  // Interpolating a deg-2 polynomial from 2 points gives a different value.
+  EXPECT_NE(shamir_reconstruct(too_few), secret);
+}
+
+TEST(SecretSharing, ShamirRejectsBadInputs) {
+  Xoshiro256 rng(4);
+  EXPECT_THROW(shamir_share(kShamirPrime, 3, 2, rng), InvalidArgument);
+  EXPECT_THROW(shamir_share(1, 3, 4, rng), InvalidArgument);
+  auto shares = shamir_share(1, 3, 2, rng);
+  shares[1].x = shares[0].x;  // duplicate point
+  EXPECT_THROW(shamir_reconstruct(shares), InvalidArgument);
+}
+
+TEST(SecretSharing, FieldOpsSatisfyAxioms) {
+  const std::uint64_t a = 0x1234567890ABCDEFULL % kShamirPrime;
+  const std::uint64_t b = 0x0FEDCBA098765432ULL % kShamirPrime;
+  EXPECT_EQ(shamir_field_add(a, shamir_field_sub(b, a)), b);
+  EXPECT_EQ(shamir_field_mul(a, shamir_field_inv(a)), 1u);
+  EXPECT_EQ(shamir_field_mul(a, b), shamir_field_mul(b, a));
+}
+
+TEST(Paillier, EncryptDecryptRoundTrip) {
+  Xoshiro256 rng(1);
+  const PaillierKeyPair keys = paillier_keygen(24, rng);
+  for (std::uint64_t m : {0ULL, 1ULL, 42ULL, 99999ULL}) {
+    const u128 c = paillier_encrypt(keys.public_key, m, rng);
+    EXPECT_EQ(paillier_decrypt(keys.public_key, keys.private_key, c), m);
+  }
+}
+
+TEST(Paillier, EncryptionIsRandomized) {
+  Xoshiro256 rng(2);
+  const PaillierKeyPair keys = paillier_keygen(24, rng);
+  const u128 c1 = paillier_encrypt(keys.public_key, 7, rng);
+  const u128 c2 = paillier_encrypt(keys.public_key, 7, rng);
+  EXPECT_NE(c1, c2);  // same plaintext, different blinding
+  EXPECT_EQ(paillier_decrypt(keys.public_key, keys.private_key, c1),
+            paillier_decrypt(keys.public_key, keys.private_key, c2));
+}
+
+TEST(Paillier, AdditiveHomomorphism) {
+  Xoshiro256 rng(3);
+  const PaillierKeyPair keys = paillier_keygen(24, rng);
+  const u128 c1 = paillier_encrypt(keys.public_key, 1000, rng);
+  const u128 c2 = paillier_encrypt(keys.public_key, 234, rng);
+  const u128 sum = paillier_add(keys.public_key, c1, c2);
+  EXPECT_EQ(paillier_decrypt(keys.public_key, keys.private_key, sum), 1234u);
+}
+
+TEST(Paillier, ScalarHomomorphism) {
+  Xoshiro256 rng(4);
+  const PaillierKeyPair keys = paillier_keygen(24, rng);
+  const u128 c = paillier_encrypt(keys.public_key, 321, rng);
+  const u128 scaled = paillier_scale(keys.public_key, c, 5);
+  EXPECT_EQ(paillier_decrypt(keys.public_key, keys.private_key, scaled),
+            1605u);
+}
+
+TEST(Paillier, SignedEncoding) {
+  Xoshiro256 rng(5);
+  const PaillierKeyPair keys = paillier_keygen(24, rng);
+  for (std::int64_t v : {-1000L, -1L, 0L, 1L, 999L}) {
+    const std::uint64_t m = paillier_encode_signed(keys.public_key, v);
+    EXPECT_EQ(paillier_decode_signed(keys.public_key, m), v);
+  }
+  // Homomorphic signed sum: (-5) + 12 = 7.
+  const u128 c1 = paillier_encrypt(
+      keys.public_key, paillier_encode_signed(keys.public_key, -5), rng);
+  const u128 c2 = paillier_encrypt(
+      keys.public_key, paillier_encode_signed(keys.public_key, 12), rng);
+  const std::uint64_t decoded = paillier_decrypt(
+      keys.public_key, keys.private_key, paillier_add(keys.public_key, c1, c2));
+  EXPECT_EQ(paillier_decode_signed(keys.public_key, decoded), 7);
+}
+
+TEST(Paillier, RejectsOutOfRangePlaintext) {
+  Xoshiro256 rng(6);
+  const PaillierKeyPair keys = paillier_keygen(20, rng);
+  EXPECT_THROW(paillier_encrypt(keys.public_key, keys.public_key.n, rng),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ppml::crypto

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "crypto/dropout_recovery.h"
+
+namespace ppml::crypto {
+namespace {
+
+struct ProtocolFixture {
+  std::size_t parties;
+  FixedPointCodec codec{20, 8};
+  std::vector<std::vector<std::uint64_t>> seeds;
+  std::vector<std::vector<double>> values;
+
+  explicit ProtocolFixture(std::size_t m) : parties(m) {
+    seeds = agree_pairwise_seeds(m, 42);
+    values.resize(m);
+    Xoshiro256 rng(m);
+    for (auto& v : values) {
+      v.resize(5);
+      for (double& x : v) x = rng.next_double() * 20.0 - 10.0;
+    }
+  }
+
+  std::vector<std::uint64_t> contribution(std::size_t party,
+                                          std::size_t round) const {
+    SecureSumParty p(party, parties, codec, seeds[party]);
+    return p.masked_contribution(values[party], round);
+  }
+
+  std::vector<double> survivor_expected(std::size_t dropped) const {
+    std::vector<double> expected(5, 0.0);
+    for (std::size_t i = 0; i < parties; ++i) {
+      if (i == dropped) continue;
+      for (std::size_t j = 0; j < 5; ++j) expected[j] += values[i][j];
+    }
+    return expected;
+  }
+};
+
+TEST(DropoutRecovery, WithoutRecoveryTheSumIsGarbage) {
+  ProtocolFixture setup(4);
+  std::vector<std::uint64_t> total(5, 0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (i == 2) continue;  // party 2 drops
+    ring_add_inplace(total, setup.contribution(i, 0));
+  }
+  const auto decoded = setup.codec.decode_vector(total);
+  const auto expected = setup.survivor_expected(2);
+  // Uncancelled masks => decoded values are wildly off.
+  bool any_far = false;
+  for (std::size_t j = 0; j < 5; ++j)
+    if (std::abs(decoded[j] - expected[j]) > 1.0) any_far = true;
+  EXPECT_TRUE(any_far);
+}
+
+class DropoutRecoveryParties
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(DropoutRecoveryParties, RecoversExactSurvivorSum) {
+  const auto [m, dropped] = GetParam();
+  ProtocolFixture setup(m);
+  DropoutRecoverySession session(setup.seeds, /*threshold=*/2, 7);
+
+  std::vector<std::size_t> survivors;
+  std::vector<std::vector<std::uint64_t>> contributions;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (i == dropped) continue;
+    survivors.push_back(i);
+    contributions.push_back(setup.contribution(i, /*round=*/3));
+  }
+
+  const auto recovered = recover_survivor_sum(
+      session, contributions, survivors, dropped, /*round=*/3, setup.codec);
+  const auto expected = setup.survivor_expected(dropped);
+  for (std::size_t j = 0; j < 5; ++j)
+    EXPECT_NEAR(recovered[j], expected[j], 1e-4) << "entry " << j;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DropoutRecoveryParties,
+    ::testing::Values(std::make_tuple(3u, 0u), std::make_tuple(4u, 2u),
+                      std::make_tuple(5u, 4u), std::make_tuple(8u, 3u)));
+
+TEST(DropoutRecovery, SharesReconstructSeeds) {
+  ProtocolFixture setup(5);
+  DropoutRecoverySession session(setup.seeds, 3, 9);
+  // Any 3 holders' shares of pair (1, 4) reconstruct the true seed.
+  std::vector<ShamirShare> revealed{session.share(0, 1, 4),
+                                    session.share(2, 1, 4),
+                                    session.share(4, 1, 4)};
+  EXPECT_EQ(DropoutRecoverySession::reconstruct_seed(revealed),
+            setup.seeds[1][4]);
+  // Fewer than threshold shares give the wrong value.
+  std::vector<ShamirShare> too_few{session.share(0, 1, 4),
+                                   session.share(2, 1, 4)};
+  EXPECT_NE(DropoutRecoverySession::reconstruct_seed(too_few),
+            setup.seeds[1][4]);
+}
+
+TEST(DropoutRecovery, ValidatesInputs) {
+  ProtocolFixture setup(4);
+  EXPECT_THROW(DropoutRecoverySession(setup.seeds, 1, 1), InvalidArgument);
+  EXPECT_THROW(DropoutRecoverySession(setup.seeds, 4, 1), InvalidArgument);
+
+  DropoutRecoverySession session(setup.seeds, 2, 1);
+  EXPECT_THROW(session.share(0, 1, 1), InvalidArgument);
+  EXPECT_THROW(session.share(9, 0, 1), InvalidArgument);
+
+  // Not enough survivors to hit the threshold.
+  DropoutRecoverySession strict(setup.seeds, 3, 1);
+  std::vector<std::vector<std::uint64_t>> contributions{
+      setup.contribution(0, 0), setup.contribution(1, 0)};
+  EXPECT_THROW(recover_survivor_sum(strict, contributions, {0, 1}, 3, 0,
+                                    setup.codec),
+               InvalidArgument);
+}
+
+TEST(DropoutRecovery, AsymmetricSeedMatrixRejected) {
+  ProtocolFixture setup(3);
+  auto seeds = setup.seeds;
+  seeds[0][1] ^= 1;
+  EXPECT_THROW(DropoutRecoverySession(seeds, 2, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ppml::crypto

@@ -1,0 +1,292 @@
+// Tests for the extension modules: cluster trainer facades, one-vs-rest
+// multiclass (centralized + distributed), and the distributed feature
+// selection protocol (the paper's stated future work).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "core/cluster_trainers.h"
+#include "core/feature_selection.h"
+#include "core/multiclass_horizontal.h"
+#include "data/generators.h"
+#include "data/standardize.h"
+#include "svm/metrics.h"
+#include "svm/multiclass.h"
+
+namespace ppml {
+namespace {
+
+data::SplitDataset cancer_split() {
+  auto split = data::train_test_split(data::make_cancer_like(1), 0.5, 42);
+  data::StandardScaler scaler;
+  scaler.fit_transform(split);
+  return split;
+}
+
+mapreduce::ClusterConfig five_nodes() {
+  mapreduce::ClusterConfig config;
+  config.num_nodes = 5;
+  return config;
+}
+
+core::AdmmParams fast_params(std::size_t iterations) {
+  core::AdmmParams params;
+  params.max_iterations = iterations;
+  return params;
+}
+
+// ------------------------------------------------- cluster facades
+
+TEST(ClusterTrainers, LinearHorizontalFacadeLearns) {
+  const auto split = cancer_split();
+  const auto partition = data::partition_horizontally(split.train, 4, 7);
+  mapreduce::Cluster cluster(five_nodes());
+  const auto result = core::train_linear_horizontal_on_cluster(
+      cluster, partition, fast_params(40));
+  EXPECT_GE(svm::accuracy(result.model.predict_all(split.test.x),
+                          split.test.y),
+            0.9);
+  EXPECT_EQ(result.cluster.job.rounds, 40u);
+}
+
+TEST(ClusterTrainers, KernelHorizontalFacadeLearns) {
+  const auto split = cancer_split();
+  const auto partition = data::partition_horizontally(split.train, 4, 7);
+  core::AdmmParams params = fast_params(30);
+  params.landmarks = 30;
+  params.rho = 6.25;
+  mapreduce::Cluster cluster(five_nodes());
+  const auto result = core::train_kernel_horizontal_on_cluster(
+      cluster, partition, svm::Kernel::rbf(0.1), params);
+  EXPECT_GE(svm::accuracy(result.model.predict_all(split.test.x),
+                          split.test.y),
+            0.85);
+}
+
+TEST(ClusterTrainers, LinearVerticalFacadeLearns) {
+  const auto split = cancer_split();
+  const auto partition = data::partition_vertically(split.train, 4, 7);
+  mapreduce::Cluster cluster(five_nodes());
+  const auto result = core::train_linear_vertical_on_cluster(
+      cluster, partition, fast_params(40));
+  EXPECT_GE(svm::accuracy(result.model.predict_all(split.test.x),
+                          split.test.y),
+            0.9);
+  EXPECT_EQ(result.model.w_blocks.size(), 4u);
+}
+
+TEST(ClusterTrainers, KernelVerticalFacadeLearns) {
+  const auto split = cancer_split();
+  const auto partition = data::partition_vertically(split.train, 4, 7);
+  mapreduce::Cluster cluster(five_nodes());
+  const auto result = core::train_kernel_vertical_on_cluster(
+      cluster, partition, svm::Kernel::rbf(0.3), fast_params(40));
+  EXPECT_GE(svm::accuracy(result.model.predict_all(split.test.x),
+                          split.test.y),
+            0.85);
+}
+
+TEST(ClusterTrainers, RequireEnoughNodes) {
+  const auto split = cancer_split();
+  const auto partition = data::partition_horizontally(split.train, 4, 7);
+  mapreduce::ClusterConfig config;
+  config.num_nodes = 4;  // no room for the reducer
+  mapreduce::Cluster cluster(config);
+  EXPECT_THROW(core::train_linear_horizontal_on_cluster(cluster, partition,
+                                                        fast_params(5)),
+               InvalidArgument);
+}
+
+TEST(ClusterTrainers, FacadeMatchesInMemoryModel) {
+  const auto split = cancer_split();
+  const auto partition = data::partition_horizontally(split.train, 4, 7);
+  const auto params = fast_params(15);
+  const auto reference = core::train_linear_horizontal(partition, params);
+  mapreduce::Cluster cluster(five_nodes());
+  const auto on_cluster =
+      core::train_linear_horizontal_on_cluster(cluster, partition, params);
+  for (std::size_t j = 0; j < reference.model.w.size(); ++j)
+    EXPECT_NEAR(on_cluster.model.w[j], reference.model.w[j], 1e-9);
+}
+
+// ------------------------------------------------------- multiclass
+
+TEST(Multiclass, DigitsGeneratorShapesAndDeterminism) {
+  const auto digits = svm::make_digits_like(10, 600, 3);
+  EXPECT_EQ(digits.classes, 10u);
+  EXPECT_EQ(digits.size(), 600u);
+  EXPECT_EQ(digits.features(), 64u);
+  for (double v : digits.x.data()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 16.0);
+  }
+  const auto again = svm::make_digits_like(10, 600, 3);
+  EXPECT_EQ(digits.x, again.x);
+  // Every class appears.
+  std::vector<std::size_t> counts(10, 0);
+  for (std::size_t label : digits.y) counts[label] += 1;
+  for (std::size_t c : counts) EXPECT_GT(c, 0u);
+}
+
+TEST(Multiclass, ValidateRejectsBadLabels) {
+  svm::MulticlassDataset bad;
+  bad.classes = 3;
+  bad.x.resize(2, 2);
+  bad.y = {0, 5};
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+}
+
+TEST(Multiclass, BinaryViewRecodesLabels) {
+  auto digits = svm::make_digits_like(4, 100, 1);
+  const data::Dataset view = digits.binary_view(2);
+  for (std::size_t i = 0; i < digits.size(); ++i)
+    EXPECT_EQ(view.y[i], digits.y[i] == 2 ? 1.0 : -1.0);
+  EXPECT_THROW(digits.binary_view(9), InvalidArgument);
+}
+
+TEST(Multiclass, CentralizedOneVsRestBeatsChance) {
+  const auto digits = svm::make_digits_like(10, 1200, 2);
+  const auto [train, test] = digits.split(0.5, 7);
+  svm::TrainOptions options;
+  options.c = 10.0;
+  const auto linear = svm::train_one_vs_rest_linear(train, options);
+  const double acc =
+      svm::multiclass_accuracy(linear.predict_all(test.x), test.y);
+  EXPECT_GE(acc, 0.90);  // optdigits-like: easy task
+  EXPECT_EQ(linear.models.size(), 10u);
+}
+
+TEST(Multiclass, KernelOneVsRestWorks) {
+  const auto digits = svm::make_digits_like(4, 400, 4);
+  const auto [train, test] = digits.split(0.5, 3);
+  svm::TrainOptions options;
+  options.c = 10.0;
+  const auto kernelized =
+      svm::train_one_vs_rest_kernel(train, svm::Kernel::rbf(0.01), options);
+  EXPECT_GE(svm::multiclass_accuracy(kernelized.predict_all(test.x), test.y),
+            0.85);
+}
+
+TEST(Multiclass, DistributedMatchesCentralizedBallpark) {
+  const auto digits = svm::make_digits_like(5, 1000, 5);
+  const auto [train, test] = digits.split(0.5, 9);
+  const auto partition = core::partition_multiclass_horizontally(train, 4, 7);
+  EXPECT_EQ(partition.learners(), 4u);
+
+  core::AdmmParams params = fast_params(40);
+  params.c = 10.0;
+  const auto distributed =
+      core::train_multiclass_linear_horizontal(partition, params, &test);
+
+  svm::TrainOptions central;
+  central.c = 10.0;
+  const auto reference = svm::train_one_vs_rest_linear(train, central);
+  const double central_acc =
+      svm::multiclass_accuracy(reference.predict_all(test.x), test.y);
+  EXPECT_GE(distributed.test_accuracy, central_acc - 0.05);
+  EXPECT_EQ(distributed.per_class_traces.size(), 5u);
+}
+
+TEST(Multiclass, PartitionRequiresAllClassesPerLearner) {
+  auto digits = svm::make_digits_like(3, 30, 1);
+  // 30 rows / 10 learners / 3 classes: almost surely some learner misses a
+  // class; the partitioner must reject rather than silently train badly.
+  bool threw = false;
+  try {
+    core::partition_multiclass_horizontally(digits, 10, 1);
+  } catch (const InvalidArgument&) {
+    threw = true;
+  }
+  // Either a clean partition (lucky seed) or the documented exception.
+  if (!threw) SUCCEED();
+}
+
+TEST(Multiclass, AccuracyHelper) {
+  const std::vector<std::size_t> pred{1, 2, 0, 1};
+  const std::vector<std::size_t> truth{1, 2, 1, 1};
+  EXPECT_DOUBLE_EQ(svm::multiclass_accuracy(pred, truth), 0.75);
+  EXPECT_THROW(
+      svm::multiclass_accuracy(pred, std::vector<std::size_t>{1}),
+      InvalidArgument);
+}
+
+// ------------------------------------------- feature selection
+
+TEST(FeatureSelection, SecureMatchesCentralizedScores) {
+  const auto split = cancer_split();
+  const auto partition = data::partition_horizontally(split.train, 4, 7);
+  const auto secure = core::secure_fisher_scores(partition, core::AdmmParams{});
+  const auto central = core::centralized_fisher_scores(split.train);
+  ASSERT_EQ(secure.fisher_scores.size(), central.size());
+  for (std::size_t j = 0; j < central.size(); ++j)
+    EXPECT_NEAR(secure.fisher_scores[j], central[j],
+                1e-3 * (1.0 + central[j]))
+        << "feature " << j;
+}
+
+TEST(FeatureSelection, RankingIsSortedByScore) {
+  const auto split = cancer_split();
+  const auto partition = data::partition_horizontally(split.train, 3, 5);
+  const auto result = core::secure_fisher_scores(partition, core::AdmmParams{});
+  for (std::size_t i = 1; i < result.ranking.size(); ++i)
+    EXPECT_GE(result.fisher_scores[result.ranking[i - 1]],
+              result.fisher_scores[result.ranking[i]]);
+}
+
+TEST(FeatureSelection, InformativeFeatureOutranksNoise) {
+  // Build a task where feature 0 is the label signal and the rest is noise.
+  data::GaussianTaskConfig config;
+  config.samples = 600;
+  config.features = 1;
+  config.separation = 3.0;
+  config.seed = 11;
+  data::Dataset signal = data::make_gaussian_task(config);
+  data::Dataset padded;
+  padded.name = "padded";
+  padded.y = signal.y;
+  padded.x.resize(signal.size(), 6);
+  std::mt19937_64 rng(3);
+  std::normal_distribution<double> normal;
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    padded.x(i, 0) = signal.x(i, 0);
+    for (std::size_t j = 1; j < 6; ++j) padded.x(i, j) = normal(rng);
+  }
+  const auto partition = data::partition_horizontally(padded, 3, 2);
+  const auto result = core::secure_fisher_scores(partition, core::AdmmParams{});
+  EXPECT_EQ(result.ranking.front(), 0u);
+  EXPECT_GT(result.fisher_scores[0], 10.0 * result.fisher_scores[1]);
+}
+
+TEST(FeatureSelection, SelectTopFeaturesProjectsAllShards) {
+  const auto split = cancer_split();
+  const auto partition = data::partition_horizontally(split.train, 4, 7);
+  const auto selection = core::secure_fisher_scores(partition, core::AdmmParams{});
+  const auto [reduced, kept] =
+      core::select_top_features(partition, selection, 4);
+  EXPECT_EQ(kept.size(), 4u);
+  for (const auto& shard : reduced.shards) EXPECT_EQ(shard.features(), 4u);
+  EXPECT_THROW(core::select_top_features(partition, selection, 0),
+               InvalidArgument);
+  EXPECT_THROW(core::select_top_features(partition, selection, 99),
+               InvalidArgument);
+}
+
+TEST(FeatureSelection, SelectedFeaturesStillLearnWell) {
+  const auto split = cancer_split();
+  const auto partition = data::partition_horizontally(split.train, 4, 7);
+  const auto selection = core::secure_fisher_scores(partition, core::AdmmParams{});
+  const auto [reduced, kept] =
+      core::select_top_features(partition, selection, 5);
+
+  const auto result =
+      core::train_linear_horizontal(reduced, fast_params(40), nullptr);
+  // Project the test set onto the kept features for evaluation.
+  data::Dataset test = split.test.feature_subset(kept);
+  const double acc =
+      svm::accuracy(result.model.predict_all(test.x), test.y);
+  EXPECT_GE(acc, 0.88);  // 5 of 9 well-chosen features retain the signal
+}
+
+}  // namespace
+}  // namespace ppml

@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "linalg/blas.h"
+#include "linalg/cholesky.h"
+#include "linalg/matrix.h"
+
+namespace ppml::linalg {
+namespace {
+
+TEST(Matrix, ConstructsZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_EQ(m(i, j), 0.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, InitializerListRaggedThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), InvalidArgument);
+}
+
+TEST(Matrix, FlatBufferConstructorValidatesSize) {
+  EXPECT_NO_THROW(Matrix(2, 2, std::vector<double>{1, 2, 3, 4}));
+  EXPECT_THROW(Matrix(2, 2, std::vector<double>{1, 2, 3}), InvalidArgument);
+}
+
+TEST(Matrix, AtThrowsOutOfRange) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), InvalidArgument);
+  EXPECT_THROW(m.at(0, 2), InvalidArgument);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, RowSpanWritesThrough) {
+  Matrix m(2, 3);
+  auto row = m.row(1);
+  row[2] = 7.0;
+  EXPECT_EQ(m(1, 2), 7.0);
+}
+
+TEST(Matrix, TransposedRoundTrip) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t(2, 1), 6.0);
+  EXPECT_EQ(t.transposed(), m);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+  const Matrix eye = Matrix::identity(3);
+  EXPECT_EQ(eye(1, 1), 1.0);
+  EXPECT_EQ(eye(0, 1), 0.0);
+  const Matrix d = Matrix::diagonal({2.0, 3.0});
+  EXPECT_EQ(d(0, 0), 2.0);
+  EXPECT_EQ(d(1, 1), 3.0);
+  EXPECT_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, ArithmeticAndComparison) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{4, 3}, {2, 1}};
+  const Matrix sum = a + b;
+  EXPECT_EQ(sum, (Matrix{{5, 5}, {5, 5}}));
+  const Matrix diff = a - b;
+  EXPECT_EQ(diff(0, 0), -3.0);
+  const Matrix scaled = 2.0 * a;
+  EXPECT_EQ(scaled(1, 1), 8.0);
+  EXPECT_THROW(a + Matrix(1, 2), InvalidArgument);
+}
+
+TEST(Matrix, MaxAbsDiffAndAllclose) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b = a;
+  b(1, 1) += 1e-5;
+  EXPECT_NEAR(max_abs_diff(a, b), 1e-5, 1e-12);
+  EXPECT_TRUE(allclose(a, b, 1e-4));
+  EXPECT_FALSE(allclose(a, b, 1e-6));
+}
+
+TEST(Matrix, StreamOutputContainsShape) {
+  std::ostringstream os;
+  os << Matrix(2, 3);
+  EXPECT_NE(os.str().find("2x3"), std::string::npos);
+}
+
+TEST(Blas, DotAndNorms) {
+  Vector x{1.0, 2.0, 2.0};
+  EXPECT_EQ(dot(x, x), 9.0);
+  EXPECT_EQ(squared_norm(x), 9.0);
+  EXPECT_EQ(norm(x), 3.0);
+  EXPECT_THROW(dot(x, Vector{1.0}), InvalidArgument);
+}
+
+TEST(Blas, AxpyScaleSubAdd) {
+  Vector x{1.0, 2.0};
+  Vector y{10.0, 20.0};
+  axpy(2.0, x, y);
+  EXPECT_EQ(y, (Vector{12.0, 24.0}));
+  scale(0.5, y);
+  EXPECT_EQ(y, (Vector{6.0, 12.0}));
+  EXPECT_EQ(add(x, x), (Vector{2.0, 4.0}));
+  EXPECT_EQ(sub(y, x), (Vector{5.0, 10.0}));
+  EXPECT_EQ(scaled(3.0, x), (Vector{3.0, 6.0}));
+}
+
+TEST(Blas, SquaredDistance) {
+  EXPECT_EQ(squared_distance(Vector{0.0, 0.0}, Vector{3.0, 4.0}), 25.0);
+}
+
+TEST(Blas, GemvAgainstHand) {
+  Matrix a{{1, 2}, {3, 4}, {5, 6}};
+  const Vector out = gemv(a, Vector{1.0, 1.0});
+  EXPECT_EQ(out, (Vector{3.0, 7.0, 11.0}));
+  const Vector out_t = gemv_t(a, Vector{1.0, 1.0, 1.0});
+  EXPECT_EQ(out_t, (Vector{9.0, 12.0}));
+}
+
+TEST(Blas, GemmAgainstHand) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  EXPECT_EQ(gemm(a, b), (Matrix{{19, 22}, {43, 50}}));
+  EXPECT_THROW(gemm(a, Matrix(3, 2)), InvalidArgument);
+}
+
+TEST(Blas, GemmNtMatchesGemmWithTranspose) {
+  std::mt19937_64 rng(1);
+  std::normal_distribution<double> normal;
+  Matrix a(4, 3);
+  Matrix b(5, 3);
+  for (double& v : a.data()) v = normal(rng);
+  for (double& v : b.data()) v = normal(rng);
+  EXPECT_TRUE(allclose(gemm_nt(a, b), gemm(a, b.transposed()), 1e-12));
+}
+
+TEST(Blas, GramMatricesMatchDefinition) {
+  std::mt19937_64 rng(2);
+  std::normal_distribution<double> normal;
+  Matrix a(6, 4);
+  for (double& v : a.data()) v = normal(rng);
+  EXPECT_TRUE(allclose(gram_at_a(a), gemm(a.transposed(), a), 1e-12));
+  EXPECT_TRUE(allclose(gram_a_at(a), gemm(a, a.transposed()), 1e-12));
+}
+
+class CholeskySizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CholeskySizes, SolveRecoversKnownSolution) {
+  const std::size_t n = GetParam();
+  std::mt19937_64 rng(n);
+  std::normal_distribution<double> normal;
+  Matrix b(n, n);
+  for (double& v : b.data()) v = normal(rng);
+  // SPD by construction: B B^T + n I.
+  Matrix a = gram_a_at(b);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+
+  Vector x_true(n);
+  for (double& v : x_true) v = normal(rng);
+  const Vector rhs = gemv(a, x_true);
+
+  const Cholesky chol(a);
+  const Vector x = chol.solve(rhs);
+  EXPECT_TRUE(allclose(x, x_true, 1e-8)) << "n=" << n;
+
+  // L L^T == A.
+  EXPECT_TRUE(allclose(gemm_nt(chol.l(), chol.l()), a, 1e-8));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskySizes,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 40, 100));
+
+TEST(Cholesky, RejectsNonPositiveDefinite) {
+  Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_THROW(Cholesky{a}, NumericError);
+}
+
+TEST(Cholesky, RejectsNonSymmetric) {
+  Matrix a{{1.0, 2.0}, {0.0, 1.0}};
+  EXPECT_THROW(Cholesky{a}, InvalidArgument);
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  EXPECT_THROW(Cholesky{Matrix(2, 3)}, InvalidArgument);
+}
+
+TEST(Cholesky, InverseTimesMatrixIsIdentity) {
+  Matrix a{{4.0, 1.0}, {1.0, 3.0}};
+  const Matrix inv = Cholesky(a).inverse();
+  EXPECT_TRUE(allclose(gemm(a, inv), Matrix::identity(2), 1e-12));
+}
+
+TEST(Cholesky, LogDetMatchesHandComputation) {
+  Matrix a{{4.0, 0.0}, {0.0, 9.0}};
+  EXPECT_NEAR(Cholesky(a).log_det(), std::log(36.0), 1e-12);
+}
+
+TEST(Cholesky, MatrixSolveMatchesColumnSolves) {
+  Matrix a{{5.0, 1.0}, {1.0, 4.0}};
+  Matrix rhs{{1.0, 0.0}, {2.0, 1.0}};
+  const Cholesky chol(a);
+  const Matrix x = chol.solve(rhs);
+  for (std::size_t j = 0; j < 2; ++j) {
+    const Vector col = chol.solve(rhs.col(j));
+    for (std::size_t i = 0; i < 2; ++i) EXPECT_NEAR(x(i, j), col[i], 1e-12);
+  }
+}
+
+TEST(Ldlt, SolvesIndefiniteSystems) {
+  // Symmetric, full rank, indefinite (one negative eigenvalue).
+  Matrix a{{2.0, 1.0}, {1.0, -3.0}};
+  Vector x_true{1.5, -2.0};
+  const Vector rhs = gemv(a, x_true);
+  const Vector x = Ldlt(a).solve(rhs);
+  EXPECT_TRUE(allclose(x, x_true, 1e-10));
+}
+
+TEST(Ldlt, MatchesCholeskyOnSpd) {
+  Matrix a{{6.0, 2.0, 1.0}, {2.0, 5.0, 2.0}, {1.0, 2.0, 4.0}};
+  Vector rhs{1.0, 2.0, 3.0};
+  EXPECT_TRUE(allclose(Ldlt(a).solve(rhs), Cholesky(a).solve(rhs), 1e-10));
+}
+
+TEST(Woodbury, MatchesDirectInverse) {
+  // (I + c G^T G)^{-1} check via the small-space inverse it returns:
+  // woodbury_small_inverse returns (I + c*Kgg)^{-1}.
+  std::mt19937_64 rng(3);
+  std::normal_distribution<double> normal;
+  Matrix g(4, 7);
+  for (double& v : g.data()) v = normal(rng);
+  const Matrix kgg = gram_a_at(g);
+  const double c = 2.5;
+
+  const Matrix small_inv = woodbury_small_inverse(kgg, c);
+  Matrix expected = kgg;
+  for (double& v : expected.data()) v *= c;
+  for (std::size_t i = 0; i < 4; ++i) expected(i, i) += 1.0;
+  EXPECT_TRUE(allclose(gemm(expected, small_inv), Matrix::identity(4), 1e-9));
+
+  // Full-space identity: (I + c G^T G)(I - c G^T D G) == I.
+  const Matrix gtg = gram_at_a(g);
+  Matrix big = gtg;
+  for (double& v : big.data()) v *= c;
+  for (std::size_t i = 0; i < 7; ++i) big(i, i) += 1.0;
+  const Matrix gt_d_g = gemm(g.transposed(), gemm(small_inv, g));
+  Matrix inv_big = gt_d_g;
+  for (double& v : inv_big.data()) v *= -c;
+  for (std::size_t i = 0; i < 7; ++i) inv_big(i, i) += 1.0;
+  EXPECT_TRUE(allclose(gemm(big, inv_big), Matrix::identity(7), 1e-9));
+}
+
+TEST(Errors, CheckMacroMessagesIncludeLocation) {
+  try {
+    PPML_CHECK(false, "custom detail");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("custom detail"), std::string::npos);
+    EXPECT_NE(what.find("linalg_test.cpp"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ppml::linalg

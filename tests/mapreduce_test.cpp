@@ -1,0 +1,458 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+#include "mapreduce/blockstore.h"
+#include "mapreduce/cluster.h"
+#include "mapreduce/executor.h"
+#include "mapreduce/iterative_job.h"
+#include "mapreduce/network.h"
+#include "mapreduce/serde.h"
+
+namespace ppml::mapreduce {
+namespace {
+
+TEST(Serde, PrimitivesRoundTrip) {
+  Writer writer;
+  writer.put_u8(0xAB);
+  writer.put_u64(0x0123456789ABCDEFULL);
+  writer.put_i64(-42);
+  writer.put_double(3.14159);
+  writer.put_string("hello");
+  const Bytes payload = writer.take();
+
+  Reader reader(payload);
+  EXPECT_EQ(reader.get_u8(), 0xAB);
+  EXPECT_EQ(reader.get_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(reader.get_i64(), -42);
+  EXPECT_DOUBLE_EQ(reader.get_double(), 3.14159);
+  EXPECT_EQ(reader.get_string(), "hello");
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(Serde, VectorsAndMatricesRoundTrip) {
+  Writer writer;
+  writer.put_u64_vector(std::vector<std::uint64_t>{1, 2, 3});
+  writer.put_double_vector(std::vector<double>{-1.5, 2.5});
+  writer.put_matrix(linalg::Matrix{{1, 2}, {3, 4}});
+  writer.put_bytes(Bytes{9, 8, 7});
+  const Bytes payload = writer.take();
+
+  Reader reader(payload);
+  EXPECT_EQ(reader.get_u64_vector(), (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(reader.get_double_vector(), (std::vector<double>{-1.5, 2.5}));
+  EXPECT_EQ(reader.get_matrix(), (linalg::Matrix{{1, 2}, {3, 4}}));
+  EXPECT_EQ(reader.get_bytes(), (Bytes{9, 8, 7}));
+}
+
+TEST(Serde, TruncatedInputThrows) {
+  Writer writer;
+  writer.put_u64(5);  // declares 5 elements but provides none
+  const Bytes payload = writer.take();
+  Reader reader(payload);
+  EXPECT_THROW(reader.get_u64_vector(), Error);
+
+  Reader reader2(Bytes{1, 2, 3});
+  EXPECT_THROW(reader2.get_u64(), Error);
+}
+
+TEST(Serde, DoubleBitPatternPreserved) {
+  Writer writer;
+  writer.put_double(-0.0);
+  writer.put_double(1e-308);
+  Reader reader(writer.buffer());
+  EXPECT_EQ(std::signbit(reader.get_double()), true);
+  EXPECT_DOUBLE_EQ(reader.get_double(), 1e-308);
+}
+
+TEST(Network, CountsBytesPerChannel) {
+  Network network(3);
+  network.send(Message{0, 1, "a", Bytes(10)});
+  network.send(Message{1, 2, "a", Bytes(20)});
+  network.send(Message{2, 0, "b", Bytes(5)});
+  const auto stats = network.channel_stats();
+  EXPECT_EQ(stats.at("a").messages, 2u);
+  EXPECT_EQ(stats.at("a").bytes, 30u);
+  EXPECT_EQ(stats.at("b").bytes, 5u);
+  EXPECT_EQ(network.totals().messages, 3u);
+  EXPECT_EQ(network.totals().bytes, 35u);
+}
+
+TEST(Network, DrainDeliversFifoAndEmpties) {
+  Network network(2);
+  network.send(Message{0, 1, "x", Bytes{1}});
+  network.send(Message{0, 1, "x", Bytes{2}});
+  auto delivered = network.drain(1);
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0].payload, Bytes{1});
+  EXPECT_EQ(delivered[1].payload, Bytes{2});
+  EXPECT_TRUE(network.drain(1).empty());
+}
+
+TEST(Network, RejectsBadNodeIds) {
+  Network network(2);
+  EXPECT_THROW(network.send(Message{0, 7, "x", {}}), InvalidArgument);
+  EXPECT_THROW(network.drain(9), InvalidArgument);
+}
+
+TEST(Network, LatencyCriticalPathPerPhase) {
+  LatencyModel latency;
+  latency.per_message_seconds = 1.0;
+  latency.seconds_per_byte = 0.0;
+  Network network(3, latency);
+  // Node 0 sends twice (2s serialized), node 1 sends once (1s) in parallel:
+  // phase critical path = 2s.
+  network.send(Message{0, 1, "x", Bytes(1)});
+  network.send(Message{0, 2, "x", Bytes(1)});
+  network.send(Message{1, 2, "x", Bytes(1)});
+  EXPECT_DOUBLE_EQ(network.simulated_seconds(), 2.0);
+  network.end_phase();
+  network.send(Message{1, 0, "x", Bytes(1)});
+  EXPECT_DOUBLE_EQ(network.simulated_seconds(), 3.0);
+}
+
+TEST(Network, LoopbackIsFreeButCounted) {
+  Network network(2);
+  network.send(Message{0, 0, "local", Bytes(100)});
+  EXPECT_EQ(network.totals().messages, 1u);
+  EXPECT_DOUBLE_EQ(network.simulated_seconds(), 0.0);
+}
+
+TEST(Network, ResetStatsClearsEverything) {
+  Network network(2);
+  network.send(Message{0, 1, "x", Bytes(10)});
+  network.reset_stats();
+  EXPECT_EQ(network.totals().messages, 0u);
+  EXPECT_DOUBLE_EQ(network.simulated_seconds(), 0.0);
+}
+
+TEST(BlockStore, LocalityEnforcedOnReads) {
+  BlockStore store(3);
+  const BlockId block = store.put("shard0", Bytes{1, 2, 3}, {0});
+  EXPECT_EQ(store.read_local(block, 0), (Bytes{1, 2, 3}));
+  // Node 1 holds no replica: the data-locality guard must trip.
+  EXPECT_THROW(store.read_local(block, 1), InvalidArgument);
+}
+
+TEST(BlockStore, ReplicationPlacesSuccessiveNodes) {
+  BlockStore store(4);
+  const BlockId block = store.put_with_locality("b", Bytes{9}, 2, 3);
+  const BlockInfo info = store.info(block);
+  EXPECT_EQ(info.replicas, (std::vector<NodeId>{0, 2, 3}));  // 2,3,0 sorted
+  EXPECT_EQ(info.size_bytes, 1u);
+}
+
+TEST(BlockStore, DeadNodesRefuseReadsAndDropFromLiveReplicas) {
+  BlockStore store(3);
+  const BlockId block = store.put("b", Bytes{1}, {0, 1});
+  store.kill_node(0);
+  EXPECT_FALSE(store.is_alive(0));
+  EXPECT_THROW(store.read_local(block, 0), InvalidArgument);
+  EXPECT_EQ(store.live_replicas(block), (std::vector<NodeId>{1}));
+  store.revive_node(0);
+  EXPECT_EQ(store.live_replicas(block), (std::vector<NodeId>{0, 1}));
+}
+
+TEST(BlockStore, UnknownBlockThrows) {
+  BlockStore store(2);
+  EXPECT_THROW(store.info(42), InvalidArgument);
+  EXPECT_THROW(store.read_local(42, 0), InvalidArgument);
+  EXPECT_THROW(store.live_replicas(42), InvalidArgument);
+}
+
+TEST(BlockStore, DuplicateReplicasDeduplicated) {
+  BlockStore store(2);
+  const BlockId block = store.put("b", Bytes{1}, {1, 1, 1});
+  EXPECT_EQ(store.info(block).replicas, (std::vector<NodeId>{1}));
+}
+
+TEST(Executor, RunsAllTasks) {
+  Executor executor(4);
+  std::atomic<int> counter{0};
+  executor.parallel_for(100, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(Executor, PropagatesExceptions) {
+  Executor executor(2);
+  EXPECT_THROW(executor.parallel_for(
+                   10,
+                   [](std::size_t i) {
+                     if (i == 7) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+}
+
+TEST(Executor, SubmitReturnsValue) {
+  Executor executor(1);
+  auto future = executor.submit([] { return 41 + 1; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+// -------------------------------------------------------- iterative job
+
+/// Toy mapper: contributes its configured constant; also exercises the peer
+/// exchange hook by sending its index to every other mapper.
+class ConstantMapper final : public IterativeMapper {
+ public:
+  ConstantMapper(std::uint64_t value, std::size_t index, std::size_t peers)
+      : value_(value), index_(index), peers_(peers) {}
+
+  void configure(const BlockStore& storage, NodeId node) override {
+    configured_node_ = node;
+    (void)storage;
+  }
+
+  std::vector<std::pair<std::size_t, Bytes>> exchange(std::size_t) override {
+    std::vector<std::pair<std::size_t, Bytes>> out;
+    for (std::size_t p = 0; p < peers_; ++p) {
+      if (p == index_) continue;
+      Writer w;
+      w.put_u64(index_);
+      out.emplace_back(p, w.take());
+    }
+    return out;
+  }
+
+  Bytes map(std::size_t, const Bytes& broadcast,
+            const std::vector<Bytes>& peer_messages) override {
+    std::uint64_t peer_sum = 0;
+    for (std::size_t p = 0; p < peer_messages.size(); ++p) {
+      if (peer_messages[p].empty()) continue;
+      Reader r(peer_messages[p]);
+      peer_sum += r.get_u64();
+    }
+    std::uint64_t feedback = 0;
+    if (!broadcast.empty()) {
+      Reader r(broadcast);
+      feedback = r.get_u64();
+    }
+    Writer w;
+    w.put_u64(value_ + peer_sum + feedback);
+    return w.take();
+  }
+
+  NodeId configured_node_ = 999;
+
+ private:
+  std::uint64_t value_;
+  std::size_t index_;
+  std::size_t peers_;
+};
+
+class SummingReducer final : public IterativeReducer {
+ public:
+  explicit SummingReducer(std::size_t stop_after) : stop_after_(stop_after) {}
+
+  Bytes reduce(std::size_t round, const std::vector<Bytes>& contributions)
+      override {
+    std::uint64_t total = 0;
+    for (const Bytes& payload : contributions) {
+      Reader r(payload);
+      total += r.get_u64();
+    }
+    sums.push_back(total);
+    done_ = round + 1 >= stop_after_;
+    Writer w;
+    w.put_u64(total);
+    return w.take();
+  }
+
+  bool converged() const override { return done_; }
+
+  std::vector<std::uint64_t> sums;
+
+ private:
+  std::size_t stop_after_;
+  bool done_ = false;
+};
+
+ClusterConfig make_config(std::size_t nodes, std::size_t replication = 1) {
+  ClusterConfig config;
+  config.num_nodes = nodes;
+  config.replication = replication;
+  return config;
+}
+
+TEST(IterativeJob, RunsRoundsAndAggregates) {
+  Cluster cluster(make_config(4));
+  IterativeJob job(cluster, JobConfig{});
+  std::vector<std::shared_ptr<ConstantMapper>> mappers;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const BlockId block =
+        cluster.store_shard("shard" + std::to_string(i), Bytes{1}, i);
+    auto mapper = std::make_shared<ConstantMapper>(10 * (i + 1), i, 3);
+    mappers.push_back(mapper);
+    job.add_mapper(mapper, block);
+  }
+  auto reducer = std::make_shared<SummingReducer>(2);
+  job.set_reducer(reducer, 3);
+
+  const JobStats stats = job.run({});
+  EXPECT_TRUE(stats.converged);
+  EXPECT_EQ(stats.rounds, 2u);
+  // Round 0: no feedback; every mapper adds peer indices (sum of others).
+  // values 10+20+30 = 60; peer sums: mapper0 gets 1+2=3, m1: 0+2=2, m2: 1.
+  EXPECT_EQ(reducer->sums[0], 66u);
+  // Round 1: same + 3 * feedback(66) = 66 + 198 = 264.
+  EXPECT_EQ(reducer->sums[1], 264u);
+
+  // Mappers ran data-local.
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(mappers[i]->configured_node_, i);
+
+  // Channels recorded.
+  EXPECT_GT(stats.channels.at("broadcast").messages, 0u);
+  EXPECT_GT(stats.channels.at("peer-exchange").messages, 0u);
+  EXPECT_GT(stats.channels.at("contribution").messages, 0u);
+  EXPECT_GT(stats.simulated_network_seconds, 0.0);
+}
+
+TEST(IterativeJob, StopsAtMaxRoundsWithoutConvergence) {
+  Cluster cluster(make_config(3));
+  JobConfig config;
+  config.max_rounds = 5;
+  IterativeJob job(cluster, config);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const BlockId block = cluster.store_shard("s", Bytes{1}, i);
+    job.add_mapper(std::make_shared<ConstantMapper>(1, i, 2), block);
+  }
+  auto reducer = std::make_shared<SummingReducer>(999);
+  job.set_reducer(reducer, 2);
+  const JobStats stats = job.run({});
+  EXPECT_FALSE(stats.converged);
+  EXPECT_EQ(stats.rounds, 5u);
+}
+
+TEST(IterativeJob, FailsWhenAllReplicasDead) {
+  Cluster cluster(make_config(3));
+  IterativeJob job(cluster, JobConfig{});
+  const BlockId b0 = cluster.store_shard("s0", Bytes{1}, 0);
+  const BlockId b1 = cluster.store_shard("s1", Bytes{1}, 1);
+  job.add_mapper(std::make_shared<ConstantMapper>(1, 0, 2), b0);
+  job.add_mapper(std::make_shared<ConstantMapper>(2, 1, 2), b1);
+  job.set_reducer(std::make_shared<SummingReducer>(1), 2);
+  cluster.kill_node(0);  // only replica of shard 0
+  EXPECT_THROW(job.run({}), JobError);
+}
+
+TEST(IterativeJob, SurvivesNodeFailureWithReplication) {
+  Cluster cluster(make_config(4, /*replication=*/2));
+  IterativeJob job(cluster, JobConfig{});
+  std::vector<std::shared_ptr<ConstantMapper>> mappers;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const BlockId block = cluster.store_shard("s", Bytes{1}, i);
+    auto mapper = std::make_shared<ConstantMapper>(5, i, 2);
+    mappers.push_back(mapper);
+    job.add_mapper(mapper, block);
+  }
+  job.set_reducer(std::make_shared<SummingReducer>(1), 3);
+  cluster.kill_node(0);  // shard 0 still has a replica on node 1
+  const JobStats stats = job.run({});
+  EXPECT_TRUE(stats.converged);
+  EXPECT_EQ(mappers[0]->configured_node_, 1u);  // rescheduled to the replica
+}
+
+TEST(IterativeJob, InjectedTaskFailuresAreRetried) {
+  Cluster cluster(make_config(4, /*replication=*/2));
+  JobConfig config;
+  config.max_rounds = 3;
+  config.task_failure_probability = 0.5;
+  config.max_task_attempts = 10;
+  config.failure_seed = 1;
+  IterativeJob job(cluster, config);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const BlockId block = cluster.store_shard("s", Bytes{1}, i);
+    job.add_mapper(std::make_shared<ConstantMapper>(1, i, 2), block);
+  }
+  job.set_reducer(std::make_shared<SummingReducer>(999), 3);
+  const JobStats stats = job.run({});
+  EXPECT_EQ(stats.rounds, 3u);
+  EXPECT_GT(stats.task_retries, 0u);
+  EXPECT_GT(stats.map_task_attempts, 6u);  // more attempts than tasks
+}
+
+TEST(IterativeJob, ValidatesRegistration) {
+  Cluster cluster(make_config(2));
+  IterativeJob job(cluster, JobConfig{});
+  EXPECT_THROW(job.run({}), InvalidArgument);  // no mappers
+  const BlockId block = cluster.store_shard("s", Bytes{1}, 0);
+  job.add_mapper(std::make_shared<ConstantMapper>(1, 0, 1), block);
+  EXPECT_THROW(job.run({}), InvalidArgument);  // no reducer
+  EXPECT_THROW(job.set_reducer(std::make_shared<SummingReducer>(1), 9),
+               InvalidArgument);
+}
+
+TEST(Counters, IncrementValueSnapshotMerge) {
+  Counters counters;
+  counters.increment("a");
+  counters.increment("a", 4);
+  counters.increment("b", -2);
+  EXPECT_EQ(counters.value("a"), 5);
+  EXPECT_EQ(counters.value("b"), -2);
+  EXPECT_EQ(counters.value("missing"), 0);
+  counters.merge({{"a", 10}, {"c", 1}});
+  EXPECT_EQ(counters.value("a"), 15);
+  EXPECT_EQ(counters.value("c"), 1);
+  const auto snapshot = counters.snapshot();
+  EXPECT_EQ(snapshot.size(), 3u);
+  counters.reset();
+  EXPECT_EQ(counters.value("a"), 0);
+}
+
+TEST(IterativeJob, RecordsSystemCounters) {
+  Cluster cluster(make_config(3));
+  JobConfig config;
+  config.max_rounds = 4;
+  IterativeJob job(cluster, config);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const BlockId block = cluster.store_shard("s", Bytes{1}, i);
+    job.add_mapper(std::make_shared<ConstantMapper>(1, i, 2), block);
+  }
+  job.set_reducer(std::make_shared<SummingReducer>(999), 2);
+  job.run({});
+  EXPECT_EQ(cluster.counters().value("job.rounds"), 4);
+  EXPECT_EQ(cluster.counters().value("job.map_task_attempts"), 8);
+}
+
+TEST(IterativeJob, StragglerDominatesSimulatedComputeTime) {
+  // Same job on a balanced cluster vs one with a 50x slower node: the
+  // synchronous barrier makes the slow node gate every round.
+  const auto run_with = [](std::vector<double> factors) {
+    ClusterConfig config = make_config(3);
+    config.node_speed_factors = std::move(factors);
+    Cluster cluster(config);
+    JobConfig job_config;
+    job_config.max_rounds = 3;
+    IterativeJob job(cluster, job_config);
+    for (std::size_t i = 0; i < 2; ++i) {
+      const BlockId block = cluster.store_shard("s", Bytes{1}, i);
+      job.add_mapper(std::make_shared<ConstantMapper>(1, i, 2), block);
+    }
+    job.set_reducer(std::make_shared<SummingReducer>(999), 2);
+    return job.run({}).simulated_compute_seconds;
+  };
+  const double balanced = run_with({});
+  const double straggler = run_with({50.0, 1.0, 1.0});
+  EXPECT_GT(straggler, balanced * 3.0);
+}
+
+TEST(Cluster, RejectsBadSpeedFactors) {
+  ClusterConfig config = make_config(2);
+  config.node_speed_factors = {1.0};
+  EXPECT_THROW(Cluster{config}, InvalidArgument);
+  config.node_speed_factors = {1.0, 0.0};
+  EXPECT_THROW(Cluster{config}, InvalidArgument);
+}
+
+TEST(Cluster, ValidatesConfig) {
+  ClusterConfig config;
+  config.num_nodes = 2;
+  config.replication = 3;
+  EXPECT_THROW(Cluster{config}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ppml::mapreduce

@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "linalg/blas.h"
+#include "qp/box_qp.h"
+#include "qp/diagonal_qp.h"
+#include "qp/projected_gradient.h"
+#include "qp/smo.h"
+
+namespace ppml::qp {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+/// Random SPD Q of size n with condition roughly controlled by the ridge.
+Matrix random_spd(std::size_t n, std::uint64_t seed, double ridge = 0.5) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> normal;
+  Matrix b(n, n);
+  for (double& v : b.data()) v = normal(rng);
+  Matrix q = linalg::gram_a_at(b);
+  for (std::size_t i = 0; i < n; ++i) q(i, i) += ridge;
+  return q;
+}
+
+Vector random_vector(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> normal;
+  Vector p(n);
+  for (double& v : p) v = normal(rng);
+  return p;
+}
+
+TEST(ObjectiveValue, MatchesHandComputation) {
+  Matrix q{{2.0, 0.0}, {0.0, 4.0}};
+  Vector p{1.0, 1.0};
+  Vector x{1.0, 2.0};
+  // 1/2 (2 + 16) - 3 = 6.
+  EXPECT_DOUBLE_EQ(objective_value(q, p, x), 6.0);
+}
+
+TEST(BoxQp, UnconstrainedInteriorSolution) {
+  // min 1/2 x^T Q x - p^T x with solution Q^{-1} p inside a huge box.
+  Matrix q{{3.0, 1.0}, {1.0, 2.0}};
+  Vector p{1.0, 1.0};
+  const Result r = solve_box_qp(q, p, -100.0, 100.0);
+  EXPECT_TRUE(r.converged);
+  // Q^{-1} p = [1, 2; ... ] solve by hand: det=5, x = (1/5)[2-1, -1+3] = [0.2, 0.4].
+  EXPECT_NEAR(r.x[0], 0.2, 1e-6);
+  EXPECT_NEAR(r.x[1], 0.4, 1e-6);
+}
+
+TEST(BoxQp, ClipsToActiveBounds) {
+  Matrix q{{1.0, 0.0}, {0.0, 1.0}};
+  Vector p{10.0, -10.0};  // unconstrained solution (10, -10)
+  const Result r = solve_box_qp(q, p, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 0.0, 1e-9);
+}
+
+TEST(BoxQp, EmptyBoxThrows) {
+  EXPECT_THROW(BoxQpSolver(Matrix::identity(2), 1.0, 0.0), InvalidArgument);
+}
+
+TEST(BoxQp, NonSquareThrows) {
+  EXPECT_THROW(BoxQpSolver(Matrix(2, 3), 0.0, 1.0), InvalidArgument);
+}
+
+TEST(BoxQp, WarmStartReducesSweeps) {
+  const std::size_t n = 60;
+  const Matrix q = random_spd(n, 11);
+  const Vector p = random_vector(n, 12);
+  BoxQpSolver solver(q, 0.0, 5.0);
+  const Result cold = solver.solve(p);
+  ASSERT_TRUE(cold.converged);
+
+  // Perturb p slightly; warm start from the previous solution.
+  Vector p2 = p;
+  for (double& v : p2) v += 1e-3;
+  const Result cold2 = solver.solve(p2);
+  const Result warm = solver.solve(p2, cold.x);
+  ASSERT_TRUE(warm.converged);
+  EXPECT_LE(warm.iterations, cold2.iterations);
+  EXPECT_NEAR(warm.objective, cold2.objective, 1e-6);
+}
+
+TEST(BoxQp, DegenerateZeroRowMovesToFavoredBound) {
+  Matrix q(2, 2);  // zero matrix: objective is linear
+  Vector p{1.0, -1.0};
+  const Result r = solve_box_qp(q, p, 0.0, 2.0);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-12);  // -p^T x minimized at upper bound
+  EXPECT_NEAR(r.x[1], 0.0, 1e-12);
+}
+
+class BoxQpCrossCheck
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(BoxQpCrossCheck, CoordinateDescentMatchesProjectedGradient) {
+  const auto [n, seed] = GetParam();
+  const Matrix q = random_spd(n, seed);
+  const Vector p = random_vector(n, seed ^ 0xabc);
+  Options options;
+  options.tolerance = 1e-8;
+  options.max_iterations = 50'000;
+  const Result cd = solve_box_qp(q, p, 0.0, 1.0, options);
+  const Result pg = solve_box_qp_projected_gradient(q, p, 0.0, 1.0, options);
+  ASSERT_TRUE(cd.converged);
+  ASSERT_TRUE(pg.converged);
+  // Strictly convex => unique minimizer; both solvers must agree.
+  EXPECT_NEAR(cd.objective, pg.objective, 1e-6);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(cd.x[i], pg.x[i], 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomProblems, BoxQpCrossCheck,
+    ::testing::Combine(::testing::Values(2, 5, 10, 25, 60),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(ProjectedGradient, HandlesAllActiveBox) {
+  Matrix q = Matrix::identity(3);
+  Vector p{5.0, 5.0, 5.0};
+  const Result r = solve_box_qp_projected_gradient(q, p, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  for (double v : r.x) EXPECT_NEAR(v, 1.0, 1e-9);
+}
+
+// ------------------------------------------------------------------ SMO
+
+/// Brute-force reference for tiny SVM duals: grid search over the box
+/// surface satisfying the equality constraint (2 variables).
+TEST(Smo, TwoVariableProblemMatchesClosedForm) {
+  // min 1/2 x^T Q x - 1^T x, y = (+1, -1), y^T x = 0 => x1 = x2 = t.
+  // Objective: 1/2 t^2 (q11 + q22 - 2 q12*y1y2=... ) with y1y2=-1.
+  Matrix q{{2.0, 0.5}, {0.5, 1.0}};
+  SmoProblem problem{q, Vector{1.0, 1.0}, Vector{1.0, -1.0}, 10.0, 0.0};
+  const Result r = solve_smo(problem);
+  ASSERT_TRUE(r.converged);
+  // With x = (t, t): f(t) = 1/2 t^2 (2 + 1 + 2*0.5) - 2t = 2t^2 - 2t,
+  // minimized at t = 0.5.
+  EXPECT_NEAR(r.x[0], 0.5, 1e-6);
+  EXPECT_NEAR(r.x[1], 0.5, 1e-6);
+}
+
+TEST(Smo, RespectsEqualityConstraint) {
+  const std::size_t n = 20;
+  const Matrix q = random_spd(n, 5);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = i % 2 == 0 ? 1.0 : -1.0;
+  SmoProblem problem{q, Vector(n, 1.0), y, 3.0, 0.0};
+  const Result r = solve_smo(problem);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(linalg::dot(y, r.x), 0.0, 1e-9);
+  for (double v : r.x) {
+    EXPECT_GE(v, -1e-12);
+    EXPECT_LE(v, 3.0 + 1e-12);
+  }
+}
+
+TEST(Smo, NonzeroDeltaFeasibleStart) {
+  const std::size_t n = 10;
+  const Matrix q = random_spd(n, 6);
+  Vector y(n, 1.0);
+  y[0] = -1.0;
+  SmoProblem problem{q, Vector(n, 1.0), y, 2.0, 3.5};
+  const Result r = solve_smo(problem);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(linalg::dot(y, r.x), 3.5, 1e-9);
+}
+
+TEST(Smo, InfeasibleDeltaThrows) {
+  SmoProblem problem{Matrix::identity(2), Vector{1.0, 1.0},
+                     Vector{1.0, 1.0}, 1.0, 5.0};  // max y^T x = 2 < 5
+  EXPECT_THROW(solve_smo(problem), InvalidArgument);
+}
+
+TEST(Smo, RejectsBadLabels) {
+  SmoProblem problem{Matrix::identity(2), Vector{1.0, 1.0},
+                     Vector{1.0, 0.5}, 1.0, 0.0};
+  EXPECT_THROW(solve_smo(problem), InvalidArgument);
+}
+
+TEST(Smo, AgreesWithBoxSolverWhenConstraintInactive) {
+  // If the unconstrained-in-the-equality optimum happens to satisfy
+  // y^T x = 0, SMO and a plain box solve agree. Build symmetric problem.
+  Matrix q{{2.0, 0.0, 0.0, 0.0},
+           {0.0, 2.0, 0.0, 0.0},
+           {0.0, 0.0, 2.0, 0.0},
+           {0.0, 0.0, 0.0, 2.0}};
+  Vector p{1.0, 1.0, 1.0, 1.0};
+  Vector y{1.0, -1.0, 1.0, -1.0};
+  const Result smo = solve_smo(SmoProblem{q, p, y, 10.0, 0.0});
+  const Result box = solve_box_qp(q, p, 0.0, 10.0);
+  ASSERT_TRUE(smo.converged);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(smo.x[i], box.x[i], 1e-6);
+}
+
+// ----------------------------------------------------------- diagonal QP
+
+TEST(DiagonalQp, MatchesSmoOnDiagonalProblems) {
+  const std::size_t n = 30;
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> uniform(0.5, 2.0);
+  DiagonalQpProblem problem;
+  problem.d.resize(n);
+  for (double& v : problem.d) v = uniform(rng);
+  problem.p = random_vector(n, 8);
+  problem.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) problem.y[i] = i % 2 == 0 ? 1.0 : -1.0;
+  problem.c = 1.5;
+  problem.delta = 0.0;
+
+  const Result exact = solve_diagonal_qp(problem);
+  ASSERT_TRUE(exact.converged);
+
+  Matrix q(n, n);
+  for (std::size_t i = 0; i < n; ++i) q(i, i) = problem.d[i];
+  const Result smo = solve_smo(
+      SmoProblem{q, problem.p, problem.y, problem.c, 0.0});
+  ASSERT_TRUE(smo.converged);
+  EXPECT_NEAR(exact.objective, smo.objective, 1e-6);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(exact.x[i], smo.x[i], 1e-4);
+}
+
+TEST(DiagonalQp, SatisfiesEqualityExactly) {
+  DiagonalQpProblem problem;
+  problem.d = {1.0, 2.0, 3.0, 4.0};
+  problem.p = {0.5, -0.2, 1.4, 2.0};
+  problem.y = {1.0, -1.0, -1.0, 1.0};
+  problem.c = 1.0;
+  problem.delta = 0.7;
+  const Result r = solve_diagonal_qp(problem);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) acc += problem.y[i] * r.x[i];
+  EXPECT_NEAR(acc, 0.7, 1e-9);
+}
+
+TEST(DiagonalQp, InfeasibleThrows) {
+  DiagonalQpProblem problem;
+  problem.d = {1.0, 1.0};
+  problem.p = {0.0, 0.0};
+  problem.y = {1.0, 1.0};
+  problem.c = 1.0;
+  problem.delta = -0.5;  // y^T x >= 0 always here
+  EXPECT_THROW(solve_diagonal_qp(problem), InvalidArgument);
+}
+
+TEST(DiagonalQp, RejectsNonPositiveDiagonal) {
+  DiagonalQpProblem problem;
+  problem.d = {1.0, 0.0};
+  problem.p = {0.0, 0.0};
+  problem.y = {1.0, -1.0};
+  EXPECT_THROW(solve_diagonal_qp(problem), InvalidArgument);
+}
+
+class DiagonalQpRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DiagonalQpRandom, KktHolds) {
+  const std::uint64_t seed = GetParam();
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uniform(0.2, 3.0);
+  const std::size_t n = 50;
+  DiagonalQpProblem problem;
+  problem.d.resize(n);
+  for (double& v : problem.d) v = uniform(rng);
+  problem.p = random_vector(n, seed ^ 0x77);
+  problem.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    problem.y[i] = (rng() & 1) != 0 ? 1.0 : -1.0;
+  problem.c = 2.0;
+  problem.delta = 0.0;
+  const Result r = solve_diagonal_qp(problem);
+  ASSERT_TRUE(r.converged);
+
+  // KKT: exists nu such that for all i, x_i = clip((p_i - nu y_i)/d_i).
+  // Verify stationarity per coordinate using the recovered residuals: for
+  // interior coordinates, (d_i x_i - p_i) / (-y_i) must be a common nu.
+  double nu = 0.0;
+  bool found = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (r.x[i] > 1e-9 && r.x[i] < problem.c - 1e-9) {
+      nu = (problem.p[i] - problem.d[i] * r.x[i]) / problem.y[i];
+      found = true;
+      break;
+    }
+  }
+  if (found) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double target =
+          std::clamp((problem.p[i] - nu * problem.y[i]) / problem.d[i], 0.0,
+                     problem.c);
+      EXPECT_NEAR(r.x[i], target, 1e-6) << "i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiagonalQpRandom,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace ppml::qp

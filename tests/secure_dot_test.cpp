@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "baselines/smc_svm.h"
+#include "crypto/secure_dot.h"
+#include "data/generators.h"
+#include "data/partition.h"
+#include "data/standardize.h"
+#include "linalg/blas.h"
+#include "svm/metrics.h"
+
+namespace ppml::crypto {
+namespace {
+
+TEST(SecureDot, MatchesPlainDotProduct) {
+  const FixedPointCodec codec(16, 2);
+  Xoshiro256 rng(1);
+  const std::vector<double> x{1.5, -2.25, 0.5, 3.0};
+  const std::vector<double> y{-0.5, 1.0, 2.0, 0.25};
+  const double secure = secure_dot_product(x, y, codec, rng);
+  EXPECT_NEAR(secure, linalg::dot(x, y), 1e-3);
+}
+
+class SecureDotRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SecureDotRandom, ExactUpToQuantization) {
+  const FixedPointCodec codec(16, 2);
+  Xoshiro256 rng(GetParam());
+  std::vector<double> x(32);
+  std::vector<double> y(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    x[i] = rng.next_double() * 8.0 - 4.0;
+    y[i] = rng.next_double() * 8.0 - 4.0;
+  }
+  const double secure = secure_dot_product(x, y, codec, rng);
+  // Quantization of 32 products with 16 fractional bits each side.
+  EXPECT_NEAR(secure, linalg::dot(x, y), 32.0 * 8.0 / (1 << 16));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SecureDotRandom,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(SecureDot, StatsCountBytes) {
+  const FixedPointCodec codec(16, 2);
+  Xoshiro256 rng(2);
+  SecureDotStats stats;
+  const std::vector<double> x(10, 1.0);
+  secure_dot_product(x, x, codec, rng, &stats);
+  EXPECT_EQ(stats.products, 1u);
+  // server: Ra + ra to Alice, Rb + rb to Bob = 2*dim + 2 words.
+  EXPECT_EQ(stats.bytes_server_to_parties, 8u * 22u);
+  // parties: x^ (dim) + y^ (dim) + w = 2*dim + 1 words.
+  EXPECT_EQ(stats.bytes_between_parties, 8u * 21u);
+  EXPECT_EQ(stats.total_bytes(), 8u * 43u);
+}
+
+TEST(SecureDot, MaskedVectorsDifferFromPlain) {
+  // What Bob receives must not equal Alice's plain encoding (and vice
+  // versa) — replicate the protocol messages manually.
+  const FixedPointCodec codec(16, 2);
+  Xoshiro256 rng(3);
+  const DotCorrelation corr = generate_dot_correlation(4, rng);
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  auto x_masked = codec.encode_vector(x);
+  ring_add_inplace(x_masked, corr.ra);
+  EXPECT_NE(x_masked, codec.encode_vector(x));
+}
+
+TEST(SecureDot, CorrelationIdentityHolds) {
+  Xoshiro256 rng(4);
+  const DotCorrelation corr = generate_dot_correlation(16, rng);
+  std::uint64_t dot = 0;
+  for (std::size_t i = 0; i < 16; ++i) dot += corr.ra[i] * corr.rb[i];
+  EXPECT_EQ(corr.ra_scalar + corr.rb_scalar, dot);
+}
+
+TEST(SecureGram, MatchesPlainGram) {
+  const FixedPointCodec codec(16, 2);
+  Xoshiro256 rng(5);
+  linalg::Matrix rows{{1.0, 0.5}, {0.25, -1.0}, {2.0, 1.5}, {-0.5, 0.75}};
+  const std::vector<std::size_t> owner{0, 0, 1, 1};
+  SecureDotStats stats;
+  const linalg::Matrix gram =
+      secure_gram_matrix(rows, owner, codec, rng, &stats);
+  const linalg::Matrix expected = linalg::gram_a_at(rows);
+  EXPECT_TRUE(linalg::allclose(gram, expected, 1e-3));
+  // Only cross-owner pairs run the protocol: (0,2),(0,3),(1,2),(1,3).
+  EXPECT_EQ(stats.products, 4u);
+}
+
+}  // namespace
+}  // namespace ppml::crypto
+
+namespace ppml::baselines {
+namespace {
+
+data::SplitDataset cancer_split() {
+  auto split = data::train_test_split(data::make_cancer_like(1), 0.5, 42);
+  data::StandardScaler scaler;
+  scaler.fit_transform(split);
+  return split;
+}
+
+TEST(SmcSvm, MatchesPlainCentralizedAccuracy) {
+  const auto split = cancer_split();
+  // Small subset: the SMC Gram is O(N^2) protocol runs.
+  std::vector<std::size_t> rows(120);
+  std::iota(rows.begin(), rows.end(), 0);
+  data::Dataset small = split.train.subset(rows);
+  const auto partition = data::partition_horizontally(small, 3, 5);
+
+  SmcSvmOptions options;
+  options.train.c = 10.0;
+  const SmcSvmResult result = train_smc_linear_svm(partition, options);
+  const double smc_acc = result.accuracy_on(split.test);
+
+  svm::TrainOptions central;
+  central.c = 10.0;
+  const auto reference = svm::train_linear_svm(small, central);
+  const double central_acc =
+      svm::accuracy(reference.predict_all(split.test.x), split.test.y);
+  EXPECT_NEAR(smc_acc, central_acc, 0.03);
+  EXPECT_GT(result.protocol.products, 0u);
+  EXPECT_GT(result.protocol.total_bytes(), 0u);
+}
+
+TEST(SmcSvm, ProtocolCostScalesQuadratically) {
+  const auto split = cancer_split();
+  const auto run = [&](std::size_t n) {
+    std::vector<std::size_t> rows(n);
+    std::iota(rows.begin(), rows.end(), 0);
+    const auto partition =
+        data::partition_horizontally(split.train.subset(rows), 2, 3);
+    SmcSvmOptions options;
+    options.train.c = 1.0;
+    return train_smc_linear_svm(partition, options).protocol;
+  };
+  const auto small = run(40);
+  const auto large = run(80);
+  // Cross-owner pairs ~ (N/2)^2: doubling N should ~4x the protocol runs.
+  EXPECT_GT(large.products, 3 * small.products);
+  EXPECT_LT(large.products, 5 * small.products);
+}
+
+TEST(SmcSvm, KernelReconstructionAttackRecoversVictimRow) {
+  // The paper's §V warning, demonstrated: an adversary with k or more of
+  // its own rows plus the victim's Gram column recovers the victim's
+  // features exactly.
+  const auto split = cancer_split();
+  const std::size_t k = split.train.features();
+  std::vector<std::size_t> adversary_rows(k + 5);
+  std::iota(adversary_rows.begin(), adversary_rows.end(), 0);
+  const data::Dataset adversary = split.train.subset(adversary_rows);
+
+  const auto victim = split.train.x.row(100);
+  linalg::Vector gram_column(adversary.size());
+  for (std::size_t i = 0; i < adversary.size(); ++i)
+    gram_column[i] = linalg::dot(adversary.x.row(i), victim);
+
+  const linalg::Vector reconstructed =
+      kernel_reconstruction_attack(adversary.x, gram_column);
+  ASSERT_EQ(reconstructed.size(), k);
+  for (std::size_t j = 0; j < k; ++j)
+    EXPECT_NEAR(reconstructed[j], victim[j], 1e-6);
+}
+
+TEST(SmcSvm, AttackNeedsEnoughKnownRows) {
+  linalg::Matrix known(3, 5);  // 3 rows < 5 features
+  linalg::Vector column(3, 0.0);
+  EXPECT_THROW(kernel_reconstruction_attack(known, column), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ppml::baselines
