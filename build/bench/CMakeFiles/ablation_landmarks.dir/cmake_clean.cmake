@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_landmarks.dir/ablation_landmarks.cpp.o"
+  "CMakeFiles/ablation_landmarks.dir/ablation_landmarks.cpp.o.d"
+  "ablation_landmarks"
+  "ablation_landmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_landmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

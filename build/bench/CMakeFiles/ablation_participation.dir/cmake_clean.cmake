@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_participation.dir/ablation_participation.cpp.o"
+  "CMakeFiles/ablation_participation.dir/ablation_participation.cpp.o.d"
+  "ablation_participation"
+  "ablation_participation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_participation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

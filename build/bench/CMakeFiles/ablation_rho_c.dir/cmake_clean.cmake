@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rho_c.dir/ablation_rho_c.cpp.o"
+  "CMakeFiles/ablation_rho_c.dir/ablation_rho_c.cpp.o.d"
+  "ablation_rho_c"
+  "ablation_rho_c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rho_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

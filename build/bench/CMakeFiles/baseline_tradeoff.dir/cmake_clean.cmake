@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_tradeoff.dir/baseline_tradeoff.cpp.o"
+  "CMakeFiles/baseline_tradeoff.dir/baseline_tradeoff.cpp.o.d"
+  "baseline_tradeoff"
+  "baseline_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

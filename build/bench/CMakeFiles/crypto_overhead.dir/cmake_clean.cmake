@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_overhead.dir/crypto_overhead.cpp.o"
+  "CMakeFiles/crypto_overhead.dir/crypto_overhead.cpp.o.d"
+  "crypto_overhead"
+  "crypto_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

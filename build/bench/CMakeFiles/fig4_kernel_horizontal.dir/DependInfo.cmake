@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig4_kernel_horizontal.cpp" "bench/CMakeFiles/fig4_kernel_horizontal.dir/fig4_kernel_horizontal.cpp.o" "gcc" "bench/CMakeFiles/fig4_kernel_horizontal.dir/fig4_kernel_horizontal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ppml_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ppml_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/ppml_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/CMakeFiles/ppml_qp.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ppml_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ppml_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/ppml_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ppml_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

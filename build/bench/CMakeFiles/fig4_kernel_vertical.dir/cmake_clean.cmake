@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_kernel_vertical.dir/fig4_kernel_vertical.cpp.o"
+  "CMakeFiles/fig4_kernel_vertical.dir/fig4_kernel_vertical.cpp.o.d"
+  "fig4_kernel_vertical"
+  "fig4_kernel_vertical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_kernel_vertical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_linear_horizontal.dir/fig4_linear_horizontal.cpp.o"
+  "CMakeFiles/fig4_linear_horizontal.dir/fig4_linear_horizontal.cpp.o.d"
+  "fig4_linear_horizontal"
+  "fig4_linear_horizontal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_linear_horizontal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_linear_vertical.dir/fig4_linear_vertical.cpp.o"
+  "CMakeFiles/fig4_linear_vertical.dir/fig4_linear_vertical.cpp.o.d"
+  "fig4_linear_vertical"
+  "fig4_linear_vertical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_linear_vertical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

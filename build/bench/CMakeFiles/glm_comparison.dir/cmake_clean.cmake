@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glm_comparison.dir/glm_comparison.cpp.o"
+  "CMakeFiles/glm_comparison.dir/glm_comparison.cpp.o.d"
+  "glm_comparison"
+  "glm_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glm_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

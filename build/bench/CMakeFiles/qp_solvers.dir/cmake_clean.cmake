@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qp_solvers.dir/qp_solvers.cpp.o"
+  "CMakeFiles/qp_solvers.dir/qp_solvers.cpp.o.d"
+  "qp_solvers"
+  "qp_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qp_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smc_comparison.dir/smc_comparison.cpp.o"
+  "CMakeFiles/smc_comparison.dir/smc_comparison.cpp.o.d"
+  "smc_comparison"
+  "smc_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smc_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banks_vertical.dir/banks_vertical.cpp.o"
+  "CMakeFiles/banks_vertical.dir/banks_vertical.cpp.o.d"
+  "banks_vertical"
+  "banks_vertical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banks_vertical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hospitals_horizontal.dir/hospitals_horizontal.cpp.o"
+  "CMakeFiles/hospitals_horizontal.dir/hospitals_horizontal.cpp.o.d"
+  "hospitals_horizontal"
+  "hospitals_horizontal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hospitals_horizontal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

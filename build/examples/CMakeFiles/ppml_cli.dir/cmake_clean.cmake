@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppml_cli.dir/ppml_cli.cpp.o"
+  "CMakeFiles/ppml_cli.dir/ppml_cli.cpp.o.d"
+  "ppml_cli"
+  "ppml_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppml_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

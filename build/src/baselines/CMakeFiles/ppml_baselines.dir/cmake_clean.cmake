@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppml_baselines.dir/dp_output_perturbation.cpp.o"
+  "CMakeFiles/ppml_baselines.dir/dp_output_perturbation.cpp.o.d"
+  "CMakeFiles/ppml_baselines.dir/random_kernel.cpp.o"
+  "CMakeFiles/ppml_baselines.dir/random_kernel.cpp.o.d"
+  "CMakeFiles/ppml_baselines.dir/smc_svm.cpp.o"
+  "CMakeFiles/ppml_baselines.dir/smc_svm.cpp.o.d"
+  "libppml_baselines.a"
+  "libppml_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppml_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

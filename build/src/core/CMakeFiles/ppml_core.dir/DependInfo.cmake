@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster_trainers.cpp" "src/core/CMakeFiles/ppml_core.dir/cluster_trainers.cpp.o" "gcc" "src/core/CMakeFiles/ppml_core.dir/cluster_trainers.cpp.o.d"
+  "/root/repo/src/core/consensus.cpp" "src/core/CMakeFiles/ppml_core.dir/consensus.cpp.o" "gcc" "src/core/CMakeFiles/ppml_core.dir/consensus.cpp.o.d"
+  "/root/repo/src/core/feature_selection.cpp" "src/core/CMakeFiles/ppml_core.dir/feature_selection.cpp.o" "gcc" "src/core/CMakeFiles/ppml_core.dir/feature_selection.cpp.o.d"
+  "/root/repo/src/core/glm_horizontal.cpp" "src/core/CMakeFiles/ppml_core.dir/glm_horizontal.cpp.o" "gcc" "src/core/CMakeFiles/ppml_core.dir/glm_horizontal.cpp.o.d"
+  "/root/repo/src/core/glm_vertical.cpp" "src/core/CMakeFiles/ppml_core.dir/glm_vertical.cpp.o" "gcc" "src/core/CMakeFiles/ppml_core.dir/glm_vertical.cpp.o.d"
+  "/root/repo/src/core/kernel_horizontal.cpp" "src/core/CMakeFiles/ppml_core.dir/kernel_horizontal.cpp.o" "gcc" "src/core/CMakeFiles/ppml_core.dir/kernel_horizontal.cpp.o.d"
+  "/root/repo/src/core/linear_horizontal.cpp" "src/core/CMakeFiles/ppml_core.dir/linear_horizontal.cpp.o" "gcc" "src/core/CMakeFiles/ppml_core.dir/linear_horizontal.cpp.o.d"
+  "/root/repo/src/core/mapreduce_adapter.cpp" "src/core/CMakeFiles/ppml_core.dir/mapreduce_adapter.cpp.o" "gcc" "src/core/CMakeFiles/ppml_core.dir/mapreduce_adapter.cpp.o.d"
+  "/root/repo/src/core/multiclass_horizontal.cpp" "src/core/CMakeFiles/ppml_core.dir/multiclass_horizontal.cpp.o" "gcc" "src/core/CMakeFiles/ppml_core.dir/multiclass_horizontal.cpp.o.d"
+  "/root/repo/src/core/secure_prediction.cpp" "src/core/CMakeFiles/ppml_core.dir/secure_prediction.cpp.o" "gcc" "src/core/CMakeFiles/ppml_core.dir/secure_prediction.cpp.o.d"
+  "/root/repo/src/core/vertical.cpp" "src/core/CMakeFiles/ppml_core.dir/vertical.cpp.o" "gcc" "src/core/CMakeFiles/ppml_core.dir/vertical.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/ppml_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/CMakeFiles/ppml_qp.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/ppml_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ppml_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ppml_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/ppml_mapreduce.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

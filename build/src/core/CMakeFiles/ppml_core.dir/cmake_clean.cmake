@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppml_core.dir/cluster_trainers.cpp.o"
+  "CMakeFiles/ppml_core.dir/cluster_trainers.cpp.o.d"
+  "CMakeFiles/ppml_core.dir/consensus.cpp.o"
+  "CMakeFiles/ppml_core.dir/consensus.cpp.o.d"
+  "CMakeFiles/ppml_core.dir/feature_selection.cpp.o"
+  "CMakeFiles/ppml_core.dir/feature_selection.cpp.o.d"
+  "CMakeFiles/ppml_core.dir/glm_horizontal.cpp.o"
+  "CMakeFiles/ppml_core.dir/glm_horizontal.cpp.o.d"
+  "CMakeFiles/ppml_core.dir/glm_vertical.cpp.o"
+  "CMakeFiles/ppml_core.dir/glm_vertical.cpp.o.d"
+  "CMakeFiles/ppml_core.dir/kernel_horizontal.cpp.o"
+  "CMakeFiles/ppml_core.dir/kernel_horizontal.cpp.o.d"
+  "CMakeFiles/ppml_core.dir/linear_horizontal.cpp.o"
+  "CMakeFiles/ppml_core.dir/linear_horizontal.cpp.o.d"
+  "CMakeFiles/ppml_core.dir/mapreduce_adapter.cpp.o"
+  "CMakeFiles/ppml_core.dir/mapreduce_adapter.cpp.o.d"
+  "CMakeFiles/ppml_core.dir/multiclass_horizontal.cpp.o"
+  "CMakeFiles/ppml_core.dir/multiclass_horizontal.cpp.o.d"
+  "CMakeFiles/ppml_core.dir/secure_prediction.cpp.o"
+  "CMakeFiles/ppml_core.dir/secure_prediction.cpp.o.d"
+  "CMakeFiles/ppml_core.dir/vertical.cpp.o"
+  "CMakeFiles/ppml_core.dir/vertical.cpp.o.d"
+  "libppml_core.a"
+  "libppml_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppml_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

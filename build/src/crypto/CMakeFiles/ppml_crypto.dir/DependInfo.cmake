@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/dh.cpp" "src/crypto/CMakeFiles/ppml_crypto.dir/dh.cpp.o" "gcc" "src/crypto/CMakeFiles/ppml_crypto.dir/dh.cpp.o.d"
+  "/root/repo/src/crypto/dropout_recovery.cpp" "src/crypto/CMakeFiles/ppml_crypto.dir/dropout_recovery.cpp.o" "gcc" "src/crypto/CMakeFiles/ppml_crypto.dir/dropout_recovery.cpp.o.d"
+  "/root/repo/src/crypto/fixed_point.cpp" "src/crypto/CMakeFiles/ppml_crypto.dir/fixed_point.cpp.o" "gcc" "src/crypto/CMakeFiles/ppml_crypto.dir/fixed_point.cpp.o.d"
+  "/root/repo/src/crypto/modmath.cpp" "src/crypto/CMakeFiles/ppml_crypto.dir/modmath.cpp.o" "gcc" "src/crypto/CMakeFiles/ppml_crypto.dir/modmath.cpp.o.d"
+  "/root/repo/src/crypto/paillier.cpp" "src/crypto/CMakeFiles/ppml_crypto.dir/paillier.cpp.o" "gcc" "src/crypto/CMakeFiles/ppml_crypto.dir/paillier.cpp.o.d"
+  "/root/repo/src/crypto/prng.cpp" "src/crypto/CMakeFiles/ppml_crypto.dir/prng.cpp.o" "gcc" "src/crypto/CMakeFiles/ppml_crypto.dir/prng.cpp.o.d"
+  "/root/repo/src/crypto/secret_sharing.cpp" "src/crypto/CMakeFiles/ppml_crypto.dir/secret_sharing.cpp.o" "gcc" "src/crypto/CMakeFiles/ppml_crypto.dir/secret_sharing.cpp.o.d"
+  "/root/repo/src/crypto/secure_dot.cpp" "src/crypto/CMakeFiles/ppml_crypto.dir/secure_dot.cpp.o" "gcc" "src/crypto/CMakeFiles/ppml_crypto.dir/secure_dot.cpp.o.d"
+  "/root/repo/src/crypto/secure_sum.cpp" "src/crypto/CMakeFiles/ppml_crypto.dir/secure_sum.cpp.o" "gcc" "src/crypto/CMakeFiles/ppml_crypto.dir/secure_sum.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/ppml_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppml_crypto.dir/dh.cpp.o"
+  "CMakeFiles/ppml_crypto.dir/dh.cpp.o.d"
+  "CMakeFiles/ppml_crypto.dir/dropout_recovery.cpp.o"
+  "CMakeFiles/ppml_crypto.dir/dropout_recovery.cpp.o.d"
+  "CMakeFiles/ppml_crypto.dir/fixed_point.cpp.o"
+  "CMakeFiles/ppml_crypto.dir/fixed_point.cpp.o.d"
+  "CMakeFiles/ppml_crypto.dir/modmath.cpp.o"
+  "CMakeFiles/ppml_crypto.dir/modmath.cpp.o.d"
+  "CMakeFiles/ppml_crypto.dir/paillier.cpp.o"
+  "CMakeFiles/ppml_crypto.dir/paillier.cpp.o.d"
+  "CMakeFiles/ppml_crypto.dir/prng.cpp.o"
+  "CMakeFiles/ppml_crypto.dir/prng.cpp.o.d"
+  "CMakeFiles/ppml_crypto.dir/secret_sharing.cpp.o"
+  "CMakeFiles/ppml_crypto.dir/secret_sharing.cpp.o.d"
+  "CMakeFiles/ppml_crypto.dir/secure_dot.cpp.o"
+  "CMakeFiles/ppml_crypto.dir/secure_dot.cpp.o.d"
+  "CMakeFiles/ppml_crypto.dir/secure_sum.cpp.o"
+  "CMakeFiles/ppml_crypto.dir/secure_sum.cpp.o.d"
+  "libppml_crypto.a"
+  "libppml_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppml_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppml_data.dir/dataset.cpp.o"
+  "CMakeFiles/ppml_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/ppml_data.dir/generators.cpp.o"
+  "CMakeFiles/ppml_data.dir/generators.cpp.o.d"
+  "CMakeFiles/ppml_data.dir/io.cpp.o"
+  "CMakeFiles/ppml_data.dir/io.cpp.o.d"
+  "CMakeFiles/ppml_data.dir/partition.cpp.o"
+  "CMakeFiles/ppml_data.dir/partition.cpp.o.d"
+  "CMakeFiles/ppml_data.dir/standardize.cpp.o"
+  "CMakeFiles/ppml_data.dir/standardize.cpp.o.d"
+  "libppml_data.a"
+  "libppml_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppml_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

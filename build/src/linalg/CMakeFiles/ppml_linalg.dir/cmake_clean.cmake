@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppml_linalg.dir/blas.cpp.o"
+  "CMakeFiles/ppml_linalg.dir/blas.cpp.o.d"
+  "CMakeFiles/ppml_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/ppml_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/ppml_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/ppml_linalg.dir/matrix.cpp.o.d"
+  "libppml_linalg.a"
+  "libppml_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppml_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

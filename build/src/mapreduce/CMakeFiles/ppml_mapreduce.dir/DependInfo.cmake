@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapreduce/blockstore.cpp" "src/mapreduce/CMakeFiles/ppml_mapreduce.dir/blockstore.cpp.o" "gcc" "src/mapreduce/CMakeFiles/ppml_mapreduce.dir/blockstore.cpp.o.d"
+  "/root/repo/src/mapreduce/cluster.cpp" "src/mapreduce/CMakeFiles/ppml_mapreduce.dir/cluster.cpp.o" "gcc" "src/mapreduce/CMakeFiles/ppml_mapreduce.dir/cluster.cpp.o.d"
+  "/root/repo/src/mapreduce/counters.cpp" "src/mapreduce/CMakeFiles/ppml_mapreduce.dir/counters.cpp.o" "gcc" "src/mapreduce/CMakeFiles/ppml_mapreduce.dir/counters.cpp.o.d"
+  "/root/repo/src/mapreduce/executor.cpp" "src/mapreduce/CMakeFiles/ppml_mapreduce.dir/executor.cpp.o" "gcc" "src/mapreduce/CMakeFiles/ppml_mapreduce.dir/executor.cpp.o.d"
+  "/root/repo/src/mapreduce/iterative_job.cpp" "src/mapreduce/CMakeFiles/ppml_mapreduce.dir/iterative_job.cpp.o" "gcc" "src/mapreduce/CMakeFiles/ppml_mapreduce.dir/iterative_job.cpp.o.d"
+  "/root/repo/src/mapreduce/network.cpp" "src/mapreduce/CMakeFiles/ppml_mapreduce.dir/network.cpp.o" "gcc" "src/mapreduce/CMakeFiles/ppml_mapreduce.dir/network.cpp.o.d"
+  "/root/repo/src/mapreduce/serde.cpp" "src/mapreduce/CMakeFiles/ppml_mapreduce.dir/serde.cpp.o" "gcc" "src/mapreduce/CMakeFiles/ppml_mapreduce.dir/serde.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/ppml_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ppml_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

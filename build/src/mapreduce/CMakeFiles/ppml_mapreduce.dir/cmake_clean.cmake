@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppml_mapreduce.dir/blockstore.cpp.o"
+  "CMakeFiles/ppml_mapreduce.dir/blockstore.cpp.o.d"
+  "CMakeFiles/ppml_mapreduce.dir/cluster.cpp.o"
+  "CMakeFiles/ppml_mapreduce.dir/cluster.cpp.o.d"
+  "CMakeFiles/ppml_mapreduce.dir/counters.cpp.o"
+  "CMakeFiles/ppml_mapreduce.dir/counters.cpp.o.d"
+  "CMakeFiles/ppml_mapreduce.dir/executor.cpp.o"
+  "CMakeFiles/ppml_mapreduce.dir/executor.cpp.o.d"
+  "CMakeFiles/ppml_mapreduce.dir/iterative_job.cpp.o"
+  "CMakeFiles/ppml_mapreduce.dir/iterative_job.cpp.o.d"
+  "CMakeFiles/ppml_mapreduce.dir/network.cpp.o"
+  "CMakeFiles/ppml_mapreduce.dir/network.cpp.o.d"
+  "CMakeFiles/ppml_mapreduce.dir/serde.cpp.o"
+  "CMakeFiles/ppml_mapreduce.dir/serde.cpp.o.d"
+  "libppml_mapreduce.a"
+  "libppml_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppml_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qp/box_qp.cpp" "src/qp/CMakeFiles/ppml_qp.dir/box_qp.cpp.o" "gcc" "src/qp/CMakeFiles/ppml_qp.dir/box_qp.cpp.o.d"
+  "/root/repo/src/qp/diagonal_qp.cpp" "src/qp/CMakeFiles/ppml_qp.dir/diagonal_qp.cpp.o" "gcc" "src/qp/CMakeFiles/ppml_qp.dir/diagonal_qp.cpp.o.d"
+  "/root/repo/src/qp/projected_gradient.cpp" "src/qp/CMakeFiles/ppml_qp.dir/projected_gradient.cpp.o" "gcc" "src/qp/CMakeFiles/ppml_qp.dir/projected_gradient.cpp.o.d"
+  "/root/repo/src/qp/smo.cpp" "src/qp/CMakeFiles/ppml_qp.dir/smo.cpp.o" "gcc" "src/qp/CMakeFiles/ppml_qp.dir/smo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/ppml_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppml_qp.dir/box_qp.cpp.o"
+  "CMakeFiles/ppml_qp.dir/box_qp.cpp.o.d"
+  "CMakeFiles/ppml_qp.dir/diagonal_qp.cpp.o"
+  "CMakeFiles/ppml_qp.dir/diagonal_qp.cpp.o.d"
+  "CMakeFiles/ppml_qp.dir/projected_gradient.cpp.o"
+  "CMakeFiles/ppml_qp.dir/projected_gradient.cpp.o.d"
+  "CMakeFiles/ppml_qp.dir/smo.cpp.o"
+  "CMakeFiles/ppml_qp.dir/smo.cpp.o.d"
+  "libppml_qp.a"
+  "libppml_qp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppml_qp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libppml_qp.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/svm/cross_validation.cpp" "src/svm/CMakeFiles/ppml_svm.dir/cross_validation.cpp.o" "gcc" "src/svm/CMakeFiles/ppml_svm.dir/cross_validation.cpp.o.d"
+  "/root/repo/src/svm/kernel.cpp" "src/svm/CMakeFiles/ppml_svm.dir/kernel.cpp.o" "gcc" "src/svm/CMakeFiles/ppml_svm.dir/kernel.cpp.o.d"
+  "/root/repo/src/svm/metrics.cpp" "src/svm/CMakeFiles/ppml_svm.dir/metrics.cpp.o" "gcc" "src/svm/CMakeFiles/ppml_svm.dir/metrics.cpp.o.d"
+  "/root/repo/src/svm/model.cpp" "src/svm/CMakeFiles/ppml_svm.dir/model.cpp.o" "gcc" "src/svm/CMakeFiles/ppml_svm.dir/model.cpp.o.d"
+  "/root/repo/src/svm/multiclass.cpp" "src/svm/CMakeFiles/ppml_svm.dir/multiclass.cpp.o" "gcc" "src/svm/CMakeFiles/ppml_svm.dir/multiclass.cpp.o.d"
+  "/root/repo/src/svm/trainer.cpp" "src/svm/CMakeFiles/ppml_svm.dir/trainer.cpp.o" "gcc" "src/svm/CMakeFiles/ppml_svm.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/ppml_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/CMakeFiles/ppml_qp.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ppml_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppml_svm.dir/cross_validation.cpp.o"
+  "CMakeFiles/ppml_svm.dir/cross_validation.cpp.o.d"
+  "CMakeFiles/ppml_svm.dir/kernel.cpp.o"
+  "CMakeFiles/ppml_svm.dir/kernel.cpp.o.d"
+  "CMakeFiles/ppml_svm.dir/metrics.cpp.o"
+  "CMakeFiles/ppml_svm.dir/metrics.cpp.o.d"
+  "CMakeFiles/ppml_svm.dir/model.cpp.o"
+  "CMakeFiles/ppml_svm.dir/model.cpp.o.d"
+  "CMakeFiles/ppml_svm.dir/multiclass.cpp.o"
+  "CMakeFiles/ppml_svm.dir/multiclass.cpp.o.d"
+  "CMakeFiles/ppml_svm.dir/trainer.cpp.o"
+  "CMakeFiles/ppml_svm.dir/trainer.cpp.o.d"
+  "libppml_svm.a"
+  "libppml_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppml_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

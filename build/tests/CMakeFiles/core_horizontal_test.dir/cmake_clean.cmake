@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_horizontal_test.dir/core_horizontal_test.cpp.o"
+  "CMakeFiles/core_horizontal_test.dir/core_horizontal_test.cpp.o.d"
+  "core_horizontal_test"
+  "core_horizontal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_horizontal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

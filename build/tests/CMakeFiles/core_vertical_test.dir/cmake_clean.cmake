@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_vertical_test.dir/core_vertical_test.cpp.o"
+  "CMakeFiles/core_vertical_test.dir/core_vertical_test.cpp.o.d"
+  "core_vertical_test"
+  "core_vertical_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_vertical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dropout_recovery_test.dir/dropout_recovery_test.cpp.o"
+  "CMakeFiles/dropout_recovery_test.dir/dropout_recovery_test.cpp.o.d"
+  "dropout_recovery_test"
+  "dropout_recovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dropout_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glm_test.dir/glm_test.cpp.o"
+  "CMakeFiles/glm_test.dir/glm_test.cpp.o.d"
+  "glm_test"
+  "glm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_dot_test.dir/secure_dot_test.cpp.o"
+  "CMakeFiles/secure_dot_test.dir/secure_dot_test.cpp.o.d"
+  "secure_dot_test"
+  "secure_dot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_dot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
