@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure + build + full test suite, then the
+# fault-tolerance-critical suites again under AddressSanitizer +
+# UndefinedBehaviorSanitizer (the chaos paths exercise threads, retries and
+# ring arithmetic — exactly where ASan/UBSan earn their keep).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j"$jobs"
+ctest --test-dir build --output-on-failure -j"$jobs"
+
+cmake -B build-asan -S . -DPPML_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j"$jobs" --target mapreduce_test chaos_test \
+  dropout_recovery_test
+./build-asan/tests/mapreduce_test
+./build-asan/tests/chaos_test
+./build-asan/tests/dropout_recovery_test
+
+echo "verify: OK"

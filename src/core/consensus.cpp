@@ -4,6 +4,8 @@
 #include <future>
 #include <thread>
 
+#include "crypto/dropout_recovery.h"
+
 namespace ppml::core {
 
 ConsensusRunResult run_consensus_in_memory(
@@ -140,6 +142,105 @@ ConsensusRunResult run_consensus_partial_participation(
           contribution, round, participants));
     }
     broadcast = coordinator.combine(aggregator.average());
+    ++result.iterations;
+    if (observer) observer(round);
+    if (params.convergence_tolerance > 0.0 &&
+        coordinator.last_delta_sq() <= params.convergence_tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+ConsensusRunResult run_consensus_with_dropout(
+    std::vector<std::shared_ptr<ConsensusLearner>>& learners,
+    ConsensusCoordinator& coordinator, const AdmmParams& params,
+    const DropoutSchedule& schedule, const RoundObserver& observer) {
+  const std::size_t m = learners.size();
+  PPML_CHECK(m >= 3, "dropout consensus: need >= 3 learners (Shamir)");
+  PPML_CHECK(params.mask_variant == crypto::MaskVariant::kSeededMasks,
+             "dropout consensus: requires the seeded-mask variant");
+  const std::size_t dim = learners.front()->contribution_dim();
+  for (const auto& learner : learners)
+    PPML_CHECK(learner->contribution_dim() == dim,
+               "dropout consensus: contribution dims differ");
+
+  const crypto::FixedPointCodec codec(params.fixed_point_bits, m);
+  const auto seeds = crypto::agree_pairwise_seeds(m, params.protocol_seed);
+  std::vector<crypto::SecureSumParty> parties;
+  parties.reserve(m);
+  for (std::size_t i = 0; i < m; ++i)
+    parties.emplace_back(i, m, codec, seeds[i]);
+
+  const std::size_t threshold =
+      schedule.threshold != 0
+          ? schedule.threshold
+          : std::clamp<std::size_t>(m / 2 + 1, 2, m - 1);
+  const crypto::DropoutRecoverySession session(seeds, threshold,
+                                               schedule.sharing_seed);
+
+  std::vector<std::size_t> live(m);
+  for (std::size_t i = 0; i < m; ++i) live[i] = i;
+
+  ConsensusRunResult result;
+  Vector broadcast;
+  for (std::size_t round = 0; round < params.max_iterations; ++round) {
+    // Everyone currently live masks against exactly the live set.
+    std::vector<std::vector<std::uint64_t>> masked(m);
+    for (std::size_t i : live) {
+      masked[i] = parties[i].masked_contribution_subset(
+          learners[i]->local_step(broadcast), round, live);
+    }
+
+    // Scheduled post-mask drops: the victims' contributions vanish but
+    // their pairwise masks are already inside the survivors' vectors.
+    std::vector<std::size_t> dropped;
+    if (const auto it = schedule.drops.find(round);
+        it != schedule.drops.end()) {
+      for (std::size_t d : it->second)
+        if (std::find(live.begin(), live.end(), d) != live.end())
+          dropped.push_back(d);
+    }
+    std::vector<std::size_t> survivors;
+    for (std::size_t i : live)
+      if (std::find(dropped.begin(), dropped.end(), i) == dropped.end())
+        survivors.push_back(i);
+    PPML_CHECK(survivors.size() >= 2,
+               "dropout consensus: fewer than 2 survivors");
+    if (!dropped.empty())
+      PPML_CHECK(survivors.size() >= threshold,
+                 "dropout consensus: not enough survivors to reconstruct");
+
+    std::vector<std::uint64_t> acc(dim, 0);
+    for (std::size_t i : survivors) crypto::ring_add_inplace(acc, masked[i]);
+    for (std::size_t d : dropped) {
+      // Reducer side: `threshold` survivors reveal their shares of the
+      // dropped party's seeds; reconstruct and strip the stale masks.
+      std::vector<std::uint64_t> reconstructed(m, 0);
+      for (std::size_t j : survivors) {
+        std::vector<crypto::ShamirShare> shares;
+        for (std::size_t h = 0; h < threshold; ++h)
+          shares.push_back(session.share(survivors[h], d, j));
+        reconstructed[j] =
+            crypto::DropoutRecoverySession::reconstruct_seed(shares);
+      }
+      crypto::ring_add_inplace(
+          acc, crypto::DropoutRecoverySession::mask_correction(
+                   d, survivors, reconstructed, round, dim));
+    }
+    const std::vector<double> sum = codec.decode_vector(acc);
+    Vector average(dim);
+    for (std::size_t j = 0; j < dim; ++j)
+      average[j] = sum[j] / static_cast<double>(survivors.size());
+
+    if (!dropped.empty()) {
+      live = survivors;
+      for (std::size_t i : live)
+        learners[i]->on_cohort_resize(live.size());
+    }
+
+    broadcast = coordinator.combine(average);
     ++result.iterations;
     if (observer) observer(round);
     if (params.convergence_tolerance > 0.0 &&

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 
 #include "core/params.h"
@@ -39,6 +40,16 @@ class ConsensusLearner {
   /// protocol will average with all peers' — the individual vector is never
   /// revealed to anyone.
   virtual Vector local_step(const Vector& broadcast) = 0;
+
+  /// The cohort shrank (learner dropout) or grew back (rejoin): from the
+  /// next local_step on, the consensus average runs over `live_learners`
+  /// parties. Schemes whose local objective depends on M (e.g. the linear
+  /// horizontal dual's a = M / (1 + rho M)) re-derive those terms here so
+  /// the degraded consensus stays a faithful M'-party ADMM. Default: no-op
+  /// (schemes whose local step is M-free).
+  virtual void on_cohort_resize(std::size_t live_learners) {
+    (void)live_learners;
+  }
 };
 
 /// Reduce() side minus the secure sum: consumes the average, produces the
@@ -82,5 +93,27 @@ ConsensusRunResult run_consensus_partial_participation(
     ConsensusCoordinator& coordinator, const AdmmParams& params,
     std::size_t participants_per_round, std::uint64_t sampling_seed,
     const RoundObserver& observer = nullptr);
+
+/// Scheduled PERMANENT dropouts for run_consensus_with_dropout. Parties in
+/// drops[r] fail at round r *after* computing their masked contribution
+/// (the worst case: their pairwise masks are woven into the survivors'
+/// vectors and must be corrected via seed reconstruction).
+struct DropoutSchedule {
+  std::map<std::size_t, std::vector<std::size_t>> drops;  ///< round -> parties
+  std::size_t threshold = 0;  ///< Shamir threshold; 0 = clamp(M/2+1, 2, M-1)
+  std::uint64_t sharing_seed = 0xD509;
+};
+
+/// In-memory driver with graceful degradation — the unit-testable reference
+/// for the cluster's dropout-recovery path. Every round masks against the
+/// current live set; when a scheduled party drops post-mask, the reducer
+/// logic reconstructs its pairwise seeds from the Shamir shares, corrects
+/// the ring sum, and the consensus continues as an exact M'-party ADMM
+/// (survivors are told via on_cohort_resize). Requires kSeededMasks and
+/// M >= 3; at least two parties must survive the whole schedule.
+ConsensusRunResult run_consensus_with_dropout(
+    std::vector<std::shared_ptr<ConsensusLearner>>& learners,
+    ConsensusCoordinator& coordinator, const AdmmParams& params,
+    const DropoutSchedule& schedule, const RoundObserver& observer = nullptr);
 
 }  // namespace ppml::core

@@ -44,6 +44,15 @@ LinearHorizontalLearner::LinearHorizontalLearner(data::Dataset shard,
   lambda_.assign(shard_.size(), 0.0);
 }
 
+void LinearHorizontalLearner::on_cohort_resize(std::size_t live_learners) {
+  PPML_CHECK(live_learners >= 2,
+             "LinearHorizontalLearner: cohort must keep >= 2 learners");
+  if (live_learners == m_) return;
+  m_ = live_learners;
+  a_ = static_cast<double>(m_) / (1.0 + rho_ * static_cast<double>(m_));
+  solver_ = qp::BoxQpSolver(build_dual_q(shard_, a_, rho_), 0.0, c_);
+}
+
 Vector LinearHorizontalLearner::local_step(const Vector& broadcast) {
   const std::size_t n = shard_.size();
 

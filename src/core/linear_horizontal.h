@@ -31,6 +31,12 @@ class LinearHorizontalLearner final : public ConsensusLearner {
   std::size_t contribution_dim() const override { return features_ + 1; }
   Vector local_step(const Vector& broadcast) override;
 
+  /// Dropout/rejoin reweighting: the dual scaling a = M / (1 + rho M)
+  /// depends on the cohort size, so the Q matrix is rebuilt for M' live
+  /// learners. ADMM state (w, gamma, lambda warm start) carries over — the
+  /// run continues as an exact M'-party consensus.
+  void on_cohort_resize(std::size_t live_learners) override;
+
   // Introspection for tests and model assembly.
   const Vector& w() const noexcept { return w_; }
   double b() const noexcept { return b_; }

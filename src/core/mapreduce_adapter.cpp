@@ -1,7 +1,9 @@
 #include "core/mapreduce_adapter.h"
 
+#include <algorithm>
 #include <optional>
 
+#include "crypto/dropout_recovery.h"
 #include "data/dataset.h"
 
 namespace ppml::core {
@@ -24,6 +26,24 @@ Vector deserialize_doubles(const Bytes& payload) {
   return reader.get_double_vector();
 }
 
+/// Session key for key-agreement epoch `epoch` (epoch 0 == the setup run:
+/// mappers and reducer derive identical seed matrices independently).
+std::uint64_t epoch_key(std::uint64_t base, std::size_t epoch) {
+  return base ^ (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(epoch));
+}
+
+/// Seed for the Shamir sharing polynomials of epoch `epoch`.
+std::uint64_t epoch_sharing_seed(std::uint64_t base, std::size_t epoch) {
+  return (base * 0xBF58476D1CE4E5B9ULL) ^
+         (0x94D049BB133111EBULL * static_cast<std::uint64_t>(epoch)) ^
+         0xD509ULL;
+}
+
+std::size_t auto_threshold(std::size_t m, std::size_t requested) {
+  if (requested != 0) return requested;
+  return std::clamp<std::size_t>(m / 2 + 1, 2, m - 1);
+}
+
 /// Map() participant: loads its shard data-locally, runs the learner, and
 /// only ever emits masked contributions.
 class SecureConsensusMapper final : public mapreduce::IterativeMapper {
@@ -34,10 +54,14 @@ class SecureConsensusMapper final : public mapreduce::IterativeMapper {
                         crypto::FixedPointCodec codec,
                         std::vector<std::uint64_t> pairwise_seeds)
       : index_(index),
+        num_learners_(num_learners),
         home_block_(home_block),
         factory_(std::move(factory)),
         variant_(params.mask_variant),
+        protocol_seed_(params.protocol_seed),
         codec_(codec) {
+    live_.resize(num_learners);
+    for (std::size_t i = 0; i < num_learners; ++i) live_[i] = i;
     if (variant_ == crypto::MaskVariant::kSeededMasks) {
       party_.emplace(index, num_learners, codec, std::move(pairwise_seeds));
     } else {
@@ -54,6 +78,22 @@ class SecureConsensusMapper final : public mapreduce::IterativeMapper {
     learner_ = factory_(payload, index_);
     PPML_CHECK(learner_ != nullptr,
                "SecureConsensusMapper: factory returned null");
+    if (live_.size() != num_learners_)
+      learner_->on_cohort_resize(live_.size());
+  }
+
+  void on_membership_change(const std::vector<std::size_t>& live,
+                            std::size_t epoch) override {
+    if (variant_ == crypto::MaskVariant::kSeededMasks && epoch != epoch_) {
+      // A peer rejoined: everyone re-runs key agreement under the epoch's
+      // session key (the reducer burned the old seeds reconstructing them).
+      epoch_ = epoch;
+      const auto seeds = crypto::agree_pairwise_seeds(
+          num_learners_, epoch_key(protocol_seed_, epoch));
+      party_.emplace(index_, num_learners_, codec_, seeds[index_]);
+    }
+    live_ = live;
+    if (learner_ != nullptr) learner_->on_cohort_resize(live_.size());
   }
 
   std::vector<std::pair<std::size_t, Bytes>> exchange(
@@ -79,7 +119,13 @@ class SecureConsensusMapper final : public mapreduce::IterativeMapper {
 
     std::vector<std::uint64_t> masked;
     if (variant_ == crypto::MaskVariant::kSeededMasks) {
-      masked = party_->masked_contribution(contribution, round);
+      // Against a shrunken cohort, mask only over the live set — exactly
+      // the partial-participation algebra, so the survivors' masks cancel
+      // without any reducer-side correction.
+      masked = live_.size() < num_learners_
+                   ? party_->masked_contribution_subset(contribution, round,
+                                                        live_)
+                   : party_->masked_contribution(contribution, round);
     } else {
       std::vector<std::vector<std::uint64_t>> received(peer_messages.size());
       for (std::size_t j = 0; j < peer_messages.size(); ++j) {
@@ -96,36 +142,73 @@ class SecureConsensusMapper final : public mapreduce::IterativeMapper {
 
  private:
   std::size_t index_;
+  std::size_t num_learners_;
   mapreduce::BlockId home_block_;
   LearnerFactory factory_;
   crypto::MaskVariant variant_;
+  std::uint64_t protocol_seed_;
   crypto::FixedPointCodec codec_;
   std::optional<crypto::SecureSumParty> party_;
   std::shared_ptr<ConsensusLearner> learner_;
+  std::vector<std::size_t> live_;  ///< current cohort (sorted, includes self)
+  std::size_t epoch_ = 0;          ///< key-agreement epoch
 };
 
-/// Reduce() participant: secure aggregation + coordinator + convergence.
+/// Reduce() participant: secure aggregation + coordinator + convergence,
+/// plus the dropout-recovery bookkeeping. The reducer tracks the set the
+/// current round's masks were generated against (mask_set_); when a
+/// contribution is missing from that set, it reconstructs the dropped
+/// party's pairwise seeds from Shamir shares, strips the survivors'
+/// uncancelled mask terms, and averages over M' survivors.
 class SecureConsensusReducer final : public mapreduce::IterativeReducer {
  public:
   SecureConsensusReducer(ConsensusCoordinator& coordinator,
                          std::size_t num_learners,
-                         crypto::FixedPointCodec codec, double tolerance,
-                         std::vector<double>& delta_trace)
+                         crypto::FixedPointCodec codec,
+                         const AdmmParams& params, bool tolerate_loss,
+                         std::vector<double>& delta_trace,
+                         std::vector<DropoutEvent>& dropout_events)
       : coordinator_(coordinator),
         num_learners_(num_learners),
         codec_(codec),
-        tolerance_(tolerance),
-        delta_trace_(delta_trace) {}
+        variant_(params.mask_variant),
+        protocol_seed_(params.protocol_seed),
+        threshold_request_(params.dropout_threshold),
+        tolerance_(params.convergence_tolerance),
+        tolerate_loss_(tolerate_loss),
+        delta_trace_(delta_trace),
+        dropout_events_(dropout_events) {
+    mask_set_.resize(num_learners);
+    for (std::size_t i = 0; i < num_learners; ++i) mask_set_[i] = i;
+    rebuild_session();
+  }
 
   Bytes reduce(std::size_t round,
                const std::vector<Bytes>& contributions) override {
-    (void)round;
-    crypto::SecureSumAggregator aggregator(num_learners_, codec_);
-    for (const Bytes& payload : contributions) {
-      Reader reader(payload);
-      aggregator.add(reader.get_u64_vector());
+    // Who the masks were generated against vs. who actually delivered.
+    std::vector<std::size_t> present;
+    for (std::size_t i : mask_set_) {
+      if (i < contributions.size() && !contributions[i].empty())
+        present.push_back(i);
     }
-    const Vector broadcast = coordinator_.combine(aggregator.average());
+    PPML_CHECK(!present.empty(), "SecureConsensusReducer: empty round");
+
+    Vector average;
+    if (present.size() == mask_set_.size()) {
+      // Complete round (over the full cohort or a pre-shrunken subset —
+      // either way the pairwise masks cancel on their own).
+      crypto::SecureSumAggregator aggregator(present.size(), codec_);
+      for (std::size_t i : present) {
+        Reader reader(contributions[i]);
+        aggregator.add(reader.get_u64_vector());
+      }
+      average = aggregator.average();
+    } else {
+      average = recover(round, present, contributions);
+    }
+
+    mask_set_ = present;
+    const Vector broadcast = coordinator_.combine(average);
     delta_trace_.push_back(coordinator_.last_delta_sq());
     converged_ =
         tolerance_ > 0.0 && coordinator_.last_delta_sq() <= tolerance_;
@@ -134,12 +217,110 @@ class SecureConsensusReducer final : public mapreduce::IterativeReducer {
 
   bool converged() const override { return converged_; }
 
+  void on_mapper_lost(std::size_t round, std::size_t mapper,
+                      bool masked_this_round) override {
+    DropoutEvent event;
+    event.round = round;
+    event.mapper = mapper;
+    event.corrected = masked_this_round;
+    dropout_events_.push_back(std::move(event));
+  }
+
+  void on_membership_change(const std::vector<std::size_t>& live,
+                            std::size_t epoch) override {
+    if (epoch != epoch_) {
+      epoch_ = epoch;
+      rebuild_session();
+    }
+    mask_set_ = live;
+  }
+
  private:
+  /// (Re-)derive the epoch's seed matrix and Shamir-share it. The reducer
+  /// can do this independently because key agreement is deterministic in
+  /// the session key — in deployment it would instead collect the shares
+  /// each party distributes at setup.
+  void rebuild_session() {
+    session_.reset();
+    if (!tolerate_loss_ || variant_ != crypto::MaskVariant::kSeededMasks ||
+        num_learners_ < 3)
+      return;
+    const auto seeds = crypto::agree_pairwise_seeds(
+        num_learners_, epoch_key(protocol_seed_, epoch_));
+    session_.emplace(seeds, auto_threshold(num_learners_, threshold_request_),
+                     epoch_sharing_seed(protocol_seed_, epoch_));
+  }
+
+  /// The survivors' masked sum still contains their pairwise masks with
+  /// every party that vanished after masking. Reconstruct those parties'
+  /// seeds and strip the stale terms; the result is the EXACT sum over
+  /// `present` (tests assert bit-equality with the plaintext survivor sum).
+  Vector recover(std::size_t round, const std::vector<std::size_t>& present,
+                 const std::vector<Bytes>& contributions) {
+    PPML_CHECK(session_.has_value(),
+               "SecureConsensusReducer: contribution missing mid-round but "
+               "dropout recovery is not armed (requires "
+               "tolerate_mapper_loss, kSeededMasks and M >= 3)");
+    PPML_CHECK(present.size() >= session_->threshold(),
+               "SecureConsensusReducer: fewer survivors than the Shamir "
+               "threshold — cannot reconstruct the dropped seeds");
+    std::vector<std::size_t> dropped;
+    for (std::size_t i : mask_set_) {
+      if (std::find(present.begin(), present.end(), i) == present.end())
+        dropped.push_back(i);
+    }
+
+    std::vector<std::uint64_t> acc;
+    for (std::size_t i : present) {
+      Reader reader(contributions[i]);
+      const auto v = reader.get_u64_vector();
+      if (acc.empty()) acc.assign(v.size(), 0);
+      PPML_CHECK(acc.size() == v.size(),
+                 "SecureConsensusReducer: contribution dims differ");
+      crypto::ring_add_inplace(acc, v);
+    }
+    for (std::size_t d : dropped) {
+      std::vector<std::uint64_t> reconstructed(num_learners_, 0);
+      for (std::size_t j : present) {
+        std::vector<crypto::ShamirShare> shares;
+        shares.reserve(session_->threshold());
+        for (std::size_t h = 0; h < session_->threshold(); ++h)
+          shares.push_back(session_->share(present[h], d, j));
+        reconstructed[j] =
+            crypto::DropoutRecoverySession::reconstruct_seed(shares);
+      }
+      crypto::ring_add_inplace(
+          acc, crypto::DropoutRecoverySession::mask_correction(
+                   d, present, reconstructed, round, acc.size()));
+    }
+
+    const std::vector<double> sum = codec_.decode_vector(acc);
+    for (DropoutEvent& event : dropout_events_) {
+      if (event.round == round && event.corrected &&
+          event.corrected_sum.empty()) {
+        event.survivors = present;
+        event.corrected_sum = sum;
+      }
+    }
+    Vector average(sum.size());
+    for (std::size_t j = 0; j < sum.size(); ++j)
+      average[j] = sum[j] / static_cast<double>(present.size());
+    return average;
+  }
+
   ConsensusCoordinator& coordinator_;
   std::size_t num_learners_;
   crypto::FixedPointCodec codec_;
+  crypto::MaskVariant variant_;
+  std::uint64_t protocol_seed_;
+  std::size_t threshold_request_;
   double tolerance_;
+  bool tolerate_loss_;
   std::vector<double>& delta_trace_;
+  std::vector<DropoutEvent>& dropout_events_;
+  std::vector<std::size_t> mask_set_;  ///< set this round's masks cover
+  std::size_t epoch_ = 0;
+  std::optional<crypto::DropoutRecoverySession> session_;
   bool converged_ = false;
 };
 
@@ -157,6 +338,14 @@ ClusterTrainResult run_consensus_on_cluster(
              "run_consensus_on_cluster: fewer nodes than learners");
   PPML_CHECK(reducer_node < cluster.num_nodes(),
              "run_consensus_on_cluster: reducer node out of range");
+  if (job_config.tolerate_mapper_loss) {
+    PPML_CHECK(params.mask_variant == crypto::MaskVariant::kSeededMasks,
+               "run_consensus_on_cluster: tolerate_mapper_loss requires the "
+               "seeded-mask variant (recovery reconstructs pairwise seeds)");
+    PPML_CHECK(m >= 3,
+               "run_consensus_on_cluster: tolerate_mapper_loss needs M >= 3 "
+               "for Shamir reconstruction");
+  }
 
   const crypto::FixedPointCodec codec(params.fixed_point_bits, m);
 
@@ -182,8 +371,8 @@ ClusterTrainResult run_consensus_on_cluster(
 
   ClusterTrainResult result;
   auto reducer = std::make_shared<SecureConsensusReducer>(
-      coordinator, m, codec, params.convergence_tolerance,
-      result.delta_trace);
+      coordinator, m, codec, params, job_config.tolerate_mapper_loss,
+      result.delta_trace, result.dropout_events);
   job.set_reducer(reducer, reducer_node);
 
   result.job = job.run({});

@@ -24,10 +24,27 @@ namespace ppml::core {
 using LearnerFactory = std::function<std::shared_ptr<ConsensusLearner>(
     const mapreduce::Bytes&, std::size_t)>;
 
+/// One permanent learner loss observed by the reducer.
+struct DropoutEvent {
+  std::size_t round = 0;   ///< round the loss was detected in
+  std::size_t mapper = 0;  ///< the dropped learner
+  /// True when the learner vanished AFTER masking (crash post-map or its
+  /// contribution was undeliverable): the reducer reconstructed the dropped
+  /// party's pairwise seeds and corrected the round's sum. False for
+  /// pre-mask losses (placement/broadcast failure), where survivors simply
+  /// masked over the smaller set and no correction was needed.
+  bool corrected = false;
+  /// Filled for corrected events: the live set whose exact sum the round
+  /// settled on, and that sum (decoded, before the 1/M' averaging).
+  std::vector<std::size_t> survivors;
+  std::vector<double> corrected_sum;
+};
+
 struct ClusterTrainResult {
   ConsensusRunResult run;
   mapreduce::JobStats job;
   std::vector<double> delta_trace;  ///< per-round ||dz||^2 from the reducer
+  std::vector<DropoutEvent> dropout_events;  ///< losses the reducer handled
 };
 
 /// Run the consensus loop as an iterative MapReduce job.
@@ -37,6 +54,15 @@ struct ClusterTrainResult {
 /// `reducer_node`. Requires cluster.num_nodes() >= shards.size() and a
 /// distinct reducer node is recommended (the paper's reducer is a separate
 /// role).
+///
+/// With job_config.tolerate_mapper_loss (requires kSeededMasks and M >= 3)
+/// the run survives permanent learner loss: pre-mask losses shrink the mask
+/// set, post-mask losses are corrected by the reducer via Shamir
+/// reconstruction of the dropped party's pairwise seeds
+/// (crypto/dropout_recovery.h), and the ADMM average reweights over the
+/// M' survivors (ConsensusLearner::on_cohort_resize). A rejoining learner
+/// triggers fresh key agreement for everyone (new epoch) — the reducer
+/// burned its old seeds. See docs/fault_tolerance.md.
 ClusterTrainResult run_consensus_on_cluster(
     mapreduce::Cluster& cluster, const std::vector<mapreduce::Bytes>& shards,
     const LearnerFactory& factory, ConsensusCoordinator& coordinator,

@@ -32,6 +32,12 @@ struct AdmmParams {
   crypto::MaskVariant mask_variant = crypto::MaskVariant::kSeededMasks;
   std::uint64_t protocol_seed = 0xC0FFEE;
 
+  /// Shamir threshold for dropout recovery (survivors needed to
+  /// reconstruct a dropped learner's pairwise seeds). 0 = auto:
+  /// clamp(M/2 + 1, 2, M-1). Only used when the job tolerates mapper loss
+  /// (requires kSeededMasks and M >= 3).
+  std::size_t dropout_threshold = 0;
+
   std::uint64_t seed = 7;  ///< landmark sampling etc.
 
   /// Run learners' local steps on parallel threads in the in-memory driver

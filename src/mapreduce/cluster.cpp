@@ -18,6 +18,7 @@ Cluster::Cluster(ClusterConfig config)
   const std::size_t slots =
       config_.task_slots == 0 ? config_.num_nodes : config_.task_slots;
   executor_ = std::make_unique<Executor>(slots);
+  network_.set_fault_plan(config_.fault_plan);
 }
 
 double Cluster::node_speed_factor(NodeId node) const {

@@ -20,6 +20,12 @@ struct ClusterConfig {
   /// of 3.0 means tasks on that node take 3x as long in simulated time
   /// (straggler modelling). Empty = all nodes run at 1.0.
   std::vector<double> node_speed_factors;
+  /// Chaos schedule: message drop/duplication/corruption/delay plus
+  /// round-keyed crashes, revivals and partitions (see network.h). The
+  /// default plan injects nothing. Composes with node_speed_factors: the
+  /// speed factors model slow-but-correct nodes, the fault plan models a
+  /// hostile fabric and dying nodes.
+  FaultPlan fault_plan;
 };
 
 class Cluster {

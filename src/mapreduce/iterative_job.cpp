@@ -2,10 +2,22 @@
 
 #include <algorithm>
 #include <chrono>
+#include <utility>
 
 #include "crypto/prng.h"
 
 namespace ppml::mapreduce {
+
+namespace {
+
+/// Lower median (straggler detection wants the typical node, not the tail).
+double lower_median(std::vector<double> values) {
+  const std::size_t k = (values.size() - 1) / 2;
+  std::nth_element(values.begin(), values.begin() + k, values.end());
+  return values[k];
+}
+
+}  // namespace
 
 IterativeJob::IterativeJob(Cluster& cluster, JobConfig config)
     : cluster_(cluster), config_(config) {
@@ -15,6 +27,11 @@ IterativeJob::IterativeJob(Cluster& cluster, JobConfig config)
   PPML_CHECK(config_.task_failure_probability >= 0.0 &&
                  config_.task_failure_probability < 1.0,
              "IterativeJob: failure probability must be in [0, 1)");
+  PPML_CHECK(config_.min_live_mappers >= 1,
+             "IterativeJob: min_live_mappers must be >= 1");
+  PPML_CHECK(config_.speculation_factor == 0.0 ||
+                 config_.speculation_factor >= 1.0,
+             "IterativeJob: speculation_factor must be 0 (off) or >= 1");
 }
 
 void IterativeJob::add_mapper(std::shared_ptr<IterativeMapper> mapper,
@@ -62,107 +79,399 @@ NodeId IterativeJob::place_mapper(std::size_t index, std::size_t round,
                  std::to_string(config_.max_task_attempts) + " times");
 }
 
+void IterativeJob::mark_lost(std::size_t index, JobStats& stats) {
+  live_[index] = false;
+  states_[index] = MapperState::kDropped;
+  ++stats.mappers_lost;
+}
+
+std::vector<std::size_t> IterativeJob::live_mappers() const {
+  std::vector<std::size_t> live;
+  for (std::size_t i = 0; i < mappers_.size(); ++i)
+    if (live_[i]) live.push_back(i);
+  return live;
+}
+
+void IterativeJob::check_quorum() const {
+  const std::size_t alive = live_mappers().size();
+  if (alive < config_.min_live_mappers) {
+    throw JobError("only " + std::to_string(alive) +
+                   " live mappers left (min_live_mappers = " +
+                   std::to_string(config_.min_live_mappers) + ")");
+  }
+}
+
+void IterativeJob::notify_membership() {
+  const std::vector<std::size_t> live = live_mappers();
+  for (std::size_t i : live)
+    mappers_[i].mapper->on_membership_change(live, epoch_);
+  reducer_->on_membership_change(live, epoch_);
+}
+
 JobStats IterativeJob::run(Bytes initial_broadcast) {
   PPML_CHECK(!mappers_.empty(), "IterativeJob::run: no mappers registered");
   PPML_CHECK(has_reducer_, "IterativeJob::run: no reducer registered");
 
   const std::size_t m = mappers_.size();
   Network& network = cluster_.network();
+  const FaultPlan& plan = network.fault_plan();
   JobStats stats;
   mapper_nodes_.assign(m, 0);
+  live_.assign(m, true);
+  states_.assign(m, MapperState::kAlive);
+  epoch_ = 0;
+  // Per-job fault accounting: the fabric's totals are cluster-lifetime.
+  const FaultStats faults_before = network.fault_stats();
+
+  // Verified delivery of one phase's CRC-framed messages: send everything
+  // still pending, close the phase, drain the destinations, and let `accept`
+  // decide (from the decoded envelope) which pending entries arrived intact.
+  // Re-send survivors of drop/corruption up to max_message_retries times.
+  struct Pending {
+    std::size_t key;  ///< caller-defined identity (mapper index, outbox slot)
+    NodeId from = 0;
+    NodeId to = 0;
+  };
+  const auto deliver = [&](const char* channel, std::vector<Pending> pending,
+                           const std::function<Bytes(std::size_t)>& frame_body,
+                           const std::function<void(Reader&,
+                                                    std::vector<bool>&)>&
+                               accept) -> std::vector<std::size_t> {
+    std::size_t max_key = 0;
+    for (const Pending& p : pending) max_key = std::max(max_key, p.key);
+    std::vector<bool> done(max_key + 1, false);
+    for (std::size_t attempt = 0; attempt <= config_.max_message_retries;
+         ++attempt) {
+      if (pending.empty()) break;
+      if (attempt > 0) {
+        stats.message_retries += pending.size();
+        cluster_.counters().increment(
+            "job.message_retries", static_cast<std::int64_t>(pending.size()));
+      }
+      for (const Pending& p : pending) {
+        network.send(
+            Message{p.from, p.to, channel, crc_frame(frame_body(p.key))});
+      }
+      network.end_phase();
+      std::vector<bool> drained(cluster_.num_nodes(), false);
+      for (const Pending& p : pending) {
+        if (drained[p.to]) continue;
+        drained[p.to] = true;
+        for (Message& message : network.drain(p.to)) {
+          if (message.channel != channel) continue;
+          if (!crc_check(message.payload)) {
+            ++stats.frames_rejected;
+            continue;
+          }
+          Reader reader(message.payload);
+          reader.get_u32();  // skip the CRC
+          accept(reader, done);
+        }
+      }
+      std::vector<Pending> still;
+      for (const Pending& p : pending)
+        if (!done[p.key]) still.push_back(p);
+      pending = std::move(still);
+    }
+    std::vector<std::size_t> undelivered;
+    for (const Pending& p : pending) undelivered.push_back(p.key);
+    return undelivered;
+  };
 
   Bytes broadcast = std::move(initial_broadcast);
   for (std::size_t round = 0; round < config_.max_rounds; ++round) {
     ++stats.rounds;
+    network.set_round(round);
 
-    // Placement + one-time configure (locality-enforced shard load).
+    // Scheduled revivals land before placement, so a recovered node can
+    // serve reads (and host rejoining mappers) this round.
+    for (const NodeEvent& event : plan.revivals) {
+      if (event.round == round && event.node < cluster_.num_nodes())
+        cluster_.revive_node(event.node);
+    }
+
+    // Rejoin: a dropped mapper whose home block is readable again re-enters
+    // the job. Everyone moves to a fresh key epoch — the returning party
+    // must not reuse pairwise secrets the reducer reconstructed while it
+    // was gone (docs/fault_tolerance.md).
+    if (config_.tolerate_mapper_loss && config_.allow_rejoin) {
+      bool any_rejoin = false;
+      for (std::size_t i = 0; i < m; ++i) {
+        if (live_[i]) continue;
+        if (cluster_.storage().live_replicas(mappers_[i].home_block).empty())
+          continue;
+        live_[i] = true;
+        states_[i] = MapperState::kRejoined;
+        ++stats.mappers_rejoined;
+        any_rejoin = true;
+      }
+      if (any_rejoin) {
+        ++epoch_;
+        notify_membership();
+      }
+    }
+
+    // Placement + one-time configure (locality-enforced shard load). A
+    // placement failure is a pre-map loss: the mapper never takes part in
+    // this round's protocol, so survivors just mask over the smaller set.
+    std::vector<std::size_t> premap_lost;
     for (std::size_t i = 0; i < m; ++i) {
-      mapper_nodes_[i] = place_mapper(i, round, stats);
+      if (!live_[i]) continue;
+      try {
+        mapper_nodes_[i] = place_mapper(i, round, stats);
+      } catch (const JobError&) {
+        if (!config_.tolerate_mapper_loss) throw;
+        premap_lost.push_back(i);
+        mark_lost(i, stats);
+        continue;
+      }
       if (!mappers_[i].configured) {
         mappers_[i].mapper->configure(cluster_.storage(), mapper_nodes_[i]);
         mappers_[i].configured = true;
       }
     }
 
-    // 1. Broadcast feedback from the reducer node to every mapper node.
-    for (std::size_t i = 0; i < m; ++i) {
-      network.send(Message{reducer_node_, mapper_nodes_[i], "broadcast",
-                           broadcast});
+    // 1. Broadcast feedback from the reducer node to every live mapper,
+    //    CRC-framed with verified delivery. A mapper the driver cannot
+    //    reach is lost *before* masking — also a pre-map loss.
+    {
+      std::vector<Pending> sends;
+      for (std::size_t i = 0; i < m; ++i)
+        if (live_[i]) sends.push_back({i, reducer_node_, mapper_nodes_[i]});
+      const auto body = [&](std::size_t i) {
+        Writer writer;
+        writer.put_u64(i);
+        writer.put_u64(round);
+        writer.put_bytes(broadcast);
+        return writer.take();
+      };
+      const auto accept = [&](Reader& reader, std::vector<bool>& done) {
+        const std::size_t dest = reader.get_u64();
+        const std::size_t msg_round = reader.get_u64();
+        if (dest >= m || msg_round != round) return;  // stale or misrouted
+        if (dest < done.size()) done[dest] = true;
+      };
+      for (std::size_t i : deliver("broadcast", std::move(sends), body,
+                                   accept)) {
+        if (!config_.tolerate_mapper_loss) {
+          throw JobError("mapper " + std::to_string(i) +
+                         ": broadcast undeliverable after " +
+                         std::to_string(config_.max_message_retries) +
+                         " retries");
+        }
+        premap_lost.push_back(i);
+        mark_lost(i, stats);
+      }
     }
-    network.end_phase();
+    check_quorum();
+    if (!premap_lost.empty()) {
+      // Survivors (and the reducer) learn the shrunken set before any mask
+      // is derived, so this round needs no sum correction.
+      for (std::size_t i : premap_lost)
+        reducer_->on_mapper_lost(round, i, /*masked_this_round=*/false);
+      notify_membership();
+    }
 
-    // 2. Peer exchange (mask distribution). Collected serially per mapper
-    //    (cheap), delivered through the network fabric. The envelope names
-    //    both sender and destination mapper because several mappers can
-    //    share a node after failover.
+    // 2. Peer exchange (mask distribution), verified delivery. A mask that
+    //    cannot be delivered is unrecoverable — the recipient's
+    //    contribution would decode to garbage — so exhausted retries abort
+    //    the job even in tolerant mode.
+    struct PeerMessage {
+      std::size_t sender = 0;
+      std::size_t dest = 0;
+      Bytes payload;
+    };
+    std::vector<PeerMessage> outbox;
     for (std::size_t i = 0; i < m; ++i) {
+      if (!live_[i]) continue;
       for (auto& [peer, payload] : mappers_[i].mapper->exchange(round)) {
         PPML_CHECK(peer < m, "IterativeJob: exchange peer out of range");
-        Writer wrapped;
-        wrapped.put_u64(i);     // sender mapper index
-        wrapped.put_u64(peer);  // destination mapper index
-        wrapped.put_bytes(payload);
-        network.send(Message{mapper_nodes_[i], mapper_nodes_[peer],
-                             "peer-exchange", wrapped.take()});
+        if (!live_[peer]) continue;  // departed peers get nothing
+        outbox.push_back({i, peer, std::move(payload)});
       }
     }
-    network.end_phase();
-
-    // Deliver peer messages: drain each hosting node once and route by the
-    // envelope's destination mapper. Broadcast copies arrive in the same
-    // drain; split by channel tag.
     std::vector<std::vector<Bytes>> inboxes(m, std::vector<Bytes>(m));
-    std::vector<bool> drained(cluster_.num_nodes(), false);
-    for (std::size_t i = 0; i < m; ++i) {
-      const NodeId node = mapper_nodes_[i];
-      if (drained[node]) continue;
-      drained[node] = true;
-      for (Message& message : network.drain(node)) {
-        if (message.channel != "peer-exchange") continue;  // broadcast copy
-        Reader reader(message.payload);
+    if (!outbox.empty()) {
+      std::vector<Pending> sends;
+      for (std::size_t k = 0; k < outbox.size(); ++k) {
+        sends.push_back({k, mapper_nodes_[outbox[k].sender],
+                         mapper_nodes_[outbox[k].dest]});
+      }
+      const auto body = [&](std::size_t k) {
+        Writer writer;
+        writer.put_u64(outbox[k].sender);
+        writer.put_u64(outbox[k].dest);
+        writer.put_u64(round);
+        writer.put_bytes(outbox[k].payload);
+        return writer.take();
+      };
+      const auto accept = [&](Reader& reader, std::vector<bool>& done) {
         const std::size_t sender = reader.get_u64();
         const std::size_t dest = reader.get_u64();
-        PPML_CHECK(sender < m && dest < m,
-                   "IterativeJob: bad peer-exchange envelope");
+        const std::size_t msg_round = reader.get_u64();
+        if (sender >= m || dest >= m || msg_round != round) return;
         inboxes[dest][sender] = reader.get_bytes();
-      }
+        for (std::size_t k = 0; k < outbox.size(); ++k)
+          if (outbox[k].sender == sender && outbox[k].dest == dest)
+            done[k] = true;
+      };
+      if (!deliver("peer-exchange", std::move(sends), body, accept).empty())
+        throw JobError("peer-exchange undeliverable after retries — "
+                       "protocol masks lost, round cannot proceed");
     }
 
-    // 3+4. Map in parallel; contributions go to the reducer node. Each
-    // task's wall time, scaled by its node's speed factor, feeds the
-    // simulated clock; the synchronous barrier takes the per-round max.
+    // Deterministic speculation decisions: a node slower than
+    // speculation_factor x the (lower) median live node is a presumed
+    // straggler; if a faster live replica of its block exists, charge a
+    // speculative backup attempt there. Decisions depend only on configured
+    // speed factors — never on wall clock — so the speculation counters are
+    // reproducible run to run; only the simulated clock below uses wall
+    // time.
+    const std::vector<std::size_t> active = live_mappers();
+    std::vector<double> backup_factor(m, 0.0);  // 0 = no backup launched
+    if (config_.speculation_factor >= 1.0 && active.size() >= 2) {
+      std::vector<double> factors;
+      for (std::size_t i : active)
+        factors.push_back(cluster_.node_speed_factor(mapper_nodes_[i]));
+      const double median_f = lower_median(factors);
+      bool any_speculation = false;
+      for (std::size_t i : active) {
+        const double own = cluster_.node_speed_factor(mapper_nodes_[i]);
+        if (own <= config_.speculation_factor * median_f) continue;
+        double best = own;
+        for (NodeId alt :
+             cluster_.storage().live_replicas(mappers_[i].home_block)) {
+          if (alt == mapper_nodes_[i]) continue;
+          best = std::min(best, cluster_.node_speed_factor(alt));
+        }
+        if (best < own) {
+          backup_factor[i] = best;
+          if (states_[i] == MapperState::kAlive)
+            states_[i] = MapperState::kSuspected;
+          ++stats.speculative_attempts;
+          ++stats.map_task_attempts;  // the backup is a real attempt
+          any_speculation = true;
+        }
+      }
+      if (any_speculation) ++stats.round_timeouts;
+    }
+
+    // 3. Map in parallel on the live set. Each task's wall time, scaled by
+    //    its node's speed factor, feeds the simulated clock; the
+    //    synchronous barrier takes the per-round max. A speculated task's
+    //    backup launches at the deadline (factor x median attempt time) on
+    //    the faster replica, and the clock takes the earlier finisher —
+    //    mapper state is never re-run, so trainer semantics are unchanged.
     std::vector<Bytes> contributions(m);
-    std::vector<double> task_seconds(m, 0.0);
+    std::vector<double> wall_seconds(m, 0.0);
     std::exception_ptr map_error;
     std::mutex error_mutex;
-    cluster_.executor().parallel_for(m, [&](std::size_t i) {
+    cluster_.executor().parallel_for(active.size(), [&](std::size_t k) {
+      const std::size_t i = active[k];
       try {
         const auto start = std::chrono::steady_clock::now();
         contributions[i] =
             mappers_[i].mapper->map(round, broadcast, inboxes[i]);
-        const double wall =
+        wall_seconds[i] =
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           start)
                 .count();
-        task_seconds[i] = wall * cluster_.node_speed_factor(mapper_nodes_[i]);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!map_error) map_error = std::current_exception();
       }
     });
     if (map_error) std::rethrow_exception(map_error);
-    stats.simulated_compute_seconds +=
-        *std::max_element(task_seconds.begin(), task_seconds.end());
-    for (std::size_t i = 0; i < m; ++i) {
-      network.send(Message{mapper_nodes_[i], reducer_node_, "contribution",
-                           contributions[i]});
+    {
+      std::vector<double> task_seconds;
+      for (std::size_t i : active)
+        task_seconds.push_back(wall_seconds[i] *
+                               cluster_.node_speed_factor(mapper_nodes_[i]));
+      const double median_t = lower_median(task_seconds);
+      double critical_path = 0.0;
+      for (std::size_t k = 0; k < active.size(); ++k) {
+        const std::size_t i = active[k];
+        double effective = task_seconds[k];
+        if (backup_factor[i] > 0.0) {
+          effective = std::min(effective,
+                               config_.speculation_factor * median_t +
+                                   wall_seconds[i] * backup_factor[i]);
+        }
+        critical_path = std::max(critical_path, effective);
+      }
+      stats.simulated_compute_seconds += critical_path;
     }
-    network.end_phase();
-    // The reducer consumes its mailbox (keeps the fabric drained).
-    network.drain(reducer_node_);
 
-    // 5. Reduce and check convergence.
+    // Scheduled crashes land *after* map: the node computed its share but
+    // dies before delivering it — the worst case for secure aggregation,
+    // because its masks are already woven into the survivors' sums.
+    std::vector<std::size_t> postmap_lost;
+    for (const NodeEvent& event : plan.crashes) {
+      if (event.round != round || event.node >= cluster_.num_nodes()) continue;
+      cluster_.kill_node(event.node);
+      if (event.node == reducer_node_) {
+        throw JobError("reducer node crashed at round " +
+                       std::to_string(round) +
+                       " — the reducer is a single point of failure");
+      }
+      for (std::size_t i : active) {
+        if (!live_[i] || mapper_nodes_[i] != event.node) continue;
+        if (!config_.tolerate_mapper_loss) {
+          throw JobError("mapper " + std::to_string(i) +
+                         " lost to node crash at round " +
+                         std::to_string(round));
+        }
+        contributions[i].clear();
+        postmap_lost.push_back(i);
+        mark_lost(i, stats);
+      }
+    }
+
+    // 4. Contributions to the reducer node, CRC-framed with verified
+    //    delivery. The reducer consumes the wire bytes, not the in-process
+    //    value. An undeliverable contribution after retries is a post-map
+    //    loss: the sender already masked this round.
+    {
+      std::vector<Pending> sends;
+      for (std::size_t i : active)
+        if (live_[i]) sends.push_back({i, mapper_nodes_[i], reducer_node_});
+      const auto body = [&](std::size_t i) {
+        Writer writer;
+        writer.put_u64(i);
+        writer.put_u64(round);
+        writer.put_bytes(contributions[i]);
+        return writer.take();
+      };
+      const auto accept = [&](Reader& reader, std::vector<bool>& done) {
+        const std::size_t mapper = reader.get_u64();
+        const std::size_t msg_round = reader.get_u64();
+        if (mapper >= m || msg_round != round) return;
+        contributions[mapper] = reader.get_bytes();
+        if (mapper < done.size()) done[mapper] = true;
+      };
+      for (std::size_t i : deliver("contribution", std::move(sends), body,
+                                   accept)) {
+        if (!config_.tolerate_mapper_loss) {
+          throw JobError("mapper " + std::to_string(i) +
+                         ": contribution undeliverable after retries");
+        }
+        contributions[i].clear();
+        postmap_lost.push_back(i);
+        mark_lost(i, stats);
+      }
+    }
+
+    // 5. Reduce. Post-map losses are announced first (masked_this_round =
+    //    true: the reducer must correct the sum), but the membership
+    //    notification waits until *after* reduce — during reduce the
+    //    reducer's mask bookkeeping must still reflect the set the
+    //    survivors actually masked against.
+    std::sort(postmap_lost.begin(), postmap_lost.end());
+    for (std::size_t i : postmap_lost)
+      reducer_->on_mapper_lost(round, i, /*masked_this_round=*/true);
+    check_quorum();
     broadcast = reducer_->reduce(round, contributions);
+    if (!postmap_lost.empty()) notify_membership();
     if (reducer_->converged()) {
       stats.converged = true;
       break;
@@ -171,13 +480,50 @@ JobStats IterativeJob::run(Bytes initial_broadcast) {
 
   stats.channels = network.channel_stats();
   stats.simulated_network_seconds = network.simulated_seconds();
-  cluster_.counters().increment("job.rounds",
-                                static_cast<std::int64_t>(stats.rounds));
-  cluster_.counters().increment(
-      "job.map_task_attempts",
-      static_cast<std::int64_t>(stats.map_task_attempts));
-  cluster_.counters().increment("job.task_retries",
-                                static_cast<std::int64_t>(stats.task_retries));
+  const FaultStats faults_now = network.fault_stats();
+  stats.network_faults.messages_dropped =
+      faults_now.messages_dropped - faults_before.messages_dropped;
+  stats.network_faults.messages_duplicated =
+      faults_now.messages_duplicated - faults_before.messages_duplicated;
+  stats.network_faults.messages_corrupted =
+      faults_now.messages_corrupted - faults_before.messages_corrupted;
+  stats.network_faults.messages_delayed =
+      faults_now.messages_delayed - faults_before.messages_delayed;
+  stats.network_faults.messages_partitioned =
+      faults_now.messages_partitioned - faults_before.messages_partitioned;
+  stats.mapper_states = states_;
+
+  Counters& counters = cluster_.counters();
+  counters.increment("job.rounds", static_cast<std::int64_t>(stats.rounds));
+  counters.increment("job.map_task_attempts",
+                     static_cast<std::int64_t>(stats.map_task_attempts));
+  counters.increment("job.task_retries",
+                     static_cast<std::int64_t>(stats.task_retries));
+  counters.increment("job.mappers_lost",
+                     static_cast<std::int64_t>(stats.mappers_lost));
+  counters.increment("job.mappers_rejoined",
+                     static_cast<std::int64_t>(stats.mappers_rejoined));
+  counters.increment("job.speculative_attempts",
+                     static_cast<std::int64_t>(stats.speculative_attempts));
+  counters.increment("job.round_timeouts",
+                     static_cast<std::int64_t>(stats.round_timeouts));
+  counters.increment("job.frames_rejected",
+                     static_cast<std::int64_t>(stats.frames_rejected));
+  counters.increment(
+      "net.messages_dropped",
+      static_cast<std::int64_t>(stats.network_faults.messages_dropped));
+  counters.increment(
+      "net.messages_duplicated",
+      static_cast<std::int64_t>(stats.network_faults.messages_duplicated));
+  counters.increment(
+      "net.messages_corrupted",
+      static_cast<std::int64_t>(stats.network_faults.messages_corrupted));
+  counters.increment(
+      "net.messages_delayed",
+      static_cast<std::int64_t>(stats.network_faults.messages_delayed));
+  counters.increment(
+      "net.messages_partitioned",
+      static_cast<std::int64_t>(stats.network_faults.messages_partitioned));
   return stats;
 }
 

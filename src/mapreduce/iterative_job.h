@@ -13,6 +13,19 @@
 // (attempts), which the driver retries on other replicas — mirroring
 // speculative re-execution on Hadoop; mapper state is never re-run within a
 // round, so trainer semantics are unaffected.
+//
+// Fault tolerance (docs/fault_tolerance.md):
+//   - Every driver message is CRC-framed; dropped or corrupted frames are
+//     detected and re-sent up to max_message_retries times.
+//   - With tolerate_mapper_loss, a mapper whose data is gone or whose
+//     messages cannot be delivered is marked permanently DROPPED and the
+//     job continues with the survivors (the reducer is told, so protocol
+//     layers can correct the round — see IterativeReducer::on_mapper_lost).
+//     A dropped mapper whose home block becomes readable again REJOINS in a
+//     later round under a fresh key epoch.
+//   - With speculation_factor > 0, map attempts stuck on a node slower than
+//     factor x the median get a speculative backup attempt on another live
+//     replica; the simulated clock takes the earlier finisher.
 #pragma once
 
 #include <functional>
@@ -47,6 +60,17 @@ class IterativeMapper {
   /// for the reducer.
   virtual Bytes map(std::size_t round, const Bytes& broadcast,
                     const std::vector<Bytes>& peer_messages) = 0;
+
+  /// Membership notification: `live` is the sorted set of mapper indices
+  /// still in the job (it always includes this mapper). `epoch` increments
+  /// whenever a rejoin forces fresh key agreement; implementations holding
+  /// pairwise secrets must re-derive them for the new epoch. Called before
+  /// the next map() that relies on the new membership.
+  virtual void on_membership_change(const std::vector<std::size_t>& live,
+                                    std::size_t epoch) {
+    (void)live;
+    (void)epoch;
+  }
 };
 
 /// The Reduce() participant.
@@ -55,12 +79,31 @@ class IterativeReducer {
   virtual ~IterativeReducer() = default;
 
   /// Combine this round's contributions (indexed by mapper) into the next
-  /// broadcast payload.
+  /// broadcast payload. A permanently dropped mapper's entry is empty.
   virtual Bytes reduce(std::size_t round,
                        const std::vector<Bytes>& contributions) = 0;
 
   /// Checked after each reduce; true ends the job.
   virtual bool converged() const { return false; }
+
+  /// Mapper `mapper` is permanently lost as of `round`. If
+  /// `masked_this_round` the mapper took part in the pre-map protocol steps
+  /// of `round` (it may have distributed masks) but its contribution will
+  /// never arrive — secure-aggregation layers must correct the round's sum.
+  /// Always called before the same round's reduce().
+  virtual void on_mapper_lost(std::size_t round, std::size_t mapper,
+                              bool masked_this_round) {
+    (void)round;
+    (void)mapper;
+    (void)masked_this_round;
+  }
+
+  /// Same contract as IterativeMapper::on_membership_change.
+  virtual void on_membership_change(const std::vector<std::size_t>& live,
+                                    std::size_t epoch) {
+    (void)live;
+    (void)epoch;
+  }
 };
 
 struct JobConfig {
@@ -68,7 +111,29 @@ struct JobConfig {
   double task_failure_probability = 0.0;  ///< per placement attempt
   std::uint64_t failure_seed = 0x5eed;
   std::size_t max_task_attempts = 3;
+
+  /// Graceful degradation: instead of throwing JobError when a mapper's
+  /// data is lost or its messages are undeliverable, drop the mapper and
+  /// continue with the survivors (notifying the reducer and peers).
+  bool tolerate_mapper_loss = false;
+  /// With tolerate_mapper_loss: re-admit a dropped mapper once its home
+  /// block is readable again (fresh key epoch for everyone).
+  bool allow_rejoin = true;
+  /// Never continue with fewer live mappers than this.
+  std::size_t min_live_mappers = 2;
+  /// Driver-level re-sends of a dropped/corrupted frame before the target
+  /// (or sender) is declared lost.
+  std::size_t max_message_retries = 4;
+  /// 0 = off. Otherwise must be >= 1: a map attempt on a node slower than
+  /// factor x the median live node gets a speculative backup attempt on the
+  /// fastest other live replica of its block; the simulated round clock
+  /// takes min(original, factor x median attempt time + backup time).
+  double speculation_factor = 0.0;
 };
+
+/// Liveness state machine of one mapper (docs/fault_tolerance.md):
+/// alive -> suspected (retries / speculation) -> dropped -> rejoined.
+enum class MapperState { kAlive, kSuspected, kDropped, kRejoined };
 
 struct JobStats {
   std::size_t rounds = 0;
@@ -78,9 +143,20 @@ struct JobStats {
   double simulated_network_seconds = 0.0;
   /// Per-round critical path of map-task compute time, scaled by each
   /// node's speed factor, summed over rounds (synchronous barrier: the
-  /// slowest mapper gates every round — stragglers hurt).
+  /// slowest mapper gates every round — stragglers hurt, unless
+  /// speculation caps them).
   double simulated_compute_seconds = 0.0;
   bool converged = false;
+
+  // Fault-tolerance accounting.
+  std::size_t mappers_lost = 0;       ///< permanent drops (job.mappers_lost)
+  std::size_t mappers_rejoined = 0;
+  std::size_t speculative_attempts = 0;
+  std::size_t round_timeouts = 0;     ///< rounds where a straggler blew the deadline
+  std::size_t message_retries = 0;    ///< driver-level frame re-sends
+  std::size_t frames_rejected = 0;    ///< CRC failures detected on drain
+  FaultStats network_faults;          ///< what the fabric actually injected
+  std::vector<MapperState> mapper_states;  ///< final per-mapper state
 };
 
 /// Raised when a job cannot make progress (e.g. a mapper's block has no
@@ -113,6 +189,10 @@ class IterativeJob {
 
  private:
   NodeId place_mapper(std::size_t index, std::size_t round, JobStats& stats);
+  void mark_lost(std::size_t index, JobStats& stats);
+  void notify_membership();
+  void check_quorum() const;
+  std::vector<std::size_t> live_mappers() const;
 
   struct MapperSlot {
     std::shared_ptr<IterativeMapper> mapper;
@@ -127,6 +207,10 @@ class IterativeJob {
   std::shared_ptr<IterativeReducer> reducer_;
   NodeId reducer_node_ = 0;
   bool has_reducer_ = false;
+
+  std::vector<bool> live_;
+  std::vector<MapperState> states_;
+  std::size_t epoch_ = 0;
 };
 
 }  // namespace ppml::mapreduce

@@ -4,6 +4,56 @@
 
 namespace ppml::mapreduce {
 
+namespace {
+
+struct Crc32Table {
+  std::uint32_t entries[256];
+  Crc32Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      entries[i] = c;
+    }
+  }
+};
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t crc) {
+  static const Crc32Table table;
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) c = table.entries[(c ^ byte) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+Bytes crc_frame(std::span<const std::uint8_t> body) {
+  Bytes out;
+  out.reserve(body.size() + 4);
+  std::uint32_t c = crc32(body);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(c & 0xff));
+    c >>= 8;
+  }
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+bool crc_check(std::span<const std::uint8_t> framed) {
+  if (framed.size() < 4) return false;
+  std::uint32_t stored = 0;
+  for (int i = 3; i >= 0; --i)
+    stored = (stored << 8) | framed[static_cast<std::size_t>(i)];
+  return crc32(framed.subspan(4)) == stored;
+}
+
+void Writer::put_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<std::uint8_t>(v & 0xff));
+    v >>= 8;
+  }
+}
+
 void Writer::put_u64(std::uint64_t v) {
   for (int i = 0; i < 8; ++i) {
     buffer_.push_back(static_cast<std::uint8_t>(v & 0xff));
@@ -49,6 +99,15 @@ void Reader::require(std::size_t n) {
 std::uint8_t Reader::get_u8() {
   require(1);
   return data_[cursor_++];
+}
+
+std::uint32_t Reader::get_u32() {
+  require(4);
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i)
+    v = (v << 8) | data_[cursor_ + static_cast<std::size_t>(i)];
+  cursor_ += 4;
+  return v;
 }
 
 std::uint64_t Reader::get_u64() {

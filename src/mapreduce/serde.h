@@ -20,10 +20,25 @@ namespace ppml::mapreduce {
 
 using Bytes = std::vector<std::uint8_t>;
 
+/// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) over `data`. Chainable:
+/// pass a previous result as `crc` to extend it over a second span.
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t crc = 0);
+
+/// Payload framing for everything the job driver puts on the fabric:
+/// [u32 crc32(body) little-endian][body...]. A flipped bit anywhere in the
+/// frame makes crc_check() fail, so corrupted messages are *detected* and
+/// retried instead of being deserialized into garbage.
+Bytes crc_frame(std::span<const std::uint8_t> body);
+
+/// True iff `framed` is at least 4 bytes and the stored CRC matches the
+/// body. Read the body by skipping the leading u32 (Reader::get_u32).
+bool crc_check(std::span<const std::uint8_t> framed);
+
 /// Append-only little-endian writer.
 class Writer {
  public:
   void put_u8(std::uint8_t v) { buffer_.push_back(v); }
+  void put_u32(std::uint32_t v);
   void put_u64(std::uint64_t v);
   void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
   void put_double(double v);
@@ -47,6 +62,7 @@ class Reader {
   explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
 
   std::uint8_t get_u8();
+  std::uint32_t get_u32();
   std::uint64_t get_u64();
   std::int64_t get_i64() { return static_cast<std::int64_t>(get_u64()); }
   double get_double();

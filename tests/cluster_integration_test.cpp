@@ -122,14 +122,14 @@ TEST(ClusterIntegration, NoRawDataOrPlaintextResultOnTheWire) {
 
   // Wrap the network with an observation pass after the run: the Network
   // records channels; we assert on sizes. Raw shard matrices are ~N*k*8
-  // bytes; contributions must be exactly (k+1+1)*8 bytes of u64 payload
-  // (vector length header + k+1 words) — far smaller than any shard.
+  // bytes; a contribution frame is exactly [u32 crc][u64 mapper][u64 round]
+  // [u64 length + (k+2) masked u64 words] — far smaller than any shard.
   const ClusterRun run =
       run_linear_horizontal_on_cluster(split, params, cluster);
 
   const auto& contribution = run.channels.at("contribution");
   const std::size_t k = split.train.features();
-  const std::size_t expected_payload = 8 * (k + 2);  // header + k+1 words
+  const std::size_t expected_payload = 4 + 8 * (k + 5);
   EXPECT_EQ(contribution.bytes,
             contribution.messages * expected_payload);
   // The training shards never appear on any channel: total traffic is far

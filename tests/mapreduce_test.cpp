@@ -67,6 +67,135 @@ TEST(Serde, DoubleBitPatternPreserved) {
   EXPECT_DOUBLE_EQ(reader.get_double(), 1e-308);
 }
 
+TEST(Crc32, MatchesIeeeCheckValue) {
+  // The canonical CRC-32 check: crc32("123456789") == 0xCBF43926.
+  const std::string check = "123456789";
+  const Bytes data(check.begin(), check.end());
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+  EXPECT_EQ(crc32(Bytes{}), 0u);
+}
+
+TEST(Crc32, ChainingMatchesOneShot) {
+  const Bytes data{1, 2, 3, 4, 5, 6, 7};
+  const std::span<const std::uint8_t> span(data);
+  EXPECT_EQ(crc32(span.subspan(3), crc32(span.first(3))), crc32(data));
+}
+
+TEST(Crc32, FrameRoundTripAndCorruptionDetected) {
+  Writer writer;
+  writer.put_u64(42);
+  writer.put_string("payload");
+  const Bytes body = writer.take();
+
+  Bytes framed = crc_frame(body);
+  ASSERT_EQ(framed.size(), body.size() + 4);
+  EXPECT_TRUE(crc_check(framed));
+  Reader reader(framed);
+  reader.get_u32();  // skip the CRC
+  EXPECT_EQ(reader.get_u64(), 42u);
+  EXPECT_EQ(reader.get_string(), "payload");
+
+  // Any single flipped bit — in the body or the CRC itself — must trip.
+  for (const std::size_t position : {0ul, 5ul, framed.size() - 1}) {
+    Bytes damaged = framed;
+    damaged[position] ^= 0x01;
+    EXPECT_FALSE(crc_check(damaged)) << position;
+  }
+  EXPECT_FALSE(crc_check(Bytes{1, 2}));  // too short to hold a CRC
+}
+
+TEST(Network, FaultPlanDropsDeterministically) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.all_channels.drop = 0.5;
+  const auto run_once = [&] {
+    Network network(3);
+    network.set_fault_plan(plan);
+    std::size_t delivered = 0;
+    for (std::size_t i = 0; i < 200; ++i) {
+      network.send(Message{0, 1, "x", Bytes(8)});
+      delivered += network.drain(1).size();
+    }
+    return std::make_pair(delivered, network.fault_stats().messages_dropped);
+  };
+  const auto [delivered1, dropped1] = run_once();
+  const auto [delivered2, dropped2] = run_once();
+  EXPECT_EQ(delivered1, delivered2);  // same seed => identical faults
+  EXPECT_EQ(dropped1, dropped2);
+  EXPECT_EQ(delivered1 + dropped1, 200u);
+  EXPECT_GT(dropped1, 50u);  // ~100 expected at p = 0.5
+  EXPECT_LT(dropped1, 150u);
+}
+
+TEST(Network, FaultPlanCorruptsAndDuplicates) {
+  FaultPlan plan;
+  plan.all_channels.corrupt = 0.5;
+  plan.all_channels.duplicate = 0.5;
+  Network network(2);
+  network.set_fault_plan(plan);
+  const Bytes original(16, 0xCC);
+  std::size_t copies = 0, corrupted = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    network.send(Message{0, 1, "x", original});
+    for (const Message& message : network.drain(1)) {
+      ++copies;
+      if (message.payload != original) ++corrupted;
+    }
+  }
+  EXPECT_EQ(copies - 100, network.fault_stats().messages_duplicated);
+  EXPECT_GT(network.fault_stats().messages_duplicated, 20u);
+  EXPECT_GT(corrupted, 20u);
+  // Every corrupted frame is detectable through the CRC layer: payloads
+  // here are raw, but the sizes never change — corruption only flips bits.
+  for (const Message& message : network.drain(1))
+    EXPECT_EQ(message.payload.size(), original.size());
+}
+
+TEST(Network, LoopbackIsNeverFaulted) {
+  FaultPlan plan;
+  plan.all_channels.drop = 0.99;
+  plan.all_channels.corrupt = 0.99;
+  Network network(2);
+  network.set_fault_plan(plan);
+  const Bytes payload{1, 2, 3};
+  for (std::size_t i = 0; i < 50; ++i)
+    network.send(Message{1, 1, "local", payload});
+  const auto delivered = network.drain(1);
+  ASSERT_EQ(delivered.size(), 50u);
+  for (const Message& message : delivered)
+    EXPECT_EQ(message.payload, payload);
+}
+
+TEST(Network, PartitionCutsCrossIslandTraffic) {
+  FaultPlan plan;
+  plan.partitions.push_back(NetworkPartition{2, 4, {0}});
+  Network network(3);
+  network.set_fault_plan(plan);
+  const auto try_send = [&](std::size_t round) {
+    network.set_round(round);
+    network.send(Message{0, 1, "x", Bytes(1)});   // crosses the cut
+    network.send(Message{1, 2, "x", Bytes(1)});   // mainland-internal
+    const std::size_t got1 = network.drain(1).size();
+    const std::size_t got2 = network.drain(2).size();
+    return std::make_pair(got1, got2);
+  };
+  EXPECT_EQ(try_send(1), std::make_pair(1ul, 1ul));  // before the partition
+  EXPECT_EQ(try_send(2), std::make_pair(0ul, 1ul));  // island cut off
+  EXPECT_EQ(try_send(3), std::make_pair(0ul, 1ul));
+  EXPECT_EQ(try_send(4), std::make_pair(1ul, 1ul));  // healed
+  EXPECT_EQ(network.fault_stats().messages_partitioned, 2u);
+}
+
+TEST(Network, RejectsInvalidFaultProbabilities) {
+  Network network(2);
+  FaultPlan plan;
+  plan.all_channels.drop = 1.0;  // must be < 1: p = 1 would deadlock retries
+  EXPECT_THROW(network.set_fault_plan(plan), InvalidArgument);
+  plan.all_channels.drop = 0.0;
+  plan.per_channel["x"].corrupt = -0.1;
+  EXPECT_THROW(network.set_fault_plan(plan), InvalidArgument);
+}
+
 TEST(Network, CountsBytesPerChannel) {
   Network network(3);
   network.send(Message{0, 1, "a", Bytes(10)});
@@ -250,6 +379,7 @@ class SummingReducer final : public IterativeReducer {
       override {
     std::uint64_t total = 0;
     for (const Bytes& payload : contributions) {
+      if (payload.empty()) continue;  // permanently dropped mapper
       Reader r(payload);
       total += r.get_u64();
     }
@@ -383,6 +513,156 @@ TEST(IterativeJob, ValidatesRegistration) {
   EXPECT_THROW(job.run({}), InvalidArgument);  // no reducer
   EXPECT_THROW(job.set_reducer(std::make_shared<SummingReducer>(1), 9),
                InvalidArgument);
+}
+
+TEST(IterativeJob, GracefulDegradationOnDataLoss) {
+  // Node 0 is dead from the start and shard 0 has no other replica: with
+  // tolerate_mapper_loss the job drops mapper 0 before round 0's masking
+  // and completes with the survivors instead of throwing.
+  Cluster cluster(make_config(4));
+  JobConfig config;
+  config.max_rounds = 3;
+  config.tolerate_mapper_loss = true;
+  IterativeJob job(cluster, config);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const BlockId block = cluster.store_shard("s", Bytes{1}, i);
+    job.add_mapper(std::make_shared<ConstantMapper>(10 * (i + 1), i, 3), block);
+  }
+  auto reducer = std::make_shared<SummingReducer>(999);
+  job.set_reducer(reducer, 3);
+  cluster.kill_node(0);
+
+  const JobStats stats = job.run({});
+  EXPECT_EQ(stats.rounds, 3u);
+  EXPECT_EQ(stats.mappers_lost, 1u);
+  EXPECT_EQ(stats.mappers_rejoined, 0u);
+  ASSERT_EQ(stats.mapper_states.size(), 3u);
+  EXPECT_EQ(stats.mapper_states[0], MapperState::kDropped);
+  EXPECT_EQ(stats.mapper_states[1], MapperState::kAlive);
+  // Round 0 total: mappers 1 and 2 contribute 20 + 30, each plus the peer
+  // indices the OTHER live mapper sent (2 and 1 respectively).
+  EXPECT_EQ(reducer->sums[0], 53u);
+}
+
+TEST(IterativeJob, CrashedMapperRejoinsOnReplica) {
+  // Node 0 dies after round 1's map phase (the fault plan's crash
+  // semantics); mapper 0's contribution that round is lost post-mask, but
+  // its block has a replica on node 1 — it rejoins at round 2 and the
+  // whole cohort moves to a fresh key epoch.
+  ClusterConfig cluster_config = make_config(4, /*replication=*/2);
+  cluster_config.fault_plan.crashes.push_back(NodeEvent{1, 0});
+  Cluster cluster(cluster_config);
+  JobConfig config;
+  config.max_rounds = 4;
+  config.tolerate_mapper_loss = true;
+  IterativeJob job(cluster, config);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const BlockId block = cluster.store_shard("s", Bytes{1}, i);
+    job.add_mapper(std::make_shared<ConstantMapper>(1, i, 3), block);
+  }
+  auto reducer = std::make_shared<SummingReducer>(999);
+  job.set_reducer(reducer, 3);
+
+  const JobStats stats = job.run({});
+  EXPECT_EQ(stats.rounds, 4u);
+  EXPECT_EQ(stats.mappers_lost, 1u);
+  EXPECT_EQ(stats.mappers_rejoined, 1u);
+  EXPECT_EQ(stats.mapper_states[0], MapperState::kRejoined);
+  EXPECT_EQ(cluster.counters().value("job.mappers_lost"), 1);
+  EXPECT_EQ(cluster.counters().value("job.mappers_rejoined"), 1);
+}
+
+TEST(IterativeJob, MapperLossWithoutToleranceAborts) {
+  ClusterConfig cluster_config = make_config(3);
+  cluster_config.fault_plan.crashes.push_back(NodeEvent{1, 0});
+  Cluster cluster(cluster_config);
+  JobConfig config;
+  config.max_rounds = 4;  // tolerate_mapper_loss stays false
+  IterativeJob job(cluster, config);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const BlockId block = cluster.store_shard("s", Bytes{1}, i);
+    job.add_mapper(std::make_shared<ConstantMapper>(1, i, 2), block);
+  }
+  job.set_reducer(std::make_shared<SummingReducer>(999), 2);
+  EXPECT_THROW(job.run({}), JobError);
+}
+
+TEST(IterativeJob, ReducerCrashIsFatalEvenWhenTolerant) {
+  ClusterConfig cluster_config = make_config(3);
+  cluster_config.fault_plan.crashes.push_back(NodeEvent{0, 2});
+  Cluster cluster(cluster_config);
+  JobConfig config;
+  config.tolerate_mapper_loss = true;
+  IterativeJob job(cluster, config);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const BlockId block = cluster.store_shard("s", Bytes{1}, i);
+    job.add_mapper(std::make_shared<ConstantMapper>(1, i, 2), block);
+  }
+  job.set_reducer(std::make_shared<SummingReducer>(999), 2);
+  EXPECT_THROW(job.run({}), JobError);
+}
+
+TEST(IterativeJob, DeliversThroughLossyFabric) {
+  // 10% drop + 5% corruption on every channel: the CRC layer detects and
+  // the driver re-sends, so the job completes with the same sums as a
+  // clean run — and the retry counters show the fabric was actually lossy.
+  const auto run_with = [](double drop, double corrupt) {
+    ClusterConfig cluster_config = make_config(4);
+    cluster_config.fault_plan.all_channels.drop = drop;
+    cluster_config.fault_plan.all_channels.corrupt = corrupt;
+    Cluster cluster(cluster_config);
+    JobConfig config;
+    config.max_rounds = 6;
+    IterativeJob job(cluster, config);
+    for (std::size_t i = 0; i < 3; ++i) {
+      const BlockId block = cluster.store_shard("s", Bytes{1}, i);
+      job.add_mapper(std::make_shared<ConstantMapper>(7 * (i + 1), i, 3),
+                     block);
+    }
+    auto reducer = std::make_shared<SummingReducer>(999);
+    job.set_reducer(reducer, 3);
+    const JobStats stats = job.run({});
+    return std::make_pair(reducer->sums, stats);
+  };
+  const auto [clean_sums, clean_stats] = run_with(0.0, 0.0);
+  const auto [lossy_sums, lossy_stats] = run_with(0.10, 0.05);
+  EXPECT_EQ(clean_sums, lossy_sums);  // verified delivery: no data changed
+  EXPECT_EQ(clean_stats.message_retries, 0u);
+  EXPECT_GT(lossy_stats.message_retries, 0u);
+  EXPECT_GT(lossy_stats.network_faults.messages_dropped +
+                lossy_stats.network_faults.messages_corrupted,
+            0u);
+  EXPECT_GT(lossy_stats.frames_rejected, 0u);
+  EXPECT_EQ(lossy_stats.mappers_lost, 0u);
+}
+
+TEST(IterativeJob, SpeculativeExecutionCapsStragglers) {
+  // One 20x straggler with a replica on a fast node: with speculation the
+  // simulated round time is bounded by factor x median + the backup's run,
+  // and the speculative attempts are counted deterministically.
+  const auto run_with = [](double speculation_factor) {
+    ClusterConfig cluster_config = make_config(5, /*replication=*/2);
+    cluster_config.node_speed_factors = {20.0, 1.0, 1.0, 1.0, 1.0};
+    Cluster cluster(cluster_config);
+    JobConfig config;
+    config.max_rounds = 3;
+    config.speculation_factor = speculation_factor;
+    IterativeJob job(cluster, config);
+    for (std::size_t i = 0; i < 3; ++i) {
+      const BlockId block = cluster.store_shard("s", Bytes{1}, i);
+      job.add_mapper(std::make_shared<ConstantMapper>(1, i, 3), block);
+    }
+    job.set_reducer(std::make_shared<SummingReducer>(999), 4);
+    return job.run({});
+  };
+  const JobStats without = run_with(0.0);
+  const JobStats with = run_with(3.0);
+  EXPECT_EQ(without.speculative_attempts, 0u);
+  EXPECT_EQ(with.speculative_attempts, 3u);  // one per round, same decision
+  EXPECT_EQ(with.round_timeouts, 3u);
+  EXPECT_EQ(with.mapper_states[0], MapperState::kSuspected);
+  EXPECT_LT(with.simulated_compute_seconds,
+            without.simulated_compute_seconds);
 }
 
 TEST(Counters, IncrementValueSnapshotMerge) {
