@@ -1,9 +1,15 @@
 // Reproduces paper Fig. 4(a) + 4(e): convergence ||z^{t+1}-z^t||^2 and
 // correct ratio per iteration for the LINEAR SVM on HORIZONTALLY
 // partitioned data, across the three datasets.
+//
+// Besides the stdout trace, writes BENCH_fig4.json (working directory):
+// per-dataset final convergence/accuracy plus per-phase duration medians
+// from an observability session around each run.
 #include "bench/bench_common.h"
 #include "core/linear_horizontal.h"
 #include "data/partition.h"
+#include "obs/obs.h"
+#include "obs/report.h"
 
 using namespace ppml;
 
@@ -12,16 +18,46 @@ int main() {
   bench::print_header("Fig. 4(a)/(e)", "linear SVM, horizontal partition",
                       params);
 
+  obs::JsonValue report = obs::JsonValue::object();
+  report.set("bench", "fig4_linear_horizontal");
+  obs::JsonValue config = obs::JsonValue::object();
+  config.set("learners", 4);
+  config.set("c", params.c);
+  config.set("rho", params.rho);
+  config.set("max_iterations", params.max_iterations);
+  report.set("config", std::move(config));
+  obs::JsonValue datasets = obs::JsonValue::array();
+
   for (const std::string& name : {"cancer", "higgs", "ocr"}) {
     const auto dataset = bench::make_bench_dataset(name);
     const auto partition =
         data::partition_horizontally(dataset.split.train, 4, 7);
-    const auto result =
-        core::train_linear_horizontal(partition, params, &dataset.split.test);
+
+    obs::Tracer tracer;
+    obs::MetricsRegistry metrics;
+    core::LinearHorizontalResult result;
+    {
+      obs::Session session(&tracer, &metrics);
+      result =
+          core::train_linear_horizontal(partition, params, &dataset.split.test);
+    }
     bench::print_trace(dataset.name, result.trace);
     std::printf("# %s final: dz2=%.3e accuracy=%.4f\n", dataset.name.c_str(),
                 result.trace.final_delta_sq(),
                 result.trace.final_accuracy());
+
+    obs::JsonValue row = obs::JsonValue::object();
+    row.set("dataset", dataset.name);
+    row.set("iterations", result.run.iterations);
+    row.set("converged", result.run.converged);
+    row.set("final_delta_sq", result.trace.final_delta_sq());
+    row.set("final_accuracy", result.trace.final_accuracy());
+    row.set("phases", obs::span_stats_json(tracer));
+    row.set("metrics", obs::metrics_json(metrics));
+    datasets.push(std::move(row));
   }
+  report.set("datasets", std::move(datasets));
+  obs::write_json_file("BENCH_fig4.json", report);
+  std::printf("# report written to BENCH_fig4.json\n");
   return 0;
 }

@@ -7,12 +7,19 @@
 // The key shape the paper's design predicts: per-round traffic grows with
 // M (and with M^2 for the literal exchanged-mask protocol) but is
 // INDEPENDENT of N — the training data never moves (data locality).
+// Besides the stdout tables, writes BENCH_scalability.json (working
+// directory): the sweep rows plus per-phase span medians from one extra
+// instrumented M=4 run. The sweeps themselves run WITHOUT an observability
+// session, so the reported wall times exercise (and measure) the disabled
+// instrumentation path.
 #include <chrono>
 
 #include "bench/bench_common.h"
 #include "core/linear_horizontal.h"
 #include "core/mapreduce_adapter.h"
 #include "data/partition.h"
+#include "obs/obs.h"
+#include "obs/report.h"
 
 using namespace ppml;
 
@@ -67,6 +74,18 @@ RunStats run_job(const data::SplitDataset& split, std::size_t m,
   return stats;
 }
 
+obs::JsonValue stats_row(std::size_t sweep_value, const char* key,
+                         const RunStats& s) {
+  obs::JsonValue row = obs::JsonValue::object();
+  row.set(key, sweep_value);
+  row.set("wall_seconds", s.wall_seconds);
+  row.set("network_seconds", s.network_seconds);
+  row.set("bytes", s.bytes);
+  row.set("messages", s.messages);
+  row.set("accuracy", s.accuracy);
+  return row;
+}
+
 }  // namespace
 
 int main() {
@@ -75,40 +94,69 @@ int main() {
   std::printf("# %zu iterations; traffic is the full job total\n",
               kIterations);
 
+  obs::JsonValue report = obs::JsonValue::object();
+  report.set("bench", "scalability");
+  report.set("iterations", kIterations);
+
   std::printf("\n## Sweep M (learners), cancer_like, seeded-mask protocol\n");
   std::printf("%4s %10s %10s %12s %12s %9s\n", "M", "wall_s", "net_s",
               "bytes", "messages", "accuracy");
   const auto cancer = bench::make_bench_dataset("cancer");
+  obs::JsonValue sweep_m = obs::JsonValue::array();
   for (std::size_t m : {2, 4, 8, 16}) {
     const RunStats s = run_job(cancer.split, m,
                                crypto::MaskVariant::kSeededMasks, kIterations);
     std::printf("%4zu %10.3f %10.5f %12zu %12zu %8.1f%%\n", m, s.wall_seconds,
                 s.network_seconds, s.bytes, s.messages, s.accuracy * 100.0);
+    sweep_m.push(stats_row(m, "learners", s));
   }
+  report.set("sweep_learners_seeded", std::move(sweep_m));
 
   std::printf(
       "\n## Same sweep with the literal exchanged-mask protocol (O(M^2) "
       "mask traffic per round)\n");
   std::printf("%4s %10s %10s %12s %12s %9s\n", "M", "wall_s", "net_s",
               "bytes", "messages", "accuracy");
+  obs::JsonValue sweep_m_exchanged = obs::JsonValue::array();
   for (std::size_t m : {2, 4, 8, 16}) {
     const RunStats s = run_job(
         cancer.split, m, crypto::MaskVariant::kExchangedMasks, kIterations);
     std::printf("%4zu %10.3f %10.5f %12zu %12zu %8.1f%%\n", m, s.wall_seconds,
                 s.network_seconds, s.bytes, s.messages, s.accuracy * 100.0);
+    sweep_m_exchanged.push(stats_row(m, "learners", s));
   }
+  report.set("sweep_learners_exchanged", std::move(sweep_m_exchanged));
 
   std::printf(
       "\n## Sweep N (training rows), higgs_like, M=4: traffic must stay "
       "flat (data locality — only results move)\n");
   std::printf("%6s %10s %10s %12s %12s %9s\n", "N", "wall_s", "net_s",
               "bytes", "messages", "accuracy");
+  obs::JsonValue sweep_n = obs::JsonValue::array();
   for (std::size_t n : {1000, 2000, 4000, 8000}) {
     const auto dataset = bench::make_bench_dataset("higgs", n);
     const RunStats s = run_job(dataset.split, 4,
                                crypto::MaskVariant::kSeededMasks, kIterations);
     std::printf("%6zu %10.3f %10.5f %12zu %12zu %8.1f%%\n", n, s.wall_seconds,
                 s.network_seconds, s.bytes, s.messages, s.accuracy * 100.0);
+    sweep_n.push(stats_row(n, "train_rows", s));
   }
+  report.set("sweep_rows_seeded", std::move(sweep_n));
+
+  // One extra instrumented run for per-phase medians. Kept out of the
+  // sweeps above so their wall times keep measuring the disabled path.
+  {
+    obs::Tracer tracer;
+    obs::MetricsRegistry metrics;
+    {
+      obs::Session session(&tracer, &metrics);
+      run_job(cancer.split, 4, crypto::MaskVariant::kSeededMasks, kIterations);
+    }
+    report.set("phases_m4_seeded", obs::span_stats_json(tracer));
+    report.set("metrics_m4_seeded", obs::metrics_json(metrics));
+  }
+
+  obs::write_json_file("BENCH_scalability.json", report);
+  std::printf("\n# report written to BENCH_scalability.json\n");
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "data/generators.h"
 #include "data/io.h"
 #include "data/standardize.h"
+#include "obs/obs.h"
 #include "svm/metrics.h"
 
 using namespace ppml;
@@ -38,6 +39,8 @@ struct CliOptions {
   std::uint64_t seed = 7;
   bool use_cluster = false;
   std::optional<std::string> save_path;
+  std::optional<std::string> trace_path;
+  std::optional<std::string> metrics_path;
 };
 
 void usage() {
@@ -52,7 +55,9 @@ void usage() {
       "  --split F          train fraction (default 0.5)\n"
       "  --seed S           partition/protocol seed\n"
       "  --cluster          run as a simulated MapReduce job\n"
-      "  --save PATH        write the trained model (horizontal schemes)\n");
+      "  --save PATH        write the trained model (horizontal schemes)\n"
+      "  --trace PATH       write a Chrome trace_event JSON (open in Perfetto)\n"
+      "  --metrics PATH     write run metrics as CSV\n");
 }
 
 bool parse_args(int argc, char** argv, CliOptions& options) {
@@ -85,6 +90,8 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       else if (flag == "--split") options.train_fraction = std::stod(value);
       else if (flag == "--seed") options.seed = std::stoull(value);
       else if (flag == "--save") options.save_path = value;
+      else if (flag == "--trace") options.trace_path = value;
+      else if (flag == "--metrics") options.metrics_path = value;
       else {
         std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
         return false;
@@ -166,6 +173,16 @@ int main(int argc, char** argv) {
 
     mapreduce::ClusterConfig cluster_config;
     cluster_config.num_nodes = options.learners + 1;
+
+    // Observability session around the whole training run. The root "run"
+    // span must close before export, hence the scope below.
+    obs::Tracer tracer;
+    obs::MetricsRegistry metrics;
+    {
+    std::optional<obs::Session> session;
+    if (options.trace_path || options.metrics_path)
+      session.emplace(&tracer, &metrics);
+    obs::Span run_span("run", "cli");
 
     if (options.scheme == "linear-h") {
       const auto partition = data::partition_horizontally(
@@ -249,6 +266,29 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown scheme '%s'\n", options.scheme.c_str());
       usage();
       return 1;
+    }
+    }
+
+    if (options.trace_path) {
+      std::ofstream out(*options.trace_path);
+      tracer.write_chrome_trace(out);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     options.trace_path->c_str());
+        return 1;
+      }
+      std::printf("trace written to %s (%zu spans — open in ui.perfetto.dev)\n",
+                  options.trace_path->c_str(), tracer.span_count());
+    }
+    if (options.metrics_path) {
+      std::ofstream out(*options.metrics_path);
+      metrics.write_csv(out);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     options.metrics_path->c_str());
+        return 1;
+      }
+      std::printf("metrics written to %s\n", options.metrics_path->c_str());
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

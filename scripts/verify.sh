@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure + build + full test suite, then the
-# fault-tolerance-critical suites again under AddressSanitizer +
-# UndefinedBehaviorSanitizer (the chaos paths exercise threads, retries and
-# ring arithmetic — exactly where ASan/UBSan earn their keep).
+# fault-tolerance- and observability-critical suites again under
+# AddressSanitizer + UndefinedBehaviorSanitizer (the chaos and tracing
+# paths exercise threads, retries and ring arithmetic — exactly where
+# ASan/UBSan earn their keep), then the documentation link check.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,9 +15,12 @@ ctest --test-dir build --output-on-failure -j"$jobs"
 
 cmake -B build-asan -S . -DPPML_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j"$jobs" --target mapreduce_test chaos_test \
-  dropout_recovery_test
+  dropout_recovery_test obs_test
 ./build-asan/tests/mapreduce_test
 ./build-asan/tests/chaos_test
 ./build-asan/tests/dropout_recovery_test
+./build-asan/tests/obs_test
+
+scripts/check_docs.sh
 
 echo "verify: OK"

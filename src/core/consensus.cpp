@@ -1,12 +1,56 @@
 #include "core/consensus.h"
 
 #include <algorithm>
+#include <cmath>
 #include <future>
 #include <thread>
 
 #include "crypto/dropout_recovery.h"
+#include "obs/obs.h"
 
 namespace ppml::core {
+
+namespace {
+
+// Appends the per-iteration ADMM series (consensus delta, derived dual /
+// primal residuals, summed local objective) to the session metrics
+// registry. Purely observational: everything is computed from values the
+// coordinator and learners already expose, so instrumented runs stay
+// bit-identical to uninstrumented ones.
+void record_admm_round(
+    const ConsensusCoordinator& coordinator, const Vector& average,
+    const Vector& z_prev, double rho,
+    const std::vector<std::shared_ptr<ConsensusLearner>>& learners,
+    const std::vector<std::size_t>* active) {
+  obs::MetricsRegistry* metrics = obs::metrics();
+  if (!metrics) return;
+  const double delta_sq = coordinator.last_delta_sq();
+  metrics->append("admm.z_delta_sq", delta_sq);
+  metrics->append("admm.dual_residual_sq", rho * rho * delta_sq);
+  double primal = 0.0;
+  for (std::size_t j = 0; j < average.size(); ++j) {
+    const double z = j < z_prev.size() ? z_prev[j] : 0.0;
+    const double d = average[j] - z;
+    primal += d * d;
+  }
+  metrics->append("admm.primal_residual_sq", primal);
+  double objective = 0.0;
+  bool any = false;
+  const auto add_objective = [&](const ConsensusLearner& learner) {
+    const double value = learner.last_local_objective();
+    if (std::isnan(value)) return;
+    objective += value;
+    any = true;
+  };
+  if (active) {
+    for (std::size_t i : *active) add_objective(*learners[i]);
+  } else {
+    for (const auto& learner : learners) add_objective(*learner);
+  }
+  if (any) metrics->append("admm.objective", objective);
+}
+
+}  // namespace
 
 ConsensusRunResult run_consensus_in_memory(
     std::vector<std::shared_ptr<ConsensusLearner>>& learners,
@@ -60,29 +104,48 @@ ConsensusRunResult run_consensus_in_memory(
 
   ConsensusRunResult result;
   Vector broadcast;  // empty on round 0 — learners treat it as "cold start"
+  obs::Span job_span("job", "core");
   for (std::size_t round = 0; round < params.max_iterations; ++round) {
+    obs::Span iteration_span("iteration", "core");
+    iteration_span.arg("round", static_cast<double>(round));
     crypto::SecureSumAggregator aggregator(m, codec);
-    if (params.mask_variant == crypto::MaskVariant::kSeededMasks) {
-      const std::vector<Vector> contributions = run_local_steps(broadcast);
-      for (std::size_t i = 0; i < m; ++i) {
-        aggregator.add(parties[i].masked_contribution(contributions[i], round));
+    std::vector<Vector> contributions;
+    {
+      obs::Span map_span("map", "core");
+      contributions = run_local_steps(broadcast);
+    }
+    Vector average;
+    {
+      obs::Span sum_span("secure_sum", "core");
+      if (params.mask_variant == crypto::MaskVariant::kSeededMasks) {
+        for (std::size_t i = 0; i < m; ++i) {
+          aggregator.add(
+              parties[i].masked_contribution(contributions[i], round));
+        }
+      } else {
+        // Literal protocol: exchange fresh masks, then contribute.
+        std::vector<std::vector<std::vector<std::uint64_t>>> sent(m);
+        for (std::size_t i = 0; i < m; ++i)
+          sent[i] = parties[i].outgoing_masks(round, dim);
+        for (std::size_t i = 0; i < m; ++i) {
+          std::vector<std::vector<std::uint64_t>> received(m);
+          for (std::size_t j = 0; j < m; ++j)
+            if (j != i) received[j] = sent[j][i];
+          aggregator.add(
+              parties[i].masked_contribution(contributions[i], received, round));
+        }
       }
-    } else {
-      // Literal protocol: exchange fresh masks, then contribute.
-      const std::vector<Vector> contributions = run_local_steps(broadcast);
-      std::vector<std::vector<std::vector<std::uint64_t>>> sent(m);
-      for (std::size_t i = 0; i < m; ++i)
-        sent[i] = parties[i].outgoing_masks(round, dim);
-      for (std::size_t i = 0; i < m; ++i) {
-        std::vector<std::vector<std::uint64_t>> received(m);
-        for (std::size_t j = 0; j < m; ++j)
-          if (j != i) received[j] = sent[j][i];
-        aggregator.add(
-            parties[i].masked_contribution(contributions[i], received, round));
-      }
+      average = aggregator.average();
     }
 
-    broadcast = coordinator.combine(aggregator.average());
+    Vector z_prev;
+    if (obs::enabled()) z_prev = broadcast;
+    {
+      obs::Span update_span("admm_update", "core");
+      broadcast = coordinator.combine(average);
+    }
+    record_admm_round(coordinator, average, z_prev, params.rho, learners,
+                      nullptr);
     ++result.iterations;
     if (observer) observer(round);
     if (params.convergence_tolerance > 0.0 &&
@@ -124,7 +187,10 @@ ConsensusRunResult run_consensus_partial_participation(
 
   ConsensusRunResult result;
   Vector broadcast;
+  obs::Span job_span("job", "core");
   for (std::size_t round = 0; round < params.max_iterations; ++round) {
+    obs::Span iteration_span("iteration", "core");
+    iteration_span.arg("round", static_cast<double>(round));
     // Fisher–Yates prefix: this round's participant set.
     for (std::size_t i = 0; i < participants_per_round; ++i) {
       const std::size_t j = i + sampler.next() % (m - i);
@@ -136,12 +202,29 @@ ConsensusRunResult run_consensus_partial_participation(
     std::sort(participants.begin(), participants.end());
 
     crypto::SecureSumAggregator aggregator(participants_per_round, codec);
-    for (std::size_t i : participants) {
-      const Vector contribution = learners[i]->local_step(broadcast);
-      aggregator.add(parties[i].masked_contribution_subset(
-          contribution, round, participants));
+    std::vector<Vector> contributions(participants.size());
+    {
+      obs::Span map_span("map", "core");
+      for (std::size_t k = 0; k < participants.size(); ++k)
+        contributions[k] = learners[participants[k]]->local_step(broadcast);
     }
-    broadcast = coordinator.combine(aggregator.average());
+    Vector average;
+    {
+      obs::Span sum_span("secure_sum", "core");
+      for (std::size_t k = 0; k < participants.size(); ++k) {
+        aggregator.add(parties[participants[k]].masked_contribution_subset(
+            contributions[k], round, participants));
+      }
+      average = aggregator.average();
+    }
+    Vector z_prev;
+    if (obs::enabled()) z_prev = broadcast;
+    {
+      obs::Span update_span("admm_update", "core");
+      broadcast = coordinator.combine(average);
+    }
+    record_admm_round(coordinator, average, z_prev, params.rho, learners,
+                      &participants);
     ++result.iterations;
     if (observer) observer(round);
     if (params.convergence_tolerance > 0.0 &&
@@ -185,12 +268,23 @@ ConsensusRunResult run_consensus_with_dropout(
 
   ConsensusRunResult result;
   Vector broadcast;
+  obs::Span job_span("job", "core");
   for (std::size_t round = 0; round < params.max_iterations; ++round) {
+    obs::Span iteration_span("iteration", "core");
+    iteration_span.arg("round", static_cast<double>(round));
     // Everyone currently live masks against exactly the live set.
     std::vector<std::vector<std::uint64_t>> masked(m);
-    for (std::size_t i : live) {
-      masked[i] = parties[i].masked_contribution_subset(
-          learners[i]->local_step(broadcast), round, live);
+    std::vector<Vector> local(m);
+    {
+      obs::Span map_span("map", "core");
+      for (std::size_t i : live) local[i] = learners[i]->local_step(broadcast);
+    }
+    {
+      obs::Span sum_span("secure_sum", "core");
+      for (std::size_t i : live) {
+        masked[i] =
+            parties[i].masked_contribution_subset(local[i], round, live);
+      }
     }
 
     // Scheduled post-mask drops: the victims' contributions vanish but
@@ -212,27 +306,32 @@ ConsensusRunResult run_consensus_with_dropout(
       PPML_CHECK(survivors.size() >= threshold,
                  "dropout consensus: not enough survivors to reconstruct");
 
-    std::vector<std::uint64_t> acc(dim, 0);
-    for (std::size_t i : survivors) crypto::ring_add_inplace(acc, masked[i]);
-    for (std::size_t d : dropped) {
-      // Reducer side: `threshold` survivors reveal their shares of the
-      // dropped party's seeds; reconstruct and strip the stale masks.
-      std::vector<std::uint64_t> reconstructed(m, 0);
-      for (std::size_t j : survivors) {
-        std::vector<crypto::ShamirShare> shares;
-        for (std::size_t h = 0; h < threshold; ++h)
-          shares.push_back(session.share(survivors[h], d, j));
-        reconstructed[j] =
-            crypto::DropoutRecoverySession::reconstruct_seed(shares);
-      }
-      crypto::ring_add_inplace(
-          acc, crypto::DropoutRecoverySession::mask_correction(
-                   d, survivors, reconstructed, round, dim));
-    }
-    const std::vector<double> sum = codec.decode_vector(acc);
     Vector average(dim);
-    for (std::size_t j = 0; j < dim; ++j)
-      average[j] = sum[j] / static_cast<double>(survivors.size());
+    {
+      obs::Span sum_span("secure_sum", "core");
+      std::vector<std::uint64_t> acc(dim, 0);
+      for (std::size_t i : survivors) crypto::ring_add_inplace(acc, masked[i]);
+      for (std::size_t d : dropped) {
+        // Reducer side: `threshold` survivors reveal their shares of the
+        // dropped party's seeds; reconstruct and strip the stale masks.
+        obs::Span recovery_span("dropout_recovery", "core");
+        recovery_span.arg("dropped_party", static_cast<double>(d));
+        std::vector<std::uint64_t> reconstructed(m, 0);
+        for (std::size_t j : survivors) {
+          std::vector<crypto::ShamirShare> shares;
+          for (std::size_t h = 0; h < threshold; ++h)
+            shares.push_back(session.share(survivors[h], d, j));
+          reconstructed[j] =
+              crypto::DropoutRecoverySession::reconstruct_seed(shares);
+        }
+        crypto::ring_add_inplace(
+            acc, crypto::DropoutRecoverySession::mask_correction(
+                     d, survivors, reconstructed, round, dim));
+      }
+      const std::vector<double> sum = codec.decode_vector(acc);
+      for (std::size_t j = 0; j < dim; ++j)
+        average[j] = sum[j] / static_cast<double>(survivors.size());
+    }
 
     if (!dropped.empty()) {
       live = survivors;
@@ -240,7 +339,14 @@ ConsensusRunResult run_consensus_with_dropout(
         learners[i]->on_cohort_resize(live.size());
     }
 
-    broadcast = coordinator.combine(average);
+    Vector z_prev;
+    if (obs::enabled()) z_prev = broadcast;
+    {
+      obs::Span update_span("admm_update", "core");
+      broadcast = coordinator.combine(average);
+    }
+    record_admm_round(coordinator, average, z_prev, params.rho, learners,
+                      &live);
     ++result.iterations;
     if (observer) observer(round);
     if (params.convergence_tolerance > 0.0 &&

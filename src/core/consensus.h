@@ -17,6 +17,7 @@
 #pragma once
 
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 
@@ -49,6 +50,14 @@ class ConsensusLearner {
   /// (schemes whose local step is M-free).
   virtual void on_cohort_resize(std::size_t live_learners) {
     (void)live_learners;
+  }
+
+  /// Local objective value after the most recent local_step, for schemes
+  /// that track one (read only by the observability layer to build the
+  /// `admm.objective` series). NaN means "not reported" and the learner is
+  /// skipped in the sum. Default: NaN.
+  virtual double last_local_objective() const {
+    return std::numeric_limits<double>::quiet_NaN();
   }
 };
 

@@ -83,6 +83,7 @@ Vector LinearHorizontalLearner::local_step(const Vector& broadcast) {
 
   const qp::Result solved = solver_.solve(p, lambda_, qp_options_);
   lambda_ = solved.x;
+  last_objective_ = solved.objective;
 
   // w_m = a (X^T Y lambda + rho v)     (paper eq. (13a))
   Vector xtyl(features_, 0.0);

@@ -37,6 +37,9 @@ class LinearHorizontalLearner final : public ConsensusLearner {
   /// run continues as an exact M'-party consensus.
   void on_cohort_resize(std::size_t live_learners) override;
 
+  /// Local dual objective from the most recent QP solve (observability).
+  double last_local_objective() const override { return last_objective_; }
+
   // Introspection for tests and model assembly.
   const Vector& w() const noexcept { return w_; }
   double b() const noexcept { return b_; }
@@ -58,6 +61,7 @@ class LinearHorizontalLearner final : public ConsensusLearner {
   double b_ = 0.0;
   Vector lambda_;  // warm start
   bool have_step_ = false;
+  double last_objective_ = std::numeric_limits<double>::quiet_NaN();
 };
 
 /// Reduce() side (shared with the kernel-horizontal scheme: consensus is

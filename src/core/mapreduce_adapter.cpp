@@ -5,6 +5,7 @@
 
 #include "crypto/dropout_recovery.h"
 #include "data/dataset.h"
+#include "obs/obs.h"
 
 namespace ppml::core {
 
@@ -194,21 +195,29 @@ class SecureConsensusReducer final : public mapreduce::IterativeReducer {
     PPML_CHECK(!present.empty(), "SecureConsensusReducer: empty round");
 
     Vector average;
-    if (present.size() == mask_set_.size()) {
-      // Complete round (over the full cohort or a pre-shrunken subset —
-      // either way the pairwise masks cancel on their own).
-      crypto::SecureSumAggregator aggregator(present.size(), codec_);
-      for (std::size_t i : present) {
-        Reader reader(contributions[i]);
-        aggregator.add(reader.get_u64_vector());
+    {
+      obs::Span sum_span("secure_sum", "core");
+      if (present.size() == mask_set_.size()) {
+        // Complete round (over the full cohort or a pre-shrunken subset —
+        // either way the pairwise masks cancel on their own).
+        crypto::SecureSumAggregator aggregator(present.size(), codec_);
+        for (std::size_t i : present) {
+          Reader reader(contributions[i]);
+          aggregator.add(reader.get_u64_vector());
+        }
+        average = aggregator.average();
+      } else {
+        average = recover(round, present, contributions);
       }
-      average = aggregator.average();
-    } else {
-      average = recover(round, present, contributions);
     }
 
     mask_set_ = present;
-    const Vector broadcast = coordinator_.combine(average);
+    Vector broadcast;
+    {
+      obs::Span update_span("admm_update", "core");
+      broadcast = coordinator_.combine(average);
+    }
+    obs::append("admm.z_delta_sq", coordinator_.last_delta_sq());
     delta_trace_.push_back(coordinator_.last_delta_sq());
     converged_ =
         tolerance_ > 0.0 && coordinator_.last_delta_sq() <= tolerance_;
@@ -257,6 +266,8 @@ class SecureConsensusReducer final : public mapreduce::IterativeReducer {
   /// `present` (tests assert bit-equality with the plaintext survivor sum).
   Vector recover(std::size_t round, const std::vector<std::size_t>& present,
                  const std::vector<Bytes>& contributions) {
+    obs::Span recovery_span("dropout_recovery", "core");
+    recovery_span.arg("survivors", static_cast<double>(present.size()));
     PPML_CHECK(session_.has_value(),
                "SecureConsensusReducer: contribution missing mid-round but "
                "dropout recovery is not armed (requires "

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace ppml::crypto {
 
 DropoutRecoverySession::DropoutRecoverySession(
@@ -45,6 +47,7 @@ ShamirShare DropoutRecoverySession::share(std::size_t holder,
 
 std::uint64_t DropoutRecoverySession::reconstruct_seed(
     std::span<const ShamirShare> shares) {
+  obs::count("crypto.shamir_reconstructions");
   return shamir_reconstruct(shares);
 }
 
@@ -67,6 +70,7 @@ std::vector<std::uint64_t> DropoutRecoverySession::mask_correction(
       ring_add_inplace(correction, mask);
     }
   }
+  obs::count("crypto.mask_corrections");
   return correction;
 }
 

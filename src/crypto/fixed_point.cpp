@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/obs.h"
+
 namespace ppml::crypto {
 
 FixedPointCodec::FixedPointCodec(unsigned fractional_bits,
@@ -41,6 +43,7 @@ std::vector<std::uint64_t> FixedPointCodec::encode_vector(
     std::span<const double> v) const {
   std::vector<std::uint64_t> out(v.size());
   for (std::size_t i = 0; i < v.size(); ++i) out[i] = encode(v[i]);
+  obs::count("crypto.fp_encode", static_cast<std::int64_t>(v.size()));
   return out;
 }
 
@@ -48,6 +51,7 @@ std::vector<double> FixedPointCodec::decode_vector(
     std::span<const std::uint64_t> r) const {
   std::vector<double> out(r.size());
   for (std::size_t i = 0; i < r.size(); ++i) out[i] = decode(r[i]);
+  obs::count("crypto.fp_decode", static_cast<std::int64_t>(r.size()));
   return out;
 }
 

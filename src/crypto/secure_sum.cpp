@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace ppml::crypto {
 
 SecureSumParty::SecureSumParty(std::size_t party_id, std::size_t num_parties,
@@ -44,6 +46,8 @@ std::vector<std::vector<std::uint64_t>> SecureSumParty::outgoing_masks(
     out[peer].resize(dim);
     prg.fill(out[peer]);
   }
+  obs::count("crypto.masks_generated",
+             static_cast<std::int64_t>(num_parties_ - 1));
   return out;
 }
 
@@ -69,6 +73,7 @@ std::vector<std::uint64_t> SecureSumParty::masked_contribution(
                "masked_contribution: received mask dimension mismatch");
     ring_sub_inplace(out, received[peer]);
   }
+  obs::count("crypto.masked_contributions");
   return out;
 }
 
@@ -90,6 +95,9 @@ std::vector<std::uint64_t> SecureSumParty::masked_contribution(
       ring_sub_inplace(out, mask);
     }
   }
+  obs::count("crypto.masks_generated",
+             static_cast<std::int64_t>(num_parties_ - 1));
+  obs::count("crypto.masked_contributions");
   return out;
 }
 
@@ -118,6 +126,9 @@ std::vector<std::uint64_t> SecureSumParty::masked_contribution_subset(
       ring_sub_inplace(out, mask);
     }
   }
+  obs::count("crypto.masks_generated",
+             static_cast<std::int64_t>(participants.size() - 1));
+  obs::count("crypto.masked_contributions");
   return out;
 }
 

@@ -5,10 +5,43 @@
 #include <utility>
 
 #include "crypto/prng.h"
+#include "obs/obs.h"
 
 namespace ppml::mapreduce {
 
 namespace {
+
+/// Closes a driver phase span with bytes/messages-moved annotations and
+/// the matching net.* counters. Inert (and cost-free beyond two atomic
+/// loads) when no observability session is installed.
+class PhaseSpan {
+ public:
+  PhaseSpan(const char* name, Network& network)
+      : span_(name, "mapreduce"), name_(name), network_(network) {
+    if (obs::enabled()) before_ = network_.totals();
+  }
+  ~PhaseSpan() {
+    if (!obs::enabled()) return;
+    const ChannelStats now = network_.totals();
+    const auto bytes = static_cast<double>(now.bytes - before_.bytes);
+    const auto messages =
+        static_cast<double>(now.messages - before_.messages);
+    span_.arg("bytes", bytes);
+    span_.arg("messages", messages);
+    if (obs::MetricsRegistry* m = obs::metrics()) {
+      m->add(std::string("net.bytes.") + name_,
+             static_cast<std::int64_t>(bytes));
+      m->add(std::string("net.messages.") + name_,
+             static_cast<std::int64_t>(messages));
+    }
+  }
+
+ private:
+  obs::Span span_;
+  const char* name_;
+  Network& network_;
+  ChannelStats before_;
+};
 
 /// Lower median (straggler detection wants the typical node, not the tail).
 double lower_median(std::vector<double> values) {
@@ -178,8 +211,11 @@ JobStats IterativeJob::run(Bytes initial_broadcast) {
     return undelivered;
   };
 
+  obs::Span job_span("job", "mapreduce");
   Bytes broadcast = std::move(initial_broadcast);
   for (std::size_t round = 0; round < config_.max_rounds; ++round) {
+    obs::Span iteration_span("iteration", "mapreduce");
+    iteration_span.arg("round", static_cast<double>(round));
     ++stats.rounds;
     network.set_round(round);
 
@@ -235,6 +271,7 @@ JobStats IterativeJob::run(Bytes initial_broadcast) {
     //    CRC-framed with verified delivery. A mapper the driver cannot
     //    reach is lost *before* masking — also a pre-map loss.
     {
+      PhaseSpan broadcast_span("broadcast", network);
       std::vector<Pending> sends;
       for (std::size_t i = 0; i < m; ++i)
         if (live_[i]) sends.push_back({i, reducer_node_, mapper_nodes_[i]});
@@ -281,6 +318,9 @@ JobStats IterativeJob::run(Bytes initial_broadcast) {
       std::size_t dest = 0;
       Bytes payload;
     };
+    std::vector<std::vector<Bytes>> inboxes(m, std::vector<Bytes>(m));
+    {
+    PhaseSpan shuffle_span("shuffle", network);
     std::vector<PeerMessage> outbox;
     for (std::size_t i = 0; i < m; ++i) {
       if (!live_[i]) continue;
@@ -290,7 +330,6 @@ JobStats IterativeJob::run(Bytes initial_broadcast) {
         outbox.push_back({i, peer, std::move(payload)});
       }
     }
-    std::vector<std::vector<Bytes>> inboxes(m, std::vector<Bytes>(m));
     if (!outbox.empty()) {
       std::vector<Pending> sends;
       for (std::size_t k = 0; k < outbox.size(); ++k) {
@@ -318,6 +357,7 @@ JobStats IterativeJob::run(Bytes initial_broadcast) {
       if (!deliver("peer-exchange", std::move(sends), body, accept).empty())
         throw JobError("peer-exchange undeliverable after retries — "
                        "protocol masks lost, round cannot proceed");
+    }
     }
 
     // Deterministic speculation decisions: a node slower than
@@ -366,6 +406,9 @@ JobStats IterativeJob::run(Bytes initial_broadcast) {
     std::vector<double> wall_seconds(m, 0.0);
     std::exception_ptr map_error;
     std::mutex error_mutex;
+    {
+    obs::Span map_span("map", "mapreduce");
+    map_span.arg("tasks", static_cast<double>(active.size()));
     cluster_.executor().parallel_for(active.size(), [&](std::size_t k) {
       const std::size_t i = active[k];
       try {
@@ -401,6 +444,7 @@ JobStats IterativeJob::run(Bytes initial_broadcast) {
       }
       stats.simulated_compute_seconds += critical_path;
     }
+    }
 
     // Scheduled crashes land *after* map: the node computed its share but
     // dies before delivering it — the worst case for secure aggregation,
@@ -432,6 +476,7 @@ JobStats IterativeJob::run(Bytes initial_broadcast) {
     //    value. An undeliverable contribution after retries is a post-map
     //    loss: the sender already masked this round.
     {
+      PhaseSpan contribute_span("contribute", network);
       std::vector<Pending> sends;
       for (std::size_t i : active)
         if (live_[i]) sends.push_back({i, mapper_nodes_[i], reducer_node_});
@@ -470,7 +515,10 @@ JobStats IterativeJob::run(Bytes initial_broadcast) {
     for (std::size_t i : postmap_lost)
       reducer_->on_mapper_lost(round, i, /*masked_this_round=*/true);
     check_quorum();
-    broadcast = reducer_->reduce(round, contributions);
+    {
+      obs::Span reduce_span("reduce", "mapreduce");
+      broadcast = reducer_->reduce(round, contributions);
+    }
     if (!postmap_lost.empty()) notify_membership();
     if (reducer_->converged()) {
       stats.converged = true;

@@ -1,0 +1,119 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "linalg/common.h"
+
+namespace ppml::obs {
+
+void json_escape(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    os << static_cast<std::int64_t>(v);
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+JsonValue& JsonValue::push(JsonValue element) {
+  PPML_CHECK(kind_ == Kind::kArray, "JsonValue::push: not an array");
+  elements_.push_back(std::move(element));
+  return *this;
+}
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue value) {
+  PPML_CHECK(kind_ == Kind::kObject, "JsonValue::set: not an object");
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+namespace {
+
+void newline_indent(std::ostream& os, int indent, int depth) {
+  if (indent <= 0) return;
+  os << '\n';
+  for (int i = 0; i < indent * depth; ++i) os << ' ';
+}
+
+}  // namespace
+
+void JsonValue::dump_impl(std::ostream& os, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull: os << "null"; break;
+    case Kind::kBool: os << (bool_ ? "true" : "false"); break;
+    case Kind::kNumber: json_number(os, number_); break;
+    case Kind::kString: json_escape(os, string_); break;
+    case Kind::kArray: {
+      os << '[';
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        if (i > 0) os << ',';
+        newline_indent(os, indent, depth + 1);
+        elements_[i].dump_impl(os, indent, depth + 1);
+      }
+      if (!elements_.empty()) newline_indent(os, indent, depth);
+      os << ']';
+      break;
+    }
+    case Kind::kObject: {
+      os << '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) os << ',';
+        newline_indent(os, indent, depth + 1);
+        json_escape(os, members_[i].first);
+        os << (indent > 0 ? ": " : ":");
+        members_[i].second.dump_impl(os, indent, depth + 1);
+      }
+      if (!members_.empty()) newline_indent(os, indent, depth);
+      os << '}';
+      break;
+    }
+  }
+}
+
+void JsonValue::dump(std::ostream& os, int indent) const {
+  dump_impl(os, indent, 0);
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::ostringstream os;
+  dump(os, indent);
+  return os.str();
+}
+
+}  // namespace ppml::obs

@@ -1,0 +1,71 @@
+// Minimal JSON document builder for the observability exporters.
+//
+// The exporters (Chrome trace files, BENCH_*.json run reports) need to
+// *emit* well-formed JSON, nothing more — no parsing, no external
+// dependency. JsonValue is an ordered value tree: object keys keep their
+// insertion order so reports diff cleanly run to run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ppml::obs {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}            // NOLINT
+  JsonValue(double v) : kind_(Kind::kNumber), number_(v) {}      // NOLINT
+  JsonValue(int v) : JsonValue(static_cast<double>(v)) {}        // NOLINT
+  JsonValue(std::int64_t v) : JsonValue(static_cast<double>(v)) {}  // NOLINT
+  JsonValue(std::size_t v) : JsonValue(static_cast<double>(v)) {}   // NOLINT
+  JsonValue(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}  // NOLINT
+  JsonValue(const char* s) : JsonValue(std::string(s)) {}        // NOLINT
+
+  static JsonValue array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const noexcept { return kind_; }
+
+  /// Array append. Returns *this for chaining.
+  JsonValue& push(JsonValue element);
+
+  /// Object insert (keys keep insertion order; duplicate keys overwrite).
+  JsonValue& set(const std::string& key, JsonValue value);
+
+  /// Serialize. `indent` > 0 pretty-prints with that many spaces per level.
+  void dump(std::ostream& os, int indent = 0) const;
+  std::string dump(int indent = 0) const;
+
+ private:
+  void dump_impl(std::ostream& os, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> elements_;                          // kArray
+  std::vector<std::pair<std::string, JsonValue>> members_;   // kObject
+};
+
+/// Escape a string for embedding in a JSON document (adds the quotes).
+void json_escape(std::ostream& os, const std::string& s);
+
+/// Format a double the way JSON requires (no NaN/Inf — they become null).
+void json_number(std::ostream& os, double v);
+
+}  // namespace ppml::obs

@@ -1,0 +1,190 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/common.h"
+#include "obs/json.h"
+
+namespace ppml::obs {
+
+void MetricsRegistry::add(const std::string& name, std::int64_t by) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] += by;
+}
+
+std::int64_t MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::map<std::string, std::int64_t> MetricsRegistry::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[name] = value;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+std::map<std::string, double> MetricsRegistry::gauges() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gauges_;
+}
+
+std::vector<double> MetricsRegistry::default_buckets() {
+  // Decades from 1 ns to 1000 s — wide enough for durations in seconds and
+  // for dimensionless tolerances alike.
+  std::vector<double> bounds;
+  for (int e = -9; e <= 3; ++e) bounds.push_back(std::pow(10.0, e));
+  return bounds;
+}
+
+void MetricsRegistry::declare_histogram(const std::string& name,
+                                        std::vector<double> upper_bounds) {
+  PPML_CHECK(!upper_bounds.empty(),
+             "declare_histogram: need at least one bucket bound");
+  for (std::size_t i = 1; i < upper_bounds.size(); ++i)
+    PPML_CHECK(upper_bounds[i - 1] < upper_bounds[i],
+               "declare_histogram: bounds must be strictly increasing");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    PPML_CHECK(it->second.upper_bounds == upper_bounds,
+               "declare_histogram: '" + name +
+                   "' already declared with different bounds");
+    return;
+  }
+  Histogram h;
+  h.counts.assign(upper_bounds.size() + 1, 0);
+  h.upper_bounds = std::move(upper_bounds);
+  histograms_.emplace(name, std::move(h));
+}
+
+void MetricsRegistry::observe(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    Histogram h;
+    h.upper_bounds = default_buckets();
+    h.counts.assign(h.upper_bounds.size() + 1, 0);
+    it = histograms_.emplace(name, std::move(h)).first;
+  }
+  Histogram& h = it->second;
+  const auto bucket = static_cast<std::size_t>(
+      std::lower_bound(h.upper_bounds.begin(), h.upper_bounds.end(), value) -
+      h.upper_bounds.begin());
+  ++h.counts[bucket];
+  if (h.total == 0) {
+    h.min = h.max = value;
+  } else {
+    h.min = std::min(h.min, value);
+    h.max = std::max(h.max, value);
+  }
+  ++h.total;
+  h.sum += value;
+}
+
+HistogramSnapshot MetricsRegistry::histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HistogramSnapshot snapshot;
+  const auto it = histograms_.find(name);
+  if (it == histograms_.end()) return snapshot;
+  snapshot.upper_bounds = it->second.upper_bounds;
+  snapshot.counts = it->second.counts;
+  snapshot.total = it->second.total;
+  snapshot.sum = it->second.sum;
+  snapshot.min = it->second.min;
+  snapshot.max = it->second.max;
+  return snapshot;
+}
+
+std::vector<std::string> MetricsRegistry::histogram_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  for (const auto& [name, h] : histograms_) names.push_back(name);
+  return names;
+}
+
+void MetricsRegistry::append(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  series_[name].push_back(value);
+}
+
+std::vector<double> MetricsRegistry::series(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = series_.find(name);
+  return it == series_.end() ? std::vector<double>{} : it->second;
+}
+
+std::vector<std::string> MetricsRegistry::series_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  for (const auto& [name, s] : series_) names.push_back(name);
+  return names;
+}
+
+namespace {
+
+void csv_number(std::ostream& os, double v) {
+  // CSV shares JSON's number grammar needs; reuse the formatter.
+  json_number(os, v);
+}
+
+}  // namespace
+
+void MetricsRegistry::write_csv(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os << "kind,name,key,value\n";
+  for (const auto& [name, value] : counters_)
+    os << "counter," << name << ",," << value << "\n";
+  for (const auto& [name, value] : gauges_) {
+    os << "gauge," << name << ",,";
+    csv_number(os, value);
+    os << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << "histogram," << name << ",count," << h.total << "\n";
+    os << "histogram," << name << ",sum,";
+    csv_number(os, h.sum);
+    os << "\n";
+    if (h.total > 0) {
+      os << "histogram," << name << ",min,";
+      csv_number(os, h.min);
+      os << "\nhistogram," << name << ",max,";
+      csv_number(os, h.max);
+      os << "\n";
+    }
+    for (std::size_t i = 0; i < h.upper_bounds.size(); ++i) {
+      os << "histogram," << name << ",le_";
+      csv_number(os, h.upper_bounds[i]);
+      os << "," << h.counts[i] << "\n";
+    }
+    os << "histogram," << name << ",le_inf," << h.counts.back() << "\n";
+  }
+  for (const auto& [name, values] : series_) {
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      os << "series," << name << "," << i << ",";
+      csv_number(os, values[i]);
+      os << "\n";
+    }
+  }
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  series_.clear();
+}
+
+}  // namespace ppml::obs

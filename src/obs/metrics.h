@@ -1,0 +1,94 @@
+// Thread-safe metrics registry: counters, gauges, fixed-bucket histograms
+// and append-only series, exported as CSV or JSON.
+//
+// Naming convention (docs/observability.md): dot-separated
+// `<subsystem>.<noun>[.<qualifier>]`, e.g. `crypto.masks_generated`,
+// `qp.box.sweeps`, `net.bytes.broadcast`, `admm.z_delta_sq`. Counters are
+// monotone, gauges are last-write-wins, histograms have fixed bucket
+// boundaries chosen at registration time (never resized — snapshots from
+// different runs are always comparable), series record one value per
+// observation in order (the Fig. 4 residual curves).
+//
+// The registry is passive: instrumentation reaches it through the global
+// session in obs.h, which costs one relaxed atomic load when disabled.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ppml::obs {
+
+/// Point-in-time view of one histogram.
+struct HistogramSnapshot {
+  /// Upper bounds of the finite buckets (strictly increasing). Bucket i
+  /// counts observations v with v <= upper_bounds[i] (and > bound i-1);
+  /// counts.back() is the overflow bucket (> upper_bounds.back()).
+  std::vector<double> upper_bounds;
+  std::vector<std::uint64_t> counts;  ///< upper_bounds.size() + 1 entries
+  std::uint64_t total = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< undefined when total == 0
+  double max = 0.0;  ///< undefined when total == 0
+};
+
+class MetricsRegistry {
+ public:
+  // --- counters (monotone) -----------------------------------------------
+  void add(const std::string& name, std::int64_t by = 1);
+  std::int64_t counter(const std::string& name) const;  ///< 0 when unknown
+  std::map<std::string, std::int64_t> counters() const;
+
+  // --- gauges (last write wins) ------------------------------------------
+  void set_gauge(const std::string& name, double value);
+  double gauge(const std::string& name) const;  ///< 0.0 when unknown
+  std::map<std::string, double> gauges() const;
+
+  // --- histograms (fixed buckets) ----------------------------------------
+  /// Declare the bucket upper bounds for `name` (strictly increasing,
+  /// non-empty). Must happen before the first observe() for custom bounds;
+  /// otherwise observe() installs the default decade buckets
+  /// (1e-9, 1e-8, ..., 1e3). Re-declaring an existing histogram with
+  /// different bounds throws — fixed means fixed.
+  void declare_histogram(const std::string& name,
+                         std::vector<double> upper_bounds);
+  void observe(const std::string& name, double value);
+  HistogramSnapshot histogram(const std::string& name) const;
+  std::vector<std::string> histogram_names() const;
+
+  // --- series (append-only, ordered) -------------------------------------
+  void append(const std::string& name, double value);
+  std::vector<double> series(const std::string& name) const;
+  std::vector<std::string> series_names() const;
+
+  /// CSV export, one record per line: `kind,name,key,value`. Counter and
+  /// gauge rows have an empty key; histogram rows use keys `count`, `sum`,
+  /// `min`, `max` and `le_<bound>` / `le_inf`; series rows use the 0-based
+  /// index as key.
+  void write_csv(std::ostream& os) const;
+
+  void reset();
+
+ private:
+  struct Histogram {
+    std::vector<double> upper_bounds;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t total = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  static std::vector<double> default_buckets();
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, std::vector<double>> series_;
+};
+
+}  // namespace ppml::obs

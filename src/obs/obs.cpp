@@ -1,0 +1,21 @@
+#include "obs/obs.h"
+
+#include "linalg/common.h"
+
+namespace ppml::obs {
+
+void install(Tracer* tracer, MetricsRegistry* metrics) {
+  PPML_CHECK(detail::g_tracer.load(std::memory_order_relaxed) == nullptr &&
+                 detail::g_metrics.load(std::memory_order_relaxed) == nullptr,
+             "obs::install: a session is already installed (sessions do not "
+             "nest — uninstall the previous one first)");
+  detail::g_tracer.store(tracer, std::memory_order_release);
+  detail::g_metrics.store(metrics, std::memory_order_release);
+}
+
+void uninstall() {
+  detail::g_tracer.store(nullptr, std::memory_order_release);
+  detail::g_metrics.store(nullptr, std::memory_order_release);
+}
+
+}  // namespace ppml::obs

@@ -1,0 +1,118 @@
+// Global observability session: one process-wide (Tracer, MetricsRegistry)
+// pair that instrumentation reaches through two atomic pointers.
+//
+// Why global: the hot paths worth measuring live many layers below anything
+// that could thread a registry handle (ChaCha mask expansion inside
+// SecureSumParty, coordinate sweeps inside BoxQpSolver). Plumbing a pointer
+// through every constructor would bloat every API for a concern that is
+// off by default. Instead, callers that want measurements install a session
+// around the code under observation:
+//
+//   obs::Tracer tracer;
+//   obs::MetricsRegistry metrics;
+//   obs::Session session(&tracer, &metrics);   // RAII install/uninstall
+//   ... run the job ...
+//   tracer.write_chrome_trace(file);
+//
+// Disabled cost: every hook is `if (relaxed atomic load == nullptr) return`
+// — no lock, no allocation, no clock read. bench/scalability stays within
+// noise of the uninstrumented build (budget in docs/observability.md).
+// Instrumentation is observational only: installing a session never
+// changes RNG consumption or arithmetic, so traced and untraced runs
+// produce bit-identical models (pinned in tests/cluster_integration_test).
+//
+// Sessions do not nest (PPML_CHECK enforces it) and installation is not
+// thread-safe against concurrent hooks — install before spawning the work
+// you want observed, uninstall after joining it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ppml::obs {
+
+namespace detail {
+inline std::atomic<Tracer*> g_tracer{nullptr};
+inline std::atomic<MetricsRegistry*> g_metrics{nullptr};
+}  // namespace detail
+
+/// Currently installed tracer, or nullptr when tracing is disabled.
+inline Tracer* tracer() noexcept {
+  return detail::g_tracer.load(std::memory_order_relaxed);
+}
+
+/// Currently installed registry, or nullptr when metrics are disabled.
+inline MetricsRegistry* metrics() noexcept {
+  return detail::g_metrics.load(std::memory_order_relaxed);
+}
+
+/// True when either half of the session is installed.
+inline bool enabled() noexcept {
+  return tracer() != nullptr || metrics() != nullptr;
+}
+
+/// Install / remove the process-wide session. Either pointer may be null
+/// (metrics without tracing and vice versa). Non-owning.
+void install(Tracer* tracer, MetricsRegistry* metrics);
+void uninstall();
+
+/// RAII session guard.
+class Session {
+ public:
+  Session(Tracer* tracer, MetricsRegistry* metrics) {
+    install(tracer, metrics);
+  }
+  ~Session() { uninstall(); }
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+};
+
+// --- hook helpers (no-ops when the session half is absent) ----------------
+
+inline void count(const char* name, std::int64_t by = 1) {
+  if (MetricsRegistry* m = metrics()) m->add(name, by);
+}
+
+inline void gauge(const char* name, double value) {
+  if (MetricsRegistry* m = metrics()) m->set_gauge(name, value);
+}
+
+inline void observe(const char* name, double value) {
+  if (MetricsRegistry* m = metrics()) m->observe(name, value);
+}
+
+inline void append(const char* name, double value) {
+  if (MetricsRegistry* m = metrics()) m->append(name, value);
+}
+
+/// RAII span: opens on construction when a tracer is installed, otherwise
+/// completely inert. The tracer pointer is latched at construction so a
+/// session uninstalled mid-span still closes cleanly.
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "")
+      : tracer_(tracer()) {
+    if (tracer_ != nullptr) id_ = tracer_->begin(name, category);
+  }
+  ~Span() {
+    if (tracer_ != nullptr) tracer_->end(id_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach a numeric annotation (bytes moved, items processed, ...).
+  void arg(const char* key, double value) {
+    if (tracer_ != nullptr) tracer_->set_arg(id_, key, value);
+  }
+
+  bool active() const noexcept { return tracer_ != nullptr; }
+
+ private:
+  Tracer* tracer_;
+  Tracer::SpanId id_ = Tracer::kInvalidSpan;
+};
+
+}  // namespace ppml::obs

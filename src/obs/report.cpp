@@ -1,0 +1,77 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <fstream>
+#include <vector>
+
+#include "linalg/common.h"
+
+namespace ppml::obs {
+
+std::map<std::string, SpanStats> aggregate_spans(const Tracer& tracer) {
+  std::map<std::string, std::vector<double>> durations;
+  for (const Tracer::SpanRecord& record : tracer.records()) {
+    if (record.end_ns == 0) continue;  // still open — not a measurement
+    durations[record.name].push_back(
+        static_cast<double>(record.end_ns - record.start_ns) / 1e9);
+  }
+  std::map<std::string, SpanStats> stats;
+  for (auto& [name, values] : durations) {
+    std::sort(values.begin(), values.end());
+    SpanStats s;
+    s.count = values.size();
+    for (const double v : values) s.total_s += v;
+    s.min_s = values.front();
+    s.max_s = values.back();
+    const std::size_t n = values.size();
+    s.median_s = n % 2 == 1 ? values[n / 2]
+                            : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+    stats.emplace(name, s);
+  }
+  return stats;
+}
+
+JsonValue span_stats_json(const Tracer& tracer) {
+  JsonValue out = JsonValue::object();
+  for (const auto& [name, s] : aggregate_spans(tracer)) {
+    JsonValue entry = JsonValue::object();
+    entry.set("count", s.count);
+    entry.set("total_s", s.total_s);
+    entry.set("median_s", s.median_s);
+    entry.set("min_s", s.min_s);
+    entry.set("max_s", s.max_s);
+    out.set(name, std::move(entry));
+  }
+  return out;
+}
+
+JsonValue metrics_json(const MetricsRegistry& registry) {
+  JsonValue out = JsonValue::object();
+  JsonValue counters = JsonValue::object();
+  for (const auto& [name, value] : registry.counters())
+    counters.set(name, value);
+  JsonValue gauges = JsonValue::object();
+  for (const auto& [name, value] : registry.gauges())
+    gauges.set(name, value);
+  JsonValue series = JsonValue::object();
+  for (const std::string& name : registry.series_names()) {
+    JsonValue values = JsonValue::array();
+    for (const double v : registry.series(name)) values.push(v);
+    series.set(name, std::move(values));
+  }
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("series", std::move(series));
+  return out;
+}
+
+void write_json_file(const std::string& path, const JsonValue& value) {
+  std::ofstream out(path);
+  PPML_CHECK(out.good(), "write_json_file: cannot open " + path);
+  value.dump(out, 2);
+  out << '\n';
+  out.flush();
+  PPML_CHECK(out.good(), "write_json_file: write to " + path + " failed");
+}
+
+}  // namespace ppml::obs

@@ -1,0 +1,44 @@
+// Run reports: turn a finished session's spans and metrics into the
+// machine-readable BENCH_*.json files that track the repo's performance
+// trajectory (see docs/observability.md — "Regenerating BENCH files").
+//
+// A report is plain JsonValue assembly; the helpers here compute the
+// derived statistics every report wants — per-phase duration percentiles
+// aggregated over all spans sharing a name — so benches only add their
+// sweep-specific rows.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ppml::obs {
+
+/// Duration statistics over every *closed* span with a given name.
+struct SpanStats {
+  std::size_t count = 0;
+  double total_s = 0.0;
+  double median_s = 0.0;
+  double min_s = 0.0;
+  double max_s = 0.0;
+};
+
+/// Aggregate the tracer's closed spans by name.
+std::map<std::string, SpanStats> aggregate_spans(const Tracer& tracer);
+
+/// {"<name>": {"count":, "total_s":, "median_s":, "min_s":, "max_s":}, ...}
+JsonValue span_stats_json(const Tracer& tracer);
+
+/// {"counters": {...}, "gauges": {...}, "series": {"name": [...], ...}}
+/// (histograms are omitted — they belong in the CSV export; reports want
+/// the scalar rollups).
+JsonValue metrics_json(const MetricsRegistry& registry);
+
+/// Write `value` to `path` as pretty-printed JSON (throws Error on IO
+/// failure so benches fail loudly instead of silently skipping the report).
+void write_json_file(const std::string& path, const JsonValue& value);
+
+}  // namespace ppml::obs

@@ -1,0 +1,117 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "linalg/common.h"
+#include "obs/json.h"
+
+namespace ppml::obs {
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t Tracer::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+std::uint32_t Tracer::tid_locked(std::thread::id id) {
+  const auto it = tids_.find(id);
+  if (it != tids_.end()) return it->second;
+  const auto tid = static_cast<std::uint32_t>(tids_.size());
+  tids_.emplace(id, tid);
+  return tid;
+}
+
+Tracer::SpanId Tracer::begin(std::string name, std::string category) {
+  const std::uint64_t start = now_ns();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint32_t tid = tid_locked(std::this_thread::get_id());
+  auto& stack = open_stacks_[tid];
+  SpanRecord record;
+  record.name = std::move(name);
+  record.category = std::move(category);
+  record.tid = tid;
+  record.parent = stack.empty() ? kInvalidSpan : stack.back();
+  record.depth = static_cast<std::uint32_t>(stack.size());
+  record.start_ns = start;
+  const SpanId id = records_.size();
+  records_.push_back(std::move(record));
+  stack.push_back(id);
+  return id;
+}
+
+void Tracer::end(SpanId id) {
+  const std::uint64_t stop = now_ns();
+  std::lock_guard<std::mutex> lock(mutex_);
+  PPML_CHECK(id < records_.size(), "Tracer::end: unknown span id");
+  SpanRecord& record = records_[id];
+  PPML_CHECK(record.end_ns == 0, "Tracer::end: span already closed");
+  record.end_ns = std::max<std::uint64_t>(stop, record.start_ns);
+  auto& stack = open_stacks_[record.tid];
+  const auto it = std::find(stack.rbegin(), stack.rend(), id);
+  if (it != stack.rend()) stack.erase(std::next(it).base());
+}
+
+void Tracer::set_arg(SpanId id, std::string key, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PPML_CHECK(id < records_.size(), "Tracer::set_arg: unknown span id");
+  records_[id].args.emplace_back(std::move(key), value);
+}
+
+std::vector<Tracer::SpanRecord> Tracer::records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+std::size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+std::size_t Tracer::open_span_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t open = 0;
+  for (const auto& [tid, stack] : open_stacks_) open += stack.size();
+  return open;
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  const std::uint64_t now = now_ns();
+  JsonValue events = JsonValue::array();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const SpanRecord& record : records_) {
+      const std::uint64_t end = record.end_ns == 0 ? now : record.end_ns;
+      JsonValue event = JsonValue::object();
+      event.set("name", record.name);
+      if (!record.category.empty()) event.set("cat", record.category);
+      event.set("ph", "X");
+      event.set("pid", 1);
+      event.set("tid", static_cast<std::size_t>(record.tid));
+      event.set("ts", static_cast<double>(record.start_ns) / 1e3);
+      event.set("dur", static_cast<double>(end - record.start_ns) / 1e3);
+      if (!record.args.empty()) {
+        JsonValue args = JsonValue::object();
+        for (const auto& [key, value] : record.args) args.set(key, value);
+        event.set("args", std::move(args));
+      }
+      events.push(std::move(event));
+    }
+  }
+  JsonValue root = JsonValue::object();
+  root.set("traceEvents", std::move(events));
+  root.set("displayTimeUnit", "ms");
+  root.dump(os, 1);
+  os << '\n';
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+  open_stacks_.clear();
+  // tids_ kept: thread identities are stable for the tracer's lifetime.
+}
+
+}  // namespace ppml::obs

@@ -1,0 +1,81 @@
+// Low-overhead hierarchical tracer with a Chrome trace_event exporter.
+//
+// Spans are recorded as complete events on a monotonic clock: begin() pushes
+// a record and notes it on a per-thread open-span stack, end() closes it.
+// Parent/depth are resolved at begin() time from that stack, so nesting
+// reflects the *dynamic* call structure (job → iteration → map → ...).
+//
+// The exported file is Chrome's trace_event JSON array format — open it in
+// chrome://tracing or https://ui.perfetto.dev (docs/observability.md has a
+// walkthrough). One mutex guards the record vector; a span costs roughly a
+// lock + vector push, which the disabled path in obs.h never pays.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ppml::obs {
+
+class Tracer {
+ public:
+  using SpanId = std::size_t;
+  static constexpr SpanId kInvalidSpan = static_cast<SpanId>(-1);
+
+  struct SpanRecord {
+    std::string name;
+    std::string category;
+    std::uint32_t tid = 0;   ///< small dense id, 0 = first thread seen
+    SpanId parent = kInvalidSpan;
+    std::uint32_t depth = 0;  ///< 0 = root of its thread's stack
+    std::uint64_t start_ns = 0;  ///< since tracer construction
+    std::uint64_t end_ns = 0;    ///< 0 while the span is still open
+    /// Numeric annotations shown in the trace viewer (bytes, counts, ...).
+    std::vector<std::pair<std::string, double>> args;
+  };
+
+  Tracer();
+
+  /// Open a span on the calling thread. Returns its id.
+  SpanId begin(std::string name, std::string category = {});
+
+  /// Close span `id` (must be called on the thread that opened it for the
+  /// nesting bookkeeping to stay meaningful; closing out of order is
+  /// tolerated — the span is simply removed from its stack).
+  void end(SpanId id);
+
+  /// Attach a numeric annotation to an open or closed span.
+  void set_arg(SpanId id, std::string key, double value);
+
+  /// Snapshot of all records so far (open spans have end_ns == 0).
+  std::vector<SpanRecord> records() const;
+
+  std::size_t span_count() const;
+  std::size_t open_span_count() const;
+
+  /// Nanoseconds elapsed since the tracer was constructed.
+  std::uint64_t now_ns() const;
+
+  /// Chrome trace_event export: {"traceEvents": [...]} with "ph":"X"
+  /// complete events, timestamps in microseconds. Open spans are exported
+  /// as ending "now" so a partial trace is still loadable.
+  void write_chrome_trace(std::ostream& os) const;
+
+  void clear();
+
+ private:
+  std::uint32_t tid_locked(std::thread::id id);
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> records_;
+  std::map<std::thread::id, std::uint32_t> tids_;
+  std::map<std::uint32_t, std::vector<SpanId>> open_stacks_;  ///< per tid
+};
+
+}  // namespace ppml::obs

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/blas.h"
+#include "obs/obs.h"
 
 namespace ppml::qp {
 
@@ -108,6 +109,9 @@ Result BoxQpSolver::solve(std::span<const double> p,
     }
   }
   result.objective = objective_value(q_, p, x);
+  obs::count("qp.box.solves");
+  obs::count("qp.box.sweeps", static_cast<std::int64_t>(result.iterations));
+  obs::observe("qp.kkt_violation", result.kkt_violation);
   return result;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.h"
+
 namespace ppml::qp {
 
 namespace {
@@ -74,6 +76,10 @@ Result solve_diagonal_qp(const DiagonalQpProblem& problem, double tolerance) {
   result.converged = result.kkt_violation <= 1e-6 * (1.0 + std::abs(problem.delta));
   result.objective = objective;
   result.x = std::move(x);
+  obs::count("qp.diagonal.solves");
+  obs::count("qp.diagonal.sweeps",
+             static_cast<std::int64_t>(result.iterations));
+  obs::observe("qp.kkt_violation", result.kkt_violation);
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/blas.h"
+#include "obs/obs.h"
 
 namespace ppml::qp {
 
@@ -84,6 +85,9 @@ Result solve_box_qp_projected_gradient(const Matrix& q,
   }
   result.objective = objective_value(q, p, x);
   result.x = std::move(x);
+  obs::count("qp.pg.solves");
+  obs::count("qp.pg.sweeps", static_cast<std::int64_t>(result.iterations));
+  obs::observe("qp.kkt_violation", result.kkt_violation);
   return result;
 }
 

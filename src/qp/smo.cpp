@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "linalg/blas.h"
+#include "obs/obs.h"
 
 namespace ppml::qp {
 
@@ -121,6 +122,9 @@ Result solve_smo(const SmoProblem& problem, const Options& options) {
 
   result.objective = objective_value(q, problem.p, x);
   result.x = std::move(x);
+  obs::count("qp.smo.solves");
+  obs::count("qp.smo.sweeps", static_cast<std::int64_t>(result.iterations));
+  obs::observe("qp.kkt_violation", result.kkt_violation);
   return result;
 }
 

@@ -10,6 +10,7 @@
 #include "core/vertical.h"
 #include "data/generators.h"
 #include "data/standardize.h"
+#include "obs/obs.h"
 #include "svm/metrics.h"
 
 namespace ppml::core {
@@ -100,6 +101,34 @@ TEST(ClusterIntegration, MatchesInMemoryTrainingExactly) {
     EXPECT_NEAR(run.model.w[j], reference.model.w[j], 1e-9) << j;
   EXPECT_NEAR(run.model.b, reference.model.b, 1e-9);
   EXPECT_EQ(run.result.delta_trace.size(), 20u);
+}
+
+TEST(ClusterIntegration, TracingDoesNotPerturbTraining) {
+  // The observability session must be purely observational: a traced run
+  // and an untraced run produce bit-identical models.
+  const auto split = cancer_split();
+  AdmmParams params;
+  params.max_iterations = 15;
+
+  mapreduce::Cluster plain_cluster(cluster_config(5));
+  const ClusterRun plain =
+      run_linear_horizontal_on_cluster(split, params, plain_cluster);
+
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  mapreduce::Cluster traced_cluster(cluster_config(5));
+  ClusterRun traced;
+  {
+    obs::Session session(&tracer, &metrics);
+    traced = run_linear_horizontal_on_cluster(split, params, traced_cluster);
+  }
+
+  EXPECT_EQ(traced.model.w, plain.model.w);  // bit-identical, not just close
+  EXPECT_EQ(traced.model.b, plain.model.b);
+  EXPECT_EQ(traced.result.delta_trace, plain.result.delta_trace);
+  // And the session actually observed the job.
+  EXPECT_GT(tracer.span_count(), 0u);
+  EXPECT_GT(metrics.counter("crypto.masked_contributions"), 0);
 }
 
 TEST(ClusterIntegration, LearnsOnTheCluster) {

@@ -1,0 +1,400 @@
+// Observability layer: metrics registry semantics, span nesting, exporter
+// validity (Chrome trace JSON parsed by a minimal JSON reader below), and
+// thread safety of both halves under the mapreduce executor.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "linalg/common.h"
+#include "mapreduce/executor.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace ppml::obs {
+namespace {
+
+// --- minimal JSON syntax checker (no values, just well-formedness) --------
+//
+// Enough of RFC 8259 to reject anything a real parser would: balanced
+// containers, quoted keys, legal literals/numbers/escapes. Used to validate
+// the exporters without pulling in a JSON dependency.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !std::isxdigit(static_cast<unsigned char>(text_[pos_])))
+              return false;
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character inside a string
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!digits()) return false;
+    if (peek() == '.') { ++pos_; if (!digits()) return false; }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) return false;
+    }
+    return pos_ > start;
+  }
+
+  bool digits() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    const std::string w(word);
+    if (text_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// --- metrics --------------------------------------------------------------
+
+TEST(Metrics, CountersAccumulate) {
+  MetricsRegistry registry;
+  registry.add("a");
+  registry.add("a", 4);
+  registry.add("b", -2);
+  EXPECT_EQ(registry.counter("a"), 5);
+  EXPECT_EQ(registry.counter("b"), -2);
+  EXPECT_EQ(registry.counter("missing"), 0);
+}
+
+TEST(Metrics, GaugesLastWriteWins) {
+  MetricsRegistry registry;
+  registry.set_gauge("g", 1.5);
+  registry.set_gauge("g", -3.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("g"), -3.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("missing"), 0.0);
+}
+
+TEST(Metrics, HistogramBucketing) {
+  MetricsRegistry registry;
+  registry.declare_histogram("h", {1.0, 10.0, 100.0});
+  registry.observe("h", 0.5);    // bucket 0 (<= 1)
+  registry.observe("h", 1.0);    // bucket 0 (boundary is inclusive)
+  registry.observe("h", 5.0);    // bucket 1
+  registry.observe("h", 100.0);  // bucket 2
+  registry.observe("h", 1e6);    // overflow
+  const HistogramSnapshot snap = registry.histogram("h");
+  ASSERT_EQ(snap.upper_bounds.size(), 3u);
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);  // overflow bucket
+  EXPECT_EQ(snap.total, 5u);
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 1e6);
+}
+
+TEST(Metrics, HistogramDefaultBucketsOnFirstObserve) {
+  MetricsRegistry registry;
+  registry.observe("auto", 1e-3);
+  const HistogramSnapshot snap = registry.histogram("auto");
+  EXPECT_FALSE(snap.upper_bounds.empty());
+  EXPECT_EQ(snap.total, 1u);
+}
+
+TEST(Metrics, HistogramRedeclareWithDifferentBoundsThrows) {
+  MetricsRegistry registry;
+  registry.declare_histogram("h", {1.0, 2.0});
+  EXPECT_NO_THROW(registry.declare_histogram("h", {1.0, 2.0}));
+  EXPECT_THROW(registry.declare_histogram("h", {1.0, 3.0}), Error);
+  EXPECT_THROW(registry.declare_histogram("bad", {2.0, 1.0}), Error);
+  EXPECT_THROW(registry.declare_histogram("empty", {}), Error);
+}
+
+TEST(Metrics, SeriesKeepOrder) {
+  MetricsRegistry registry;
+  registry.append("s", 3.0);
+  registry.append("s", 1.0);
+  registry.append("s", 2.0);
+  EXPECT_EQ(registry.series("s"), (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+TEST(Metrics, CsvShape) {
+  MetricsRegistry registry;
+  registry.add("c", 7);
+  registry.set_gauge("g", 2.5);
+  registry.declare_histogram("h", {1.0});
+  registry.observe("h", 0.5);
+  registry.append("s", 9.0);
+  std::ostringstream os;
+  registry.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("kind,name,key,value\n"), std::string::npos);
+  EXPECT_NE(csv.find("counter,c,,7\n"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,g,,2.5\n"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,h,count,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,h,le_inf,0\n"), std::string::npos);
+  EXPECT_NE(csv.find("series,s,0,9\n"), std::string::npos);
+}
+
+TEST(Metrics, RegistryIsThreadSafeUnderParallelFor) {
+  MetricsRegistry registry;
+  mapreduce::Executor executor(4);
+  constexpr std::size_t kTasks = 256;
+  executor.parallel_for(kTasks, [&](std::size_t i) {
+    registry.add("hits");
+    registry.set_gauge("last", static_cast<double>(i));
+    registry.observe("values", static_cast<double>(i % 10));
+    registry.append("order", static_cast<double>(i));
+  });
+  EXPECT_EQ(registry.counter("hits"), static_cast<std::int64_t>(kTasks));
+  EXPECT_EQ(registry.histogram("values").total, kTasks);
+  EXPECT_EQ(registry.series("order").size(), kTasks);
+}
+
+// --- tracer ---------------------------------------------------------------
+
+TEST(Trace, SpanNestingAndOrdering) {
+  Tracer tracer;
+  const auto job = tracer.begin("job", "core");
+  const auto iter = tracer.begin("iteration", "core");
+  const auto map = tracer.begin("map", "core");
+  tracer.end(map);
+  const auto reduce = tracer.begin("reduce", "core");
+  tracer.end(reduce);
+  tracer.end(iter);
+  tracer.end(job);
+
+  const auto records = tracer.records();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[job].parent, Tracer::kInvalidSpan);
+  EXPECT_EQ(records[job].depth, 0u);
+  EXPECT_EQ(records[iter].parent, job);
+  EXPECT_EQ(records[iter].depth, 1u);
+  EXPECT_EQ(records[map].parent, iter);
+  EXPECT_EQ(records[map].depth, 2u);
+  EXPECT_EQ(records[reduce].parent, iter);  // sibling of map, not child
+  EXPECT_EQ(records[reduce].depth, 2u);
+
+  // Containment: children start/end within their parent.
+  EXPECT_GE(records[map].start_ns, records[iter].start_ns);
+  EXPECT_LE(records[map].end_ns, records[iter].end_ns);
+  EXPECT_LE(records[map].end_ns, records[reduce].start_ns);
+  EXPECT_EQ(tracer.open_span_count(), 0u);
+}
+
+TEST(Trace, ArgsAndOpenSpans) {
+  Tracer tracer;
+  const auto id = tracer.begin("phase");
+  tracer.set_arg(id, "bytes", 128.0);
+  EXPECT_EQ(tracer.open_span_count(), 1u);
+  const auto records = tracer.records();
+  ASSERT_EQ(records[id].args.size(), 1u);
+  EXPECT_EQ(records[id].args[0].first, "bytes");
+  EXPECT_DOUBLE_EQ(records[id].args[0].second, 128.0);
+  EXPECT_EQ(records[id].end_ns, 0u);  // still open
+  tracer.end(id);
+  EXPECT_EQ(tracer.open_span_count(), 0u);
+}
+
+TEST(Trace, ChromeExportIsValidJson) {
+  Tracer tracer;
+  const auto job = tracer.begin("job \"quoted\"\n", "cat\\egory");
+  const auto iter = tracer.begin("iteration");
+  tracer.set_arg(iter, "round", 0.0);
+  tracer.end(iter);
+  tracer.end(job);
+  const auto open = tracer.begin("still-open");
+  (void)open;
+
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  const std::string text = os.str();
+  EXPECT_TRUE(JsonChecker(text).valid()) << text;
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\": \"X\""), std::string::npos);
+  // Open spans are exported too (ending "now"), so partial traces load.
+  EXPECT_NE(text.find("still-open"), std::string::npos);
+}
+
+TEST(Trace, TracerIsThreadSafeUnderParallelFor) {
+  Tracer tracer;
+  mapreduce::Executor executor(4);
+  constexpr std::size_t kTasks = 128;
+  executor.parallel_for(kTasks, [&](std::size_t i) {
+    const auto outer = tracer.begin("task");
+    const auto inner = tracer.begin("step");
+    tracer.set_arg(inner, "i", static_cast<double>(i));
+    tracer.end(inner);
+    tracer.end(outer);
+  });
+  EXPECT_EQ(tracer.span_count(), 2 * kTasks);
+  EXPECT_EQ(tracer.open_span_count(), 0u);
+  // Every "step" nests under a "task" on its own thread.
+  for (const auto& record : tracer.records()) {
+    if (record.name != "step") continue;
+    ASSERT_NE(record.parent, Tracer::kInvalidSpan);
+    EXPECT_EQ(record.depth, 1u);
+  }
+}
+
+// --- reports --------------------------------------------------------------
+
+TEST(Report, AggregateSpansMedians) {
+  Tracer tracer;
+  for (int i = 0; i < 3; ++i) tracer.end(tracer.begin("phase"));
+  const auto open = tracer.begin("phase");  // open: excluded from stats
+  (void)open;
+  const auto stats = aggregate_spans(tracer);
+  ASSERT_EQ(stats.count("phase"), 1u);
+  EXPECT_EQ(stats.at("phase").count, 3u);
+  EXPECT_GE(stats.at("phase").median_s, 0.0);
+  EXPECT_LE(stats.at("phase").min_s, stats.at("phase").median_s);
+  EXPECT_LE(stats.at("phase").median_s, stats.at("phase").max_s);
+}
+
+TEST(Report, JsonReportsAreValid) {
+  Tracer tracer;
+  tracer.end(tracer.begin("job"));
+  MetricsRegistry registry;
+  registry.add("c", 3);
+  registry.append("s", 1.25);
+  std::ostringstream os;
+  JsonValue report = JsonValue::object();
+  report.set("phases", span_stats_json(tracer));
+  report.set("metrics", metrics_json(registry));
+  report.dump(os, 2);
+  EXPECT_TRUE(JsonChecker(os.str()).valid()) << os.str();
+}
+
+// --- global session -------------------------------------------------------
+
+TEST(Session, HelpersAreNoOpsWhenUninstalled) {
+  ASSERT_FALSE(enabled());
+  count("never");
+  gauge("never", 1.0);
+  observe("never", 1.0);
+  append("never", 1.0);
+  Span span("never", "off");
+  span.arg("k", 1.0);
+  EXPECT_FALSE(span.active());
+}
+
+TEST(Session, InstallsAndUninstallsBothHalves) {
+  Tracer tracer;
+  MetricsRegistry registry;
+  {
+    Session session(&tracer, &registry);
+    EXPECT_TRUE(enabled());
+    count("hits", 2);
+    { Span span("unit", "test"); span.arg("x", 1.0); }
+  }
+  EXPECT_FALSE(enabled());
+  EXPECT_EQ(registry.counter("hits"), 2);
+  EXPECT_EQ(tracer.span_count(), 1u);
+  EXPECT_EQ(tracer.open_span_count(), 0u);
+}
+
+TEST(Session, NestedInstallThrows) {
+  Tracer tracer;
+  MetricsRegistry registry;
+  Session session(&tracer, &registry);
+  EXPECT_THROW(install(&tracer, &registry), Error);
+}
+
+}  // namespace
+}  // namespace ppml::obs
