@@ -3,15 +3,32 @@
 // The per-mapper dual is solved every ADMM iteration with a constant Q and
 // a drifting linear term, so warm-started coordinate descent is the design
 // point — this bench measures the warm-start payoff and compares solvers.
+//
+// Besides the google-benchmark timings, the binary runs a kernel-cache
+// budget sweep (dense Q vs unlimited / 25% / minimum row-cache budgets for
+// the cached SMO path) and writes BENCH_qp.json (working directory) with
+// per-mode durations, cache hit statistics, and the max |x - x_dense|
+// cross-check (expected exactly 0.0 — the cached path is bit-identical).
+// Pass `--metrics PATH` to also dump the obs counters (qp.cache.*,
+// qp.smo.*) collected during the sweep. docs/performance.md explains how
+// to read the output.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstring>
 #include <random>
+#include <string>
 
+#include "data/generators.h"
 #include "linalg/blas.h"
+#include "obs/obs.h"
+#include "obs/report.h"
 #include "qp/box_qp.h"
 #include "qp/diagonal_qp.h"
 #include "qp/projected_gradient.h"
 #include "qp/smo.h"
+#include "svm/kernel.h"
 
 using namespace ppml;
 
@@ -102,6 +119,177 @@ void BM_DiagonalQpExact(benchmark::State& state) {
 }
 BENCHMARK(BM_DiagonalQpExact)->Arg(200)->Arg(2000)->Arg(20000);
 
+// ------------------------------------------------------ cached SMO bench
+
+/// SVM-dual-shaped problem over an RBF Gram (rings data): p = 1, delta = 0.
+struct KernelProblem {
+  linalg::Matrix x;
+  linalg::Vector y;
+  svm::Kernel kernel = svm::Kernel::rbf(0.5);
+  double c = 50.0;
+
+  qp::KernelCache::RowEvaluator evaluator() const {
+    return [this](std::size_t i, std::span<double> out) {
+      const auto xi = x.row(i);
+      for (std::size_t j = 0; j < x.rows(); ++j)
+        out[j] = y[i] * y[j] * kernel(xi, x.row(j));
+    };
+  }
+
+  linalg::Matrix dense_q() const {
+    const linalg::Matrix k = svm::gram(kernel, x);
+    linalg::Matrix q(y.size(), y.size());
+    for (std::size_t i = 0; i < y.size(); ++i)
+      for (std::size_t j = 0; j < y.size(); ++j)
+        q(i, j) = y[i] * y[j] * k(i, j);
+    return q;
+  }
+};
+
+KernelProblem make_kernel_problem(std::size_t n) {
+  const data::Dataset rings = data::make_two_rings(n, 1.0, 3.0, 0.1, n);
+  KernelProblem problem;
+  problem.x = rings.x;
+  problem.y = rings.y;
+  return problem;
+}
+
+void BM_SmoCached(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t budget_percent = static_cast<std::size_t>(state.range(1));
+  const KernelProblem problem = make_kernel_problem(n);
+  const std::size_t budget =
+      budget_percent == 100
+          ? 0  // unlimited
+          : std::max<std::size_t>(1, (n * budget_percent / 100) * n * 8);
+  const linalg::Vector p(n, 1.0);
+  for (auto _ : state) {
+    qp::KernelCache cache(n, problem.evaluator(), budget);
+    benchmark::DoNotOptimize(
+        qp::solve_smo(cache, p, problem.y, problem.c, 0.0));
+  }
+}
+BENCHMARK(BM_SmoCached)
+    ->Args({160, 100})
+    ->Args({160, 25})
+    ->Args({320, 100})
+    ->Args({320, 25});
+
+// -------------------------------------------- cache-budget sweep (JSON)
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+obs::JsonValue run_cache_sweep() {
+  obs::JsonValue sweep = obs::JsonValue::array();
+  for (const std::size_t n : {std::size_t{160}, std::size_t{320}}) {
+    const KernelProblem problem = make_kernel_problem(n);
+    const linalg::Vector p(n, 1.0);
+    qp::Options options;
+    options.tolerance = 1e-5;
+    options.max_iterations = 200'000;
+
+    // Dense reference: materialized Q (the memory-hungry baseline).
+    auto start = std::chrono::steady_clock::now();
+    qp::SmoProblem dense_problem{problem.dense_q(), p, problem.y, problem.c,
+                                 0.0};
+    const qp::Result dense = qp::solve_smo(dense_problem, options);
+    const double dense_seconds = seconds_since(start);
+
+    obs::JsonValue size_row = obs::JsonValue::object();
+    size_row.set("n", n);
+    size_row.set("kernel", problem.kernel.describe());
+    size_row.set("c", problem.c);
+    obs::JsonValue dense_row = obs::JsonValue::object();
+    dense_row.set("mode", "dense");
+    dense_row.set("q_bytes", n * n * sizeof(double));
+    dense_row.set("seconds", dense_seconds);
+    dense_row.set("iterations", dense.iterations);
+    dense_row.set("converged", dense.converged);
+    obs::JsonValue modes = obs::JsonValue::array();
+    modes.push(std::move(dense_row));
+
+    struct BudgetMode {
+      const char* name;
+      std::size_t bytes;
+    };
+    const BudgetMode budgets[] = {
+        {"cache_full", 0},
+        {"cache_25pct", (n / 4) * n * sizeof(double)},
+        {"cache_min", 1},  // clamped to two resident rows: near row-recompute
+    };
+    for (const BudgetMode& mode : budgets) {
+      start = std::chrono::steady_clock::now();
+      qp::KernelCache cache(n, problem.evaluator(), mode.bytes);
+      const qp::Result cached =
+          qp::solve_smo(cache, p, problem.y, problem.c, 0.0, options);
+      const double cached_seconds = seconds_since(start);
+
+      double max_diff = 0.0;
+      for (std::size_t i = 0; i < n; ++i)
+        max_diff = std::max(max_diff, std::abs(cached.x[i] - dense.x[i]));
+
+      obs::JsonValue row = obs::JsonValue::object();
+      row.set("mode", mode.name);
+      row.set("budget_bytes", mode.bytes);
+      row.set("capacity_rows", cache.capacity_rows());
+      row.set("seconds", cached_seconds);
+      row.set("iterations", cached.iterations);
+      row.set("converged", cached.converged);
+      row.set("cache_hits", cache.hits());
+      row.set("cache_misses", cache.misses());
+      row.set("cache_evictions", cache.evictions());
+      row.set("cache_hit_rate", cache.hit_rate());
+      row.set("max_abs_diff_vs_dense", max_diff);  // expected exactly 0.0
+      modes.push(std::move(row));
+      std::printf(
+          "# smo_cache n=%zu mode=%-11s seconds=%.4f hit_rate=%.3f "
+          "max_diff=%.1e\n",
+          n, mode.name, cached_seconds, cache.hit_rate(), max_diff);
+    }
+    size_row.set("modes", std::move(modes));
+    sweep.push(std::move(size_row));
+  }
+  return sweep;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off our own flag before handing argv to google-benchmark.
+  std::string metrics_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  obs::JsonValue report = obs::JsonValue::object();
+  report.set("bench", "qp_solvers");
+  {
+    obs::Session session(&tracer, &metrics);
+    report.set("cache_sweep", run_cache_sweep());
+  }
+  report.set("metrics", obs::metrics_json(metrics));
+  obs::write_json_file("BENCH_qp.json", report);
+  std::printf("# report written to BENCH_qp.json\n");
+  if (!metrics_path.empty()) {
+    obs::write_json_file(metrics_path, obs::metrics_json(metrics));
+    std::printf("# metrics written to %s\n", metrics_path.c_str());
+  }
+  return 0;
+}

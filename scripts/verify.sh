@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure + build + full test suite, then the
-# fault-tolerance- and observability-critical suites again under
-# AddressSanitizer + UndefinedBehaviorSanitizer (the chaos and tracing
-# paths exercise threads, retries and ring arithmetic — exactly where
-# ASan/UBSan earn their keep), then the documentation link check.
+# fault-tolerance-, observability- and cache-critical suites again under
+# AddressSanitizer + UndefinedBehaviorSanitizer (the chaos, tracing,
+# kernel-cache and threaded-gemm paths exercise threads, retries, spans
+# into LRU-managed storage and ring arithmetic — exactly where ASan/UBSan
+# earn their keep), a bench smoke run that checks BENCH_qp.json is
+# well-formed (no performance gating), then the documentation link check.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,11 +17,31 @@ ctest --test-dir build --output-on-failure -j"$jobs"
 
 cmake -B build-asan -S . -DPPML_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j"$jobs" --target mapreduce_test chaos_test \
-  dropout_recovery_test obs_test
+  dropout_recovery_test obs_test qp_test linalg_test
 ./build-asan/tests/mapreduce_test
 ./build-asan/tests/chaos_test
 ./build-asan/tests/dropout_recovery_test
 ./build-asan/tests/obs_test
+./build-asan/tests/qp_test
+./build-asan/tests/linalg_test
+
+# Bench smoke: skip the timed google-benchmark cases (empty filter), run
+# only the cache-budget sweep, and require a parseable report with the
+# expected shape. Timings are NOT gated — this guards the harness, not
+# the numbers.
+(cd build && ./bench/qp_solvers --benchmark_filter='^$' >/dev/null)
+python3 - <<'PYEOF'
+import json
+report = json.load(open("build/BENCH_qp.json"))
+assert report["bench"] == "qp_solvers", report
+for size in report["cache_sweep"]:
+    modes = {m["mode"] for m in size["modes"]}
+    assert {"dense", "cache_full", "cache_25pct", "cache_min"} <= modes, modes
+    for m in size["modes"]:
+        if "max_abs_diff_vs_dense" in m:
+            assert m["max_abs_diff_vs_dense"] == 0.0, m
+print("bench smoke: BENCH_qp.json OK")
+PYEOF
 
 scripts/check_docs.sh
 

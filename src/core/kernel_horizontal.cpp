@@ -1,9 +1,12 @@
 #include "core/kernel_horizontal.h"
 
 #include <random>
+#include <thread>
 
 #include "linalg/blas.h"
 #include "linalg/cholesky.h"
+#include "linalg/parallel.h"
+#include "mapreduce/executor.h"
 #include "svm/metrics.h"
 
 namespace ppml::core {
@@ -192,21 +195,34 @@ KernelHorizontalResult train_kernel_horizontal(
   std::vector<std::shared_ptr<ConsensusLearner>> learners;
   std::vector<std::shared_ptr<KernelHorizontalLearner>> typed;
   learners.reserve(m);
-  for (const data::Dataset& shard : partition.shards) {
-    auto learner = std::make_shared<KernelHorizontalLearner>(
-        shard, landmarks, kernel, m, params);
-    typed.push_back(learner);
-    learners.push_back(learner);
-  }
-  AveragingCoordinator coordinator(params.landmarks + 1);
-
-  // Evaluation caches: K(test, X_0) and K(test, Xg) computed once.
   linalg::Matrix ktx;
   linalg::Matrix ktg;
-  if (test != nullptr) {
-    ktx = svm::cross_gram(kernel, test->x, partition.shards.front().x);
-    ktg = svm::cross_gram(kernel, test->x, landmarks);
+  {
+    // Learner construction is Gram-matrix heavy (per-shard Kxx, Kxg, the
+    // Woodbury products). Thread it through the blocked linalg kernels by
+    // installing an Executor-backed parallel backend for this setup block
+    // only — the consensus rounds below already parallelize across learners
+    // via std::async, so the scope ends before they start. Results are
+    // bit-identical with or without the backend.
+    mapreduce::Executor pool(
+        std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+    const linalg::ParallelScope threaded(
+        [&pool](std::size_t n, const std::function<void(std::size_t)>& fn) {
+          pool.parallel_for(n, fn);
+        });
+    for (const data::Dataset& shard : partition.shards) {
+      auto learner = std::make_shared<KernelHorizontalLearner>(
+          shard, landmarks, kernel, m, params);
+      typed.push_back(learner);
+      learners.push_back(learner);
+    }
+    // Evaluation caches: K(test, X_0) and K(test, Xg) computed once.
+    if (test != nullptr) {
+      ktx = svm::cross_gram(kernel, test->x, partition.shards.front().x);
+      ktg = svm::cross_gram(kernel, test->x, landmarks);
+    }
   }
+  AveragingCoordinator coordinator(params.landmarks + 1);
 
   KernelHorizontalResult result;
   const RoundObserver observer = [&](std::size_t iteration) {

@@ -1,8 +1,44 @@
 #include "linalg/blas.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "linalg/parallel.h"
+
 namespace ppml::linalg {
+
+namespace {
+
+// Tile sizes for the blocked matrix-product kernels, in doubles. Derivation
+// in docs/performance.md ("Tile sizes"): a 256-column tile of a C row
+// (2 KiB) plus the matching B-row segment stay L1-resident while the k-loop
+// streams A; 64-row task blocks keep per-task work large enough to amortize
+// the pool hand-off while still load-balancing across cores.
+constexpr std::size_t kRowBlock = 64;
+constexpr std::size_t kColBlock = 256;
+
+// Products smaller than this many FLOPs run serially even when a parallel
+// backend is installed — the hand-off costs more than the arithmetic.
+// Results are bit-identical either way; this is purely a latency knob.
+constexpr std::size_t kMinParallelFlops = std::size_t{1} << 21;
+
+std::size_t row_blocks(std::size_t rows) {
+  return (rows + kRowBlock - 1) / kRowBlock;
+}
+
+void run_row_blocks(std::size_t rows, std::size_t flops,
+                    const std::function<void(std::size_t)>& block_fn) {
+  const std::size_t blocks = row_blocks(rows);
+  if (blocks == 0) return;
+  if (parallel_enabled() && flops >= kMinParallelFlops && blocks > 1) {
+    count("linalg.gemm.tasks", static_cast<std::int64_t>(blocks));
+    parallel_for(blocks, block_fn);
+  } else {
+    for (std::size_t b = 0; b < blocks; ++b) block_fn(b);
+  }
+}
+
+}  // namespace
 
 double dot(std::span<const double> x, std::span<const double> y) {
   PPML_CHECK(x.size() == y.size(), "dot: size mismatch");
@@ -59,7 +95,7 @@ Vector gemv_t(const Matrix& a, std::span<const double> x) {
   return out;
 }
 
-Matrix gemm(const Matrix& a, const Matrix& b) {
+Matrix gemm_naive(const Matrix& a, const Matrix& b) {
   PPML_CHECK(a.cols() == b.rows(), "gemm: inner dimension mismatch");
   Matrix c(a.rows(), b.cols());
   // ikj loop order keeps the inner loop streaming over contiguous rows.
@@ -74,12 +110,69 @@ Matrix gemm(const Matrix& a, const Matrix& b) {
   return c;
 }
 
-Matrix gemm_nt(const Matrix& a, const Matrix& b) {
+Matrix gemm(const Matrix& a, const Matrix& b) {
+  PPML_CHECK(a.cols() == b.rows(), "gemm: inner dimension mismatch");
+  const std::size_t m = a.rows();
+  const std::size_t kk = a.cols();
+  const std::size_t nn = b.cols();
+  Matrix c(m, nn);
+  count("linalg.gemm.calls");
+  count("linalg.gemm.flops", static_cast<std::int64_t>(2 * m * kk * nn));
+  if (m == 0 || nn == 0 || kk == 0) return c;
+  // Blocked ikj: for each C row block (one task) and each column tile, the
+  // k-loop accumulates a_ik * b_kj in ascending k per element — the same
+  // per-element order as gemm_naive, so the result is bit-identical to the
+  // reference regardless of tiling or thread count.
+  run_row_blocks(m, 2 * m * kk * nn, [&](std::size_t block) {
+    const std::size_t i0 = block * kRowBlock;
+    const std::size_t i1 = std::min(i0 + kRowBlock, m);
+    for (std::size_t j0 = 0; j0 < nn; j0 += kColBlock) {
+      const std::size_t j1 = std::min(j0 + kColBlock, nn);
+      for (std::size_t i = i0; i < i1; ++i) {
+        auto crow = c.row(i);
+        for (std::size_t k = 0; k < kk; ++k) {
+          const double aik = a(i, k);
+          if (aik == 0.0) continue;
+          const auto brow = b.row(k);
+          for (std::size_t j = j0; j < j1; ++j) crow[j] += aik * brow[j];
+        }
+      }
+    }
+  });
+  return c;
+}
+
+Matrix gemm_nt_naive(const Matrix& a, const Matrix& b) {
   PPML_CHECK(a.cols() == b.cols(), "gemm_nt: inner dimension mismatch");
   Matrix c(a.rows(), b.rows());
   for (std::size_t i = 0; i < a.rows(); ++i)
     for (std::size_t j = 0; j < b.rows(); ++j)
       c(i, j) = dot(a.row(i), b.row(j));
+  return c;
+}
+
+Matrix gemm_nt(const Matrix& a, const Matrix& b) {
+  PPML_CHECK(a.cols() == b.cols(), "gemm_nt: inner dimension mismatch");
+  const std::size_t m = a.rows();
+  const std::size_t nn = b.rows();
+  const std::size_t kk = a.cols();
+  Matrix c(m, nn);
+  count("linalg.gemm.calls");
+  count("linalg.gemm.flops", static_cast<std::int64_t>(2 * m * kk * nn));
+  if (m == 0 || nn == 0) return c;
+  // Row-tile both operands so a block of B rows stays cache-resident while
+  // the A rows of one task stream past it. Each element is one dot() call,
+  // identical to gemm_nt_naive.
+  run_row_blocks(m, 2 * m * kk * nn, [&](std::size_t block) {
+    const std::size_t i0 = block * kRowBlock;
+    const std::size_t i1 = std::min(i0 + kRowBlock, m);
+    for (std::size_t j0 = 0; j0 < nn; j0 += kRowBlock) {
+      const std::size_t j1 = std::min(j0 + kRowBlock, nn);
+      for (std::size_t i = i0; i < i1; ++i)
+        for (std::size_t j = j0; j < j1; ++j)
+          c(i, j) = dot(a.row(i), b.row(j));
+    }
+  });
   return c;
 }
 
@@ -98,17 +191,32 @@ Matrix gram_at_a(const Matrix& a) {
   return c;
 }
 
-Matrix gram_a_at(const Matrix& a) {
-  Matrix c(a.rows(), a.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t j = i; j < a.rows(); ++j) {
-      const double v = dot(a.row(i), a.row(j));
-      c(i, j) = v;
-      c(j, i) = v;
+Matrix syrk(const Matrix& a) {
+  const std::size_t m = a.rows();
+  const std::size_t kk = a.cols();
+  Matrix c(m, m);
+  count("linalg.gemm.calls");
+  count("linalg.gemm.flops", static_cast<std::int64_t>(m * (m + 1) * kk));
+  if (m == 0) return c;
+  // Upper triangle only, mirrored. A task owns C rows [i0, i1): it writes
+  // c(i, j >= i) and the mirror c(j, i) — disjoint elements across tasks,
+  // so the parallel path is race-free and bit-identical to the serial one.
+  run_row_blocks(m, m * (m + 1) * kk, [&](std::size_t block) {
+    const std::size_t i0 = block * kRowBlock;
+    const std::size_t i1 = std::min(i0 + kRowBlock, m);
+    for (std::size_t i = i0; i < i1; ++i) {
+      const auto ri = a.row(i);
+      for (std::size_t j = i; j < m; ++j) {
+        const double v = dot(ri, a.row(j));
+        c(i, j) = v;
+        c(j, i) = v;
+      }
     }
-  }
+  });
   return c;
 }
+
+Matrix gram_a_at(const Matrix& a) { return syrk(a); }
 
 Vector add(std::span<const double> x, std::span<const double> y) {
   PPML_CHECK(x.size() == y.size(), "add: size mismatch");

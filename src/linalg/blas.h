@@ -36,17 +36,32 @@ Vector gemv(const Matrix& a, std::span<const double> x);
 void gemv_t(const Matrix& a, std::span<const double> x, std::span<double> out);
 Vector gemv_t(const Matrix& a, std::span<const double> x);
 
-/// C = A * B (A: m x k, B: k x n).
+/// C = A * B (A: m x k, B: k x n). Blocked and, when a linalg parallel
+/// backend is installed (linalg/parallel.h), threaded over row tiles.
+/// Bit-identical to gemm_naive for any tile/thread configuration.
 Matrix gemm(const Matrix& a, const Matrix& b);
 
+/// Unblocked single-threaded reference for gemm; kept as the equivalence
+/// oracle for tests and for debugging blocked-path regressions.
+Matrix gemm_naive(const Matrix& a, const Matrix& b);
+
 /// C = A * B^T (A: m x k, B: n x k). Row-major friendly: both operands are
-/// traversed along contiguous rows.
+/// traversed along contiguous rows. Blocked + threaded like gemm;
+/// bit-identical to gemm_nt_naive.
 Matrix gemm_nt(const Matrix& a, const Matrix& b);
+
+/// Unblocked single-threaded reference for gemm_nt.
+Matrix gemm_nt_naive(const Matrix& a, const Matrix& b);
+
+/// C = A * A^T (symmetric rank-k update, m x m from an m x k matrix).
+/// Computes the upper triangle once and mirrors it; blocked + threaded.
+Matrix syrk(const Matrix& a);
 
 /// C = A^T * A (k x k Gram of an m x k matrix). Symmetric by construction.
 Matrix gram_at_a(const Matrix& a);
 
-/// C = A * A^T (m x m Gram of an m x k matrix). Symmetric by construction.
+/// C = A * A^T (m x m Gram of an m x k matrix). Alias for syrk, kept for
+/// callers written against the Gram-builder naming.
 Matrix gram_a_at(const Matrix& a);
 
 /// Elementwise vector helpers.

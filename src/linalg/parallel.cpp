@@ -1,0 +1,31 @@
+#include "linalg/parallel.h"
+
+namespace ppml::linalg {
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const ParallelBackend* backend =
+      detail::g_parallel_backend.load(std::memory_order_acquire);
+  if (backend != nullptr && n > 1) {
+    (*backend)(n, fn);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) fn(i);
+}
+
+ParallelScope::ParallelScope(ParallelBackend backend)
+    : backend_(std::move(backend)),
+      previous_(detail::g_parallel_backend.load(std::memory_order_acquire)) {
+  detail::g_parallel_backend.store(backend_ ? &backend_ : nullptr,
+                                   std::memory_order_release);
+}
+
+ParallelScope::~ParallelScope() {
+  detail::g_parallel_backend.store(previous_, std::memory_order_release);
+}
+
+void set_counter_hook(detail::CounterHook hook) noexcept {
+  detail::g_counter_hook.store(hook, std::memory_order_release);
+}
+
+}  // namespace ppml::linalg

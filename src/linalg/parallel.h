@@ -1,0 +1,81 @@
+// Parallel-execution and counter hooks for the linear-algebra layer.
+//
+// linalg sits at the bottom of the module graph, below both the thread pool
+// (mapreduce::Executor) and the metrics registry (obs) — so it cannot link
+// against either. Instead it exposes two process-global injection points,
+// mirroring the obs session idiom (one relaxed atomic pointer each, inert
+// when nothing is installed):
+//
+//  - a *parallel backend*: callers that own a thread pool install one around
+//    the code they want threaded (RAII, see ParallelScope). The blocked
+//    gemm/gemm_nt/syrk kernels fan their independent output tiles through
+//    it; with no backend installed they run serially. Because every output
+//    element is computed by exactly one task with a fixed accumulation
+//    order, results are bit-identical with 0, 1 or N threads.
+//
+//  - a *counter hook*: obs::install wires this to the active metrics
+//    registry so linalg can emit `linalg.gemm.*` counters without a
+//    dependency edge; disabled cost is one relaxed atomic load.
+//
+// Backends must be driven from outside their own worker threads (installing
+// a pool-backed scope and then calling gemm *from* that pool can deadlock a
+// naive pool; mapreduce::Executor::parallel_for degrades to inline execution
+// in that case).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+namespace ppml::linalg {
+
+/// A parallel-for backend: run fn(i) for every i in [0, n), possibly
+/// concurrently, and return only after every call has completed. Exceptions
+/// thrown by fn must propagate to the caller (first one wins).
+using ParallelBackend =
+    std::function<void(std::size_t, const std::function<void(std::size_t)>&)>;
+
+namespace detail {
+inline std::atomic<const ParallelBackend*> g_parallel_backend{nullptr};
+
+using CounterHook = void (*)(const char*, std::int64_t);
+inline std::atomic<CounterHook> g_counter_hook{nullptr};
+}  // namespace detail
+
+/// True when a parallel backend is currently installed.
+inline bool parallel_enabled() noexcept {
+  return detail::g_parallel_backend.load(std::memory_order_relaxed) != nullptr;
+}
+
+/// Run fn(i) for i in [0, n): through the installed backend when present,
+/// serially (ascending i) otherwise. n == 0 is a no-op.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+/// RAII installation of a parallel backend. Scopes may nest; the previous
+/// backend is restored on destruction. The scope owns its copy of the
+/// backend function; the threads behind it belong to the caller.
+class ParallelScope {
+ public:
+  explicit ParallelScope(ParallelBackend backend);
+  ~ParallelScope();
+  ParallelScope(const ParallelScope&) = delete;
+  ParallelScope& operator=(const ParallelScope&) = delete;
+
+ private:
+  ParallelBackend backend_;
+  const ParallelBackend* previous_;
+};
+
+/// Install (or clear, with nullptr) the counter hook. Called by
+/// obs::install / obs::uninstall; not meant for direct use.
+void set_counter_hook(detail::CounterHook hook) noexcept;
+
+/// Emit a named counter increment through the hook; no-op when none is
+/// installed. Called per *operation* (not per element) — one relaxed load.
+inline void count(const char* name, std::int64_t by = 1) {
+  if (detail::CounterHook hook =
+          detail::g_counter_hook.load(std::memory_order_relaxed))
+    hook(name, by);
+}
+
+}  // namespace ppml::linalg

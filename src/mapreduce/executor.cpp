@@ -4,6 +4,16 @@
 
 namespace ppml::mapreduce {
 
+namespace {
+// Set while a pool worker is executing a task. parallel_for called from
+// inside a worker (e.g. a map task whose linalg calls go through an
+// installed Executor parallel backend) must not block on the pool it is
+// running on — every worker could end up waiting on queued subtasks that
+// no thread is left to run. Degrading to inline execution keeps the same
+// results (each fn(i) runs exactly once, in ascending order).
+thread_local bool tl_in_worker = false;
+}  // namespace
+
 Executor::Executor(std::size_t threads) {
   PPML_CHECK(threads >= 1, "Executor: need >= 1 thread");
   workers_.reserve(threads);
@@ -30,12 +40,18 @@ void Executor::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    tl_in_worker = true;
     task();  // packaged_task captures exceptions into the future
+    tl_in_worker = false;
   }
 }
 
 void Executor::parallel_for(std::size_t n,
                             const std::function<void(std::size_t)>& fn) {
+  if (tl_in_worker) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   std::vector<std::future<void>> futures;
   futures.reserve(n);
   for (std::size_t i = 0; i < n; ++i)

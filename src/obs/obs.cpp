@@ -1,8 +1,20 @@
 #include "obs/obs.h"
 
 #include "linalg/common.h"
+#include "linalg/parallel.h"
 
 namespace ppml::obs {
+
+namespace {
+
+// linalg sits below obs in the module graph, so it emits its counters
+// (linalg.gemm.*) through a function-pointer hook instead of calling
+// obs::count directly; the session install wires that hook up.
+void forward_linalg_counter(const char* name, std::int64_t by) {
+  count(name, by);
+}
+
+}  // namespace
 
 void install(Tracer* tracer, MetricsRegistry* metrics) {
   PPML_CHECK(detail::g_tracer.load(std::memory_order_relaxed) == nullptr &&
@@ -11,9 +23,11 @@ void install(Tracer* tracer, MetricsRegistry* metrics) {
              "nest — uninstall the previous one first)");
   detail::g_tracer.store(tracer, std::memory_order_release);
   detail::g_metrics.store(metrics, std::memory_order_release);
+  linalg::set_counter_hook(&forward_linalg_counter);
 }
 
 void uninstall() {
+  linalg::set_counter_hook(nullptr);
   detail::g_tracer.store(nullptr, std::memory_order_release);
   detail::g_metrics.store(nullptr, std::memory_order_release);
 }

@@ -17,6 +17,7 @@ using linalg::Vector;
 /// Outcome of a QP solve.
 struct Result {
   Vector x;                  ///< minimizer (feasible by construction)
+  Vector g;                  ///< final gradient Qx - p (SMO only; else empty)
   double objective = 0.0;    ///< f(x) at the returned point
   std::size_t iterations = 0;  ///< solver-specific iteration count (sweeps)
   bool converged = false;    ///< optimality tolerance reached before limits
@@ -27,6 +28,12 @@ struct Result {
 struct Options {
   double tolerance = 1e-6;       ///< max allowed KKT violation
   std::size_t max_iterations = 10'000;  ///< sweeps (CD/PG) or pair steps (SMO)
+  /// SMO only: periodically drop bound variables that cannot join a
+  /// violating pair from the selection scan, with a full-set reconstruction
+  /// pass before convergence is declared. Never changes the answer (the
+  /// gradient stays exact over all variables); set false to force every
+  /// scan over the full index set.
+  bool shrinking = true;
 };
 
 /// Evaluate 1/2 x^T Q x - p^T x.

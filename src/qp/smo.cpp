@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <vector>
 
 #include "linalg/blas.h"
 #include "obs/obs.h"
+#include "qp/kernel_cache.h"
 
 namespace ppml::qp {
 
@@ -27,35 +30,60 @@ Vector feasible_start(const Vector& y, double c, double delta) {
   return x;
 }
 
-}  // namespace
-
-Result solve_smo(const SmoProblem& problem, const Options& options) {
-  const Matrix& q = problem.q;
-  const std::size_t n = q.rows();
-  PPML_CHECK(q.cols() == n, "solve_smo: Q must be square");
-  PPML_CHECK(problem.p.size() == n && problem.y.size() == n,
-             "solve_smo: p/y size mismatch");
-  PPML_CHECK(problem.c >= 0.0, "solve_smo: C must be non-negative");
-  for (double yi : problem.y)
+/// Shared SMO core over a row provider `q_row(i) -> span of row i of Q`.
+///
+/// Both entry points (dense SmoProblem and KernelCache) funnel through this
+/// loop, which is what makes the cached path bit-identical to the dense one:
+/// the gradient is maintained *in full* over all n variables with the exact
+/// same sequence of axpy updates, and shrinking only filters the
+/// working-set-selection scan. A shrunk run therefore takes the same pair
+/// steps as an unshrunk one whenever the shrunk variables would not have
+/// been selected anyway — which is exactly what the shrinking rules ensure
+/// in the common case (and tests pin on fixed seeds).
+template <typename RowFn>
+Result solve_smo_core(std::size_t n, RowFn&& q_row, const Vector& p,
+                      const Vector& y, double c, double delta,
+                      const Options& options) {
+  PPML_CHECK(p.size() == n && y.size() == n, "solve_smo: p/y size mismatch");
+  PPML_CHECK(c >= 0.0, "solve_smo: C must be non-negative");
+  for (double yi : y)
     PPML_CHECK(yi == 1.0 || yi == -1.0, "solve_smo: labels must be +/-1");
 
-  const double c = problem.c;
-  const Vector& y = problem.y;
-
   Result result;
-  Vector x = feasible_start(y, c, problem.delta);
-  Vector g = linalg::gemv(q, x);
-  linalg::axpy(-1.0, problem.p, g);
+  Vector x = feasible_start(y, c, delta);
 
-  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
-    ++result.iterations;
-    // Maximal violating pair: i maximizes -y_i g_i over I_up,
-    // j minimizes -y_j g_j over I_low. Optimal when max - min <= tol.
-    double best_up = -std::numeric_limits<double>::infinity();
-    double best_low = std::numeric_limits<double>::infinity();
-    std::size_t i_up = n;
-    std::size_t i_low = n;
+  // Initial gradient g = Qx - p, accumulated column-by-column over the
+  // nonzero entries of the feasible start (Q is symmetric, so column j is
+  // row j). Matches a dense gemv(Q, x) bit-for-bit: zero coefficients only
+  // ever contribute an exact +-0.0 to a non-negative-zero accumulator.
+  Vector g(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j)
+    if (x[j] != 0.0) linalg::axpy(x[j], q_row(j), g);
+  linalg::axpy(-1.0, p, g);
+
+  // Shrinking state: `active[i] == 0` excludes i from the selection scan
+  // only — its gradient entry stays exact, so reactivation needs no kernel
+  // re-evaluation. Checked every min(n, 1000) pair steps, LIBSVM-style.
+  std::vector<std::uint8_t> active(n, 1);
+  std::size_t n_active = n;
+  const bool use_shrinking = options.shrinking && n > 1;
+  const std::size_t shrink_interval = std::min<std::size_t>(n, 1000);
+  std::size_t steps_since_shrink = 0;
+  std::int64_t reconstructions = 0;
+
+  double best_up = -std::numeric_limits<double>::infinity();
+  double best_low = std::numeric_limits<double>::infinity();
+  std::size_t i_up = n;
+  std::size_t i_low = n;
+  // Maximal violating pair over the active set: i maximizes -y_i g_i over
+  // I_up, j minimizes -y_j g_j over I_low. Optimal when max - min <= tol.
+  const auto scan = [&]() {
+    best_up = -std::numeric_limits<double>::infinity();
+    best_low = std::numeric_limits<double>::infinity();
+    i_up = n;
+    i_low = n;
     for (std::size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
       const double score = -y[i] * g[i];
       const bool in_up = (y[i] > 0.0 && x[i] < c) || (y[i] < 0.0 && x[i] > 0.0);
       const bool in_low = (y[i] > 0.0 && x[i] > 0.0) || (y[i] < 0.0 && x[i] < c);
@@ -68,20 +96,63 @@ Result solve_smo(const SmoProblem& problem, const Options& options) {
         i_low = i;
       }
     }
+  };
+  const auto optimal = [&]() {
+    return i_up == n || i_low == n || best_up - best_low <= options.tolerance;
+  };
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    scan();
+    if (optimal() && n_active < n) {
+      // Apparent convergence on the shrunk set: reconstruct. The gradient is
+      // already exact everywhere, so reconstruction is just re-widening the
+      // scan to the full index set within this same iteration.
+      std::fill(active.begin(), active.end(), std::uint8_t{1});
+      n_active = n;
+      ++reconstructions;
+      scan();
+    }
     result.kkt_violation = (i_up == n || i_low == n)
                                ? 0.0
                                : std::max(0.0, best_up - best_low);
-    if (i_up == n || i_low == n ||
-        best_up - best_low <= options.tolerance) {
+    if (optimal()) {
       result.converged = true;
       break;
     }
 
+    if (use_shrinking && ++steps_since_shrink >= shrink_interval) {
+      steps_since_shrink = 0;
+      // Deactivate bound variables that cannot belong to a violating pair:
+      // an I_up-only variable whose score is already below the I_low
+      // minimum, or an I_low-only variable above the I_up maximum. Free
+      // variables are never shrunk. The current pair is never shrunk (its
+      // scores are the extremes).
+      for (std::size_t k = 0; k < n; ++k) {
+        if (!active[k]) continue;
+        if (x[k] > 0.0 && x[k] < c) continue;  // free
+        const double score = -y[k] * g[k];
+        const bool in_up =
+            (y[k] > 0.0 && x[k] < c) || (y[k] < 0.0 && x[k] > 0.0);
+        const bool in_low =
+            (y[k] > 0.0 && x[k] > 0.0) || (y[k] < 0.0 && x[k] < c);
+        if ((in_up && !in_low && score < best_low) ||
+            (in_low && !in_up && score > best_up)) {
+          active[k] = 0;
+          --n_active;
+        }
+      }
+    }
+
     const std::size_t i = i_up;
     const std::size_t j = i_low;
+    // Fetch row i before row j; the cache keeps the most recently returned
+    // row resident across one further fetch, so both spans are live here.
+    const auto row_i = q_row(i);
+    const auto row_j = q_row(j);
     // Direction d = t * (y_i e_i - y_j e_j) keeps y^T x constant.
     const double curvature =
-        q(i, i) + q(j, j) - 2.0 * y[i] * y[j] * q(i, j);
+        row_i[i] + row_j[j] - 2.0 * y[i] * y[j] * row_i[j];
     const double slope = y[i] * g[i] - y[j] * g[j];  // d/dt at t = 0
 
     // Feasible t-interval from both box constraints.
@@ -108,23 +179,55 @@ Result solve_smo(const SmoProblem& problem, const Options& options) {
       // Flat or degenerate direction: move to the boundary the slope favors.
       t = slope > 0.0 ? t_lo : t_hi;
     }
-    if (t == 0.0 || !std::isfinite(t)) {
-      result.converged = true;  // cannot improve along the best pair
+    // A non-finite or relatively-negligible step means the best pair cannot
+    // make progress — but that is a *stall*, not proof of optimality: an
+    // overflowing curvature yields t == 0.0 on a pair that still violates
+    // the KKT conditions. Report convergence only if the violation itself
+    // is within tolerance.
+    const double step_scale =
+        std::max({1.0, std::abs(x[i]), std::abs(x[j])});
+    if (!std::isfinite(t) || std::abs(t) <= 1e-16 * step_scale) {
+      result.converged = result.kkt_violation <= options.tolerance;
       break;
     }
     x[i] += y[i] * t;
     x[j] -= y[j] * t;
     x[i] = std::clamp(x[i], 0.0, c);
     x[j] = std::clamp(x[j], 0.0, c);
-    linalg::axpy(y[i] * t, q.row(i), g);
-    linalg::axpy(-y[j] * t, q.row(j), g);
+    linalg::axpy(y[i] * t, row_i, g);
+    linalg::axpy(-y[j] * t, row_j, g);
   }
 
-  result.objective = objective_value(q, problem.p, x);
   result.x = std::move(x);
+  result.g = std::move(g);
   obs::count("qp.smo.solves");
   obs::count("qp.smo.sweeps", static_cast<std::int64_t>(result.iterations));
+  obs::count("qp.smo.reconstructions", reconstructions);
   obs::observe("qp.kkt_violation", result.kkt_violation);
+  return result;
+}
+
+}  // namespace
+
+Result solve_smo(const SmoProblem& problem, const Options& options) {
+  const Matrix& q = problem.q;
+  const std::size_t n = q.rows();
+  PPML_CHECK(q.cols() == n, "solve_smo: Q must be square");
+  Result result = solve_smo_core(
+      n, [&](std::size_t r) { return q.row(r); }, problem.p, problem.y,
+      problem.c, problem.delta, options);
+  result.objective = objective_value(q, problem.p, result.x);
+  return result;
+}
+
+Result solve_smo(KernelCache& cache, const Vector& p, const Vector& y,
+                 double c, double delta, const Options& options) {
+  const std::size_t n = cache.size();
+  Result result = solve_smo_core(
+      n, [&](std::size_t r) { return cache.row(r); }, p, y, c, delta, options);
+  // f(x) = 1/2 x^T Q x - p^T x = 1/2 (x^T g - p^T x), using g = Qx - p.
+  result.objective =
+      0.5 * (linalg::dot(result.x, result.g) - linalg::dot(p, result.x));
   return result;
 }
 

@@ -9,6 +9,7 @@
 // two-variable subproblem in closed form.
 #pragma once
 
+#include "qp/kernel_cache.h"
 #include "qp/qp.h"
 
 namespace ppml::qp {
@@ -21,8 +22,18 @@ struct SmoProblem {
   double delta = 0.0;  ///< right-hand side of the equality constraint
 };
 
-/// Solve with SMO. Throws InvalidArgument when no feasible point exists
-/// (|delta| exceeds C * count of matching-sign labels).
+/// Solve with SMO over a dense, materialized Q. Throws InvalidArgument when
+/// no feasible point exists (|delta| exceeds C * count of matching-sign
+/// labels).
 Result solve_smo(const SmoProblem& problem, const Options& options = {});
+
+/// Solve with SMO over an implicit Q supplied row-by-row through a
+/// KernelCache — O(capacity * n) memory instead of O(n^2). Produces a
+/// bit-identical Result.x to the dense overload for the same logical Q
+/// (same row bits), including with shrinking enabled; see the core loop in
+/// smo.cpp for why. Result.g carries the final full gradient Qx - p, from
+/// which kernel-SVM decision values follow without re-touching K.
+Result solve_smo(KernelCache& cache, const Vector& p, const Vector& y,
+                 double c, double delta, const Options& options = {});
 
 }  // namespace ppml::qp

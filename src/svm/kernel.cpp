@@ -3,8 +3,35 @@
 #include <cmath>
 
 #include "linalg/blas.h"
+#include "linalg/parallel.h"
 
 namespace ppml::svm {
+
+namespace {
+
+// Dot-product kernels (linear/poly/sigmoid) factor through the plain inner
+// product, so their Gram matrices are built from one blocked syrk/gemm_nt
+// and an elementwise transform. The transform applies the exact scalar
+// formula from Kernel::operator() to the exact dot() value that operator()
+// would compute, so batch and pairwise evaluation agree bit for bit.
+void apply_kernel_elementwise(const Kernel& kernel, Matrix& g) {
+  switch (kernel.type) {
+    case KernelType::kLinear:
+      return;
+    case KernelType::kPolynomial:
+      for (double& v : g.data())
+        v = std::pow(kernel.a * v + kernel.b, kernel.degree);
+      return;
+    case KernelType::kSigmoid:
+      for (double& v : g.data()) v = std::tanh(kernel.a * v + kernel.c);
+      return;
+    case KernelType::kRbf:
+      break;
+  }
+  throw InvalidArgument("Kernel: unknown kernel type");
+}
+
+}  // namespace
 
 double Kernel::operator()(std::span<const double> x,
                           std::span<const double> y) const {
@@ -73,23 +100,40 @@ KernelType parse_kernel_type(const std::string& name) {
 
 Matrix gram(const Kernel& kernel, const Matrix& a) {
   const std::size_t n = a.rows();
+  if (kernel.type != KernelType::kRbf) {
+    Matrix out = linalg::syrk(a);  // blocked + threaded when a backend is up
+    apply_kernel_elementwise(kernel, out);
+    return out;
+  }
+  // RBF keeps the pairwise exp(-gamma ||x_i - x_j||^2) form (it does not
+  // factor through a single dot product), parallelized over rows. Row i
+  // owns out(i, j >= i) plus the mirror out(j, i) — disjoint across rows,
+  // and each element is computed exactly as the serial loop would.
   Matrix out(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
+  linalg::parallel_for(n, [&](std::size_t i) {
+    const auto ri = a.row(i);
     for (std::size_t j = i; j < n; ++j) {
-      const double v = kernel(a.row(i), a.row(j));
+      const double v = kernel(ri, a.row(j));
       out(i, j) = v;
       out(j, i) = v;
     }
-  }
+  });
   return out;
 }
 
 Matrix cross_gram(const Kernel& kernel, const Matrix& a, const Matrix& b) {
   PPML_CHECK(a.cols() == b.cols(), "cross_gram: feature width mismatch");
+  if (kernel.type != KernelType::kRbf) {
+    Matrix out = linalg::gemm_nt(a, b);
+    apply_kernel_elementwise(kernel, out);
+    return out;
+  }
   Matrix out(a.rows(), b.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i)
+  linalg::parallel_for(a.rows(), [&](std::size_t i) {
+    const auto ri = a.row(i);
     for (std::size_t j = 0; j < b.rows(); ++j)
-      out(i, j) = kernel(a.row(i), b.row(j));
+      out(i, j) = kernel(ri, b.row(j));
+  });
   return out;
 }
 

@@ -108,14 +108,37 @@ KernelModel train_kernel_svm(const data::Dataset& dataset,
   PPML_CHECK(dataset.size() >= 2 && dataset.features() >= 1,
              "train_kernel_svm: need >= 2 rows and >= 1 feature");
   PPML_CHECK(options.c > 0.0, "train_kernel_svm: C must be positive");
-  const Matrix k = gram(kernel, dataset.x);
-  const qp::Result result = solve_dual(k, dataset.y, options);
+  // Never materialize the n x n Gram: SMO pulls rows of Q_ij = y_i y_j K_ij
+  // through an LRU cache. The evaluator's expression matches the dense
+  // builder in solve_dual term for term, so the cached solve is
+  // bit-identical to the dense one (pinned by svm_test).
+  const std::size_t n = dataset.size();
+  const Matrix& x = dataset.x;
+  const Vector& y = dataset.y;
+  qp::KernelCache cache(
+      n,
+      [&](std::size_t i, std::span<double> out) {
+        const auto xi = x.row(i);
+        for (std::size_t j = 0; j < n; ++j)
+          out[j] = y[i] * y[j] * kernel(xi, x.row(j));
+      },
+      options.kernel_cache_bytes);
+  qp::Options qp_options;
+  qp_options.tolerance = options.tolerance;
+  qp_options.max_iterations = options.max_iterations;
+  const Vector p(n, 1.0);
+  const qp::Result result =
+      qp::solve_smo(cache, p, y, options.c, /*delta=*/0.0, qp_options);
 
-  // f0_i = sum_j lambda_j y_j K_ij.
-  Vector coeff_full(dataset.size());
-  for (std::size_t j = 0; j < dataset.size(); ++j)
+  // f0_i = sum_j lambda_j y_j K_ij, recovered from the solver's final
+  // gradient: g = Qx - p with Q_ij = y_i y_j K_ij gives
+  // f0_i = y_i (g_i + p_i) — no kernel re-evaluation needed.
+  Vector coeff_full(n);
+  for (std::size_t j = 0; j < n; ++j)
     coeff_full[j] = result.x[j] * dataset.y[j];
-  const Vector f0 = linalg::gemv(k, coeff_full);
+  Vector f0(n);
+  for (std::size_t i = 0; i < n; ++i)
+    f0[i] = dataset.y[i] * (result.g[i] + 1.0);
   const double bias = recover_bias(result.x, dataset.y, f0, options.c);
 
   // Keep only support vectors in the model.

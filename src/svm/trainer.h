@@ -16,6 +16,12 @@ struct TrainOptions {
   double c = 1.0;              ///< slack penalty (paper uses C = 50)
   double tolerance = 1e-5;     ///< SMO KKT tolerance
   std::size_t max_iterations = 200'000;  ///< SMO pair-step budget
+  /// Byte budget for the kernel-row cache used by train_kernel_svm (the
+  /// dense n x n Gram is never materialized; rows are evaluated on demand).
+  /// 0 = unlimited (all n rows may stay resident). The answer is identical
+  /// for any budget — only row re-evaluation cost changes; see
+  /// docs/performance.md.
+  std::size_t kernel_cache_bytes = 64ull << 20;
 };
 
 struct TrainDiagnostics {

@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <random>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "linalg/blas.h"
 #include "linalg/cholesky.h"
 #include "linalg/matrix.h"
+#include "linalg/parallel.h"
 
 namespace ppml::linalg {
 namespace {
@@ -265,6 +269,104 @@ TEST(Errors, CheckMacroMessagesIncludeLocation) {
     EXPECT_NE(what.find("custom detail"), std::string::npos);
     EXPECT_NE(what.find("linalg_test.cpp"), std::string::npos);
   }
+}
+
+// ------------------------------------------- blocked + threaded products
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed,
+                     double zero_fraction = 0.2) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> normal;
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  Matrix m(rows, cols);
+  for (double& v : m.data())
+    v = uniform(rng) < zero_fraction ? 0.0 : normal(rng);
+  return m;
+}
+
+/// Naive std::thread parallel backend: static round-robin over `threads`.
+ParallelBackend thread_backend(std::size_t threads) {
+  return [threads](std::size_t n, const std::function<void(std::size_t)>& fn) {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t)
+      pool.emplace_back([&, t] {
+        for (std::size_t i = t; i < n; i += threads) fn(i);
+      });
+    for (std::thread& th : pool) th.join();
+  };
+}
+
+TEST(BlockedGemm, MatchesNaiveExactlyAcrossShapes) {
+  // Shapes chosen to cross the internal tile boundaries (64-row tasks,
+  // 256-column tiles) and to hit the degenerate edges.
+  const std::size_t shapes[][3] = {{0, 0, 0},   {0, 3, 5},    {3, 0, 5},
+                                   {3, 5, 0},   {1, 1, 1},    {1, 7, 300},
+                                   {7, 1, 7},   {65, 33, 130}, {64, 64, 256},
+                                   {66, 10, 257}};
+  std::uint64_t seed = 1000;
+  for (const auto& s : shapes) {
+    const Matrix a = random_matrix(s[0], s[1], ++seed);
+    const Matrix b = random_matrix(s[1], s[2], ++seed);
+    // operator== — the blocked path must be bit-identical, not just close.
+    EXPECT_EQ(gemm(a, b), gemm_naive(a, b))
+        << s[0] << "x" << s[1] << "x" << s[2];
+    const Matrix bt = random_matrix(s[2], s[1], ++seed);
+    EXPECT_EQ(gemm_nt(a, bt), gemm_nt_naive(a, bt))
+        << s[0] << "x" << s[1] << "x" << s[2];
+  }
+}
+
+TEST(BlockedGemm, SyrkMatchesGemmNtWithSelf) {
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{9},
+                              std::size_t{70}, std::size_t{130}}) {
+    const Matrix a = random_matrix(n, 17, 2000 + n);
+    EXPECT_EQ(syrk(a), gemm_nt_naive(a, a)) << "n=" << n;
+    EXPECT_EQ(gram_a_at(a), syrk(a));
+  }
+}
+
+TEST(BlockedGemm, ThreadedResultsAreBitIdenticalToSerial) {
+  // Big enough to clear the internal FLOP threshold for parallel dispatch
+  // (2 * 130 * 70 * 130 > 2^21), with several row-task blocks.
+  const Matrix a = random_matrix(130, 70, 31);
+  const Matrix b = random_matrix(70, 130, 32);
+  const Matrix bt = random_matrix(130, 70, 33);
+  const Matrix serial = gemm(a, b);
+  const Matrix serial_nt = gemm_nt(a, bt);
+  const Matrix serial_syrk = syrk(a);
+  ASSERT_FALSE(parallel_enabled());
+  for (const std::size_t threads : {1u, 2u, 5u}) {
+    const ParallelScope scope(thread_backend(threads));
+    ASSERT_TRUE(parallel_enabled());
+    EXPECT_EQ(gemm(a, b), serial) << "threads=" << threads;
+    EXPECT_EQ(gemm_nt(a, bt), serial_nt) << "threads=" << threads;
+    EXPECT_EQ(syrk(a), serial_syrk) << "threads=" << threads;
+  }
+  EXPECT_FALSE(parallel_enabled());
+}
+
+TEST(ParallelFor, RunsEveryIndexOnceUnderBackend) {
+  std::vector<std::atomic<int>> touched(257);
+  for (auto& t : touched) t.store(0);
+  const ParallelScope scope(thread_backend(4));
+  parallel_for(touched.size(), [&](std::size_t i) { ++touched[i]; });
+  for (std::size_t i = 0; i < touched.size(); ++i)
+    EXPECT_EQ(touched[i].load(), 1) << "i=" << i;
+}
+
+TEST(ParallelFor, NestedScopesRestorePrevious) {
+  EXPECT_FALSE(parallel_enabled());
+  {
+    const ParallelScope outer(thread_backend(2));
+    EXPECT_TRUE(parallel_enabled());
+    {
+      const ParallelScope inner(nullptr);  // explicitly serial inner region
+      EXPECT_FALSE(parallel_enabled());
+    }
+    EXPECT_TRUE(parallel_enabled());
+  }
+  EXPECT_FALSE(parallel_enabled());
 }
 
 }  // namespace

@@ -300,5 +300,205 @@ TEST_P(DiagonalQpRandom, KktHolds) {
 INSTANTIATE_TEST_SUITE_P(Seeds, DiagonalQpRandom,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u));
 
+// ---------------------------------------------------------- kernel cache
+
+/// Evaluator that serves rows of a dense matrix and counts evaluations.
+struct CountingEvaluator {
+  const Matrix* q;
+  std::vector<int>* eval_counts;
+  void operator()(std::size_t i, std::span<double> out) const {
+    ++(*eval_counts)[i];
+    const auto row = q->row(i);
+    std::copy(row.begin(), row.end(), out.begin());
+  }
+};
+
+TEST(KernelCache, BudgetToRowCapacity) {
+  const Matrix q = random_spd(8, 21);
+  std::vector<int> counts(8, 0);
+  const CountingEvaluator eval{&q, &counts};
+  // One row = 8 doubles = 64 bytes.
+  EXPECT_EQ(KernelCache(8, eval, 3 * 64).capacity_rows(), 3u);
+  EXPECT_EQ(KernelCache(8, eval, 3 * 64 + 63).capacity_rows(), 3u);
+  // 0 = unlimited: every row fits.
+  EXPECT_EQ(KernelCache(8, eval, 0).capacity_rows(), 8u);
+  // Budgets below two rows are clamped up so SMO can hold a pair.
+  EXPECT_EQ(KernelCache(8, eval, 1).capacity_rows(), 2u);
+  // Budgets above n rows are clamped down.
+  EXPECT_EQ(KernelCache(8, eval, 1 << 20).capacity_rows(), 8u);
+  EXPECT_EQ(KernelCache(1, eval, 1).capacity_rows(), 1u);
+}
+
+TEST(KernelCache, LruEvictionOrder) {
+  const std::size_t n = 4;
+  const Matrix q = random_spd(n, 22);
+  std::vector<int> counts(n, 0);
+  KernelCache cache(n, CountingEvaluator{&q, &counts}, 2 * n * sizeof(double));
+  ASSERT_EQ(cache.capacity_rows(), 2u);
+
+  cache.row(0);  // miss, cache = {0}
+  cache.row(1);  // miss, cache = {1, 0}
+  cache.row(0);  // hit, cache = {0, 1}
+  cache.row(2);  // miss, evicts 1 (LRU), cache = {2, 0}
+  cache.row(0);  // hit
+  cache.row(1);  // miss again: 1 was evicted; evicts 2
+  EXPECT_EQ(counts, (std::vector<int>{1, 2, 1, 0}));
+  EXPECT_EQ(cache.hits(), 2);
+  EXPECT_EQ(cache.misses(), 4);
+  EXPECT_EQ(cache.evictions(), 2);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 2.0 / 6.0);
+  EXPECT_EQ(cache.cached_rows(), 2u);
+}
+
+TEST(KernelCache, ReturnedRowSurvivesOneFurtherFetch) {
+  // The SMO step fetches row i then row j and reads both spans: the cache
+  // guarantees the i-span is not invalidated by the j-fetch even at minimum
+  // capacity, because i is most-recently-used when j is fetched.
+  const std::size_t n = 6;
+  const Matrix q = random_spd(n, 23);
+  std::vector<int> counts(n, 0);
+  KernelCache cache(n, CountingEvaluator{&q, &counts}, 1);  // capacity 2
+  ASSERT_EQ(cache.capacity_rows(), 2u);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto row_i = cache.row(i);
+      const auto row_j = cache.row(j);
+      for (std::size_t t = 0; t < n; ++t) {
+        ASSERT_EQ(row_i[t], q(i, t)) << "i=" << i << " j=" << j;
+        ASSERT_EQ(row_j[t], q(j, t)) << "i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(KernelCache, RowContentsMatchEvaluator) {
+  const std::size_t n = 5;
+  const Matrix q = random_spd(n, 24);
+  std::vector<int> counts(n, 0);
+  KernelCache cache(n, CountingEvaluator{&q, &counts}, 0);
+  for (std::size_t pass = 0; pass < 2; ++pass)
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto row = cache.row(i);
+      for (std::size_t j = 0; j < n; ++j) EXPECT_EQ(row[j], q(i, j));
+    }
+  // Unlimited budget: second pass is all hits, nothing re-evaluated.
+  for (int c : counts) EXPECT_EQ(c, 1);
+  EXPECT_EQ(cache.evictions(), 0);
+}
+
+// ------------------------------------------------- cached + shrinking SMO
+
+TEST(Smo, DegenerateStepDoesNotFakeConvergence) {
+  // Overflowing curvature (1e308 + 1e308 -> inf) makes the closed-form step
+  // t = -slope/curvature collapse to exactly 0.0 while the selected pair
+  // still violates the KKT conditions by 2. The solver must report the
+  // stall as non-converged, not claim optimality.
+  Matrix q{{1e308, 0.0}, {0.0, 1e308}};
+  SmoProblem problem{q, Vector{1.0, 1.0}, Vector{1.0, -1.0}, 1.0, 0.0};
+  const Result r = solve_smo(problem);
+  EXPECT_FALSE(r.converged);
+  EXPECT_GT(r.kkt_violation, 1.0);
+}
+
+/// Random SVM-dual-shaped SMO problem (p = 1, labels +-1).
+SmoProblem random_smo_problem(std::size_t n, std::uint64_t seed,
+                              double c = 1.5, double delta = 0.0) {
+  SmoProblem problem;
+  problem.q = random_spd(n, seed);
+  problem.p.assign(n, 1.0);
+  problem.y.resize(n);
+  std::mt19937_64 rng(seed ^ 0xbeef);
+  for (std::size_t i = 0; i < n; ++i)
+    problem.y[i] = (rng() & 1) != 0 ? 1.0 : -1.0;
+  problem.c = c;
+  problem.delta = delta;
+  return problem;
+}
+
+class SmoCachedEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SmoCachedEquivalence, BitIdenticalToDenseAcrossBudgets) {
+  const std::uint64_t seed = GetParam();
+  const std::size_t n = 40;
+  const SmoProblem problem = random_smo_problem(n, seed);
+
+  Options dense_options;
+  dense_options.shrinking = false;  // pure dense reference, full scans
+  const Result dense = solve_smo(problem, dense_options);
+  ASSERT_TRUE(dense.converged);
+
+  const std::size_t row_bytes = n * sizeof(double);
+  for (const std::size_t budget :
+       {std::size_t{0}, (n / 4) * row_bytes, std::size_t{1}}) {
+    std::vector<int> counts(n, 0);
+    KernelCache cache(n, CountingEvaluator{&problem.q, &counts}, budget);
+    const Result cached = solve_smo(cache, problem.p, problem.y, problem.c,
+                                    problem.delta);  // shrinking on (default)
+    ASSERT_TRUE(cached.converged);
+    EXPECT_EQ(cached.iterations, dense.iterations) << "budget=" << budget;
+    ASSERT_EQ(cached.x.size(), dense.x.size());
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(cached.x[i], dense.x[i])  // exact: same fp op sequence
+          << "budget=" << budget << " i=" << i;
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(cached.g[i], dense.g[i]);
+  }
+}
+
+TEST_P(SmoCachedEquivalence, BitIdenticalWithNonzeroDelta) {
+  const std::uint64_t seed = GetParam();
+  const std::size_t n = 24;
+  const SmoProblem problem =
+      random_smo_problem(n, seed ^ 0x5a5a, /*c=*/2.0, /*delta=*/3.0);
+
+  Options dense_options;
+  dense_options.shrinking = false;
+  const Result dense = solve_smo(problem, dense_options);
+  ASSERT_TRUE(dense.converged);
+
+  std::vector<int> counts(n, 0);
+  KernelCache cache(n, CountingEvaluator{&problem.q, &counts},
+                    (n / 3) * n * sizeof(double));
+  const Result cached =
+      solve_smo(cache, problem.p, problem.y, problem.c, problem.delta);
+  ASSERT_TRUE(cached.converged);
+  EXPECT_NEAR(linalg::dot(problem.y, cached.x), 3.0, 1e-9);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(cached.x[i], dense.x[i]);
+}
+
+TEST_P(SmoCachedEquivalence, DenseShrinkingMatchesDenseFullScan) {
+  const std::uint64_t seed = GetParam();
+  const SmoProblem problem = random_smo_problem(48, seed ^ 0x1234);
+  Options full;
+  full.shrinking = false;
+  Options shrunk;
+  shrunk.shrinking = true;
+  const Result a = solve_smo(problem, full);
+  const Result b = solve_smo(problem, shrunk);
+  ASSERT_TRUE(a.converged);
+  ASSERT_TRUE(b.converged);
+  EXPECT_EQ(a.iterations, b.iterations);
+  for (std::size_t i = 0; i < a.x.size(); ++i) EXPECT_EQ(a.x[i], b.x[i]);
+  EXPECT_EQ(a.objective, b.objective);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmoCachedEquivalence,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u));
+
+TEST(Smo, CachedReusesRowsAcrossIterations) {
+  const std::size_t n = 60;
+  const SmoProblem problem = random_smo_problem(n, 99);
+  std::vector<int> counts(n, 0);
+  KernelCache cache(n, CountingEvaluator{&problem.q, &counts}, /*budget=*/0);
+  const Result r = solve_smo(cache, problem.p, problem.y, problem.c, 0.0);
+  ASSERT_TRUE(r.converged);
+  ASSERT_GT(r.iterations, 1u);
+  // Unlimited budget: every row is evaluated at most once no matter how
+  // many pair steps revisit it, and revisits are all hits.
+  EXPECT_EQ(cache.evictions(), 0);
+  EXPECT_LE(cache.misses(), static_cast<std::int64_t>(n));
+  for (int c : counts) EXPECT_LE(c, 1);
+  EXPECT_GT(cache.hits(), cache.misses());
+}
+
 }  // namespace
 }  // namespace ppml::qp

@@ -5,6 +5,8 @@
 
 #include "data/generators.h"
 #include "data/standardize.h"
+#include "linalg/blas.h"
+#include "qp/smo.h"
 #include "svm/kernel.h"
 #include "svm/metrics.h"
 #include "svm/model.h"
@@ -273,6 +275,103 @@ TEST(Metrics, HingeLoss) {
   const linalg::Vector labels{1.0, 1.0, 1.0};
   // max(0, 1-2) + max(0, 0.5) + max(0, 2) = 0 + 0.5 + 2 = 2.5; mean 0.8333.
   EXPECT_NEAR(hinge_loss(decisions, labels), 2.5 / 3.0, 1e-12);
+}
+
+TEST(Gram, BatchedBuildersMatchPairwiseKernelBitwise) {
+  // gram/cross_gram now route dot-product kernels through blocked
+  // syrk/gemm_nt plus an elementwise transform, and parallelize RBF rows.
+  // Every entry must still equal the scalar kernel applied pairwise —
+  // exactly, since downstream bit-identity tests build on these values.
+  const Dataset d = data::make_cancer_like(3).subset(
+      {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11});
+  const Dataset e = data::make_cancer_like(4).subset({0, 1, 2, 3, 4});
+  for (const Kernel& k :
+       {Kernel::linear(), Kernel::polynomial(3, 0.7, 0.3), Kernel::rbf(0.4),
+        Kernel::sigmoid(0.2, -0.1)}) {
+    const linalg::Matrix g = gram(k, d.x);
+    for (std::size_t i = 0; i < d.size(); ++i)
+      for (std::size_t j = 0; j < d.size(); ++j)
+        EXPECT_EQ(g(i, j), k(d.x.row(i), d.x.row(j)))
+            << k.describe() << " (" << i << "," << j << ")";
+    const linalg::Matrix cg = cross_gram(k, d.x, e.x);
+    for (std::size_t i = 0; i < d.size(); ++i)
+      for (std::size_t j = 0; j < e.size(); ++j)
+        EXPECT_EQ(cg(i, j), k(d.x.row(i), e.x.row(j)))
+            << k.describe() << " (" << i << "," << j << ")";
+  }
+}
+
+TEST(KernelTrainer, CachedSolveMatchesDenseReferenceBitwise) {
+  // The trainer no longer materializes the Gram matrix; it streams rows of
+  // Q through a KernelCache. The dual solution must nonetheless be
+  // bit-identical to the classic dense solve.
+  const Dataset train = data::make_two_rings(60, 1.0, 3.0, 0.1, 7);
+  const Kernel kernel = Kernel::rbf(1.0);
+  TrainOptions options;
+  options.c = 5.0;
+  // Force heavy eviction: budget for ~25% of the rows.
+  options.kernel_cache_bytes =
+      (train.size() / 4) * train.size() * sizeof(double);
+
+  TrainDiagnostics diagnostics;
+  const KernelModel model =
+      train_kernel_svm(train, kernel, options, &diagnostics);
+  ASSERT_TRUE(diagnostics.converged);
+
+  // Dense reference: materialized Q, no shrinking, full selection scans.
+  const std::size_t n = train.size();
+  qp::SmoProblem problem;
+  problem.q.resize(n, n);
+  const linalg::Matrix k = gram(kernel, train.x);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      problem.q(i, j) = train.y[i] * train.y[j] * k(i, j);
+  problem.p.assign(n, 1.0);
+  problem.y = train.y;
+  problem.c = options.c;
+  qp::Options qp_options;
+  qp_options.tolerance = options.tolerance;
+  qp_options.max_iterations = options.max_iterations;
+  qp_options.shrinking = false;
+  const qp::Result dense = qp::solve_smo(problem, qp_options);
+  ASSERT_TRUE(dense.converged);
+
+  EXPECT_EQ(diagnostics.iterations, dense.iterations);
+  std::vector<std::size_t> support_rows;
+  for (std::size_t i = 0; i < n; ++i)
+    if (dense.x[i] > 1e-9) support_rows.push_back(i);
+  ASSERT_EQ(model.coeffs.size(), support_rows.size());
+  for (std::size_t r = 0; r < support_rows.size(); ++r) {
+    const std::size_t i = support_rows[r];
+    EXPECT_EQ(model.coeffs[r], dense.x[i] * train.y[i]) << "row " << i;
+    for (std::size_t f = 0; f < train.features(); ++f)
+      EXPECT_EQ(model.points(r, f), train.x(i, f));
+  }
+  // Bias comes from the solver's final gradient instead of a fresh
+  // gemv(K, coeffs); equal to the dense recovery up to accumulated
+  // round-off in f0, which recover_bias averages away.
+  const linalg::Vector f0 = linalg::gemv(k, [&] {
+    linalg::Vector coeff(n);
+    for (std::size_t i = 0; i < n; ++i) coeff[i] = dense.x[i] * train.y[i];
+    return coeff;
+  }());
+  EXPECT_NEAR(model.b, recover_bias(dense.x, train.y, f0, options.c), 1e-8);
+}
+
+TEST(KernelTrainer, CacheBudgetDoesNotChangeTheModel) {
+  const Dataset train = data::make_two_rings(40, 1.0, 3.0, 0.1, 11);
+  const Kernel kernel = Kernel::rbf(0.8);
+  TrainOptions unlimited;
+  unlimited.c = 3.0;
+  unlimited.kernel_cache_bytes = 0;  // every row stays resident
+  TrainOptions tiny = unlimited;
+  tiny.kernel_cache_bytes = 1;  // clamped to the 2-row minimum
+  const KernelModel a = train_kernel_svm(train, kernel, unlimited);
+  const KernelModel b = train_kernel_svm(train, kernel, tiny);
+  ASSERT_EQ(a.coeffs.size(), b.coeffs.size());
+  for (std::size_t i = 0; i < a.coeffs.size(); ++i)
+    EXPECT_EQ(a.coeffs[i], b.coeffs[i]);
+  EXPECT_EQ(a.b, b.b);
 }
 
 }  // namespace
