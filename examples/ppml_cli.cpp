@@ -37,6 +37,7 @@ struct CliOptions {
   std::size_t landmarks = 50;
   double train_fraction = 0.5;
   std::uint64_t seed = 7;
+  std::string mask_variant = "seeded";
   bool use_cluster = false;
   std::optional<std::string> save_path;
   std::optional<std::string> trace_path;
@@ -54,6 +55,8 @@ void usage() {
       "  --kernel rbf|poly|sigmoid|linear --gamma G --landmarks L\n"
       "  --split F          train fraction (default 0.5)\n"
       "  --seed S           partition/protocol seed\n"
+      "  --mask-variant seeded|exchanged   secure-sum masking (default "
+      "seeded)\n"
       "  --cluster          run as a simulated MapReduce job\n"
       "  --save PATH        write the trained model (horizontal schemes)\n"
       "  --trace PATH       write a Chrome trace_event JSON (open in Perfetto)\n"
@@ -89,6 +92,7 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       else if (flag == "--landmarks") options.landmarks = std::stoul(value);
       else if (flag == "--split") options.train_fraction = std::stod(value);
       else if (flag == "--seed") options.seed = std::stoull(value);
+      else if (flag == "--mask-variant") options.mask_variant = value;
       else if (flag == "--save") options.save_path = value;
       else if (flag == "--trace") options.trace_path = value;
       else if (flag == "--metrics") options.metrics_path = value;
@@ -157,6 +161,13 @@ int main(int argc, char** argv) {
     params.max_iterations = options.iterations;
     params.landmarks = options.landmarks;
     params.seed = options.seed;
+    if (options.mask_variant == "exchanged") {
+      params.mask_variant = crypto::MaskVariant::kExchangedMasks;
+    } else if (options.mask_variant != "seeded") {
+      std::fprintf(stderr, "unknown --mask-variant %s\n",
+                   options.mask_variant.c_str());
+      return 2;
+    }
 
     const auto save_linear = [&](const svm::LinearModel& model) {
       if (!options.save_path) return;

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure + build + full test suite, then the
-# fault-tolerance-, observability- and cache-critical suites again under
-# AddressSanitizer + UndefinedBehaviorSanitizer (the chaos, tracing,
-# kernel-cache and threaded-gemm paths exercise threads, retries, spans
+# Tier-1 verification: configure + build, the fast `tier1`-labelled unit
+# suites first (fail fast — a broken codec or consensus engine should stop
+# the run before the integration and sanitizer stages spin up), then the
+# full test suite, then the fault-tolerance-, observability- and
+# cache-critical suites again under AddressSanitizer +
+# UndefinedBehaviorSanitizer (the chaos, tracing, kernel-cache,
+# threaded-gemm and consensus-engine paths exercise threads, retries, spans
 # into LRU-managed storage and ring arithmetic — exactly where ASan/UBSan
 # earn their keep), a bench smoke run that checks BENCH_qp.json is
 # well-formed (no performance gating), then the documentation link check.
@@ -13,17 +16,19 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 
 cmake -B build -S . >/dev/null
 cmake --build build -j"$jobs"
-ctest --test-dir build --output-on-failure -j"$jobs"
+ctest --test-dir build --output-on-failure -j"$jobs" -L tier1
+ctest --test-dir build --output-on-failure -j"$jobs" -LE tier1
 
 cmake -B build-asan -S . -DPPML_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j"$jobs" --target mapreduce_test chaos_test \
-  dropout_recovery_test obs_test qp_test linalg_test
+  dropout_recovery_test obs_test qp_test linalg_test consensus_engine_test
 ./build-asan/tests/mapreduce_test
 ./build-asan/tests/chaos_test
 ./build-asan/tests/dropout_recovery_test
 ./build-asan/tests/obs_test
 ./build-asan/tests/qp_test
 ./build-asan/tests/linalg_test
+./build-asan/tests/consensus_engine_test
 
 # Bench smoke: skip the timed google-benchmark cases (empty filter), run
 # only the cache-budget sweep, and require a parseable report with the

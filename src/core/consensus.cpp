@@ -1,160 +1,23 @@
+// Compatibility wrappers: the three legacy in-memory drivers are now thin
+// configurations of core::ConsensusEngine (consensus_engine.h) — one
+// RoundPolicy each, all on the InMemoryTransport. Kept so existing callers
+// (tests, benches, examples) keep working; new code should build the
+// engine directly. Bit-identity of each wrapper with its seed
+// implementation is pinned by tests/consensus_engine_test.cpp.
 #include "core/consensus.h"
 
-#include <algorithm>
-#include <cmath>
-#include <future>
-#include <thread>
-
-#include "crypto/dropout_recovery.h"
-#include "obs/obs.h"
+#include "core/consensus_engine.h"
 
 namespace ppml::core {
-
-namespace {
-
-// Appends the per-iteration ADMM series (consensus delta, derived dual /
-// primal residuals, summed local objective) to the session metrics
-// registry. Purely observational: everything is computed from values the
-// coordinator and learners already expose, so instrumented runs stay
-// bit-identical to uninstrumented ones.
-void record_admm_round(
-    const ConsensusCoordinator& coordinator, const Vector& average,
-    const Vector& z_prev, double rho,
-    const std::vector<std::shared_ptr<ConsensusLearner>>& learners,
-    const std::vector<std::size_t>* active) {
-  obs::MetricsRegistry* metrics = obs::metrics();
-  if (!metrics) return;
-  const double delta_sq = coordinator.last_delta_sq();
-  metrics->append("admm.z_delta_sq", delta_sq);
-  metrics->append("admm.dual_residual_sq", rho * rho * delta_sq);
-  double primal = 0.0;
-  for (std::size_t j = 0; j < average.size(); ++j) {
-    const double z = j < z_prev.size() ? z_prev[j] : 0.0;
-    const double d = average[j] - z;
-    primal += d * d;
-  }
-  metrics->append("admm.primal_residual_sq", primal);
-  double objective = 0.0;
-  bool any = false;
-  const auto add_objective = [&](const ConsensusLearner& learner) {
-    const double value = learner.last_local_objective();
-    if (std::isnan(value)) return;
-    objective += value;
-    any = true;
-  };
-  if (active) {
-    for (std::size_t i : *active) add_objective(*learners[i]);
-  } else {
-    for (const auto& learner : learners) add_objective(*learner);
-  }
-  if (any) metrics->append("admm.objective", objective);
-}
-
-}  // namespace
 
 ConsensusRunResult run_consensus_in_memory(
     std::vector<std::shared_ptr<ConsensusLearner>>& learners,
     ConsensusCoordinator& coordinator, const AdmmParams& params,
     const RoundObserver& observer) {
-  PPML_CHECK(learners.size() >= 2,
-             "run_consensus_in_memory: need >= 2 learners");
-  const std::size_t m = learners.size();
-  const std::size_t dim = learners.front()->contribution_dim();
-  for (const auto& learner : learners)
-    PPML_CHECK(learner->contribution_dim() == dim,
-               "run_consensus_in_memory: contribution dims differ");
-
-  const crypto::FixedPointCodec codec(params.fixed_point_bits, m);
-
-  // Key agreement happens once; per-round masks are expanded from the
-  // pairwise seeds (kSeededMasks) or regenerated per round (kExchangedMasks
-  // — modelled here by per-round ChaCha streams keyed per sender).
-  std::vector<crypto::SecureSumParty> parties;
-  parties.reserve(m);
-  if (params.mask_variant == crypto::MaskVariant::kSeededMasks) {
-    const auto seeds = crypto::agree_pairwise_seeds(m, params.protocol_seed);
-    for (std::size_t i = 0; i < m; ++i)
-      parties.emplace_back(i, m, codec, seeds[i]);
-  } else {
-    for (std::size_t i = 0; i < m; ++i)
-      parties.emplace_back(i, m, codec,
-                           params.protocol_seed ^ (i * 0x9e3779b97f4a7c15ULL));
-  }
-
-  // Local steps are independent within a round; optionally fan them out.
-  const bool parallelize = params.parallel_learners && m > 1 &&
-                           std::thread::hardware_concurrency() > 1;
-  const auto run_local_steps = [&](const Vector& broadcast_in) {
-    std::vector<Vector> contributions(m);
-    if (parallelize) {
-      std::vector<std::future<Vector>> futures;
-      futures.reserve(m);
-      for (std::size_t i = 0; i < m; ++i) {
-        futures.push_back(std::async(std::launch::async, [&, i] {
-          return learners[i]->local_step(broadcast_in);
-        }));
-      }
-      for (std::size_t i = 0; i < m; ++i) contributions[i] = futures[i].get();
-    } else {
-      for (std::size_t i = 0; i < m; ++i)
-        contributions[i] = learners[i]->local_step(broadcast_in);
-    }
-    return contributions;
-  };
-
-  ConsensusRunResult result;
-  Vector broadcast;  // empty on round 0 — learners treat it as "cold start"
-  obs::Span job_span("job", "core");
-  for (std::size_t round = 0; round < params.max_iterations; ++round) {
-    obs::Span iteration_span("iteration", "core");
-    iteration_span.arg("round", static_cast<double>(round));
-    crypto::SecureSumAggregator aggregator(m, codec);
-    std::vector<Vector> contributions;
-    {
-      obs::Span map_span("map", "core");
-      contributions = run_local_steps(broadcast);
-    }
-    Vector average;
-    {
-      obs::Span sum_span("secure_sum", "core");
-      if (params.mask_variant == crypto::MaskVariant::kSeededMasks) {
-        for (std::size_t i = 0; i < m; ++i) {
-          aggregator.add(
-              parties[i].masked_contribution(contributions[i], round));
-        }
-      } else {
-        // Literal protocol: exchange fresh masks, then contribute.
-        std::vector<std::vector<std::vector<std::uint64_t>>> sent(m);
-        for (std::size_t i = 0; i < m; ++i)
-          sent[i] = parties[i].outgoing_masks(round, dim);
-        for (std::size_t i = 0; i < m; ++i) {
-          std::vector<std::vector<std::uint64_t>> received(m);
-          for (std::size_t j = 0; j < m; ++j)
-            if (j != i) received[j] = sent[j][i];
-          aggregator.add(
-              parties[i].masked_contribution(contributions[i], received, round));
-        }
-      }
-      average = aggregator.average();
-    }
-
-    Vector z_prev;
-    if (obs::enabled()) z_prev = broadcast;
-    {
-      obs::Span update_span("admm_update", "core");
-      broadcast = coordinator.combine(average);
-    }
-    record_admm_round(coordinator, average, z_prev, params.rho, learners,
-                      nullptr);
-    ++result.iterations;
-    if (observer) observer(round);
-    if (params.convergence_tolerance > 0.0 &&
-        coordinator.last_delta_sq() <= params.convergence_tolerance) {
-      result.converged = true;
-      break;
-    }
-  }
-  return result;
+  FullParticipation policy;
+  ConsensusEngine engine(learners, coordinator, params, policy);
+  InMemoryTransport transport;
+  return engine.run(transport, observer);
 }
 
 ConsensusRunResult run_consensus_partial_participation(
@@ -162,200 +25,20 @@ ConsensusRunResult run_consensus_partial_participation(
     ConsensusCoordinator& coordinator, const AdmmParams& params,
     std::size_t participants_per_round, std::uint64_t sampling_seed,
     const RoundObserver& observer) {
-  const std::size_t m = learners.size();
-  PPML_CHECK(m >= 2, "partial participation: need >= 2 learners");
-  PPML_CHECK(participants_per_round >= 2 && participants_per_round <= m,
-             "partial participation: participants must be in [2, M]");
-  PPML_CHECK(params.mask_variant == crypto::MaskVariant::kSeededMasks,
-             "partial participation: requires the seeded-mask variant");
-  const std::size_t dim = learners.front()->contribution_dim();
-  for (const auto& learner : learners)
-    PPML_CHECK(learner->contribution_dim() == dim,
-               "partial participation: contribution dims differ");
-
-  const crypto::FixedPointCodec codec(params.fixed_point_bits,
-                                      participants_per_round);
-  const auto seeds = crypto::agree_pairwise_seeds(m, params.protocol_seed);
-  std::vector<crypto::SecureSumParty> parties;
-  parties.reserve(m);
-  for (std::size_t i = 0; i < m; ++i)
-    parties.emplace_back(i, m, codec, seeds[i]);
-
-  crypto::Xoshiro256 sampler(sampling_seed);
-  std::vector<std::size_t> ids(m);
-  for (std::size_t i = 0; i < m; ++i) ids[i] = i;
-
-  ConsensusRunResult result;
-  Vector broadcast;
-  obs::Span job_span("job", "core");
-  for (std::size_t round = 0; round < params.max_iterations; ++round) {
-    obs::Span iteration_span("iteration", "core");
-    iteration_span.arg("round", static_cast<double>(round));
-    // Fisher–Yates prefix: this round's participant set.
-    for (std::size_t i = 0; i < participants_per_round; ++i) {
-      const std::size_t j = i + sampler.next() % (m - i);
-      std::swap(ids[i], ids[j]);
-    }
-    std::vector<std::size_t> participants(
-        ids.begin(),
-        ids.begin() + static_cast<std::ptrdiff_t>(participants_per_round));
-    std::sort(participants.begin(), participants.end());
-
-    crypto::SecureSumAggregator aggregator(participants_per_round, codec);
-    std::vector<Vector> contributions(participants.size());
-    {
-      obs::Span map_span("map", "core");
-      for (std::size_t k = 0; k < participants.size(); ++k)
-        contributions[k] = learners[participants[k]]->local_step(broadcast);
-    }
-    Vector average;
-    {
-      obs::Span sum_span("secure_sum", "core");
-      for (std::size_t k = 0; k < participants.size(); ++k) {
-        aggregator.add(parties[participants[k]].masked_contribution_subset(
-            contributions[k], round, participants));
-      }
-      average = aggregator.average();
-    }
-    Vector z_prev;
-    if (obs::enabled()) z_prev = broadcast;
-    {
-      obs::Span update_span("admm_update", "core");
-      broadcast = coordinator.combine(average);
-    }
-    record_admm_round(coordinator, average, z_prev, params.rho, learners,
-                      &participants);
-    ++result.iterations;
-    if (observer) observer(round);
-    if (params.convergence_tolerance > 0.0 &&
-        coordinator.last_delta_sq() <= params.convergence_tolerance) {
-      result.converged = true;
-      break;
-    }
-  }
-  return result;
+  PartialParticipation policy(participants_per_round, sampling_seed);
+  ConsensusEngine engine(learners, coordinator, params, policy);
+  InMemoryTransport transport;
+  return engine.run(transport, observer);
 }
 
 ConsensusRunResult run_consensus_with_dropout(
     std::vector<std::shared_ptr<ConsensusLearner>>& learners,
     ConsensusCoordinator& coordinator, const AdmmParams& params,
     const DropoutSchedule& schedule, const RoundObserver& observer) {
-  const std::size_t m = learners.size();
-  PPML_CHECK(m >= 3, "dropout consensus: need >= 3 learners (Shamir)");
-  PPML_CHECK(params.mask_variant == crypto::MaskVariant::kSeededMasks,
-             "dropout consensus: requires the seeded-mask variant");
-  const std::size_t dim = learners.front()->contribution_dim();
-  for (const auto& learner : learners)
-    PPML_CHECK(learner->contribution_dim() == dim,
-               "dropout consensus: contribution dims differ");
-
-  const crypto::FixedPointCodec codec(params.fixed_point_bits, m);
-  const auto seeds = crypto::agree_pairwise_seeds(m, params.protocol_seed);
-  std::vector<crypto::SecureSumParty> parties;
-  parties.reserve(m);
-  for (std::size_t i = 0; i < m; ++i)
-    parties.emplace_back(i, m, codec, seeds[i]);
-
-  const std::size_t threshold =
-      schedule.threshold != 0
-          ? schedule.threshold
-          : std::clamp<std::size_t>(m / 2 + 1, 2, m - 1);
-  const crypto::DropoutRecoverySession session(seeds, threshold,
-                                               schedule.sharing_seed);
-
-  std::vector<std::size_t> live(m);
-  for (std::size_t i = 0; i < m; ++i) live[i] = i;
-
-  ConsensusRunResult result;
-  Vector broadcast;
-  obs::Span job_span("job", "core");
-  for (std::size_t round = 0; round < params.max_iterations; ++round) {
-    obs::Span iteration_span("iteration", "core");
-    iteration_span.arg("round", static_cast<double>(round));
-    // Everyone currently live masks against exactly the live set.
-    std::vector<std::vector<std::uint64_t>> masked(m);
-    std::vector<Vector> local(m);
-    {
-      obs::Span map_span("map", "core");
-      for (std::size_t i : live) local[i] = learners[i]->local_step(broadcast);
-    }
-    {
-      obs::Span sum_span("secure_sum", "core");
-      for (std::size_t i : live) {
-        masked[i] =
-            parties[i].masked_contribution_subset(local[i], round, live);
-      }
-    }
-
-    // Scheduled post-mask drops: the victims' contributions vanish but
-    // their pairwise masks are already inside the survivors' vectors.
-    std::vector<std::size_t> dropped;
-    if (const auto it = schedule.drops.find(round);
-        it != schedule.drops.end()) {
-      for (std::size_t d : it->second)
-        if (std::find(live.begin(), live.end(), d) != live.end())
-          dropped.push_back(d);
-    }
-    std::vector<std::size_t> survivors;
-    for (std::size_t i : live)
-      if (std::find(dropped.begin(), dropped.end(), i) == dropped.end())
-        survivors.push_back(i);
-    PPML_CHECK(survivors.size() >= 2,
-               "dropout consensus: fewer than 2 survivors");
-    if (!dropped.empty())
-      PPML_CHECK(survivors.size() >= threshold,
-                 "dropout consensus: not enough survivors to reconstruct");
-
-    Vector average(dim);
-    {
-      obs::Span sum_span("secure_sum", "core");
-      std::vector<std::uint64_t> acc(dim, 0);
-      for (std::size_t i : survivors) crypto::ring_add_inplace(acc, masked[i]);
-      for (std::size_t d : dropped) {
-        // Reducer side: `threshold` survivors reveal their shares of the
-        // dropped party's seeds; reconstruct and strip the stale masks.
-        obs::Span recovery_span("dropout_recovery", "core");
-        recovery_span.arg("dropped_party", static_cast<double>(d));
-        std::vector<std::uint64_t> reconstructed(m, 0);
-        for (std::size_t j : survivors) {
-          std::vector<crypto::ShamirShare> shares;
-          for (std::size_t h = 0; h < threshold; ++h)
-            shares.push_back(session.share(survivors[h], d, j));
-          reconstructed[j] =
-              crypto::DropoutRecoverySession::reconstruct_seed(shares);
-        }
-        crypto::ring_add_inplace(
-            acc, crypto::DropoutRecoverySession::mask_correction(
-                     d, survivors, reconstructed, round, dim));
-      }
-      const std::vector<double> sum = codec.decode_vector(acc);
-      for (std::size_t j = 0; j < dim; ++j)
-        average[j] = sum[j] / static_cast<double>(survivors.size());
-    }
-
-    if (!dropped.empty()) {
-      live = survivors;
-      for (std::size_t i : live)
-        learners[i]->on_cohort_resize(live.size());
-    }
-
-    Vector z_prev;
-    if (obs::enabled()) z_prev = broadcast;
-    {
-      obs::Span update_span("admm_update", "core");
-      broadcast = coordinator.combine(average);
-    }
-    record_admm_round(coordinator, average, z_prev, params.rho, learners,
-                      &live);
-    ++result.iterations;
-    if (observer) observer(round);
-    if (params.convergence_tolerance > 0.0 &&
-        coordinator.last_delta_sq() <= params.convergence_tolerance) {
-      result.converged = true;
-      break;
-    }
-  }
-  return result;
+  ScheduledDropout policy(schedule);
+  ConsensusEngine engine(learners, coordinator, params, policy);
+  InMemoryTransport transport;
+  return engine.run(transport, observer);
 }
 
 }  // namespace ppml::core

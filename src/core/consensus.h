@@ -10,10 +10,13 @@
 //     consensus state and checks convergence
 //
 // ConsensusLearner is the Map() side; ConsensusCoordinator is the Reduce()
-// side minus the secure summation, which the drivers own. Two drivers run
-// the identical logic: an in-memory one (fast iteration for benches/tests)
-// and a MapReduce-backed one (full simulated cluster, bytes on the wire) —
-// see mapreduce_adapter.h for the latter.
+// side minus the secure summation. The loop itself lives in ONE place —
+// core::ConsensusEngine (consensus_engine.h) — parameterized by a
+// RoundPolicy (who participates) and a Transport (where rounds execute).
+// The run_consensus_* entry points below are compatibility wrappers: each
+// is a one-policy configuration of the engine on the InMemoryTransport;
+// the MapReduce-backed driver (mapreduce_adapter.h) is the same engine on
+// the FabricTransport.
 #pragma once
 
 #include <functional>

@@ -1,0 +1,322 @@
+#include "core/consensus_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <thread>
+
+#include "obs/obs.h"
+
+namespace ppml::core {
+
+// --- policies --------------------------------------------------------------
+
+void FullParticipation::validate(std::size_t num_learners,
+                                 const AdmmParams& params) const {
+  (void)params;
+  PPML_CHECK(num_learners >= 2, "consensus engine: need >= 2 learners");
+}
+
+PartialParticipation::PartialParticipation(std::size_t participants_per_round,
+                                           std::uint64_t sampling_seed)
+    : participants_per_round_(participants_per_round),
+      sampler_(sampling_seed) {}
+
+std::size_t PartialParticipation::codec_terms(std::size_t num_learners) const {
+  (void)num_learners;
+  return participants_per_round_;
+}
+
+void PartialParticipation::validate(std::size_t num_learners,
+                                    const AdmmParams& params) const {
+  PPML_CHECK(num_learners >= 2, "partial participation: need >= 2 learners");
+  PPML_CHECK(participants_per_round_ >= 2 &&
+                 participants_per_round_ <= num_learners,
+             "partial participation: participants must be in [2, M]");
+  PPML_CHECK(params.mask_variant == crypto::MaskVariant::kSeededMasks,
+             "partial participation: requires the seeded-mask variant");
+}
+
+std::vector<std::size_t> PartialParticipation::participants(
+    std::size_t round, const std::vector<std::size_t>& live) {
+  (void)round;
+  if (ids_.empty()) ids_ = live;
+  // Fisher–Yates prefix: this round's participant set (the pool persists
+  // across rounds, exactly like the legacy driver's sampler state).
+  for (std::size_t i = 0; i < participants_per_round_; ++i) {
+    const std::size_t j = i + sampler_.next() % (ids_.size() - i);
+    std::swap(ids_[i], ids_[j]);
+  }
+  std::vector<std::size_t> out(
+      ids_.begin(),
+      ids_.begin() + static_cast<std::ptrdiff_t>(participants_per_round_));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+ScheduledDropout::ScheduledDropout(DropoutSchedule schedule)
+    : schedule_(std::move(schedule)) {}
+
+void ScheduledDropout::validate(std::size_t num_learners,
+                                const AdmmParams& params) const {
+  PPML_CHECK(num_learners >= 3,
+             "dropout consensus: need >= 3 learners (Shamir)");
+  PPML_CHECK(params.mask_variant == crypto::MaskVariant::kSeededMasks,
+             "dropout consensus: requires the seeded-mask variant");
+}
+
+std::vector<std::size_t> ScheduledDropout::post_mask_drops(
+    std::size_t round, const std::vector<std::size_t>& maskers) {
+  std::vector<std::size_t> dropped;
+  if (const auto it = schedule_.drops.find(round);
+      it != schedule_.drops.end()) {
+    for (std::size_t d : it->second)
+      if (std::find(maskers.begin(), maskers.end(), d) != maskers.end())
+        dropped.push_back(d);
+  }
+  return dropped;
+}
+
+// --- in-memory transport ---------------------------------------------------
+
+ConsensusRunResult InMemoryTransport::run(ConsensusEngine& engine,
+                                          const RoundObserver& observer) {
+  ConsensusRunResult result;
+  obs::Span job_span("job", "core");
+  for (std::size_t round = 0; round < engine.params().max_iterations;
+       ++round) {
+    engine.step_round(round);
+    ++result.iterations;
+    if (observer) observer(round);
+    if (engine.converged()) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+// --- engine ----------------------------------------------------------------
+
+crypto::SecureSumConfig ConsensusEngine::build_config(std::size_t num_learners,
+                                                      const AdmmParams& params,
+                                                      RoundPolicy& policy) {
+  policy.validate(num_learners, params);
+  crypto::SecureSumConfig config;
+  config.num_parties = num_learners;
+  config.fixed_point_bits = params.fixed_point_bits;
+  config.codec_terms = policy.codec_terms(num_learners);
+  config.variant = params.mask_variant;
+  config.protocol_seed = params.protocol_seed;
+  return config;
+}
+
+ConsensusEngine::ConsensusEngine(
+    std::vector<std::shared_ptr<ConsensusLearner>>& learners,
+    ConsensusCoordinator& coordinator, const AdmmParams& params,
+    RoundPolicy& policy)
+    : learners_(&learners),
+      coordinator_(coordinator),
+      params_(params),
+      policy_(policy),
+      num_learners_(learners.size()),
+      session_(build_config(learners.size(), params, policy)) {
+  dim_ = learners.front()->contribution_dim();
+  for (const auto& learner : learners)
+    PPML_CHECK(learner->contribution_dim() == dim_,
+               "consensus engine: contribution dims differ");
+  live_.resize(num_learners_);
+  for (std::size_t i = 0; i < num_learners_; ++i) live_[i] = i;
+  if (policy_.wants_recovery())
+    session_.arm_recovery(policy_.recovery_threshold_request(),
+                          policy_.recovery_sharing_seed());
+}
+
+ConsensusEngine::ConsensusEngine(std::size_t num_learners,
+                                 ConsensusCoordinator& coordinator,
+                                 const AdmmParams& params, RoundPolicy& policy)
+    : learners_(nullptr),
+      coordinator_(coordinator),
+      params_(params),
+      policy_(policy),
+      num_learners_(num_learners),
+      session_(build_config(num_learners, params, policy)) {
+  live_.resize(num_learners_);
+  for (std::size_t i = 0; i < num_learners_; ++i) live_[i] = i;
+}
+
+ConsensusRunResult ConsensusEngine::run(Transport& transport,
+                                        const RoundObserver& observer) {
+  return transport.run(*this, observer);
+}
+
+void ConsensusEngine::rekey(std::size_t epoch) {
+  session_ = crypto::SecureSumSession(session_.config(), epoch);
+  if (fabric_recovery_)
+    session_.arm_recovery(fabric_threshold_request_,
+                          crypto::SecureSumSession::epoch_sharing_seed(
+                              params_.protocol_seed, epoch));
+}
+
+void ConsensusEngine::arm_fabric_recovery(std::size_t threshold_request) {
+  fabric_recovery_ = true;
+  fabric_threshold_request_ = threshold_request;
+  session_.arm_recovery(threshold_request,
+                        crypto::SecureSumSession::epoch_sharing_seed(
+                            params_.protocol_seed, session_.epoch()));
+}
+
+std::vector<Vector> ConsensusEngine::run_local_steps(
+    const std::vector<std::size_t>& participants) {
+  auto& learners = *learners_;
+  std::vector<Vector> contributions(participants.size());
+  // Local steps are independent within a round (each learner mutates only
+  // its own state), so fanning them out is bit-identical to serial order.
+  const bool parallelize = params_.parallel_learners &&
+                           participants.size() > 1 &&
+                           std::thread::hardware_concurrency() > 1;
+  if (parallelize) {
+    std::vector<std::future<Vector>> futures;
+    futures.reserve(participants.size());
+    for (std::size_t k = 0; k < participants.size(); ++k) {
+      futures.push_back(std::async(std::launch::async, [&, k] {
+        return learners[participants[k]]->local_step(broadcast_);
+      }));
+    }
+    for (std::size_t k = 0; k < participants.size(); ++k)
+      contributions[k] = futures[k].get();
+  } else {
+    for (std::size_t k = 0; k < participants.size(); ++k)
+      contributions[k] = learners[participants[k]]->local_step(broadcast_);
+  }
+  return contributions;
+}
+
+const Vector& ConsensusEngine::step_round(std::size_t round) {
+  PPML_CHECK(learners_ != nullptr,
+             "ConsensusEngine::step_round: reducer-side engine has no "
+             "learners (use reduce_round)");
+  obs::Span iteration_span("iteration", "core");
+  iteration_span.arg("round", static_cast<double>(round));
+
+  const std::vector<std::size_t> participants =
+      policy_.participants(round, live_);
+  std::vector<Vector> contributions;
+  {
+    obs::Span map_span("map", "core");
+    contributions = run_local_steps(participants);
+  }
+
+  Vector average;
+  std::vector<std::size_t> dropped;
+  std::vector<std::size_t> survivors;
+  {
+    obs::Span sum_span("secure_sum", "core");
+    std::vector<std::vector<std::uint64_t>> wire(num_learners_);
+    if (params_.mask_variant == crypto::MaskVariant::kExchangedMasks) {
+      // Literal protocol: derive every party's fresh masks once, then
+      // contribute against the cached exchange.
+      session_.exchange_round(round, dim_);
+      for (std::size_t k = 0; k < participants.size(); ++k) {
+        const crypto::SecureSumSession::Tensor tensor = contributions[k];
+        wire[participants[k]] =
+            session_.contribute_exchanged(participants[k], {&tensor, 1}, round);
+      }
+    } else {
+      for (std::size_t k = 0; k < participants.size(); ++k) {
+        const crypto::SecureSumSession::Tensor tensor = contributions[k];
+        wire[participants[k]] =
+            session_.contribute(participants[k], {&tensor, 1}, round,
+                                participants);
+      }
+    }
+
+    // Scheduled post-mask drops: the victims' contributions vanish but
+    // their pairwise masks are already inside the survivors' vectors.
+    dropped = policy_.post_mask_drops(round, participants);
+    for (std::size_t i : participants)
+      if (std::find(dropped.begin(), dropped.end(), i) == dropped.end())
+        survivors.push_back(i);
+    PPML_CHECK(survivors.size() >= 2,
+               "consensus engine: fewer than 2 survivors");
+    average = session_.reduce_average(round, participants, survivors, wire);
+  }
+
+  if (!dropped.empty()) {
+    live_ = survivors;
+    for (std::size_t i : live_) (*learners_)[i]->on_cohort_resize(live_.size());
+  }
+  const std::vector<std::size_t>& active =
+      dropped.empty() ? participants : live_;
+
+  Vector z_prev;
+  if (obs::enabled()) z_prev = broadcast_;
+  broadcast_ = combine_and_record(average, z_prev, &active);
+  return broadcast_;
+}
+
+ConsensusEngine::ReduceOutcome ConsensusEngine::reduce_round(
+    std::size_t round, std::span<const std::size_t> mask_set,
+    std::span<const std::size_t> present,
+    const std::vector<std::vector<std::uint64_t>>& contributions) {
+  ReduceOutcome out;
+  Vector average;
+  {
+    obs::Span sum_span("secure_sum", "core");
+    average =
+        session_.reduce_average(round, mask_set, present, contributions,
+                                &out.audit);
+  }
+  Vector z_prev;
+  if (obs::enabled()) z_prev = broadcast_;
+  broadcast_ = combine_and_record(average, z_prev, nullptr);
+  out.broadcast = broadcast_;
+  return out;
+}
+
+Vector ConsensusEngine::combine_and_record(
+    const Vector& average, const Vector& z_prev,
+    const std::vector<std::size_t>* active) {
+  Vector next;
+  {
+    obs::Span update_span("admm_update", "core");
+    next = coordinator_.combine(average);
+  }
+  // Purely observational: everything below is computed from values the
+  // coordinator and learners already expose, so instrumented runs stay
+  // bit-identical to uninstrumented ones.
+  if (obs::MetricsRegistry* metrics = obs::metrics()) {
+    const double delta_sq = coordinator_.last_delta_sq();
+    metrics->append("admm.z_delta_sq", delta_sq);
+    metrics->append("admm.dual_residual_sq",
+                    params_.rho * params_.rho * delta_sq);
+    double primal = 0.0;
+    for (std::size_t j = 0; j < average.size(); ++j) {
+      const double z = j < z_prev.size() ? z_prev[j] : 0.0;
+      const double d = average[j] - z;
+      primal += d * d;
+    }
+    metrics->append("admm.primal_residual_sq", primal);
+    if (learners_ != nullptr) {
+      double objective = 0.0;
+      bool any = false;
+      const auto add_objective = [&](const ConsensusLearner& learner) {
+        const double value = learner.last_local_objective();
+        if (std::isnan(value)) return;
+        objective += value;
+        any = true;
+      };
+      if (active != nullptr) {
+        for (std::size_t i : *active) add_objective(*(*learners_)[i]);
+      } else {
+        for (const auto& learner : *learners_) add_objective(*learner);
+      }
+      if (any) metrics->append("admm.objective", objective);
+    }
+  }
+  converged_ = params_.convergence_tolerance > 0.0 &&
+               coordinator_.last_delta_sq() <= params_.convergence_tolerance;
+  return next;
+}
+
+}  // namespace ppml::core

@@ -1,0 +1,246 @@
+// The one consensus-ADMM round loop behind all drivers.
+//
+// Historically the repo carried four copies of the paper's Fig. 1 loop —
+// run_consensus_in_memory, run_consensus_partial_participation,
+// run_consensus_with_dropout (core/consensus.cpp) and the MapReduce path
+// (core/mapreduce_adapter.cpp) — each re-deriving SecureSumParty setup,
+// aggregation, spans and dropout bookkeeping. They are now thin
+// configurations of one ConsensusEngine, varied along two seams:
+//
+//   RoundPolicy  — WHO takes part in a round and WHAT may go wrong:
+//                  FullParticipation, PartialParticipation (randomized
+//                  block-coordinate ADMM), ScheduledDropout (post-mask
+//                  permanent loss with Shamir recovery).
+//   Transport    — WHERE the round body executes: InMemoryTransport (this
+//                  header) drives learners in-process; FabricTransport
+//                  (core/mapreduce_adapter.h) binds the engine to the
+//                  simulated MapReduce cluster, bytes on the wire included.
+//
+// The protocol work of a round — batched masking via
+// crypto::SecureSumSession, ring aggregation, dropout correction,
+// coordinator combine, convergence, obs spans/series — lives HERE, once.
+// Transports own only scheduling: the in-memory transport loops and calls
+// step_round(); the fabric's mapper/reducer shims deserialize bytes and
+// call the engine's session / reduce_round().
+//
+// Every configuration is bit-identical to the legacy driver it replaces
+// (tests/consensus_engine_test.cpp pins EXPECT_EQ against verbatim copies
+// of the seed drivers). The legacy entry points in core/consensus.h remain
+// as compatibility wrappers over this engine.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/consensus.h"
+#include "crypto/secure_sum_session.h"
+
+namespace ppml::core {
+
+class ConsensusEngine;
+
+/// WHO participates in each round, and how losses are scheduled. Policies
+/// may be stateful across rounds (the partial-participation sampler is);
+/// one policy instance drives one run.
+class RoundPolicy {
+ public:
+  virtual ~RoundPolicy() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Ring-headroom terms for the fixed-point codec (how many values are
+  /// summed per round). Default: the full cohort.
+  virtual std::size_t codec_terms(std::size_t num_learners) const {
+    return num_learners;
+  }
+
+  /// Reject configurations the policy cannot run (learner count, mask
+  /// variant). Called once before the session is built.
+  virtual void validate(std::size_t num_learners,
+                        const AdmmParams& params) const = 0;
+
+  /// This round's participants, drawn from the currently `live` cohort
+  /// (sorted ascending). Participants run a local step and mask against
+  /// exactly this set. Default: everyone live.
+  virtual std::vector<std::size_t> participants(
+      std::size_t round, const std::vector<std::size_t>& live) {
+    (void)round;
+    return live;
+  }
+
+  /// Parties that permanently fail this round AFTER masking (their pairwise
+  /// masks are woven into the survivors' vectors and must be corrected).
+  /// Drawn from `maskers`; default none.
+  virtual std::vector<std::size_t> post_mask_drops(
+      std::size_t round, const std::vector<std::size_t>& maskers) {
+    (void)round;
+    (void)maskers;
+    return {};
+  }
+
+  /// Whether the session must arm Shamir dropout recovery up front.
+  virtual bool wants_recovery() const { return false; }
+  /// Requested Shamir threshold (0 = auto) and sharing-polynomial seed,
+  /// read only when wants_recovery().
+  virtual std::size_t recovery_threshold_request() const { return 0; }
+  virtual std::uint64_t recovery_sharing_seed() const { return 0xD509; }
+};
+
+/// Every live learner takes part in every round (the paper's Fig. 1 loop).
+class FullParticipation final : public RoundPolicy {
+ public:
+  const char* name() const override { return "full"; }
+  void validate(std::size_t num_learners,
+                const AdmmParams& params) const override;
+};
+
+/// Randomized partial participation: each round samples
+/// `participants_per_round` learners without replacement (deterministic in
+/// `sampling_seed`) — randomized block-coordinate ADMM. Seeded masks only.
+class PartialParticipation final : public RoundPolicy {
+ public:
+  PartialParticipation(std::size_t participants_per_round,
+                       std::uint64_t sampling_seed);
+
+  const char* name() const override { return "partial"; }
+  std::size_t codec_terms(std::size_t num_learners) const override;
+  void validate(std::size_t num_learners,
+                const AdmmParams& params) const override;
+  std::vector<std::size_t> participants(
+      std::size_t round, const std::vector<std::size_t>& live) override;
+
+ private:
+  std::size_t participants_per_round_;
+  crypto::Xoshiro256 sampler_;
+  std::vector<std::size_t> ids_;  ///< persistent Fisher–Yates pool
+};
+
+/// Scheduled permanent post-mask dropouts with Shamir seed recovery — the
+/// unit-testable reference for the cluster's fault path. Seeded masks,
+/// M >= 3.
+class ScheduledDropout final : public RoundPolicy {
+ public:
+  explicit ScheduledDropout(DropoutSchedule schedule);
+
+  const char* name() const override { return "dropout"; }
+  void validate(std::size_t num_learners,
+                const AdmmParams& params) const override;
+  std::vector<std::size_t> post_mask_drops(
+      std::size_t round, const std::vector<std::size_t>& maskers) override;
+  bool wants_recovery() const override { return true; }
+  std::size_t recovery_threshold_request() const override {
+    return schedule_.threshold;
+  }
+  std::uint64_t recovery_sharing_seed() const override {
+    return schedule_.sharing_seed;
+  }
+
+ private:
+  DropoutSchedule schedule_;
+};
+
+/// WHERE the rounds execute. A transport owns scheduling (loop, placement,
+/// fault injection) and calls back into the engine for every piece of
+/// protocol work.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual ConsensusRunResult run(ConsensusEngine& engine,
+                                 const RoundObserver& observer) = 0;
+};
+
+/// Trivial transport: drive the learners in-process, one step_round() per
+/// iteration. Fast path for benches/tests and the in-memory trainers.
+class InMemoryTransport final : public Transport {
+ public:
+  ConsensusRunResult run(ConsensusEngine& engine,
+                         const RoundObserver& observer) override;
+};
+
+/// The engine: one ADMM round body (local steps → batched secure sum →
+/// recovery → combine → convergence) shared by every driver.
+class ConsensusEngine {
+ public:
+  /// In-process engine: owns the learners' local steps.
+  ConsensusEngine(std::vector<std::shared_ptr<ConsensusLearner>>& learners,
+                  ConsensusCoordinator& coordinator, const AdmmParams& params,
+                  RoundPolicy& policy);
+
+  /// Reducer-side engine for a distributed transport: local steps happen
+  /// remotely, the engine only aggregates/combines (reduce_round). The
+  /// learner count is still needed for the mask algebra.
+  ConsensusEngine(std::size_t num_learners, ConsensusCoordinator& coordinator,
+                  const AdmmParams& params, RoundPolicy& policy);
+
+  /// Run to completion on `transport`.
+  ConsensusRunResult run(Transport& transport,
+                         const RoundObserver& observer = nullptr);
+
+  /// One full in-process round: participants' local steps, batched masked
+  /// contributions, aggregation (+ recovery on scheduled drops), cohort
+  /// resize, coordinator combine, series recording. Returns the next
+  /// broadcast. In-process engines only.
+  const Vector& step_round(std::size_t round);
+
+  /// Outcome of a reducer-side round (distributed transports).
+  struct ReduceOutcome {
+    Vector broadcast;  ///< the next consensus state to send out
+    crypto::SecureSumSession::ReduceAudit audit;  ///< recovery bookkeeping
+  };
+
+  /// Reducer-side round body: aggregate `contributions` (indexed by party,
+  /// empty = absent) masked against `mask_set`, recovering any party in
+  /// mask_set \ present, then combine and record. The transport owns
+  /// mask-set tracking and membership.
+  ReduceOutcome reduce_round(
+      std::size_t round, std::span<const std::size_t> mask_set,
+      std::span<const std::size_t> present,
+      const std::vector<std::vector<std::uint64_t>>& contributions);
+
+  /// Re-key the secure-sum session for a new key-agreement epoch (a learner
+  /// rejoined; the old seeds are burned). Distributed transports only.
+  void rekey(std::size_t epoch);
+
+  /// Arm epoch-aware dropout recovery with the fabric's sharing-seed
+  /// schedule (re-armed automatically on rekey). `threshold_request` 0 =
+  /// auto.
+  void arm_fabric_recovery(std::size_t threshold_request);
+
+  bool converged() const noexcept { return converged_; }
+  double last_delta_sq() const { return coordinator_.last_delta_sq(); }
+  const Vector& broadcast() const noexcept { return broadcast_; }
+  const AdmmParams& params() const noexcept { return params_; }
+  std::size_t num_learners() const noexcept { return num_learners_; }
+  RoundPolicy& policy() noexcept { return policy_; }
+  crypto::SecureSumSession& session() noexcept { return session_; }
+  /// Config a distributed mapper needs to derive its own party state
+  /// (crypto::SecureSumSession::make_party).
+  const crypto::SecureSumConfig& session_config() const noexcept {
+    return session_.config();
+  }
+
+ private:
+  static crypto::SecureSumConfig build_config(std::size_t num_learners,
+                                              const AdmmParams& params,
+                                              RoundPolicy& policy);
+
+  std::vector<Vector> run_local_steps(
+      const std::vector<std::size_t>& participants);
+  Vector combine_and_record(const Vector& average, const Vector& z_prev,
+                            const std::vector<std::size_t>* active);
+
+  std::vector<std::shared_ptr<ConsensusLearner>>* learners_;  // null = remote
+  ConsensusCoordinator& coordinator_;
+  AdmmParams params_;
+  RoundPolicy& policy_;
+  std::size_t num_learners_;
+  std::size_t dim_ = 0;  ///< contribution dim (in-process engines)
+  crypto::SecureSumSession session_;
+  std::vector<std::size_t> live_;
+  Vector broadcast_;
+  bool converged_ = false;
+  bool fabric_recovery_ = false;
+  std::size_t fabric_threshold_request_ = 0;
+};
+
+}  // namespace ppml::core

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
-#include "crypto/secure_sum.h"
+#include "crypto/secure_sum_session.h"
 
 namespace ppml::core {
 
@@ -74,10 +74,20 @@ FeatureSelectionResult secure_fisher_scores(
     contributions.push_back(local_statistics(shard));
   }
 
-  const crypto::FixedPointCodec codec(params.fixed_point_bits, m);
-  const std::vector<double> average =
-      crypto::secure_average(contributions, codec, params.protocol_seed,
-                             params.mask_variant, /*round=*/0);
+  crypto::SecureSumConfig config;
+  config.num_parties = m;
+  config.fixed_point_bits = params.fixed_point_bits;
+  config.variant = params.mask_variant;
+  config.protocol_seed = params.protocol_seed;
+  // Historical constant: this path has always derived its exchanged-variant
+  // party seeds with secure_average's multiplier.
+  config.exchanged_seed_mult = 0x2545f4914f6cdd1dULL;
+  crypto::SecureSumSession session(config);
+
+  const std::vector<crypto::SecureSumSession::Tensor> tensors(
+      contributions.begin(), contributions.end());
+  const std::vector<double> average = session.average_once(tensors,
+                                                           /*round=*/0);
 
   linalg::Vector totals(average.size());
   for (std::size_t i = 0; i < totals.size(); ++i)

@@ -1,5 +1,7 @@
 #include "core/glm_horizontal.h"
 
+#include "core/consensus_engine.h"
+
 #include <cmath>
 
 #include "linalg/blas.h"
@@ -196,8 +198,10 @@ GlmHorizontalResult run_glm(
     }
     result.trace.records.push_back(record);
   };
-  result.run = run_consensus_in_memory(learners, coordinator,
-                                       params.as_admm(), observer);
+  FullParticipation policy;
+  ConsensusEngine engine(learners, coordinator, params.as_admm(), policy);
+  InMemoryTransport transport;
+  result.run = engine.run(transport, observer);
   result.model = svm::LinearModel{coordinator.z(), coordinator.s()};
   return result;
 }

@@ -1,5 +1,7 @@
 #include "core/glm_vertical.h"
 
+#include "core/consensus_engine.h"
+
 #include <cmath>
 
 #include "svm/metrics.h"
@@ -157,7 +159,10 @@ GlmVerticalResult run_vertical_glm(const data::VerticalPartition& partition,
     result.trace.records.push_back(record);
   };
 
-  result.run = run_consensus_in_memory(learners, coordinator, admm, observer);
+  FullParticipation policy;
+  ConsensusEngine engine(learners, coordinator, admm, policy);
+  InMemoryTransport transport;
+  result.run = engine.run(transport, observer);
   result.model.feature_indices = partition.feature_indices;
   result.model.b = bias();
   for (const auto& learner : typed)

@@ -1,5 +1,7 @@
 #include "core/kernel_horizontal.h"
 
+#include "core/consensus_engine.h"
+
 #include <random>
 #include <thread>
 
@@ -245,8 +247,10 @@ KernelHorizontalResult train_kernel_horizontal(
     result.trace.records.push_back(record);
   };
 
-  result.run =
-      run_consensus_in_memory(learners, coordinator, params, observer);
+  FullParticipation policy;
+  ConsensusEngine engine(learners, coordinator, params, policy);
+  InMemoryTransport transport;
+  result.run = engine.run(transport, observer);
   result.model = typed.front()->build_model();
   return result;
 }

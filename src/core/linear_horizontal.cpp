@@ -1,5 +1,7 @@
 #include "core/linear_horizontal.h"
 
+#include "core/consensus_engine.h"
+
 #include <utility>
 
 #include "linalg/blas.h"
@@ -165,8 +167,10 @@ LinearHorizontalResult train_linear_horizontal(
     result.trace.records.push_back(record);
   };
 
-  result.run =
-      run_consensus_in_memory(learners, coordinator, params, observer);
+  FullParticipation policy;
+  ConsensusEngine engine(learners, coordinator, params, policy);
+  InMemoryTransport transport;
+  result.run = engine.run(transport, observer);
   result.model = svm::LinearModel{coordinator.z(), coordinator.s()};
   return result;
 }

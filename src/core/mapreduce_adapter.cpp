@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <optional>
 
-#include "crypto/dropout_recovery.h"
+#include "crypto/secure_sum_session.h"
 #include "data/dataset.h"
 #include "obs/obs.h"
 
@@ -27,48 +27,31 @@ Vector deserialize_doubles(const Bytes& payload) {
   return reader.get_double_vector();
 }
 
-/// Session key for key-agreement epoch `epoch` (epoch 0 == the setup run:
-/// mappers and reducer derive identical seed matrices independently).
-std::uint64_t epoch_key(std::uint64_t base, std::size_t epoch) {
-  return base ^ (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(epoch));
-}
-
-/// Seed for the Shamir sharing polynomials of epoch `epoch`.
-std::uint64_t epoch_sharing_seed(std::uint64_t base, std::size_t epoch) {
-  return (base * 0xBF58476D1CE4E5B9ULL) ^
-         (0x94D049BB133111EBULL * static_cast<std::uint64_t>(epoch)) ^
-         0xD509ULL;
-}
-
-std::size_t auto_threshold(std::size_t m, std::size_t requested) {
-  if (requested != 0) return requested;
-  return std::clamp<std::size_t>(m / 2 + 1, 2, m - 1);
-}
-
 /// Map() participant: loads its shard data-locally, runs the learner, and
-/// only ever emits masked contributions.
+/// only ever emits masked contributions. Holds one SecureSumParty derived
+/// from the engine's session config (re-derived per key-agreement epoch via
+/// SecureSumSession::make_party).
 class SecureConsensusMapper final : public mapreduce::IterativeMapper {
  public:
   SecureConsensusMapper(std::size_t index, std::size_t num_learners,
                         mapreduce::BlockId home_block, LearnerFactory factory,
-                        const AdmmParams& params,
-                        crypto::FixedPointCodec codec,
+                        crypto::SecureSumConfig config,
                         std::vector<std::uint64_t> pairwise_seeds)
       : index_(index),
         num_learners_(num_learners),
         home_block_(home_block),
         factory_(std::move(factory)),
-        variant_(params.mask_variant),
-        protocol_seed_(params.protocol_seed),
-        codec_(codec) {
+        config_(config) {
     live_.resize(num_learners);
     for (std::size_t i = 0; i < num_learners; ++i) live_[i] = i;
-    if (variant_ == crypto::MaskVariant::kSeededMasks) {
-      party_.emplace(index, num_learners, codec, std::move(pairwise_seeds));
+    if (config_.variant == crypto::MaskVariant::kSeededMasks) {
+      // Epoch-0 seeds are handed in by the transport (one key agreement for
+      // the whole cohort instead of one per mapper).
+      party_.emplace(index, num_learners,
+                     crypto::SecureSumSession::codec_for(config_),
+                     std::move(pairwise_seeds));
     } else {
-      party_.emplace(index, num_learners, codec,
-                     params.protocol_seed ^
-                         (index * 0x9e3779b97f4a7c15ULL));
+      party_.emplace(crypto::SecureSumSession::make_party(config_, index));
     }
   }
 
@@ -85,13 +68,13 @@ class SecureConsensusMapper final : public mapreduce::IterativeMapper {
 
   void on_membership_change(const std::vector<std::size_t>& live,
                             std::size_t epoch) override {
-    if (variant_ == crypto::MaskVariant::kSeededMasks && epoch != epoch_) {
+    if (config_.variant == crypto::MaskVariant::kSeededMasks &&
+        epoch != epoch_) {
       // A peer rejoined: everyone re-runs key agreement under the epoch's
       // session key (the reducer burned the old seeds reconstructing them).
       epoch_ = epoch;
-      const auto seeds = crypto::agree_pairwise_seeds(
-          num_learners_, epoch_key(protocol_seed_, epoch));
-      party_.emplace(index_, num_learners_, codec_, seeds[index_]);
+      party_.emplace(
+          crypto::SecureSumSession::make_party(config_, index_, epoch));
     }
     live_ = live;
     if (learner_ != nullptr) learner_->on_cohort_resize(live_.size());
@@ -99,14 +82,17 @@ class SecureConsensusMapper final : public mapreduce::IterativeMapper {
 
   std::vector<std::pair<std::size_t, Bytes>> exchange(
       std::size_t round) override {
-    if (variant_ != crypto::MaskVariant::kExchangedMasks) return {};
+    if (config_.variant != crypto::MaskVariant::kExchangedMasks) return {};
     PPML_CHECK(learner_ != nullptr, "SecureConsensusMapper: not configured");
+    // Derive this round's outgoing masks ONCE; map() reuses the cache
+    // instead of re-expanding the streams when it builds the contribution.
+    sent_cache_ = party_->outgoing_masks(round, learner_->contribution_dim());
+    sent_round_ = round;
     std::vector<std::pair<std::size_t, Bytes>> out;
-    auto masks = party_->outgoing_masks(round, learner_->contribution_dim());
-    for (std::size_t peer = 0; peer < masks.size(); ++peer) {
+    for (std::size_t peer = 0; peer < sent_cache_.size(); ++peer) {
       if (peer == index_) continue;
       Writer writer;
-      writer.put_u64_vector(masks[peer]);
+      writer.put_u64_vector(sent_cache_[peer]);
       out.emplace_back(peer, writer.take());
     }
     return out;
@@ -119,7 +105,7 @@ class SecureConsensusMapper final : public mapreduce::IterativeMapper {
         learner_->local_step(deserialize_doubles(broadcast));
 
     std::vector<std::uint64_t> masked;
-    if (variant_ == crypto::MaskVariant::kSeededMasks) {
+    if (config_.variant == crypto::MaskVariant::kSeededMasks) {
       // Against a shrunken cohort, mask only over the live set — exactly
       // the partial-participation algebra, so the survivors' masks cancel
       // without any reducer-side correction.
@@ -134,7 +120,10 @@ class SecureConsensusMapper final : public mapreduce::IterativeMapper {
         Reader reader(peer_messages[j]);
         received[j] = reader.get_u64_vector();
       }
-      masked = party_->masked_contribution(contribution, received, round);
+      masked = sent_round_ == round
+                   ? party_->masked_contribution_cached(contribution,
+                                                        sent_cache_, received)
+                   : party_->masked_contribution(contribution, received, round);
     }
     Writer writer;
     writer.put_u64_vector(masked);
@@ -146,85 +135,65 @@ class SecureConsensusMapper final : public mapreduce::IterativeMapper {
   std::size_t num_learners_;
   mapreduce::BlockId home_block_;
   LearnerFactory factory_;
-  crypto::MaskVariant variant_;
-  std::uint64_t protocol_seed_;
-  crypto::FixedPointCodec codec_;
+  crypto::SecureSumConfig config_;
   std::optional<crypto::SecureSumParty> party_;
   std::shared_ptr<ConsensusLearner> learner_;
   std::vector<std::size_t> live_;  ///< current cohort (sorted, includes self)
   std::size_t epoch_ = 0;          ///< key-agreement epoch
+  // Exchanged-variant per-round mask cache (filled by exchange()).
+  std::vector<std::vector<std::uint64_t>> sent_cache_;
+  std::size_t sent_round_ = static_cast<std::size_t>(-1);
 };
 
-/// Reduce() participant: secure aggregation + coordinator + convergence,
-/// plus the dropout-recovery bookkeeping. The reducer tracks the set the
-/// current round's masks were generated against (mask_set_); when a
-/// contribution is missing from that set, it reconstructs the dropped
-/// party's pairwise seeds from Shamir shares, strips the survivors'
-/// uncancelled mask terms, and averages over M' survivors.
-class SecureConsensusReducer final : public mapreduce::IterativeReducer {
+/// Reduce() shim: deserializes the round's contributions, tracks the set
+/// the masks were generated against, and delegates every piece of protocol
+/// work — aggregation, Shamir dropout recovery, coordinator combine,
+/// convergence, series recording — to ConsensusEngine::reduce_round.
+class FabricReducerShim final : public mapreduce::IterativeReducer {
  public:
-  SecureConsensusReducer(ConsensusCoordinator& coordinator,
-                         std::size_t num_learners,
-                         crypto::FixedPointCodec codec,
-                         const AdmmParams& params, bool tolerate_loss,
-                         std::vector<double>& delta_trace,
-                         std::vector<DropoutEvent>& dropout_events)
-      : coordinator_(coordinator),
-        num_learners_(num_learners),
-        codec_(codec),
-        variant_(params.mask_variant),
-        protocol_seed_(params.protocol_seed),
-        threshold_request_(params.dropout_threshold),
-        tolerance_(params.convergence_tolerance),
-        tolerate_loss_(tolerate_loss),
+  FabricReducerShim(ConsensusEngine& engine, RoundObserver observer,
+                    std::vector<double>& delta_trace,
+                    std::vector<DropoutEvent>& dropout_events)
+      : engine_(engine),
+        observer_(std::move(observer)),
         delta_trace_(delta_trace),
         dropout_events_(dropout_events) {
-    mask_set_.resize(num_learners);
-    for (std::size_t i = 0; i < num_learners; ++i) mask_set_[i] = i;
-    rebuild_session();
+    mask_set_.resize(engine.num_learners());
+    for (std::size_t i = 0; i < mask_set_.size(); ++i) mask_set_[i] = i;
   }
 
   Bytes reduce(std::size_t round,
                const std::vector<Bytes>& contributions) override {
     // Who the masks were generated against vs. who actually delivered.
     std::vector<std::size_t> present;
+    std::vector<std::vector<std::uint64_t>> wire(contributions.size());
     for (std::size_t i : mask_set_) {
-      if (i < contributions.size() && !contributions[i].empty())
+      if (i < contributions.size() && !contributions[i].empty()) {
+        Reader reader(contributions[i]);
+        wire[i] = reader.get_u64_vector();
         present.push_back(i);
-    }
-    PPML_CHECK(!present.empty(), "SecureConsensusReducer: empty round");
-
-    Vector average;
-    {
-      obs::Span sum_span("secure_sum", "core");
-      if (present.size() == mask_set_.size()) {
-        // Complete round (over the full cohort or a pre-shrunken subset —
-        // either way the pairwise masks cancel on their own).
-        crypto::SecureSumAggregator aggregator(present.size(), codec_);
-        for (std::size_t i : present) {
-          Reader reader(contributions[i]);
-          aggregator.add(reader.get_u64_vector());
-        }
-        average = aggregator.average();
-      } else {
-        average = recover(round, present, contributions);
       }
     }
+    PPML_CHECK(!present.empty(), "FabricReducerShim: empty round");
 
-    mask_set_ = present;
-    Vector broadcast;
-    {
-      obs::Span update_span("admm_update", "core");
-      broadcast = coordinator_.combine(average);
+    const ConsensusEngine::ReduceOutcome outcome =
+        engine_.reduce_round(round, mask_set_, present, wire);
+    if (!outcome.audit.dropped.empty()) {
+      for (DropoutEvent& event : dropout_events_) {
+        if (event.round == round && event.corrected &&
+            event.corrected_sum.empty()) {
+          event.survivors = present;
+          event.corrected_sum = outcome.audit.decoded_sum;
+        }
+      }
     }
-    obs::append("admm.z_delta_sq", coordinator_.last_delta_sq());
-    delta_trace_.push_back(coordinator_.last_delta_sq());
-    converged_ =
-        tolerance_ > 0.0 && coordinator_.last_delta_sq() <= tolerance_;
-    return serialize_doubles(broadcast);
+    mask_set_ = present;
+    delta_trace_.push_back(engine_.last_delta_sq());
+    if (observer_) observer_(round);
+    return serialize_doubles(outcome.broadcast);
   }
 
-  bool converged() const override { return converged_; }
+  bool converged() const override { return engine_.converged(); }
 
   void on_mapper_lost(std::size_t round, std::size_t mapper,
                       bool masked_this_round) override {
@@ -239,103 +208,82 @@ class SecureConsensusReducer final : public mapreduce::IterativeReducer {
                             std::size_t epoch) override {
     if (epoch != epoch_) {
       epoch_ = epoch;
-      rebuild_session();
+      engine_.rekey(epoch);
     }
     mask_set_ = live;
   }
 
  private:
-  /// (Re-)derive the epoch's seed matrix and Shamir-share it. The reducer
-  /// can do this independently because key agreement is deterministic in
-  /// the session key — in deployment it would instead collect the shares
-  /// each party distributes at setup.
-  void rebuild_session() {
-    session_.reset();
-    if (!tolerate_loss_ || variant_ != crypto::MaskVariant::kSeededMasks ||
-        num_learners_ < 3)
-      return;
-    const auto seeds = crypto::agree_pairwise_seeds(
-        num_learners_, epoch_key(protocol_seed_, epoch_));
-    session_.emplace(seeds, auto_threshold(num_learners_, threshold_request_),
-                     epoch_sharing_seed(protocol_seed_, epoch_));
-  }
-
-  /// The survivors' masked sum still contains their pairwise masks with
-  /// every party that vanished after masking. Reconstruct those parties'
-  /// seeds and strip the stale terms; the result is the EXACT sum over
-  /// `present` (tests assert bit-equality with the plaintext survivor sum).
-  Vector recover(std::size_t round, const std::vector<std::size_t>& present,
-                 const std::vector<Bytes>& contributions) {
-    obs::Span recovery_span("dropout_recovery", "core");
-    recovery_span.arg("survivors", static_cast<double>(present.size()));
-    PPML_CHECK(session_.has_value(),
-               "SecureConsensusReducer: contribution missing mid-round but "
-               "dropout recovery is not armed (requires "
-               "tolerate_mapper_loss, kSeededMasks and M >= 3)");
-    PPML_CHECK(present.size() >= session_->threshold(),
-               "SecureConsensusReducer: fewer survivors than the Shamir "
-               "threshold — cannot reconstruct the dropped seeds");
-    std::vector<std::size_t> dropped;
-    for (std::size_t i : mask_set_) {
-      if (std::find(present.begin(), present.end(), i) == present.end())
-        dropped.push_back(i);
-    }
-
-    std::vector<std::uint64_t> acc;
-    for (std::size_t i : present) {
-      Reader reader(contributions[i]);
-      const auto v = reader.get_u64_vector();
-      if (acc.empty()) acc.assign(v.size(), 0);
-      PPML_CHECK(acc.size() == v.size(),
-                 "SecureConsensusReducer: contribution dims differ");
-      crypto::ring_add_inplace(acc, v);
-    }
-    for (std::size_t d : dropped) {
-      std::vector<std::uint64_t> reconstructed(num_learners_, 0);
-      for (std::size_t j : present) {
-        std::vector<crypto::ShamirShare> shares;
-        shares.reserve(session_->threshold());
-        for (std::size_t h = 0; h < session_->threshold(); ++h)
-          shares.push_back(session_->share(present[h], d, j));
-        reconstructed[j] =
-            crypto::DropoutRecoverySession::reconstruct_seed(shares);
-      }
-      crypto::ring_add_inplace(
-          acc, crypto::DropoutRecoverySession::mask_correction(
-                   d, present, reconstructed, round, acc.size()));
-    }
-
-    const std::vector<double> sum = codec_.decode_vector(acc);
-    for (DropoutEvent& event : dropout_events_) {
-      if (event.round == round && event.corrected &&
-          event.corrected_sum.empty()) {
-        event.survivors = present;
-        event.corrected_sum = sum;
-      }
-    }
-    Vector average(sum.size());
-    for (std::size_t j = 0; j < sum.size(); ++j)
-      average[j] = sum[j] / static_cast<double>(present.size());
-    return average;
-  }
-
-  ConsensusCoordinator& coordinator_;
-  std::size_t num_learners_;
-  crypto::FixedPointCodec codec_;
-  crypto::MaskVariant variant_;
-  std::uint64_t protocol_seed_;
-  std::size_t threshold_request_;
-  double tolerance_;
-  bool tolerate_loss_;
+  ConsensusEngine& engine_;
+  RoundObserver observer_;
   std::vector<double>& delta_trace_;
   std::vector<DropoutEvent>& dropout_events_;
   std::vector<std::size_t> mask_set_;  ///< set this round's masks cover
   std::size_t epoch_ = 0;
-  std::optional<crypto::DropoutRecoverySession> session_;
-  bool converged_ = false;
 };
 
 }  // namespace
+
+FabricTransport::FabricTransport(mapreduce::Cluster& cluster,
+                                 const std::vector<Bytes>& shards,
+                                 LearnerFactory factory,
+                                 mapreduce::NodeId reducer_node,
+                                 mapreduce::JobConfig job_config)
+    : cluster_(cluster),
+      shards_(shards),
+      factory_(std::move(factory)),
+      reducer_node_(reducer_node),
+      job_config_(job_config) {}
+
+ConsensusRunResult FabricTransport::run(ConsensusEngine& engine,
+                                        const RoundObserver& observer) {
+  const std::size_t m = shards_.size();
+  PPML_CHECK(m >= 2, "FabricTransport: need >= 2 learners");
+  PPML_CHECK(engine.num_learners() == m,
+             "FabricTransport: engine learner count != shard count");
+  PPML_CHECK(cluster_.num_nodes() >= m,
+             "FabricTransport: fewer nodes than learners");
+  PPML_CHECK(reducer_node_ < cluster_.num_nodes(),
+             "FabricTransport: reducer node out of range");
+  const AdmmParams& params = engine.params();
+  if (job_config_.tolerate_mapper_loss) {
+    PPML_CHECK(params.mask_variant == crypto::MaskVariant::kSeededMasks,
+               "FabricTransport: tolerate_mapper_loss requires the "
+               "seeded-mask variant (recovery reconstructs pairwise seeds)");
+    PPML_CHECK(m >= 3,
+               "FabricTransport: tolerate_mapper_loss needs M >= 3 for "
+               "Shamir reconstruction");
+    engine.arm_fabric_recovery(params.dropout_threshold);
+  }
+
+  job_config_.max_rounds = params.max_iterations;
+  mapreduce::IterativeJob job(cluster_, job_config_);
+
+  // Each learner's shard lives on its own node — data locality. Mappers get
+  // the engine session's config (and, seeded, their epoch-0 seed row — one
+  // key agreement for the whole cohort).
+  const crypto::SecureSumConfig& config = engine.session_config();
+  for (std::size_t i = 0; i < m; ++i) {
+    const mapreduce::BlockId block = cluster_.store_shard(
+        "learner" + std::to_string(i) + "/shard", shards_[i], i);
+    std::vector<std::uint64_t> seed_row;
+    if (config.variant == crypto::MaskVariant::kSeededMasks)
+      seed_row = engine.session().pairwise_seeds()[i];
+    job.add_mapper(std::make_shared<SecureConsensusMapper>(
+                       i, m, block, factory_, config, std::move(seed_row)),
+                   block);
+  }
+
+  auto reducer = std::make_shared<FabricReducerShim>(
+      engine, observer, delta_trace_, dropout_events_);
+  job.set_reducer(reducer, reducer_node_);
+
+  job_stats_ = job.run({});
+  ConsensusRunResult result;
+  result.iterations = job_stats_.rounds;
+  result.converged = job_stats_.converged;
+  return result;
+}
 
 ClusterTrainResult run_consensus_on_cluster(
     mapreduce::Cluster& cluster, const std::vector<Bytes>& shards,
@@ -343,52 +291,15 @@ ClusterTrainResult run_consensus_on_cluster(
     std::size_t consensus_dim, mapreduce::NodeId reducer_node,
     const AdmmParams& params, mapreduce::JobConfig job_config) {
   (void)consensus_dim;
-  const std::size_t m = shards.size();
-  PPML_CHECK(m >= 2, "run_consensus_on_cluster: need >= 2 learners");
-  PPML_CHECK(cluster.num_nodes() >= m,
-             "run_consensus_on_cluster: fewer nodes than learners");
-  PPML_CHECK(reducer_node < cluster.num_nodes(),
-             "run_consensus_on_cluster: reducer node out of range");
-  if (job_config.tolerate_mapper_loss) {
-    PPML_CHECK(params.mask_variant == crypto::MaskVariant::kSeededMasks,
-               "run_consensus_on_cluster: tolerate_mapper_loss requires the "
-               "seeded-mask variant (recovery reconstructs pairwise seeds)");
-    PPML_CHECK(m >= 3,
-               "run_consensus_on_cluster: tolerate_mapper_loss needs M >= 3 "
-               "for Shamir reconstruction");
-  }
-
-  const crypto::FixedPointCodec codec(params.fixed_point_bits, m);
-
-  // Pairwise key agreement (once, before the job).
-  std::vector<std::vector<std::uint64_t>> seeds;
-  if (params.mask_variant == crypto::MaskVariant::kSeededMasks) {
-    seeds = crypto::agree_pairwise_seeds(m, params.protocol_seed);
-  } else {
-    seeds.assign(m, {});
-  }
-
-  job_config.max_rounds = params.max_iterations;
-  mapreduce::IterativeJob job(cluster, job_config);
-
-  // Each learner's shard lives on its own node — data locality.
-  for (std::size_t i = 0; i < m; ++i) {
-    const mapreduce::BlockId block = cluster.store_shard(
-        "learner" + std::to_string(i) + "/shard", shards[i], i);
-    job.add_mapper(std::make_shared<SecureConsensusMapper>(
-                       i, m, block, factory, params, codec, seeds[i]),
-                   block);
-  }
-
+  FullParticipation policy;
+  ConsensusEngine engine(shards.size(), coordinator, params, policy);
+  FabricTransport transport(cluster, shards, factory, reducer_node,
+                            job_config);
   ClusterTrainResult result;
-  auto reducer = std::make_shared<SecureConsensusReducer>(
-      coordinator, m, codec, params, job_config.tolerate_mapper_loss,
-      result.delta_trace, result.dropout_events);
-  job.set_reducer(reducer, reducer_node);
-
-  result.job = job.run({});
-  result.run.iterations = result.job.rounds;
-  result.run.converged = result.job.converged;
+  result.run = engine.run(transport, nullptr);
+  result.job = transport.job_stats();
+  result.delta_trace = transport.delta_trace();
+  result.dropout_events = transport.dropout_events();
   return result;
 }
 

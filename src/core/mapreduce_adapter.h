@@ -1,18 +1,24 @@
-// Bridges the consensus abstraction onto the simulated MapReduce cluster.
+// FabricTransport: binds core::ConsensusEngine onto the simulated
+// MapReduce cluster.
 //
 // This is the deployment shape of the paper's Fig. 1: each learner's shard
 // is written to the HDFS-like block store pinned to that learner's node;
 // the mapper loads it through the locality-enforcing read API and builds
 // the ConsensusLearner from the *bytes on its own disk* — raw training data
 // never crosses the network (tests assert this on the wire). Contributions
-// travel masked; the reducer node runs SecureSumAggregator + the
-// coordinator and feeds the consensus back over the broadcast channel.
+// travel masked (each mapper holds a crypto::SecureSumParty derived via
+// SecureSumSession::make_party); the reducer node delegates aggregation,
+// dropout recovery and the coordinator combine to ConsensusEngine::
+// reduce_round and feeds the consensus back over the broadcast channel.
+// run_consensus_on_cluster remains as the compatibility entry point:
+// engine + FabricTransport, nothing more.
 #pragma once
 
 #include <functional>
 #include <memory>
 
 #include "core/consensus.h"
+#include "core/consensus_engine.h"
 #include "data/dataset.h"
 #include "mapreduce/cluster.h"
 #include "mapreduce/iterative_job.h"
@@ -45,6 +51,44 @@ struct ClusterTrainResult {
   mapreduce::JobStats job;
   std::vector<double> delta_trace;  ///< per-round ||dz||^2 from the reducer
   std::vector<DropoutEvent> dropout_events;  ///< losses the reducer handled
+};
+
+/// Transport that executes the engine's rounds as an iterative MapReduce
+/// job: mappers run the learners data-locally and emit masked
+/// contributions; the reducer shim feeds them to engine.reduce_round().
+/// One FabricTransport drives one run; job stats / traces are readable
+/// afterwards.
+class FabricTransport final : public Transport {
+ public:
+  /// `shards[i]` is learner i's serialized private data, stored on node i
+  /// (with the cluster's replication factor). Requires
+  /// cluster.num_nodes() >= shards.size(); a distinct reducer node is
+  /// recommended (the paper's reducer is a separate role).
+  FabricTransport(mapreduce::Cluster& cluster,
+                  const std::vector<mapreduce::Bytes>& shards,
+                  LearnerFactory factory, mapreduce::NodeId reducer_node,
+                  mapreduce::JobConfig job_config = {});
+
+  ConsensusRunResult run(ConsensusEngine& engine,
+                         const RoundObserver& observer) override;
+
+  const mapreduce::JobStats& job_stats() const noexcept { return job_stats_; }
+  const std::vector<double>& delta_trace() const noexcept {
+    return delta_trace_;
+  }
+  const std::vector<DropoutEvent>& dropout_events() const noexcept {
+    return dropout_events_;
+  }
+
+ private:
+  mapreduce::Cluster& cluster_;
+  const std::vector<mapreduce::Bytes>& shards_;
+  LearnerFactory factory_;
+  mapreduce::NodeId reducer_node_;
+  mapreduce::JobConfig job_config_;
+  mapreduce::JobStats job_stats_;
+  std::vector<double> delta_trace_;
+  std::vector<DropoutEvent> dropout_events_;
 };
 
 /// Run the consensus loop as an iterative MapReduce job.

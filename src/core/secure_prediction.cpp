@@ -1,6 +1,6 @@
 #include "core/secure_prediction.h"
 
-#include "crypto/secure_sum.h"
+#include "crypto/secure_sum_session.h"
 #include "linalg/blas.h"
 #include "svm/kernel.h"
 
@@ -9,7 +9,9 @@ namespace ppml::core {
 namespace {
 
 /// Run one secure-sum round over the per-learner partial-score vectors and
-/// add the bias. The codec headroom is sized from the scores themselves.
+/// add the bias. Prediction is a one-shot round, so the session always uses
+/// the seeded variant: the DH agreement is paid exactly once regardless of
+/// the training-time mask variant.
 Vector combine_partials(const std::vector<Vector>& partials, double bias,
                         const AdmmParams& protocol) {
   const std::size_t m = partials.size();
@@ -18,14 +20,16 @@ Vector combine_partials(const std::vector<Vector>& partials, double bias,
   for (const Vector& p : partials)
     PPML_CHECK(p.size() == batch, "secure prediction: batch size mismatch");
 
-  const crypto::FixedPointCodec codec(protocol.fixed_point_bits, m);
-  const auto seeds = crypto::agree_pairwise_seeds(m, protocol.protocol_seed);
-  crypto::SecureSumAggregator aggregator(m, codec);
-  for (std::size_t i = 0; i < m; ++i) {
-    crypto::SecureSumParty party(i, m, codec, seeds[i]);
-    aggregator.add(party.masked_contribution(partials[i], /*round=*/0));
-  }
-  Vector decisions = aggregator.sum();
+  crypto::SecureSumConfig config;
+  config.num_parties = m;
+  config.fixed_point_bits = protocol.fixed_point_bits;
+  config.variant = crypto::MaskVariant::kSeededMasks;
+  config.protocol_seed = protocol.protocol_seed;
+  crypto::SecureSumSession session(config);
+
+  const std::vector<crypto::SecureSumSession::Tensor> tensors(
+      partials.begin(), partials.end());
+  Vector decisions = session.sum_once(tensors, /*round=*/0);
   for (double& v : decisions) v += bias;
   return decisions;
 }

@@ -1,5 +1,7 @@
 #include "core/vertical.h"
 
+#include "core/consensus_engine.h"
+
 #include "linalg/blas.h"
 #include "qp/diagonal_qp.h"
 #include "svm/metrics.h"
@@ -205,8 +207,10 @@ LinearVerticalResult train_linear_vertical(
     result.trace.records.push_back(record);
   };
 
-  result.run =
-      run_consensus_in_memory(learners, coordinator, params, observer);
+  FullParticipation policy;
+  ConsensusEngine engine(learners, coordinator, params, policy);
+  InMemoryTransport transport;
+  result.run = engine.run(transport, observer);
   for (const auto& learner : typed)
     result.model.w_blocks.push_back(learner->w());
   result.model.b = coordinator.bias();
@@ -262,8 +266,10 @@ KernelVerticalResult train_kernel_vertical(
     result.trace.records.push_back(record);
   };
 
-  result.run =
-      run_consensus_in_memory(learners, coordinator, params, observer);
+  FullParticipation policy;
+  ConsensusEngine engine(learners, coordinator, params, policy);
+  InMemoryTransport transport;
+  result.run = engine.run(transport, observer);
 
   result.model.kernel = kernel;
   result.model.feature_indices = partition.feature_indices;

@@ -77,6 +77,31 @@ std::vector<std::uint64_t> SecureSumParty::masked_contribution(
   return out;
 }
 
+std::vector<std::uint64_t> SecureSumParty::masked_contribution_cached(
+    std::span<const double> values,
+    const std::vector<std::vector<std::uint64_t>>& sent,
+    const std::vector<std::vector<std::uint64_t>>& received) {
+  PPML_CHECK(variant_ == MaskVariant::kExchangedMasks,
+             "masked_contribution_cached: exchanged variant only");
+  PPML_CHECK(sent.size() == num_parties_ && received.size() == num_parties_,
+             "masked_contribution_cached: need one slot per party");
+  std::vector<std::uint64_t> out = codec_.encode_vector(values);
+  for (std::size_t peer = 0; peer < num_parties_; ++peer) {
+    if (peer == party_id_) continue;
+    PPML_CHECK(sent[peer].size() == values.size(),
+               "masked_contribution_cached: sent mask dimension mismatch");
+    ring_add_inplace(out, sent[peer]);
+  }
+  for (std::size_t peer = 0; peer < num_parties_; ++peer) {
+    if (peer == party_id_) continue;
+    PPML_CHECK(received[peer].size() == values.size(),
+               "masked_contribution_cached: received mask dimension mismatch");
+    ring_sub_inplace(out, received[peer]);
+  }
+  obs::count("crypto.masked_contributions");
+  return out;
+}
+
 std::vector<std::uint64_t> SecureSumParty::masked_contribution(
     std::span<const double> values, std::size_t round) {
   PPML_CHECK(variant_ == MaskVariant::kSeededMasks,
@@ -184,41 +209,7 @@ std::vector<std::vector<std::uint64_t>> agree_pairwise_seeds(
   return seeds;
 }
 
-std::vector<double> secure_average(
-    const std::vector<std::vector<double>>& party_values,
-    const FixedPointCodec& codec, std::uint64_t session_seed,
-    MaskVariant variant, std::size_t round) {
-  const std::size_t m = party_values.size();
-  PPML_CHECK(m >= 2, "secure_average: need >= 2 parties");
-  const std::size_t dim = party_values.front().size();
-  for (const auto& v : party_values)
-    PPML_CHECK(v.size() == dim, "secure_average: dimension mismatch");
-
-  SecureSumAggregator aggregator(m, codec);
-  if (variant == MaskVariant::kSeededMasks) {
-    const auto seeds = agree_pairwise_seeds(m, session_seed);
-    for (std::size_t i = 0; i < m; ++i) {
-      SecureSumParty party(i, m, codec, seeds[i]);
-      aggregator.add(party.masked_contribution(party_values[i], round));
-    }
-  } else {
-    std::vector<SecureSumParty> parties;
-    parties.reserve(m);
-    for (std::size_t i = 0; i < m; ++i)
-      parties.emplace_back(i, m, codec, session_seed ^ (i * 0x2545f4914f6cdd1dULL));
-    // Step 1-2: exchange masks.
-    std::vector<std::vector<std::vector<std::uint64_t>>> sent(m);
-    for (std::size_t i = 0; i < m; ++i)
-      sent[i] = parties[i].outgoing_masks(round, dim);
-    for (std::size_t i = 0; i < m; ++i) {
-      std::vector<std::vector<std::uint64_t>> received(m);
-      for (std::size_t j = 0; j < m; ++j)
-        if (j != i) received[j] = sent[j][i];
-      aggregator.add(
-          parties[i].masked_contribution(party_values[i], received, round));
-    }
-  }
-  return aggregator.average();
-}
+// secure_average lives in secure_sum_session.cpp: it is now a thin wrapper
+// over SecureSumSession::average_once.
 
 }  // namespace ppml::crypto

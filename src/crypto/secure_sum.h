@@ -59,6 +59,16 @@ class SecureSumParty {
       std::span<const double> values,
       const std::vector<std::vector<std::uint64_t>>& received, std::size_t round);
 
+  /// kExchangedMasks step 3-4 when this round's outgoing masks were already
+  /// derived (by the outgoing_masks call that served the exchange): same
+  /// algebra and result as masked_contribution(values, received, round),
+  /// without re-expanding the sent streams. `sent` must be this party's
+  /// outgoing_masks for the round.
+  std::vector<std::uint64_t> masked_contribution_cached(
+      std::span<const double> values,
+      const std::vector<std::vector<std::uint64_t>>& sent,
+      const std::vector<std::vector<std::uint64_t>>& received);
+
   /// kSeededMasks step 3-4: masked contribution; masks derive from the
   /// pairwise seeds and `round`, no exchange needed.
   std::vector<std::uint64_t> masked_contribution(std::span<const double> values,

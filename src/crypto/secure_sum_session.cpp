@@ -1,0 +1,284 @@
+#include "crypto/secure_sum_session.h"
+
+#include <algorithm>
+
+#include "obs/obs.h"
+
+namespace ppml::crypto {
+
+FixedPointCodec SecureSumSession::codec_for(const SecureSumConfig& config) {
+  const std::size_t terms =
+      config.codec_terms != 0 ? config.codec_terms : config.num_parties;
+  return FixedPointCodec(config.fixed_point_bits, terms);
+}
+
+SecureSumSession::SecureSumSession(const SecureSumConfig& config,
+                                   std::size_t epoch)
+    : SecureSumSession(config, codec_for(config), epoch) {}
+
+SecureSumSession::SecureSumSession(const SecureSumConfig& config,
+                                   FixedPointCodec codec, std::size_t epoch)
+    : config_(config), codec_(codec), epoch_(epoch) {
+  PPML_CHECK(config_.num_parties >= 2,
+             "SecureSumSession: need >= 2 parties");
+  const std::size_t m = config_.num_parties;
+  parties_.reserve(m);
+  if (config_.variant == MaskVariant::kSeededMasks) {
+    seeds_ = agree_pairwise_seeds(m, epoch_key(config_.protocol_seed, epoch));
+    for (std::size_t i = 0; i < m; ++i)
+      parties_.emplace_back(i, m, codec_, seeds_[i]);
+  } else {
+    // The exchanged variant regenerates masks every round and never re-keys,
+    // so epochs do not mix into the per-party seeds.
+    for (std::size_t i = 0; i < m; ++i)
+      parties_.emplace_back(i, m, codec_,
+                            config_.protocol_seed ^
+                                (i * config_.exchanged_seed_mult));
+  }
+}
+
+std::uint64_t SecureSumSession::epoch_key(std::uint64_t base,
+                                          std::size_t epoch) {
+  return base ^ (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(epoch));
+}
+
+std::uint64_t SecureSumSession::epoch_sharing_seed(std::uint64_t base,
+                                                   std::size_t epoch) {
+  return (base * 0xBF58476D1CE4E5B9ULL) ^
+         (0x94D049BB133111EBULL * static_cast<std::uint64_t>(epoch)) ^
+         0xD509ULL;
+}
+
+std::size_t SecureSumSession::auto_threshold(std::size_t num_parties,
+                                             std::size_t requested) {
+  if (requested != 0) return requested;
+  return std::clamp<std::size_t>(num_parties / 2 + 1, 2, num_parties - 1);
+}
+
+SecureSumParty SecureSumSession::make_party(const SecureSumConfig& config,
+                                            std::size_t party_id,
+                                            std::size_t epoch) {
+  const FixedPointCodec codec = codec_for(config);
+  if (config.variant == MaskVariant::kSeededMasks) {
+    // Key agreement is deterministic in the epoch key, so a lone mapper can
+    // derive the full matrix and keep only its row.
+    const auto seeds = agree_pairwise_seeds(
+        config.num_parties, epoch_key(config.protocol_seed, epoch));
+    return SecureSumParty(party_id, config.num_parties, codec,
+                          seeds[party_id]);
+  }
+  return SecureSumParty(party_id, config.num_parties, codec,
+                        config.protocol_seed ^
+                            (party_id * config.exchanged_seed_mult));
+}
+
+void SecureSumSession::arm_recovery(std::size_t threshold,
+                                    std::uint64_t sharing_seed) {
+  PPML_CHECK(config_.variant == MaskVariant::kSeededMasks,
+             "SecureSumSession: dropout recovery requires the seeded-mask "
+             "variant (recovery reconstructs pairwise seeds)");
+  PPML_CHECK(config_.num_parties >= 3,
+             "SecureSumSession: dropout recovery needs M >= 3 (Shamir)");
+  recovery_.emplace(seeds_, auto_threshold(config_.num_parties, threshold),
+                    sharing_seed);
+}
+
+std::size_t SecureSumSession::recovery_threshold() const {
+  PPML_CHECK(recovery_.has_value(),
+             "SecureSumSession: recovery not armed");
+  return recovery_->threshold();
+}
+
+std::span<const double> SecureSumSession::batch(
+    std::span<const Tensor> tensors) {
+  PPML_CHECK(!tensors.empty(), "SecureSumSession: no tensors to contribute");
+  std::size_t total = 0;
+  for (const Tensor& t : tensors) total += t.size();
+  obs::count("crypto.sum.contributions");
+  obs::count("crypto.sum.batched_tensors",
+             static_cast<std::int64_t>(tensors.size()));
+  obs::count("crypto.sum.batched_elems", static_cast<std::int64_t>(total));
+  if (tensors.size() == 1) return tensors.front();
+  batch_scratch_.clear();
+  batch_scratch_.reserve(total);
+  for (const Tensor& t : tensors)
+    batch_scratch_.insert(batch_scratch_.end(), t.begin(), t.end());
+  return batch_scratch_;
+}
+
+std::vector<std::uint64_t> SecureSumSession::contribute(
+    std::size_t party, std::span<const Tensor> tensors, std::size_t round,
+    std::span<const std::size_t> mask_set) {
+  PPML_CHECK(config_.variant == MaskVariant::kSeededMasks,
+             "SecureSumSession::contribute: seeded variant only (use "
+             "exchange_round/contribute_exchanged for exchanged masks)");
+  PPML_CHECK(party < config_.num_parties,
+             "SecureSumSession::contribute: bad party id");
+  const std::span<const double> values = batch(tensors);
+  if (mask_set.size() == config_.num_parties)
+    return parties_[party].masked_contribution(values, round);
+  return parties_[party].masked_contribution_subset(values, round, mask_set);
+}
+
+void SecureSumSession::exchange_round(std::size_t round, std::size_t dim) {
+  PPML_CHECK(config_.variant == MaskVariant::kExchangedMasks,
+             "SecureSumSession::exchange_round: exchanged variant only");
+  sent_.resize(config_.num_parties);
+  for (std::size_t i = 0; i < config_.num_parties; ++i)
+    sent_[i] = parties_[i].outgoing_masks(round, dim);
+  exchange_round_ = round;
+}
+
+std::vector<std::uint64_t> SecureSumSession::contribute_exchanged(
+    std::size_t party, std::span<const Tensor> tensors, std::size_t round) {
+  PPML_CHECK(config_.variant == MaskVariant::kExchangedMasks,
+             "SecureSumSession::contribute_exchanged: exchanged variant only");
+  PPML_CHECK(party < config_.num_parties,
+             "SecureSumSession::contribute_exchanged: bad party id");
+  PPML_CHECK(exchange_round_ == round,
+             "SecureSumSession::contribute_exchanged: call exchange_round "
+             "for this round first");
+  const std::span<const double> values = batch(tensors);
+  std::vector<std::uint64_t> out = codec_.encode_vector(values);
+  // Same ring algebra as SecureSumParty::masked_contribution — + Sed_i then
+  // - Rev_i in ascending peer order — but over the masks cached by
+  // exchange_round, so each stream is expanded exactly once per round.
+  for (std::size_t peer = 0; peer < config_.num_parties; ++peer) {
+    if (peer == party) continue;
+    PPML_CHECK(sent_[party][peer].size() == values.size(),
+               "SecureSumSession::contribute_exchanged: exchanged mask "
+               "dimension mismatch");
+    ring_add_inplace(out, sent_[party][peer]);
+  }
+  for (std::size_t peer = 0; peer < config_.num_parties; ++peer) {
+    if (peer == party) continue;
+    ring_sub_inplace(out, sent_[peer][party]);
+  }
+  obs::count("crypto.masked_contributions");
+  return out;
+}
+
+std::vector<double> SecureSumSession::reduce_average(
+    std::size_t round, std::span<const std::size_t> mask_set,
+    std::span<const std::size_t> present,
+    const std::vector<std::vector<std::uint64_t>>& contributions,
+    ReduceAudit* audit) {
+  PPML_CHECK(!present.empty(), "SecureSumSession::reduce_average: no "
+                               "contributions present");
+  std::vector<std::uint64_t> acc;
+  for (std::size_t i : present) {
+    PPML_CHECK(i < contributions.size() && !contributions[i].empty(),
+               "SecureSumSession::reduce_average: present party has no "
+               "contribution");
+    const auto& v = contributions[i];
+    if (acc.empty()) acc.assign(v.size(), 0);
+    PPML_CHECK(acc.size() == v.size(),
+               "SecureSumSession::reduce_average: contribution dims differ");
+    ring_add_inplace(acc, v);
+  }
+
+  std::vector<std::size_t> dropped;
+  for (std::size_t i : mask_set) {
+    if (std::find(present.begin(), present.end(), i) == present.end())
+      dropped.push_back(i);
+  }
+  if (!dropped.empty()) {
+    PPML_CHECK(recovery_.has_value(),
+               "SecureSumSession::reduce_average: contribution missing but "
+               "dropout recovery is not armed (requires kSeededMasks and "
+               "M >= 3)");
+    PPML_CHECK(present.size() >= recovery_->threshold(),
+               "SecureSumSession::reduce_average: fewer survivors than the "
+               "Shamir threshold — cannot reconstruct the dropped seeds");
+    const std::vector<std::size_t> survivors(present.begin(), present.end());
+    for (std::size_t d : dropped) {
+      // Reducer side: `threshold` survivors reveal their shares of the
+      // dropped party's seeds; reconstruct and strip the stale masks.
+      obs::Span recovery_span("dropout_recovery", "crypto");
+      recovery_span.arg("dropped_party", static_cast<double>(d));
+      std::vector<std::uint64_t> reconstructed(config_.num_parties, 0);
+      for (std::size_t j : survivors) {
+        std::vector<ShamirShare> shares;
+        shares.reserve(recovery_->threshold());
+        for (std::size_t h = 0; h < recovery_->threshold(); ++h)
+          shares.push_back(recovery_->share(survivors[h], d, j));
+        reconstructed[j] = DropoutRecoverySession::reconstruct_seed(shares);
+      }
+      ring_add_inplace(acc,
+                       DropoutRecoverySession::mask_correction(
+                           d, survivors, reconstructed, round, acc.size()));
+    }
+  }
+
+  const std::vector<double> sum = codec_.decode_vector(acc);
+  if (audit != nullptr) {
+    audit->dropped = std::move(dropped);
+    audit->decoded_sum = sum;
+  }
+  std::vector<double> average(sum.size());
+  for (std::size_t j = 0; j < sum.size(); ++j)
+    average[j] = sum[j] / static_cast<double>(present.size());
+  return average;
+}
+
+std::vector<double> SecureSumSession::sum_once(
+    std::span<const Tensor> per_party_values, std::size_t round) {
+  ReduceAudit audit;
+  (void)average_once_impl(per_party_values, round, &audit);
+  return std::move(audit.decoded_sum);
+}
+
+std::vector<double> SecureSumSession::average_once(
+    std::span<const Tensor> per_party_values, std::size_t round) {
+  return average_once_impl(per_party_values, round, nullptr);
+}
+
+std::vector<double> SecureSumSession::average_once_impl(
+    std::span<const Tensor> per_party_values, std::size_t round,
+    ReduceAudit* audit) {
+  const std::size_t m = config_.num_parties;
+  PPML_CHECK(per_party_values.size() == m,
+             "SecureSumSession: need one value vector per party");
+  const std::size_t dim = per_party_values.front().size();
+  for (const Tensor& v : per_party_values)
+    PPML_CHECK(v.size() == dim, "SecureSumSession: dimension mismatch");
+
+  std::vector<std::size_t> everyone(m);
+  for (std::size_t i = 0; i < m; ++i) everyone[i] = i;
+
+  std::vector<std::vector<std::uint64_t>> contributions(m);
+  if (config_.variant == MaskVariant::kSeededMasks) {
+    for (std::size_t i = 0; i < m; ++i)
+      contributions[i] =
+          contribute(i, {&per_party_values[i], 1}, round, everyone);
+  } else {
+    exchange_round(round, dim);
+    for (std::size_t i = 0; i < m; ++i)
+      contributions[i] =
+          contribute_exchanged(i, {&per_party_values[i], 1}, round);
+  }
+  return reduce_average(round, everyone, everyone, contributions, audit);
+}
+
+std::vector<double> secure_average(
+    const std::vector<std::vector<double>>& party_values,
+    const FixedPointCodec& codec, std::uint64_t session_seed,
+    MaskVariant variant, std::size_t round) {
+  const std::size_t m = party_values.size();
+  PPML_CHECK(m >= 2, "secure_average: need >= 2 parties");
+  const std::size_t dim = party_values.front().size();
+  for (const auto& v : party_values)
+    PPML_CHECK(v.size() == dim, "secure_average: dimension mismatch");
+
+  SecureSumConfig config;
+  config.num_parties = m;
+  config.variant = variant;
+  config.protocol_seed = session_seed;
+  config.exchanged_seed_mult = 0x2545f4914f6cdd1dULL;
+  SecureSumSession session(config, codec);
+  const std::vector<SecureSumSession::Tensor> tensors(party_values.begin(),
+                                                      party_values.end());
+  return session.average_once(tensors, round);
+}
+
+}  // namespace ppml::crypto

@@ -1,0 +1,793 @@
+// Bit-identity suite for core::ConsensusEngine.
+//
+// The engine replaced three hand-rolled drivers (run_consensus_in_memory,
+// run_consensus_partial_participation, run_consensus_with_dropout) and the
+// MapReduce adapter's loop. The refactor's contract is EXACT reproduction:
+// for every policy, mask variant and seed, the engine must emit the same
+// per-round consensus deltas and the same final model, bit for bit.
+//
+// To pin that, `seedref` below carries VERBATIM copies of the replaced
+// drivers (taken from the pre-refactor tree); every test runs both
+// implementations on independently constructed learner stacks and compares
+// with EXPECT_EQ — no tolerance anywhere.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <thread>
+
+#include "core/consensus.h"
+#include "core/consensus_engine.h"
+#include "core/linear_horizontal.h"
+#include "core/mapreduce_adapter.h"
+#include "crypto/dropout_recovery.h"
+#include "crypto/secure_sum.h"
+#include "data/generators.h"
+#include "data/standardize.h"
+#include "obs/obs.h"
+
+namespace ppml::core {
+
+// ===========================================================================
+// seedref: verbatim copies of the drivers the engine replaced.
+// ===========================================================================
+namespace seedref {
+
+void record_admm_round(
+    const ConsensusCoordinator& coordinator, const Vector& average,
+    const Vector& z_prev, double rho,
+    const std::vector<std::shared_ptr<ConsensusLearner>>& learners,
+    const std::vector<std::size_t>* active) {
+  obs::MetricsRegistry* metrics = obs::metrics();
+  if (!metrics) return;
+  const double delta_sq = coordinator.last_delta_sq();
+  metrics->append("admm.z_delta_sq", delta_sq);
+  metrics->append("admm.dual_residual_sq", rho * rho * delta_sq);
+  double primal = 0.0;
+  for (std::size_t j = 0; j < average.size(); ++j) {
+    const double z = j < z_prev.size() ? z_prev[j] : 0.0;
+    const double d = average[j] - z;
+    primal += d * d;
+  }
+  metrics->append("admm.primal_residual_sq", primal);
+  double objective = 0.0;
+  bool any = false;
+  const auto add_objective = [&](const ConsensusLearner& learner) {
+    const double value = learner.last_local_objective();
+    if (std::isnan(value)) return;
+    objective += value;
+    any = true;
+  };
+  if (active) {
+    for (std::size_t i : *active) add_objective(*learners[i]);
+  } else {
+    for (const auto& learner : learners) add_objective(*learner);
+  }
+  if (any) metrics->append("admm.objective", objective);
+}
+
+ConsensusRunResult run_consensus_in_memory(
+    std::vector<std::shared_ptr<ConsensusLearner>>& learners,
+    ConsensusCoordinator& coordinator, const AdmmParams& params,
+    const RoundObserver& observer) {
+  PPML_CHECK(learners.size() >= 2,
+             "run_consensus_in_memory: need >= 2 learners");
+  const std::size_t m = learners.size();
+  const std::size_t dim = learners.front()->contribution_dim();
+  for (const auto& learner : learners)
+    PPML_CHECK(learner->contribution_dim() == dim,
+               "run_consensus_in_memory: contribution dims differ");
+
+  const crypto::FixedPointCodec codec(params.fixed_point_bits, m);
+
+  std::vector<crypto::SecureSumParty> parties;
+  parties.reserve(m);
+  if (params.mask_variant == crypto::MaskVariant::kSeededMasks) {
+    const auto seeds = crypto::agree_pairwise_seeds(m, params.protocol_seed);
+    for (std::size_t i = 0; i < m; ++i)
+      parties.emplace_back(i, m, codec, seeds[i]);
+  } else {
+    for (std::size_t i = 0; i < m; ++i)
+      parties.emplace_back(i, m, codec,
+                           params.protocol_seed ^ (i * 0x9e3779b97f4a7c15ULL));
+  }
+
+  const bool parallelize = params.parallel_learners && m > 1 &&
+                           std::thread::hardware_concurrency() > 1;
+  const auto run_local_steps = [&](const Vector& broadcast_in) {
+    std::vector<Vector> contributions(m);
+    if (parallelize) {
+      std::vector<std::future<Vector>> futures;
+      futures.reserve(m);
+      for (std::size_t i = 0; i < m; ++i) {
+        futures.push_back(std::async(std::launch::async, [&, i] {
+          return learners[i]->local_step(broadcast_in);
+        }));
+      }
+      for (std::size_t i = 0; i < m; ++i) contributions[i] = futures[i].get();
+    } else {
+      for (std::size_t i = 0; i < m; ++i)
+        contributions[i] = learners[i]->local_step(broadcast_in);
+    }
+    return contributions;
+  };
+
+  ConsensusRunResult result;
+  Vector broadcast;
+  obs::Span job_span("job", "core");
+  for (std::size_t round = 0; round < params.max_iterations; ++round) {
+    obs::Span iteration_span("iteration", "core");
+    iteration_span.arg("round", static_cast<double>(round));
+    crypto::SecureSumAggregator aggregator(m, codec);
+    std::vector<Vector> contributions;
+    {
+      obs::Span map_span("map", "core");
+      contributions = run_local_steps(broadcast);
+    }
+    Vector average;
+    {
+      obs::Span sum_span("secure_sum", "core");
+      if (params.mask_variant == crypto::MaskVariant::kSeededMasks) {
+        for (std::size_t i = 0; i < m; ++i) {
+          aggregator.add(
+              parties[i].masked_contribution(contributions[i], round));
+        }
+      } else {
+        std::vector<std::vector<std::vector<std::uint64_t>>> sent(m);
+        for (std::size_t i = 0; i < m; ++i)
+          sent[i] = parties[i].outgoing_masks(round, dim);
+        for (std::size_t i = 0; i < m; ++i) {
+          std::vector<std::vector<std::uint64_t>> received(m);
+          for (std::size_t j = 0; j < m; ++j)
+            if (j != i) received[j] = sent[j][i];
+          aggregator.add(
+              parties[i].masked_contribution(contributions[i], received, round));
+        }
+      }
+      average = aggregator.average();
+    }
+
+    Vector z_prev;
+    if (obs::enabled()) z_prev = broadcast;
+    {
+      obs::Span update_span("admm_update", "core");
+      broadcast = coordinator.combine(average);
+    }
+    record_admm_round(coordinator, average, z_prev, params.rho, learners,
+                      nullptr);
+    ++result.iterations;
+    if (observer) observer(round);
+    if (params.convergence_tolerance > 0.0 &&
+        coordinator.last_delta_sq() <= params.convergence_tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+ConsensusRunResult run_consensus_partial_participation(
+    std::vector<std::shared_ptr<ConsensusLearner>>& learners,
+    ConsensusCoordinator& coordinator, const AdmmParams& params,
+    std::size_t participants_per_round, std::uint64_t sampling_seed,
+    const RoundObserver& observer) {
+  const std::size_t m = learners.size();
+  PPML_CHECK(m >= 2, "partial participation: need >= 2 learners");
+  PPML_CHECK(participants_per_round >= 2 && participants_per_round <= m,
+             "partial participation: participants must be in [2, M]");
+  PPML_CHECK(params.mask_variant == crypto::MaskVariant::kSeededMasks,
+             "partial participation: requires the seeded-mask variant");
+  const std::size_t dim = learners.front()->contribution_dim();
+  for (const auto& learner : learners)
+    PPML_CHECK(learner->contribution_dim() == dim,
+               "partial participation: contribution dims differ");
+
+  const crypto::FixedPointCodec codec(params.fixed_point_bits,
+                                      participants_per_round);
+  const auto seeds = crypto::agree_pairwise_seeds(m, params.protocol_seed);
+  std::vector<crypto::SecureSumParty> parties;
+  parties.reserve(m);
+  for (std::size_t i = 0; i < m; ++i)
+    parties.emplace_back(i, m, codec, seeds[i]);
+
+  crypto::Xoshiro256 sampler(sampling_seed);
+  std::vector<std::size_t> ids(m);
+  for (std::size_t i = 0; i < m; ++i) ids[i] = i;
+
+  ConsensusRunResult result;
+  Vector broadcast;
+  obs::Span job_span("job", "core");
+  for (std::size_t round = 0; round < params.max_iterations; ++round) {
+    obs::Span iteration_span("iteration", "core");
+    iteration_span.arg("round", static_cast<double>(round));
+    for (std::size_t i = 0; i < participants_per_round; ++i) {
+      const std::size_t j = i + sampler.next() % (m - i);
+      std::swap(ids[i], ids[j]);
+    }
+    std::vector<std::size_t> participants(
+        ids.begin(),
+        ids.begin() + static_cast<std::ptrdiff_t>(participants_per_round));
+    std::sort(participants.begin(), participants.end());
+
+    crypto::SecureSumAggregator aggregator(participants_per_round, codec);
+    std::vector<Vector> contributions(participants.size());
+    {
+      obs::Span map_span("map", "core");
+      for (std::size_t k = 0; k < participants.size(); ++k)
+        contributions[k] = learners[participants[k]]->local_step(broadcast);
+    }
+    Vector average;
+    {
+      obs::Span sum_span("secure_sum", "core");
+      for (std::size_t k = 0; k < participants.size(); ++k) {
+        aggregator.add(parties[participants[k]].masked_contribution_subset(
+            contributions[k], round, participants));
+      }
+      average = aggregator.average();
+    }
+    Vector z_prev;
+    if (obs::enabled()) z_prev = broadcast;
+    {
+      obs::Span update_span("admm_update", "core");
+      broadcast = coordinator.combine(average);
+    }
+    record_admm_round(coordinator, average, z_prev, params.rho, learners,
+                      &participants);
+    ++result.iterations;
+    if (observer) observer(round);
+    if (params.convergence_tolerance > 0.0 &&
+        coordinator.last_delta_sq() <= params.convergence_tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+ConsensusRunResult run_consensus_with_dropout(
+    std::vector<std::shared_ptr<ConsensusLearner>>& learners,
+    ConsensusCoordinator& coordinator, const AdmmParams& params,
+    const DropoutSchedule& schedule, const RoundObserver& observer) {
+  const std::size_t m = learners.size();
+  PPML_CHECK(m >= 3, "dropout consensus: need >= 3 learners (Shamir)");
+  PPML_CHECK(params.mask_variant == crypto::MaskVariant::kSeededMasks,
+             "dropout consensus: requires the seeded-mask variant");
+  const std::size_t dim = learners.front()->contribution_dim();
+  for (const auto& learner : learners)
+    PPML_CHECK(learner->contribution_dim() == dim,
+               "dropout consensus: contribution dims differ");
+
+  const crypto::FixedPointCodec codec(params.fixed_point_bits, m);
+  const auto seeds = crypto::agree_pairwise_seeds(m, params.protocol_seed);
+  std::vector<crypto::SecureSumParty> parties;
+  parties.reserve(m);
+  for (std::size_t i = 0; i < m; ++i)
+    parties.emplace_back(i, m, codec, seeds[i]);
+
+  const std::size_t threshold =
+      schedule.threshold != 0
+          ? schedule.threshold
+          : std::clamp<std::size_t>(m / 2 + 1, 2, m - 1);
+  const crypto::DropoutRecoverySession session(seeds, threshold,
+                                               schedule.sharing_seed);
+
+  std::vector<std::size_t> live(m);
+  for (std::size_t i = 0; i < m; ++i) live[i] = i;
+
+  ConsensusRunResult result;
+  Vector broadcast;
+  obs::Span job_span("job", "core");
+  for (std::size_t round = 0; round < params.max_iterations; ++round) {
+    obs::Span iteration_span("iteration", "core");
+    iteration_span.arg("round", static_cast<double>(round));
+    std::vector<std::vector<std::uint64_t>> masked(m);
+    std::vector<Vector> local(m);
+    {
+      obs::Span map_span("map", "core");
+      for (std::size_t i : live) local[i] = learners[i]->local_step(broadcast);
+    }
+    {
+      obs::Span sum_span("secure_sum", "core");
+      for (std::size_t i : live) {
+        masked[i] =
+            parties[i].masked_contribution_subset(local[i], round, live);
+      }
+    }
+
+    std::vector<std::size_t> dropped;
+    if (const auto it = schedule.drops.find(round);
+        it != schedule.drops.end()) {
+      for (std::size_t d : it->second)
+        if (std::find(live.begin(), live.end(), d) != live.end())
+          dropped.push_back(d);
+    }
+    std::vector<std::size_t> survivors;
+    for (std::size_t i : live)
+      if (std::find(dropped.begin(), dropped.end(), i) == dropped.end())
+        survivors.push_back(i);
+    PPML_CHECK(survivors.size() >= 2,
+               "dropout consensus: fewer than 2 survivors");
+    if (!dropped.empty())
+      PPML_CHECK(survivors.size() >= threshold,
+                 "dropout consensus: not enough survivors to reconstruct");
+
+    Vector average(dim);
+    {
+      obs::Span sum_span("secure_sum", "core");
+      std::vector<std::uint64_t> acc(dim, 0);
+      for (std::size_t i : survivors) crypto::ring_add_inplace(acc, masked[i]);
+      for (std::size_t d : dropped) {
+        obs::Span recovery_span("dropout_recovery", "core");
+        recovery_span.arg("dropped_party", static_cast<double>(d));
+        std::vector<std::uint64_t> reconstructed(m, 0);
+        for (std::size_t j : survivors) {
+          std::vector<crypto::ShamirShare> shares;
+          for (std::size_t h = 0; h < threshold; ++h)
+            shares.push_back(session.share(survivors[h], d, j));
+          reconstructed[j] =
+              crypto::DropoutRecoverySession::reconstruct_seed(shares);
+        }
+        crypto::ring_add_inplace(
+            acc, crypto::DropoutRecoverySession::mask_correction(
+                     d, survivors, reconstructed, round, dim));
+      }
+      const std::vector<double> sum = codec.decode_vector(acc);
+      for (std::size_t j = 0; j < dim; ++j)
+        average[j] = sum[j] / static_cast<double>(survivors.size());
+    }
+
+    if (!dropped.empty()) {
+      live = survivors;
+      for (std::size_t i : live)
+        learners[i]->on_cohort_resize(live.size());
+    }
+
+    Vector z_prev;
+    if (obs::enabled()) z_prev = broadcast;
+    {
+      obs::Span update_span("admm_update", "core");
+      broadcast = coordinator.combine(average);
+    }
+    record_admm_round(coordinator, average, z_prev, params.rho, learners,
+                      &live);
+    ++result.iterations;
+    if (observer) observer(round);
+    if (params.convergence_tolerance > 0.0 &&
+        coordinator.last_delta_sq() <= params.convergence_tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace seedref
+
+namespace {
+
+data::HorizontalPartition make_partition(std::size_t m) {
+  data::GaussianTaskConfig task;
+  task.samples = 160;
+  task.features = 6;
+  task.separation = 1.6;
+  task.seed = 11;
+  task.name = "engine-bit-identity";
+  data::Dataset train = data::make_gaussian_task(task);
+  data::StandardScaler scaler;
+  scaler.fit(train.x);
+  scaler.transform(train.x);
+  return data::partition_horizontally(train, m, 5);
+}
+
+std::vector<std::shared_ptr<ConsensusLearner>> make_learners(
+    const data::HorizontalPartition& partition, const AdmmParams& params) {
+  std::vector<std::shared_ptr<ConsensusLearner>> learners;
+  for (const data::Dataset& shard : partition.shards)
+    learners.push_back(std::make_shared<LinearHorizontalLearner>(
+        shard, partition.learners(), params));
+  return learners;
+}
+
+/// Everything one run produces that must match bit for bit.
+struct RunRecord {
+  ConsensusRunResult run;
+  std::vector<double> deltas;  ///< per-round ||dz||^2 from the observer
+  Vector z;
+  double s = 0.0;
+};
+
+using Driver = std::function<ConsensusRunResult(
+    std::vector<std::shared_ptr<ConsensusLearner>>&, ConsensusCoordinator&,
+    const RoundObserver&)>;
+
+RunRecord run_driver(const data::HorizontalPartition& partition,
+                     const AdmmParams& params, const Driver& driver) {
+  auto learners = make_learners(partition, params);
+  AveragingCoordinator coordinator(partition.shards.front().features() + 1);
+  RunRecord record;
+  const RoundObserver observer = [&](std::size_t) {
+    record.deltas.push_back(coordinator.last_delta_sq());
+  };
+  record.run = driver(learners, coordinator, observer);
+  record.z = coordinator.z();
+  record.s = coordinator.s();
+  return record;
+}
+
+void expect_identical(const RunRecord& a, const RunRecord& b) {
+  EXPECT_EQ(a.run.iterations, b.run.iterations);
+  EXPECT_EQ(a.run.converged, b.run.converged);
+  EXPECT_EQ(a.deltas, b.deltas);  // exact double equality, element-wise
+  EXPECT_EQ(a.z, b.z);
+  EXPECT_EQ(a.s, b.s);
+}
+
+AdmmParams base_params(std::uint64_t protocol_seed) {
+  AdmmParams params;
+  params.max_iterations = 8;
+  params.convergence_tolerance = 0.0;  // fixed-length runs compare all rounds
+  params.protocol_seed = protocol_seed;
+  return params;
+}
+
+constexpr std::uint64_t kProtocolSeeds[] = {1, 0x5eedULL, 0xDEADBEEFULL};
+
+// ---------------------------------------------------------------------------
+// Engine + InMemoryTransport vs the seed in-memory driver.
+// ---------------------------------------------------------------------------
+
+TEST(ConsensusEngineBitIdentity, FullParticipationSeededMasksMultiSeed) {
+  const auto partition = make_partition(4);
+  for (const std::uint64_t seed : kProtocolSeeds) {
+    const AdmmParams params = base_params(seed);
+    const RunRecord reference = run_driver(
+        partition, params,
+        [&](auto& learners, auto& coordinator, const RoundObserver& observer) {
+          return seedref::run_consensus_in_memory(learners, coordinator,
+                                                  params, observer);
+        });
+    const RunRecord engine_run = run_driver(
+        partition, params,
+        [&](auto& learners, auto& coordinator, const RoundObserver& observer) {
+          FullParticipation policy;
+          ConsensusEngine engine(learners, coordinator, params, policy);
+          InMemoryTransport transport;
+          return engine.run(transport, observer);
+        });
+    expect_identical(reference, engine_run);
+  }
+}
+
+TEST(ConsensusEngineBitIdentity, FullParticipationExchangedMasksMultiSeed) {
+  const auto partition = make_partition(4);
+  for (const std::uint64_t seed : kProtocolSeeds) {
+    AdmmParams params = base_params(seed);
+    params.mask_variant = crypto::MaskVariant::kExchangedMasks;
+    const RunRecord reference = run_driver(
+        partition, params,
+        [&](auto& learners, auto& coordinator, const RoundObserver& observer) {
+          return seedref::run_consensus_in_memory(learners, coordinator,
+                                                  params, observer);
+        });
+    const RunRecord engine_run = run_driver(
+        partition, params,
+        [&](auto& learners, auto& coordinator, const RoundObserver& observer) {
+          FullParticipation policy;
+          ConsensusEngine engine(learners, coordinator, params, policy);
+          InMemoryTransport transport;
+          return engine.run(transport, observer);
+        });
+    expect_identical(reference, engine_run);
+  }
+}
+
+TEST(ConsensusEngineBitIdentity, PartialParticipationMultiSeed) {
+  const auto partition = make_partition(5);
+  for (const std::uint64_t seed : kProtocolSeeds) {
+    for (const std::size_t per_round : {2u, 3u}) {
+      for (const std::uint64_t sampling_seed : {9ULL, 77ULL}) {
+        const AdmmParams params = base_params(seed);
+        const RunRecord reference = run_driver(
+            partition, params,
+            [&](auto& learners, auto& coordinator,
+                const RoundObserver& observer) {
+              return seedref::run_consensus_partial_participation(
+                  learners, coordinator, params, per_round, sampling_seed,
+                  observer);
+            });
+        const RunRecord engine_run = run_driver(
+            partition, params,
+            [&](auto& learners, auto& coordinator,
+                const RoundObserver& observer) {
+              PartialParticipation policy(per_round, sampling_seed);
+              ConsensusEngine engine(learners, coordinator, params, policy);
+              InMemoryTransport transport;
+              return engine.run(transport, observer);
+            });
+        expect_identical(reference, engine_run);
+      }
+    }
+  }
+}
+
+TEST(ConsensusEngineBitIdentity, ScheduledDropoutMultiSeed) {
+  const auto partition = make_partition(5);
+  DropoutSchedule schedule;
+  schedule.drops[2] = {1};
+  schedule.drops[5] = {3};
+  for (const std::uint64_t seed : kProtocolSeeds) {
+    const AdmmParams params = base_params(seed);
+    const RunRecord reference = run_driver(
+        partition, params,
+        [&](auto& learners, auto& coordinator, const RoundObserver& observer) {
+          return seedref::run_consensus_with_dropout(learners, coordinator,
+                                                     params, schedule,
+                                                     observer);
+        });
+    const RunRecord engine_run = run_driver(
+        partition, params,
+        [&](auto& learners, auto& coordinator, const RoundObserver& observer) {
+          ScheduledDropout policy(schedule);
+          ConsensusEngine engine(learners, coordinator, params, policy);
+          InMemoryTransport transport;
+          return engine.run(transport, observer);
+        });
+    expect_identical(reference, engine_run);
+  }
+}
+
+TEST(ConsensusEngineBitIdentity, DropoutWithExplicitThresholdAndSharingSeed) {
+  const auto partition = make_partition(5);
+  DropoutSchedule schedule;
+  schedule.drops[1] = {0, 4};
+  schedule.threshold = 2;
+  schedule.sharing_seed = 0xFEEDULL;
+  const AdmmParams params = base_params(0x5eedULL);
+  const RunRecord reference = run_driver(
+      partition, params,
+      [&](auto& learners, auto& coordinator, const RoundObserver& observer) {
+        return seedref::run_consensus_with_dropout(learners, coordinator,
+                                                   params, schedule, observer);
+      });
+  const RunRecord engine_run = run_driver(
+      partition, params,
+      [&](auto& learners, auto& coordinator, const RoundObserver& observer) {
+        ScheduledDropout policy(schedule);
+        ConsensusEngine engine(learners, coordinator, params, policy);
+        InMemoryTransport transport;
+        return engine.run(transport, observer);
+      });
+  expect_identical(reference, engine_run);
+}
+
+// The compatibility wrappers must be indistinguishable from the engine they
+// configure (and therefore from the seed drivers).
+TEST(ConsensusEngineBitIdentity, CompatibilityWrappersDelegateExactly) {
+  const auto partition = make_partition(4);
+  const AdmmParams params = base_params(0xABCDEFULL);
+
+  const RunRecord reference = run_driver(
+      partition, params,
+      [&](auto& learners, auto& coordinator, const RoundObserver& observer) {
+        return seedref::run_consensus_in_memory(learners, coordinator, params,
+                                                observer);
+      });
+  const RunRecord wrapper = run_driver(
+      partition, params,
+      [&](auto& learners, auto& coordinator, const RoundObserver& observer) {
+        return run_consensus_in_memory(learners, coordinator, params,
+                                       observer);
+      });
+  expect_identical(reference, wrapper);
+
+  const RunRecord partial_reference = run_driver(
+      partition, params,
+      [&](auto& learners, auto& coordinator, const RoundObserver& observer) {
+        return seedref::run_consensus_partial_participation(
+            learners, coordinator, params, 3, 21, observer);
+      });
+  const RunRecord partial_wrapper = run_driver(
+      partition, params,
+      [&](auto& learners, auto& coordinator, const RoundObserver& observer) {
+        return run_consensus_partial_participation(learners, coordinator,
+                                                   params, 3, 21, observer);
+      });
+  expect_identical(partial_reference, partial_wrapper);
+
+  DropoutSchedule schedule;
+  schedule.drops[3] = {2};
+  const RunRecord dropout_reference = run_driver(
+      partition, params,
+      [&](auto& learners, auto& coordinator, const RoundObserver& observer) {
+        return seedref::run_consensus_with_dropout(learners, coordinator,
+                                                   params, schedule, observer);
+      });
+  const RunRecord dropout_wrapper = run_driver(
+      partition, params,
+      [&](auto& learners, auto& coordinator, const RoundObserver& observer) {
+        return run_consensus_with_dropout(learners, coordinator, params,
+                                          schedule, observer);
+      });
+  expect_identical(dropout_reference, dropout_wrapper);
+}
+
+// Early convergence must trip on exactly the same round.
+TEST(ConsensusEngineBitIdentity, ConvergenceStopsOnTheSameRound) {
+  const auto partition = make_partition(4);
+  AdmmParams params = base_params(7);
+  params.max_iterations = 200;
+  params.convergence_tolerance = 1e-3;
+  const RunRecord reference = run_driver(
+      partition, params,
+      [&](auto& learners, auto& coordinator, const RoundObserver& observer) {
+        return seedref::run_consensus_in_memory(learners, coordinator, params,
+                                                observer);
+      });
+  const RunRecord engine_run = run_driver(
+      partition, params,
+      [&](auto& learners, auto& coordinator, const RoundObserver& observer) {
+        FullParticipation policy;
+        ConsensusEngine engine(learners, coordinator, params, policy);
+        InMemoryTransport transport;
+        return engine.run(transport, observer);
+      });
+  EXPECT_TRUE(engine_run.run.converged);
+  expect_identical(reference, engine_run);
+}
+
+// ---------------------------------------------------------------------------
+// FabricTransport vs InMemoryTransport under a zero-fault plan.
+// ---------------------------------------------------------------------------
+
+RunRecord run_on_cluster(const data::HorizontalPartition& partition,
+                         const AdmmParams& params) {
+  const std::size_t m = partition.learners();
+  mapreduce::ClusterConfig config;
+  config.num_nodes = m + 1;
+  config.fault_plan = mapreduce::FaultPlan{};  // explicitly fault-free
+  mapreduce::Cluster cluster(config);
+
+  std::vector<mapreduce::Bytes> shards;
+  shards.reserve(m);
+  for (const data::Dataset& shard : partition.shards)
+    shards.push_back(serialize_horizontal_shard(shard));
+  const LearnerFactory factory = [&](const mapreduce::Bytes& payload,
+                                     std::size_t) {
+    return std::make_shared<LinearHorizontalLearner>(
+        deserialize_horizontal_shard(payload), m, params);
+  };
+
+  AveragingCoordinator coordinator(partition.shards.front().features() + 1);
+  const ClusterTrainResult cluster_run = run_consensus_on_cluster(
+      cluster, shards, factory, coordinator,
+      partition.shards.front().features() + 1,
+      /*reducer_node=*/m, params);
+
+  RunRecord record;
+  record.run = cluster_run.run;
+  record.deltas = cluster_run.delta_trace;
+  record.z = coordinator.z();
+  record.s = coordinator.s();
+  return record;
+}
+
+TEST(ConsensusEngineBitIdentity, FabricMatchesInMemoryZeroFaultSeeded) {
+  const auto partition = make_partition(4);
+  for (const std::uint64_t seed : kProtocolSeeds) {
+    const AdmmParams params = base_params(seed);
+    const RunRecord in_memory = run_driver(
+        partition, params,
+        [&](auto& learners, auto& coordinator, const RoundObserver& observer) {
+          FullParticipation policy;
+          ConsensusEngine engine(learners, coordinator, params, policy);
+          InMemoryTransport transport;
+          return engine.run(transport, observer);
+        });
+    const RunRecord fabric = run_on_cluster(partition, params);
+    expect_identical(in_memory, fabric);
+  }
+}
+
+TEST(ConsensusEngineBitIdentity, FabricMatchesInMemoryZeroFaultExchanged) {
+  const auto partition = make_partition(4);
+  AdmmParams params = base_params(0x5eedULL);
+  params.mask_variant = crypto::MaskVariant::kExchangedMasks;
+  const RunRecord in_memory = run_driver(
+      partition, params,
+      [&](auto& learners, auto& coordinator, const RoundObserver& observer) {
+        FullParticipation policy;
+        ConsensusEngine engine(learners, coordinator, params, policy);
+        InMemoryTransport transport;
+        return engine.run(transport, observer);
+      });
+  const RunRecord fabric = run_on_cluster(partition, params);
+  expect_identical(in_memory, fabric);
+}
+
+// ---------------------------------------------------------------------------
+// Batched-session counters: the refactor's measurable win.
+// ---------------------------------------------------------------------------
+
+TEST(ConsensusEngineCounters, ExchangedVariantDerivesEachMaskStreamOnce) {
+  const auto partition = make_partition(4);
+  AdmmParams params = base_params(3);
+  params.mask_variant = crypto::MaskVariant::kExchangedMasks;
+  const std::size_t m = partition.learners();
+  const std::size_t rounds = params.max_iterations;
+
+  obs::MetricsRegistry metrics;
+  {
+    obs::Session session(nullptr, &metrics);
+    (void)run_driver(
+        partition, params,
+        [&](auto& learners, auto& coordinator, const RoundObserver& observer) {
+          FullParticipation policy;
+          ConsensusEngine engine(learners, coordinator, params, policy);
+          InMemoryTransport transport;
+          return engine.run(transport, observer);
+        });
+  }
+  // One ChaCha stream per ordered pair per round — the legacy driver
+  // derived each twice (once for the exchange, once inside the masking
+  // call), i.e. 2 * rounds * m * (m-1).
+  EXPECT_EQ(metrics.counter("crypto.masks_generated"),
+            static_cast<std::int64_t>(rounds * m * (m - 1)));
+  EXPECT_EQ(metrics.counter("crypto.sum.contributions"),
+            static_cast<std::int64_t>(rounds * m));
+  EXPECT_EQ(metrics.counter("crypto.masked_contributions"),
+            static_cast<std::int64_t>(rounds * m));
+}
+
+TEST(ConsensusEngineCounters, BatchedElemsCountWireVolume) {
+  const auto partition = make_partition(4);
+  const AdmmParams params = base_params(3);
+  const std::size_t m = partition.learners();
+  const std::size_t rounds = params.max_iterations;
+  const std::size_t dim = partition.shards.front().features() + 1;
+
+  obs::MetricsRegistry metrics;
+  {
+    obs::Session session(nullptr, &metrics);
+    (void)run_driver(
+        partition, params,
+        [&](auto& learners, auto& coordinator, const RoundObserver& observer) {
+          FullParticipation policy;
+          ConsensusEngine engine(learners, coordinator, params, policy);
+          InMemoryTransport transport;
+          return engine.run(transport, observer);
+        });
+  }
+  EXPECT_EQ(metrics.counter("crypto.sum.batched_elems"),
+            static_cast<std::int64_t>(rounds * m * dim));
+  EXPECT_EQ(metrics.counter("crypto.sum.batched_tensors"),
+            static_cast<std::int64_t>(rounds * m));
+  // One codec pass per contribution: dim encodes per learner per round.
+  EXPECT_EQ(metrics.counter("crypto.fp_encode"),
+            static_cast<std::int64_t>(rounds * m * dim));
+}
+
+// Instrumented runs must still be bit-identical to bare runs.
+TEST(ConsensusEngineCounters, MetricsDoNotPerturbTraining) {
+  const auto partition = make_partition(4);
+  const AdmmParams params = base_params(17);
+  const auto engine_driver = [&](auto& learners, auto& coordinator,
+                                 const RoundObserver& observer) {
+    FullParticipation policy;
+    ConsensusEngine engine(learners, coordinator, params, policy);
+    InMemoryTransport transport;
+    return engine.run(transport, observer);
+  };
+  const RunRecord bare = run_driver(partition, params, engine_driver);
+  obs::MetricsRegistry metrics;
+  RunRecord instrumented;
+  {
+    obs::Session session(nullptr, &metrics);
+    instrumented = run_driver(partition, params, engine_driver);
+  }
+  expect_identical(bare, instrumented);
+  EXPECT_FALSE(metrics.series("admm.z_delta_sq").empty());
+}
+
+}  // namespace
+}  // namespace ppml::core
