@@ -19,6 +19,7 @@
 #include "data/io.h"
 #include "data/standardize.h"
 #include "obs/obs.h"
+#include "obs/report.h"
 #include "svm/metrics.h"
 
 using namespace ppml;
@@ -42,6 +43,8 @@ struct CliOptions {
   std::optional<std::string> save_path;
   std::optional<std::string> trace_path;
   std::optional<std::string> metrics_path;
+  std::optional<std::string> flight_recorder_path;
+  std::optional<std::string> party_report_path;
 };
 
 void usage() {
@@ -60,7 +63,11 @@ void usage() {
       "  --cluster          run as a simulated MapReduce job\n"
       "  --save PATH        write the trained model (horizontal schemes)\n"
       "  --trace PATH       write a Chrome trace_event JSON (open in Perfetto)\n"
-      "  --metrics PATH     write run metrics as CSV\n");
+      "  --metrics PATH     write run metrics as CSV\n"
+      "  --flight-recorder PATH  keep a flight-recorder ring; dump it to\n"
+      "                     PATH on watchdog trips, check failures, fatal\n"
+      "                     errors and at run end\n"
+      "  --party-report PATH     write the per-party rollup JSON\n");
 }
 
 bool parse_args(int argc, char** argv, CliOptions& options) {
@@ -96,6 +103,8 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       else if (flag == "--save") options.save_path = value;
       else if (flag == "--trace") options.trace_path = value;
       else if (flag == "--metrics") options.metrics_path = value;
+      else if (flag == "--flight-recorder") options.flight_recorder_path = value;
+      else if (flag == "--party-report") options.party_report_path = value;
       else {
         std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
         return false;
@@ -186,13 +195,21 @@ int main(int argc, char** argv) {
     cluster_config.num_nodes = options.learners + 1;
 
     // Observability session around the whole training run. The root "run"
-    // span must close before export, hence the scope below.
+    // span must close before export, hence the scope below. Any obs flag
+    // installs the full session (trace + metrics + flight recorder) —
+    // the party report needs spans AND counter shards, and the recorder
+    // is the only half that pays off precisely when the run dies early.
+    const bool observe = options.trace_path || options.metrics_path ||
+                         options.flight_recorder_path ||
+                         options.party_report_path;
     obs::Tracer tracer;
     obs::MetricsRegistry metrics;
-    {
+    obs::FlightRecorder recorder;
+    if (options.flight_recorder_path)
+      recorder.arm_auto_dump(*options.flight_recorder_path);
+    try {
     std::optional<obs::Session> session;
-    if (options.trace_path || options.metrics_path)
-      session.emplace(&tracer, &metrics);
+    if (observe) session.emplace(&tracer, &metrics, &recorder);
     obs::Span run_span("run", "cli");
 
     if (options.scheme == "linear-h") {
@@ -278,6 +295,13 @@ int main(int argc, char** argv) {
       usage();
       return 1;
     }
+    } catch (const std::exception&) {
+      // The run died: preserve the ring's last moments (the armed path)
+      // before the outer handler turns this into an exit code. PPML_CHECK
+      // failures already dumped via the install-time hook; this catches
+      // JobError and friends.
+      recorder.dump_now("exception");
+      throw;
     }
 
     if (options.trace_path) {
@@ -300,6 +324,18 @@ int main(int argc, char** argv) {
         return 1;
       }
       std::printf("metrics written to %s\n", options.metrics_path->c_str());
+    }
+    if (options.flight_recorder_path) {
+      if (recorder.dump_now("run_complete"))
+        std::printf("flight recorder written to %s (%llu events recorded)\n",
+                    options.flight_recorder_path->c_str(),
+                    static_cast<unsigned long long>(recorder.recorded()));
+    }
+    if (options.party_report_path) {
+      obs::write_json_file(*options.party_report_path,
+                           obs::party_report_json(tracer, metrics));
+      std::printf("party report written to %s\n",
+                  options.party_report_path->c_str());
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

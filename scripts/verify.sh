@@ -8,7 +8,9 @@
 # threaded-gemm and consensus-engine paths exercise threads, retries, spans
 # into LRU-managed storage and ring arithmetic — exactly where ASan/UBSan
 # earn their keep), a bench smoke run that checks BENCH_qp.json is
-# well-formed (no performance gating), then the documentation link check.
+# well-formed (no performance gating), a bench regression gate that diffs
+# BENCH_fig4.json / BENCH_scalability.json / BENCH_qp.json against
+# bench/baselines/ via scripts/bench_check.py, then the doc link check.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -47,6 +49,20 @@ for size in report["cache_sweep"]:
             assert m["max_abs_diff_vs_dense"] == 0.0, m
 print("bench smoke: BENCH_qp.json OK")
 PYEOF
+
+# Bench regression gate: regenerate the deterministic reports and diff
+# them against the committed baselines (BENCH_qp.json was just written by
+# the smoke run above). Deterministic numerics
+# (counters, residual series, accuracies) must match exactly; timings only
+# fail on catastrophic drift — policy in scripts/bench_check.py.
+(cd build && ./bench/fig4_linear_horizontal >/dev/null)
+(cd build && ./bench/scalability >/dev/null)
+python3 scripts/bench_check.py build/BENCH_fig4.json \
+  bench/baselines/BENCH_fig4.json
+python3 scripts/bench_check.py build/BENCH_scalability.json \
+  bench/baselines/BENCH_scalability.json
+python3 scripts/bench_check.py build/BENCH_qp.json \
+  bench/baselines/BENCH_qp.json
 
 scripts/check_docs.sh
 

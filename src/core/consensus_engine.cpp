@@ -77,6 +77,53 @@ std::vector<std::size_t> ScheduledDropout::post_mask_drops(
   return dropped;
 }
 
+// --- divergence watchdog ---------------------------------------------------
+
+DivergenceWatchdog::DivergenceWatchdog(Config config) : config_(config) {
+  PPML_CHECK(config_.window >= 3,
+             "DivergenceWatchdog: window must be >= 3 rounds");
+  PPML_CHECK(config_.stall_epsilon > 0.0 && config_.stall_floor >= 0.0,
+             "DivergenceWatchdog: stall_epsilon must be > 0, stall_floor "
+             ">= 0");
+  primal_.reserve(config_.window);
+  dual_.reserve(config_.window);
+}
+
+bool DivergenceWatchdog::feed(double primal_sq, double dual_sq) {
+  if (tripped_) return false;
+  if (primal_.size() == config_.window) {
+    primal_.erase(primal_.begin());
+    dual_.erase(dual_.begin());
+  }
+  primal_.push_back(primal_sq);
+  dual_.push_back(dual_sq);
+  if (primal_.size() < config_.window) return false;
+
+  const auto strictly_growing = [](const std::vector<double>& v) {
+    for (std::size_t i = 1; i < v.size(); ++i)
+      if (!(v[i] > v[i - 1])) return false;
+    return true;
+  };
+  if (strictly_growing(primal_)) {
+    tripped_ = true;
+    reason_ = "divergence:primal";
+    return true;
+  }
+  if (strictly_growing(dual_)) {
+    tripped_ = true;
+    reason_ = "divergence:dual";
+    return true;
+  }
+  const auto [lo, hi] = std::minmax_element(primal_.begin(), primal_.end());
+  if (*lo > config_.stall_floor &&
+      (*hi - *lo) <= config_.stall_epsilon * *hi) {
+    tripped_ = true;
+    reason_ = "stall";
+    return true;
+  }
+  return false;
+}
+
 // --- in-memory transport ---------------------------------------------------
 
 ConsensusRunResult InMemoryTransport::run(ConsensusEngine& engine,
@@ -130,6 +177,10 @@ ConsensusEngine::ConsensusEngine(
   if (policy_.wants_recovery())
     session_.arm_recovery(policy_.recovery_threshold_request(),
                           policy_.recovery_sharing_seed());
+  if (params_.watchdog_window > 0)
+    watchdog_.emplace(DivergenceWatchdog::Config{
+        params_.watchdog_window, params_.watchdog_stall_epsilon,
+        params_.watchdog_stall_floor});
 }
 
 ConsensusEngine::ConsensusEngine(std::size_t num_learners,
@@ -143,6 +194,10 @@ ConsensusEngine::ConsensusEngine(std::size_t num_learners,
       session_(build_config(num_learners, params, policy)) {
   live_.resize(num_learners_);
   for (std::size_t i = 0; i < num_learners_; ++i) live_[i] = i;
+  if (params_.watchdog_window > 0)
+    watchdog_.emplace(DivergenceWatchdog::Config{
+        params_.watchdog_window, params_.watchdog_stall_epsilon,
+        params_.watchdog_stall_floor});
 }
 
 ConsensusRunResult ConsensusEngine::run(Transport& transport,
@@ -175,19 +230,27 @@ std::vector<Vector> ConsensusEngine::run_local_steps(
   const bool parallelize = params_.parallel_learners &&
                            participants.size() > 1 &&
                            std::thread::hardware_concurrency() > 1;
+  // One attribution root per learner: the span (and everything the QP
+  // solver counts underneath) bills to that party, serial or fanned out.
+  const auto step = [&](std::size_t k) {
+    const std::size_t party = participants[k];
+    obs::PartyScope scope(party);
+    obs::Span span("local_step", "core");
+    span.arg("party", static_cast<double>(party));
+    return learners[party]->local_step(broadcast_);
+  };
   if (parallelize) {
     std::vector<std::future<Vector>> futures;
     futures.reserve(participants.size());
-    for (std::size_t k = 0; k < participants.size(); ++k) {
-      futures.push_back(std::async(std::launch::async, [&, k] {
-        return learners[participants[k]]->local_step(broadcast_);
+    for (std::size_t k = 0; k < participants.size(); ++k)
+      futures.push_back(std::async(std::launch::async, [&step, k] {
+        return step(k);
       }));
-    }
     for (std::size_t k = 0; k < participants.size(); ++k)
       contributions[k] = futures[k].get();
   } else {
     for (std::size_t k = 0; k < participants.size(); ++k)
-      contributions[k] = learners[participants[k]]->local_step(broadcast_);
+      contributions[k] = step(k);
   }
   return contributions;
 }
@@ -279,6 +342,8 @@ Vector ConsensusEngine::combine_and_record(
     const std::vector<std::size_t>* active) {
   Vector next;
   {
+    // The z-update is coordinator (reducer-role) work in every transport.
+    obs::PartyScope reducer_scope(obs::kReducerParty);
     obs::Span update_span("admm_update", "core");
     next = coordinator_.combine(average);
   }
@@ -297,6 +362,16 @@ Vector ConsensusEngine::combine_and_record(
       primal += d * d;
     }
     metrics->append("admm.primal_residual_sq", primal);
+    if (watchdog_ &&
+        watchdog_->feed(primal, params_.rho * params_.rho * delta_sq)) {
+      // Trip exactly once: counter for the report, a flight event for the
+      // ring, and an automatic dump so the residual series that led here
+      // survives even if the run later crashes or is killed.
+      metrics->add("admm.watchdog.trips");
+      obs::flight_event(obs::FlightEventKind::kWatchdog, watchdog_->reason());
+      if (obs::FlightRecorder* recorder = obs::flight_recorder())
+        recorder->dump_now("watchdog:" + watchdog_->reason());
+    }
     if (learners_ != nullptr) {
       double objective = 0.0;
       bool any = false;

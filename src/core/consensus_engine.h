@@ -30,7 +30,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <string>
 
 #include "core/consensus.h"
 #include "crypto/secure_sum_session.h"
@@ -38,6 +40,45 @@
 namespace ppml::core {
 
 class ConsensusEngine;
+
+/// Observational tripwire over the ADMM residual series: feed() one
+/// (primal², dual²) pair per round and the watchdog flags a run that is
+/// going nowhere long before max_iterations burns out —
+///   divergence: a residual grew strictly monotonically across the whole
+///               window (ρ too aggressive, bad data split, a faulty
+///               transport corrupting the consensus state), or
+///   stall:      the primal residual's relative spread over the window is
+///               below stall_epsilon while still above stall_floor (flat
+///               but unconverged — classic step-size deadlock).
+/// The watchdog latches on first trip. It never touches the iterate — the
+/// ConsensusEngine only *reports* trips (admm.watchdog.trips counter, a
+/// kWatchdog flight event and an automatic flight-recorder dump).
+class DivergenceWatchdog {
+ public:
+  struct Config {
+    std::size_t window = 8;       ///< rounds examined per verdict (>= 3)
+    double stall_epsilon = 1e-3;  ///< relative spread considered "flat"
+    double stall_floor = 1e-8;    ///< primal² below this is converging, not
+                                  ///< stalled — never trip underneath it
+  };
+
+  explicit DivergenceWatchdog(Config config);
+
+  /// Record one round's squared residuals. Returns true exactly once: on
+  /// the feed that trips the watchdog.
+  bool feed(double primal_sq, double dual_sq);
+
+  bool tripped() const noexcept { return tripped_; }
+  /// "divergence:primal", "divergence:dual" or "stall" once tripped.
+  const std::string& reason() const noexcept { return reason_; }
+
+ private:
+  Config config_;
+  std::vector<double> primal_;  ///< sliding window, oldest first
+  std::vector<double> dual_;
+  bool tripped_ = false;
+  std::string reason_;
+};
 
 /// WHO participates in each round, and how losses are scheduled. Policies
 /// may be stateful across rounds (the partial-participation sampler is);
@@ -207,6 +248,10 @@ class ConsensusEngine {
   void arm_fabric_recovery(std::size_t threshold_request);
 
   bool converged() const noexcept { return converged_; }
+  /// The divergence watchdog, or nullptr when params.watchdog_window == 0.
+  const DivergenceWatchdog* watchdog() const noexcept {
+    return watchdog_ ? &*watchdog_ : nullptr;
+  }
   double last_delta_sq() const { return coordinator_.last_delta_sq(); }
   const Vector& broadcast() const noexcept { return broadcast_; }
   const AdmmParams& params() const noexcept { return params_; }
@@ -241,6 +286,7 @@ class ConsensusEngine {
   bool converged_ = false;
   bool fabric_recovery_ = false;
   std::size_t fabric_threshold_request_ = 0;
+  std::optional<DivergenceWatchdog> watchdog_;
 };
 
 }  // namespace ppml::core

@@ -45,6 +45,15 @@ struct AdmmParams {
   /// in learner order). Ignored on single-core hosts, where concurrent QP
   /// solves only thrash the cache.
   bool parallel_learners = true;
+
+  /// Residual watchdog (core::DivergenceWatchdog): flag a run whose ADMM
+  /// residuals diverge or stall over a `watchdog_window`-round window.
+  /// 0 disables (the default — purely observational; trips only report,
+  /// never alter the iterate). Fed only while a metrics session is
+  /// installed, since the residual series exists only then.
+  std::size_t watchdog_window = 0;
+  double watchdog_stall_epsilon = 1e-3;
+  double watchdog_stall_floor = 1e-8;
 };
 
 /// One row of the paper's Fig. 4 series for a run.

@@ -114,6 +114,9 @@ std::vector<std::uint64_t> SecureSumSession::contribute(
              "exchange_round/contribute_exchanged for exchanged masks)");
   PPML_CHECK(party < config_.num_parties,
              "SecureSumSession::contribute: bad party id");
+  // Mask expansion bills to the contributing party even when the caller
+  // (e.g. the in-memory ConsensusEngine) runs every party on one thread.
+  obs::PartyScope scope(party);
   const std::span<const double> values = batch(tensors);
   if (mask_set.size() == config_.num_parties)
     return parties_[party].masked_contribution(values, round);
@@ -124,8 +127,10 @@ void SecureSumSession::exchange_round(std::size_t round, std::size_t dim) {
   PPML_CHECK(config_.variant == MaskVariant::kExchangedMasks,
              "SecureSumSession::exchange_round: exchanged variant only");
   sent_.resize(config_.num_parties);
-  for (std::size_t i = 0; i < config_.num_parties; ++i)
+  for (std::size_t i = 0; i < config_.num_parties; ++i) {
+    obs::PartyScope scope(i);  // each party expands its own mask streams
     sent_[i] = parties_[i].outgoing_masks(round, dim);
+  }
   exchange_round_ = round;
 }
 
@@ -138,6 +143,7 @@ std::vector<std::uint64_t> SecureSumSession::contribute_exchanged(
   PPML_CHECK(exchange_round_ == round,
              "SecureSumSession::contribute_exchanged: call exchange_round "
              "for this round first");
+  obs::PartyScope scope(party);
   const std::span<const double> values = batch(tensors);
   std::vector<std::uint64_t> out = codec_.encode_vector(values);
   // Same ring algebra as SecureSumParty::masked_contribution — + Sed_i then
@@ -165,6 +171,8 @@ std::vector<double> SecureSumSession::reduce_average(
     ReduceAudit* audit) {
   PPML_CHECK(!present.empty(), "SecureSumSession::reduce_average: no "
                                "contributions present");
+  // Unmasking and dropout recovery are reducer work by definition.
+  obs::PartyScope scope(obs::kReducerParty);
   std::vector<std::uint64_t> acc;
   for (std::size_t i : present) {
     PPML_CHECK(i < contributions.size() && !contributions[i].empty(),

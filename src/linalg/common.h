@@ -1,6 +1,7 @@
 // Common error-handling and small utilities shared across the ppml library.
 #pragma once
 
+#include <atomic>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -26,12 +27,27 @@ class NumericError : public Error {
 };
 
 namespace detail {
+/// Optional observer invoked with the message of every PPML_CHECK failure
+/// just before the throw. This header sits at the bottom of the module
+/// graph, so the observability layer (which wants to dump its flight
+/// recorder on a failed check) reaches it through a function pointer
+/// instead of a dependency edge — same pattern as linalg's counter hook.
+/// The hook must not throw and must not itself fail a PPML_CHECK.
+inline std::atomic<void (*)(const char*)> g_check_failure_hook{nullptr};
+
+inline void set_check_failure_hook(void (*hook)(const char*)) noexcept {
+  g_check_failure_hook.store(hook, std::memory_order_release);
+}
+
 [[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
                                              int line, const std::string& msg) {
   std::ostringstream os;
   os << "PPML_CHECK failed: (" << expr << ") at " << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;
-  throw InvalidArgument(os.str());
+  const std::string what = os.str();
+  if (auto* hook = g_check_failure_hook.load(std::memory_order_acquire))
+    hook(what.c_str());
+  throw InvalidArgument(what);
 }
 }  // namespace detail
 

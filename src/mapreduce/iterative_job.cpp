@@ -50,6 +50,12 @@ double lower_median(std::vector<double> values) {
   return values[k];
 }
 
+/// Record one flow point iff tracing is on and the flow exists (id != 0).
+void flow_point(char phase, std::uint64_t id, const char* name) {
+  if (id == 0) return;
+  if (obs::Tracer* tracer = obs::tracer()) tracer->flow(phase, id, name);
+}
+
 }  // namespace
 
 IterativeJob::IterativeJob(Cluster& cluster, JobConfig config)
@@ -116,6 +122,10 @@ void IterativeJob::mark_lost(std::size_t index, JobStats& stats) {
   live_[index] = false;
   states_[index] = MapperState::kDropped;
   ++stats.mappers_lost;
+  obs::flight_event(obs::FlightEventKind::kMark,
+                    "mapper.dropped:" + std::to_string(index),
+                    /*value=*/0.0, /*trace_id=*/0,
+                    /*party=*/static_cast<int>(index));
 }
 
 std::vector<std::size_t> IterativeJob::live_mappers() const {
@@ -136,8 +146,11 @@ void IterativeJob::check_quorum() const {
 
 void IterativeJob::notify_membership() {
   const std::vector<std::size_t> live = live_mappers();
-  for (std::size_t i : live)
+  for (std::size_t i : live) {
+    obs::PartyScope scope(i);
     mappers_[i].mapper->on_membership_change(live, epoch_);
+  }
+  obs::PartyScope reducer_scope(obs::kReducerParty);
   reducer_->on_membership_change(live, epoch_);
 }
 
@@ -164,6 +177,12 @@ JobStats IterativeJob::run(Bytes initial_broadcast) {
     std::size_t key;  ///< caller-defined identity (mapper index, outbox slot)
     NodeId from = 0;
     NodeId to = 0;
+    /// Attribution tags: which protocol party pays for the send and which
+    /// is charged at drain time (obs::PartyScope around the fabric calls).
+    int sender_party = obs::kNoParty;
+    int receiver_party = obs::kNoParty;
+    /// Flow id stamped onto the envelope (Message::trace_id); 0 = untraced.
+    std::uint64_t flow = 0;
   };
   const auto deliver = [&](const char* channel, std::vector<Pending> pending,
                            const std::function<Bytes(std::size_t)>& frame_body,
@@ -182,16 +201,31 @@ JobStats IterativeJob::run(Bytes initial_broadcast) {
             "job.message_retries", static_cast<std::int64_t>(pending.size()));
       }
       for (const Pending& p : pending) {
-        network.send(
-            Message{p.from, p.to, channel, crc_frame(frame_body(p.key))});
+        // The sender's party pays for the wire: Network::send charges
+        // net.bytes/net.messages to the ambient PartyScope. Each (re)send
+        // attempt is a flow step, so a retried contribution shows up in
+        // Perfetto as extra arrow hops through the phase slice.
+        obs::PartyScope sender_scope(p.sender_party);
+        flow_point('t', p.flow, channel);
+        network.send(Message{p.from, p.to, channel,
+                             crc_frame(frame_body(p.key)), p.flow});
       }
       network.end_phase();
       std::vector<bool> drained(cluster_.num_nodes(), false);
       for (const Pending& p : pending) {
         if (drained[p.to]) continue;
         drained[p.to] = true;
+        // Receive-side accounting is attributed per destination *node*: the
+        // first pending entry for the node claims everything drained there
+        // (co-located mappers share a NIC, so this matches the fabric).
+        obs::PartyScope receiver_scope(p.receiver_party);
         for (Message& message : network.drain(p.to)) {
           if (message.channel != channel) continue;
+          if (obs::metrics() != nullptr) {
+            obs::count("net.messages.in");
+            obs::count("net.bytes.in",
+                       static_cast<std::int64_t>(message.payload.size()));
+          }
           if (!crc_check(message.payload)) {
             ++stats.frames_rejected;
             continue;
@@ -218,6 +252,13 @@ JobStats IterativeJob::run(Bytes initial_broadcast) {
     iteration_span.arg("round", static_cast<double>(round));
     ++stats.rounds;
     network.set_round(round);
+
+    // Flow ids (0 = untraced) chaining this round's protocol messages to
+    // the spans that produce and consume them: broadcast flows start in the
+    // driver's broadcast slice and finish in each mapper's map_task span;
+    // contribution flows start in map_task and finish in the reduce span.
+    std::vector<std::uint64_t> broadcast_flow(m, 0);
+    std::vector<std::uint64_t> contribution_flow(m, 0);
 
     // Scheduled revivals land before placement, so a recovered node can
     // serve reads (and host rejoining mappers) this round.
@@ -262,6 +303,7 @@ JobStats IterativeJob::run(Bytes initial_broadcast) {
         continue;
       }
       if (!mappers_[i].configured) {
+        obs::PartyScope scope(i);
         mappers_[i].mapper->configure(cluster_.storage(), mapper_nodes_[i]);
         mappers_[i].configured = true;
       }
@@ -273,8 +315,16 @@ JobStats IterativeJob::run(Bytes initial_broadcast) {
     {
       PhaseSpan broadcast_span("broadcast", network);
       std::vector<Pending> sends;
-      for (std::size_t i = 0; i < m; ++i)
-        if (live_[i]) sends.push_back({i, reducer_node_, mapper_nodes_[i]});
+      for (std::size_t i = 0; i < m; ++i) {
+        if (!live_[i]) continue;
+        if (obs::Tracer* tracer = obs::tracer()) {
+          broadcast_flow[i] = tracer->new_flow_id();
+          tracer->flow('s', broadcast_flow[i], "broadcast");
+        }
+        sends.push_back({i, reducer_node_, mapper_nodes_[i],
+                         obs::kReducerParty, static_cast<int>(i),
+                         broadcast_flow[i]});
+      }
       const auto body = [&](std::size_t i) {
         Writer writer;
         writer.put_u64(i);
@@ -304,8 +354,11 @@ JobStats IterativeJob::run(Bytes initial_broadcast) {
     if (!premap_lost.empty()) {
       // Survivors (and the reducer) learn the shrunken set before any mask
       // is derived, so this round needs no sum correction.
-      for (std::size_t i : premap_lost)
-        reducer_->on_mapper_lost(round, i, /*masked_this_round=*/false);
+      {
+        obs::PartyScope reducer_scope(obs::kReducerParty);
+        for (std::size_t i : premap_lost)
+          reducer_->on_mapper_lost(round, i, /*masked_this_round=*/false);
+      }
       notify_membership();
     }
 
@@ -324,6 +377,8 @@ JobStats IterativeJob::run(Bytes initial_broadcast) {
     std::vector<PeerMessage> outbox;
     for (std::size_t i = 0; i < m; ++i) {
       if (!live_[i]) continue;
+      // Mask derivation (ChaCha expansion inside exchange) bills to party i.
+      obs::PartyScope exchange_scope(i);
       for (auto& [peer, payload] : mappers_[i].mapper->exchange(round)) {
         PPML_CHECK(peer < m, "IterativeJob: exchange peer out of range");
         if (!live_[peer]) continue;  // departed peers get nothing
@@ -334,7 +389,9 @@ JobStats IterativeJob::run(Bytes initial_broadcast) {
       std::vector<Pending> sends;
       for (std::size_t k = 0; k < outbox.size(); ++k) {
         sends.push_back({k, mapper_nodes_[outbox[k].sender],
-                         mapper_nodes_[outbox[k].dest]});
+                         mapper_nodes_[outbox[k].dest],
+                         static_cast<int>(outbox[k].sender),
+                         static_cast<int>(outbox[k].dest), 0});
       }
       const auto body = [&](std::size_t k) {
         Writer writer;
@@ -412,6 +469,16 @@ JobStats IterativeJob::run(Bytes initial_broadcast) {
     cluster_.executor().parallel_for(active.size(), [&](std::size_t k) {
       const std::size_t i = active[k];
       try {
+        // Everything the mapper does (local ADMM step, masking) is party
+        // i's compute; the span links the incoming broadcast flow to the
+        // outgoing contribution flow, which the reduce span will finish.
+        obs::PartyScope party_scope(i);
+        obs::Span task_span("map_task", "mapreduce");
+        task_span.arg("party", static_cast<double>(i));
+        task_span.arg("round", static_cast<double>(round));
+        flow_point('f', broadcast_flow[i], "broadcast");
+        if (obs::Tracer* tracer = obs::tracer())
+          contribution_flow[i] = tracer->new_flow_id();
         const auto start = std::chrono::steady_clock::now();
         contributions[i] =
             mappers_[i].mapper->map(round, broadcast, inboxes[i]);
@@ -419,6 +486,7 @@ JobStats IterativeJob::run(Bytes initial_broadcast) {
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           start)
                 .count();
+        flow_point('s', contribution_flow[i], "contribution");
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!map_error) map_error = std::current_exception();
@@ -453,6 +521,9 @@ JobStats IterativeJob::run(Bytes initial_broadcast) {
     for (const NodeEvent& event : plan.crashes) {
       if (event.round != round || event.node >= cluster_.num_nodes()) continue;
       cluster_.kill_node(event.node);
+      obs::flight_event(obs::FlightEventKind::kFault,
+                        "crash:node" + std::to_string(event.node),
+                        static_cast<double>(round));
       if (event.node == reducer_node_) {
         throw JobError("reducer node crashed at round " +
                        std::to_string(round) +
@@ -479,7 +550,10 @@ JobStats IterativeJob::run(Bytes initial_broadcast) {
       PhaseSpan contribute_span("contribute", network);
       std::vector<Pending> sends;
       for (std::size_t i : active)
-        if (live_[i]) sends.push_back({i, mapper_nodes_[i], reducer_node_});
+        if (live_[i])
+          sends.push_back({i, mapper_nodes_[i], reducer_node_,
+                           static_cast<int>(i), obs::kReducerParty,
+                           contribution_flow[i]});
       const auto body = [&](std::size_t i) {
         Writer writer;
         writer.put_u64(i);
@@ -512,11 +586,21 @@ JobStats IterativeJob::run(Bytes initial_broadcast) {
     //    reducer's mask bookkeeping must still reflect the set the
     //    survivors actually masked against.
     std::sort(postmap_lost.begin(), postmap_lost.end());
-    for (std::size_t i : postmap_lost)
-      reducer_->on_mapper_lost(round, i, /*masked_this_round=*/true);
+    {
+      obs::PartyScope reducer_scope(obs::kReducerParty);
+      for (std::size_t i : postmap_lost)
+        reducer_->on_mapper_lost(round, i, /*masked_this_round=*/true);
+    }
     check_quorum();
     {
       obs::Span reduce_span("reduce", "mapreduce");
+      // Finish the contribution flows that actually arrived: each live
+      // mapper's arrow terminates inside the reduce slice that consumed
+      // its wire bytes (a crashed/undelivered one ends at its last 't').
+      for (std::size_t i : active)
+        if (!contributions[i].empty())
+          flow_point('f', contribution_flow[i], "contribution");
+      obs::PartyScope reducer_scope(obs::kReducerParty);
       broadcast = reducer_->reduce(round, contributions);
     }
     if (!postmap_lost.empty()) notify_membership();

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "crypto/prng.h"
+#include "obs/flight_recorder.h"
+#include "obs/obs.h"
 
 namespace ppml::mapreduce {
 
@@ -21,6 +23,16 @@ std::uint64_t fnv1a(const std::string& s) {
 
 double unit_roll(crypto::SplitMix64& gen) {
   return static_cast<double>(gen.next() >> 11) * 0x1.0p-53;
+}
+
+// Injected faults land in the flight recorder so a chaos postmortem shows
+// *which* message died, on which channel, carrying which flow id.
+void record_fault(const char* kind, const Message& message) {
+  if (obs::flight_recorder() == nullptr) return;
+  obs::flight_event(obs::FlightEventKind::kFault,
+                    std::string(kind) + ":" + message.channel,
+                    static_cast<double>(message.payload.size()),
+                    message.trace_id);
 }
 
 }  // namespace
@@ -85,6 +97,14 @@ void Network::send(Message message) {
   ChannelStats& stats = stats_[message.channel];
   stats.messages += 1;
   stats.bytes += message.payload.size();
+  // Party-attributed mirrors of the channel stats: the driver wraps each
+  // send in a PartyScope, so these shards roll up per mapper/reducer while
+  // their sums stay exactly equal to totals() (duplicates count double in
+  // both; drops count in both — the bytes left the NIC either way).
+  if (obs::metrics() != nullptr) {
+    obs::count("net.messages");
+    obs::count("net.bytes", static_cast<std::int64_t>(message.payload.size()));
+  }
   // Loopback messages are free in the latency model (local handoff), but
   // still counted in channel stats so protocol message counts stay exact.
   // They are also exempt from fault injection: a local handoff cannot be
@@ -100,6 +120,7 @@ void Network::send(Message message) {
     if (plan_.partitioned(round_, message.from, message.to)) {
       ++fault_stats_.messages_partitioned;
       ++fault_stats_.messages_dropped;
+      record_fault("partition", message);
       return;  // the wire between the islands is cut
     }
     const ChannelFaults& faults = plan_.faults_for(message.channel);
@@ -115,24 +136,33 @@ void Network::send(Message message) {
                                (sequence * 0xD6E8FEB86659FD93ULL));
       if (unit_roll(rolls) < faults.drop) {
         ++fault_stats_.messages_dropped;
+        record_fault("drop", message);
         return;  // latency + stats already accrued: the bytes left the NIC
       }
       if (unit_roll(rolls) < faults.corrupt && !message.payload.empty()) {
         ++fault_stats_.messages_corrupted;
+        record_fault("corrupt", message);
         const std::uint64_t where = rolls.next();
         message.payload[where % message.payload.size()] ^= 0x5A;
         message.payload[(where >> 32) % message.payload.size()] ^= 0xA5;
       }
       if (unit_roll(rolls) < faults.duplicate) {
         ++fault_stats_.messages_duplicated;
+        record_fault("duplicate", message);
         copies = 2;
         stats.messages += 1;
         stats.bytes += message.payload.size();
+        if (obs::metrics() != nullptr) {
+          obs::count("net.messages");
+          obs::count("net.bytes",
+                     static_cast<std::int64_t>(message.payload.size()));
+        }
         phase_send_seconds_[message.from] +=
             latency_.cost(message.payload.size());
       }
       if (unit_roll(rolls) < faults.delay) {
         ++fault_stats_.messages_delayed;
+        record_fault("delay", message);
         phase_send_seconds_[message.from] += faults.extra_delay_seconds;
       }
     }

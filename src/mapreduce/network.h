@@ -32,6 +32,10 @@ struct Message {
   NodeId to = 0;
   std::string channel;  ///< e.g. "broadcast", "peer-mask", "contribution"
   Bytes payload;
+  /// Observability flow id (obs::Tracer::new_flow_id; 0 = untraced). An
+  /// in-memory envelope field only: it is NOT part of the payload, so byte
+  /// accounting, latency and fault rolls are identical traced or untraced.
+  std::uint64_t trace_id = 0;
 };
 
 struct ChannelStats {

@@ -1,0 +1,122 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "linalg/common.h"
+#include "obs/json.h"
+#include "obs/party.h"
+
+namespace ppml::obs {
+
+const char* flight_event_kind_name(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kSpanClose: return "span_close";
+    case FlightEventKind::kCounter: return "counter";
+    case FlightEventKind::kSeries: return "series";
+    case FlightEventKind::kFault: return "fault";
+    case FlightEventKind::kWatchdog: return "watchdog";
+    case FlightEventKind::kCheckFailure: return "check_failure";
+    case FlightEventKind::kMark: return "mark";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()), slots_(capacity) {
+  PPML_CHECK(capacity >= 1, "FlightRecorder: capacity must be >= 1");
+}
+
+std::uint64_t FlightRecorder::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void FlightRecorder::record(FlightEventKind kind, std::string_view label,
+                            double value, std::uint64_t trace_id, int party) {
+  const std::uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq % slots_.size()];
+  // Seqlock write: odd stamp while the payload is inconsistent, then the
+  // even stamp 2*seq + 2 publishes it. A reader seeing unequal or odd
+  // stamps discards the slot. Writers that lap each other race on the same
+  // slot; the last even stamp wins and identifies whose payload survived.
+  slot.stamp.store(2 * seq + 1, std::memory_order_release);
+  FlightEvent& e = slot.event;
+  e.seq = seq;
+  e.t_ns = now_ns();
+  e.kind = kind;
+  e.party = party == kAmbientParty ? current_party() : party;
+  e.trace_id = trace_id;
+  e.value = value;
+  const std::size_t n = std::min(label.size(), sizeof(e.label) - 1);
+  std::memcpy(e.label, label.data(), n);
+  e.label[n] = '\0';
+  slot.stamp.store(2 * seq + 2, std::memory_order_release);
+}
+
+std::uint64_t FlightRecorder::recorded() const noexcept {
+  return head_.load(std::memory_order_relaxed);
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::vector<FlightEvent> out;
+  out.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    const std::uint64_t before = slot.stamp.load(std::memory_order_acquire);
+    if (before == 0 || before % 2 == 1) continue;  // empty or mid-write
+    FlightEvent copy = slot.event;
+    const std::uint64_t after = slot.stamp.load(std::memory_order_acquire);
+    if (after != before) continue;  // torn by a concurrent writer — drop
+    copy.seq = (before - 2) / 2;    // the stamp names the surviving writer
+    out.push_back(copy);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+void FlightRecorder::dump_json(std::ostream& os,
+                               const std::string& reason) const {
+  const std::vector<FlightEvent> events = snapshot();
+  JsonValue rows = JsonValue::array();
+  for (const FlightEvent& e : events) {
+    JsonValue row = JsonValue::object();
+    row.set("seq", static_cast<std::size_t>(e.seq));
+    row.set("t_ns", static_cast<double>(e.t_ns));
+    row.set("kind", flight_event_kind_name(e.kind));
+    row.set("label", std::string(e.label));
+    if (e.party != kNoParty) row.set("party", party_label(e.party));
+    if (e.trace_id != 0)
+      row.set("trace_id", static_cast<std::size_t>(e.trace_id));
+    row.set("value", e.value);
+    rows.push(std::move(row));
+  }
+  JsonValue body = JsonValue::object();
+  body.set("capacity", slots_.size());
+  body.set("recorded", static_cast<std::size_t>(recorded()));
+  if (!reason.empty()) body.set("reason", reason);
+  body.set("events", std::move(rows));
+  JsonValue root = JsonValue::object();
+  root.set("flight_recorder", std::move(body));
+  root.dump(os, 1);
+  os << '\n';
+}
+
+void FlightRecorder::arm_auto_dump(std::string path) {
+  auto_dump_path_ = std::move(path);
+}
+
+bool FlightRecorder::dump_now(const std::string& reason) const {
+  if (auto_dump_path_.empty()) return false;
+  std::ofstream out(auto_dump_path_);
+  if (!out.good()) return false;  // post-mortem path — never throw here
+  dump_json(out, reason);
+  return out.good();
+}
+
+}  // namespace ppml::obs

@@ -1,0 +1,126 @@
+// Flight recorder: a fixed-capacity lock-free ring of recent structured
+// events, kept cheap enough to leave on for a whole chaos run and dumped
+// to JSON when something goes wrong.
+//
+// A crashed or diverging run is exactly the run whose trace file never got
+// written. The recorder holds the last N events — span closes, counter
+// deltas, fault injections, per-round ADMM residual appends, watchdog
+// trips — in a preallocated ring, so the moments *before* a fault are
+// always available for post-mortem. Dumps are triggered by the
+// ConsensusEngine divergence watchdog, by a `PPML_CHECK` failure (via the
+// hook in linalg/common.h that obs::install wires up), or explicitly.
+//
+// Concurrency: record() is wait-free for writers (one fetch_add to claim a
+// slot plus a seqlock stamp around the payload write); snapshot() is
+// tear-free without blocking writers — a slot whose stamp changed mid-copy
+// is simply discarded. Events carry fixed-size labels, so recording never
+// allocates after construction.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppml::obs {
+
+enum class FlightEventKind : std::uint8_t {
+  kSpanClose,     ///< a tracer span ended (value = duration in seconds)
+  kCounter,       ///< a counter increment (value = delta)
+  kSeries,        ///< a series append, e.g. an ADMM residual (value = point)
+  kFault,         ///< an injected fabric/cluster fault (label names it)
+  kWatchdog,      ///< the divergence watchdog tripped (label = reason)
+  kCheckFailure,  ///< a PPML_CHECK failed (label = truncated message)
+  kMark,          ///< a driver lifecycle note (mapper dropped/rejoined, ...)
+};
+
+const char* flight_event_kind_name(FlightEventKind kind);
+
+struct FlightEvent {
+  std::uint64_t seq = 0;   ///< global record order (monotone)
+  std::uint64_t t_ns = 0;  ///< since recorder construction (steady clock)
+  FlightEventKind kind = FlightEventKind::kMark;
+  int party = 0;               ///< obs::current_party() at record time
+  std::uint64_t trace_id = 0;  ///< flow/envelope id when relevant, else 0
+  double value = 0.0;
+  char label[80] = {};  ///< NUL-terminated, truncated to fit
+};
+
+class FlightRecorder {
+ public:
+  /// Sentinel for record()'s `party`: "read the calling thread's scope".
+  static constexpr int kAmbientParty = -1000000;
+
+  explicit FlightRecorder(std::size_t capacity = 4096);
+
+  /// Append one event (wait-free; label truncated to the fixed field).
+  void record(FlightEventKind kind, std::string_view label,
+              double value = 0.0, std::uint64_t trace_id = 0,
+              int party = kAmbientParty);
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+  /// Total events ever recorded (may exceed capacity once wrapped).
+  std::uint64_t recorded() const noexcept;
+
+  /// Consistent copy of the ring's current contents in record order
+  /// (oldest surviving event first). Does not block writers.
+  std::vector<FlightEvent> snapshot() const;
+
+  /// Dump the ring as JSON: {"flight_recorder": {"capacity":, "recorded":,
+  /// "reason":, "events": [...]}}.
+  void dump_json(std::ostream& os, const std::string& reason = "") const;
+
+  /// Arm automatic dumps: dump_now() (called on watchdog trips and
+  /// PPML_CHECK failures) writes the ring to `path`. Unarmed, dump_now()
+  /// is a no-op. Arm before the run starts; the path is not synchronized
+  /// against concurrent record() (it never needs to be — recording does
+  /// not read it).
+  void arm_auto_dump(std::string path);
+  bool armed() const noexcept { return !auto_dump_path_.empty(); }
+  const std::string& auto_dump_path() const noexcept {
+    return auto_dump_path_;
+  }
+
+  /// Write the ring to the armed path (no-op when unarmed). Returns true
+  /// when a dump was written.
+  bool dump_now(const std::string& reason) const;
+
+ private:
+  struct Slot {
+    /// 0 = never written; odd = write in progress; even = 2*seq + 2.
+    std::atomic<std::uint64_t> stamp{0};
+    FlightEvent event;
+  };
+
+  std::uint64_t now_ns() const;
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint64_t> head_{0};  ///< next sequence number
+  std::vector<Slot> slots_;
+  std::string auto_dump_path_;
+};
+
+// --- process-global recorder (installed alongside the obs session) --------
+
+namespace detail {
+inline std::atomic<FlightRecorder*> g_recorder{nullptr};
+}  // namespace detail
+
+/// Currently installed recorder, or nullptr when none is flying.
+inline FlightRecorder* flight_recorder() noexcept {
+  return detail::g_recorder.load(std::memory_order_relaxed);
+}
+
+/// Hook helper: record an event iff a recorder is installed (one relaxed
+/// atomic load on the disabled path, like every other obs hook).
+inline void flight_event(FlightEventKind kind, std::string_view label,
+                         double value = 0.0, std::uint64_t trace_id = 0,
+                         int party = FlightRecorder::kAmbientParty) {
+  if (FlightRecorder* r = flight_recorder())
+    r->record(kind, label, value, trace_id, party);
+}
+
+}  // namespace ppml::obs

@@ -4,13 +4,21 @@
 #include <cmath>
 
 #include "linalg/common.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
+#include "obs/party.h"
 
 namespace ppml::obs {
 
 void MetricsRegistry::add(const std::string& name, std::int64_t by) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  counters_[name] += by;
+  const int party = current_party();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_[name] += by;
+    party_counters_[name][party] += by;
+  }
+  flight_event(FlightEventKind::kCounter, name, static_cast<double>(by),
+               /*trace_id=*/0, party);
 }
 
 std::int64_t MetricsRegistry::counter(const std::string& name) const {
@@ -22,6 +30,21 @@ std::int64_t MetricsRegistry::counter(const std::string& name) const {
 std::map<std::string, std::int64_t> MetricsRegistry::counters() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return counters_;
+}
+
+std::int64_t MetricsRegistry::party_counter(const std::string& name,
+                                            int party) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = party_counters_.find(name);
+  if (it == party_counters_.end()) return 0;
+  const auto shard = it->second.find(party);
+  return shard == it->second.end() ? 0 : shard->second;
+}
+
+std::map<std::string, std::map<int, std::int64_t>>
+MetricsRegistry::party_counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return party_counters_;
 }
 
 void MetricsRegistry::set_gauge(const std::string& name, double value) {
@@ -93,6 +116,29 @@ void MetricsRegistry::observe(const std::string& name, double value) {
   h.sum += value;
 }
 
+double HistogramSnapshot::quantile(double q) const {
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based); walk the cumulative counts
+  // to the bucket containing it, then interpolate linearly between the
+  // bucket's edges by the rank's position inside the bucket.
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double below = static_cast<double>(cumulative);
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    const double lo = i == 0 ? min : upper_bounds[i - 1];
+    const double hi = i < upper_bounds.size() ? upper_bounds[i] : max;
+    const double within =
+        (rank - below) / static_cast<double>(counts[i]);  // in (0, 1]
+    const double estimate = lo + (hi - lo) * within;
+    return std::clamp(estimate, min, max);
+  }
+  return max;
+}
+
 HistogramSnapshot MetricsRegistry::histogram(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   HistogramSnapshot snapshot;
@@ -115,8 +161,13 @@ std::vector<std::string> MetricsRegistry::histogram_names() const {
 }
 
 void MetricsRegistry::append(const std::string& name, double value) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  series_[name].push_back(value);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    series_[name].push_back(value);
+  }
+  // Residual curves and friends land in the flight recorder too, so a
+  // post-mortem dump shows the rounds leading up to a fault.
+  flight_event(FlightEventKind::kSeries, name, value);
 }
 
 std::vector<double> MetricsRegistry::series(const std::string& name) const {
@@ -146,6 +197,13 @@ void MetricsRegistry::write_csv(std::ostream& os) const {
   os << "kind,name,key,value\n";
   for (const auto& [name, value] : counters_)
     os << "counter," << name << ",," << value << "\n";
+  for (const auto& [name, shards] : party_counters_) {
+    // Pure-unattributed counters add no information beyond the plain row.
+    if (shards.size() == 1 && shards.begin()->first == kNoParty) continue;
+    for (const auto& [party, value] : shards)
+      os << "party_counter," << name << "," << party_label(party) << ","
+         << value << "\n";
+  }
   for (const auto& [name, value] : gauges_) {
     os << "gauge," << name << ",,";
     csv_number(os, value);
@@ -162,6 +220,21 @@ void MetricsRegistry::write_csv(std::ostream& os) const {
       os << "\nhistogram," << name << ",max,";
       csv_number(os, h.max);
       os << "\n";
+      HistogramSnapshot snapshot;
+      snapshot.upper_bounds = h.upper_bounds;
+      snapshot.counts = h.counts;
+      snapshot.total = h.total;
+      snapshot.sum = h.sum;
+      snapshot.min = h.min;
+      snapshot.max = h.max;
+      for (const auto& [key, q] :
+           {std::pair<const char*, double>{"p50", 0.50},
+            {"p95", 0.95},
+            {"p99", 0.99}}) {
+        os << "histogram," << name << "," << key << ",";
+        csv_number(os, snapshot.quantile(q));
+        os << "\n";
+      }
     }
     for (std::size_t i = 0; i < h.upper_bounds.size(); ++i) {
       os << "histogram," << name << ",le_";
@@ -182,6 +255,7 @@ void MetricsRegistry::write_csv(std::ostream& os) const {
 void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   counters_.clear();
+  party_counters_.clear();
   gauges_.clear();
   histograms_.clear();
   series_.clear();

@@ -33,14 +33,30 @@ struct HistogramSnapshot {
   double sum = 0.0;
   double min = 0.0;  ///< undefined when total == 0
   double max = 0.0;  ///< undefined when total == 0
+
+  /// Estimate the q-quantile (q in [0, 1]) by locating the bucket holding
+  /// rank q*total and interpolating linearly inside it, clamped to the
+  /// observed [min, max]. Exact only up to bucket resolution — that is the
+  /// price of fixed buckets. Returns 0.0 when the histogram is empty.
+  double quantile(double q) const;
 };
 
 class MetricsRegistry {
  public:
   // --- counters (monotone) -----------------------------------------------
+  /// Every add() increments the plain counter AND the shard for the calling
+  /// thread's obs::PartyScope tag (obs/party.h; no scope = the kNoParty
+  /// shard), so per-party shard sums always equal the global counter
+  /// exactly — the per-party run report relies on that invariant.
   void add(const std::string& name, std::int64_t by = 1);
   std::int64_t counter(const std::string& name) const;  ///< 0 when unknown
   std::map<std::string, std::int64_t> counters() const;
+
+  /// One shard of a party-sharded counter (0 when unknown).
+  std::int64_t party_counter(const std::string& name, int party) const;
+  /// All shards: name -> (party tag -> value). Tags are mapper ids >= 0,
+  /// obs::kReducerParty, or obs::kNoParty for unattributed increments.
+  std::map<std::string, std::map<int, std::int64_t>> party_counters() const;
 
   // --- gauges (last write wins) ------------------------------------------
   void set_gauge(const std::string& name, double value);
@@ -65,9 +81,11 @@ class MetricsRegistry {
   std::vector<std::string> series_names() const;
 
   /// CSV export, one record per line: `kind,name,key,value`. Counter and
-  /// gauge rows have an empty key; histogram rows use keys `count`, `sum`,
-  /// `min`, `max` and `le_<bound>` / `le_inf`; series rows use the 0-based
-  /// index as key.
+  /// gauge rows have an empty key; party-sharded counters add
+  /// `party_counter,<name>,<party label>,value` rows; histogram rows use
+  /// keys `count`, `sum`, `min`, `max`, `p50`/`p95`/`p99` (interpolated
+  /// tail estimates) and `le_<bound>` / `le_inf`; series rows use the
+  /// 0-based index as key.
   void write_csv(std::ostream& os) const;
 
   void reset();
@@ -86,6 +104,7 @@ class MetricsRegistry {
 
   mutable std::mutex mutex_;
   std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, std::map<int, std::int64_t>> party_counters_;
   std::map<std::string, double> gauges_;
   std::map<std::string, Histogram> histograms_;
   std::map<std::string, std::vector<double>> series_;

@@ -14,22 +14,40 @@ void forward_linalg_counter(const char* name, std::int64_t by) {
   count(name, by);
 }
 
+// Same inversion for PPML_CHECK failures: a failed check anywhere in the
+// library lands the (truncated) message in the flight recorder and dumps
+// the ring to the armed path, so the moments before the throw survive.
+void on_check_failure(const char* what) {
+  FlightRecorder* recorder = flight_recorder();
+  if (recorder == nullptr) return;
+  recorder->record(FlightEventKind::kCheckFailure, what);
+  recorder->dump_now("ppml_check_failure");
+}
+
 }  // namespace
 
-void install(Tracer* tracer, MetricsRegistry* metrics) {
+void install(Tracer* tracer, MetricsRegistry* metrics,
+             FlightRecorder* recorder) {
   PPML_CHECK(detail::g_tracer.load(std::memory_order_relaxed) == nullptr &&
-                 detail::g_metrics.load(std::memory_order_relaxed) == nullptr,
+                 detail::g_metrics.load(std::memory_order_relaxed) ==
+                     nullptr &&
+                 detail::g_recorder.load(std::memory_order_relaxed) == nullptr,
              "obs::install: a session is already installed (sessions do not "
              "nest — uninstall the previous one first)");
   detail::g_tracer.store(tracer, std::memory_order_release);
   detail::g_metrics.store(metrics, std::memory_order_release);
+  detail::g_recorder.store(recorder, std::memory_order_release);
   linalg::set_counter_hook(&forward_linalg_counter);
+  if (recorder != nullptr)
+    ppml::detail::set_check_failure_hook(&on_check_failure);
 }
 
 void uninstall() {
+  ppml::detail::set_check_failure_hook(nullptr);
   linalg::set_counter_hook(nullptr);
   detail::g_tracer.store(nullptr, std::memory_order_release);
   detail::g_metrics.store(nullptr, std::memory_order_release);
+  detail::g_recorder.store(nullptr, std::memory_order_release);
 }
 
 }  // namespace ppml::obs

@@ -29,7 +29,9 @@
 #include <atomic>
 #include <cstdint>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/party.h"
 #include "obs/trace.h"
 
 namespace ppml::obs {
@@ -49,21 +51,27 @@ inline MetricsRegistry* metrics() noexcept {
   return detail::g_metrics.load(std::memory_order_relaxed);
 }
 
-/// True when either half of the session is installed.
+/// True when any part of the session is installed.
 inline bool enabled() noexcept {
-  return tracer() != nullptr || metrics() != nullptr;
+  return tracer() != nullptr || metrics() != nullptr ||
+         flight_recorder() != nullptr;
 }
 
-/// Install / remove the process-wide session. Either pointer may be null
-/// (metrics without tracing and vice versa). Non-owning.
-void install(Tracer* tracer, MetricsRegistry* metrics);
+/// Install / remove the process-wide session. Any pointer may be null
+/// (metrics without tracing and vice versa). The optional flight recorder
+/// (obs/flight_recorder.h) captures recent span closes, counter deltas and
+/// fault events for post-mortem dumps; installing it also arms the
+/// PPML_CHECK failure hook so a failed check dumps the ring. Non-owning.
+void install(Tracer* tracer, MetricsRegistry* metrics,
+             FlightRecorder* recorder = nullptr);
 void uninstall();
 
 /// RAII session guard.
 class Session {
  public:
-  Session(Tracer* tracer, MetricsRegistry* metrics) {
-    install(tracer, metrics);
+  Session(Tracer* tracer, MetricsRegistry* metrics,
+          FlightRecorder* recorder = nullptr) {
+    install(tracer, metrics, recorder);
   }
   ~Session() { uninstall(); }
   Session(const Session&) = delete;

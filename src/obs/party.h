@@ -1,0 +1,60 @@
+// Party attribution: a thread-local tag naming which protocol party the
+// calling thread is currently working for.
+//
+// The paper's locality argument is about *where* work and bytes live —
+// local QP steps on the mapper that owns the shard, only masked
+// contributions crossing the fabric. The tracer and metrics registry read
+// this tag so every span and counter increment can be attributed to a
+// party: drivers wrap each mapper task (and the reducer's round step) in a
+// PartyScope, and everything the wrapped code touches — mask expansion,
+// QP sweeps, network sends — is filed under that party automatically.
+//
+// The tag is one thread-local int; setting it never allocates, locks or
+// reads a clock, so scoping is safe inside instrumented hot paths and is
+// purely observational (the bit-identical traced/untraced guarantee in
+// docs/observability.md covers it).
+#pragma once
+
+#include <string>
+
+namespace ppml::obs {
+
+/// No party scope active (the driver thread between phases, test code).
+inline constexpr int kNoParty = -1;
+/// The reducer / coordinator role (mapper parties are their 0-based ids).
+inline constexpr int kReducerParty = -2;
+
+namespace detail {
+inline thread_local int t_party = kNoParty;
+}  // namespace detail
+
+/// The calling thread's current party tag.
+inline int current_party() noexcept { return detail::t_party; }
+
+/// Human-readable label for a party tag ("0", "1", ..., "reducer",
+/// "unattributed"). Used as the shard key in reports and CSV exports.
+inline std::string party_label(int party) {
+  if (party == kReducerParty) return "reducer";
+  if (party < 0) return "unattributed";
+  return std::to_string(party);
+}
+
+/// RAII party tag: sets the calling thread's party for the scope's
+/// lifetime, restoring the previous tag on exit (scopes nest; the
+/// innermost wins, matching the dynamic call structure).
+class PartyScope {
+ public:
+  explicit PartyScope(int party) noexcept : saved_(detail::t_party) {
+    detail::t_party = party;
+  }
+  explicit PartyScope(std::size_t party) noexcept
+      : PartyScope(static_cast<int>(party)) {}
+  ~PartyScope() { detail::t_party = saved_; }
+  PartyScope(const PartyScope&) = delete;
+  PartyScope& operator=(const PartyScope&) = delete;
+
+ private:
+  int saved_;
+};
+
+}  // namespace ppml::obs

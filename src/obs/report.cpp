@@ -59,9 +59,83 @@ JsonValue metrics_json(const MetricsRegistry& registry) {
     for (const double v : registry.series(name)) values.push(v);
     series.set(name, std::move(values));
   }
+  JsonValue histograms = JsonValue::object();
+  for (const std::string& name : registry.histogram_names()) {
+    const HistogramSnapshot h = registry.histogram(name);
+    JsonValue entry = JsonValue::object();
+    entry.set("count", static_cast<std::size_t>(h.total));
+    entry.set("sum", h.sum);
+    if (h.total > 0) {
+      entry.set("min", h.min);
+      entry.set("max", h.max);
+      entry.set("p50", h.quantile(0.50));
+      entry.set("p95", h.quantile(0.95));
+      entry.set("p99", h.quantile(0.99));
+    }
+    histograms.set(name, std::move(entry));
+  }
   out.set("counters", std::move(counters));
   out.set("gauges", std::move(gauges));
   out.set("series", std::move(series));
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+JsonValue party_report_json(const Tracer& tracer,
+                            const MetricsRegistry& registry) {
+  // Attribution roots: a closed span counts toward its party's compute
+  // time only when its parent belongs to a different party (or it has
+  // none) — summing every nested span would double-count the hierarchy.
+  const std::vector<Tracer::SpanRecord> records = tracer.records();
+  std::map<int, double> compute_s;
+  std::map<int, std::size_t> span_counts;
+  for (const Tracer::SpanRecord& record : records) {
+    if (record.end_ns == 0) continue;
+    ++span_counts[record.party];
+    const bool root =
+        record.parent == Tracer::kInvalidSpan ||
+        records[record.parent].party != record.party;
+    if (root)
+      compute_s[record.party] +=
+          static_cast<double>(record.end_ns - record.start_ns) / 1e9;
+  }
+
+  const auto shards = registry.party_counters();
+  std::map<int, std::map<std::string, std::int64_t>> by_party;
+  for (const auto& [name, parties] : shards)
+    for (const auto& [party, value] : parties) by_party[party][name] = value;
+  // Parties that only have spans (no counters) still get a rollup row.
+  for (const auto& entry : compute_s) by_party[entry.first];
+
+  JsonValue parties = JsonValue::array();
+  for (const auto& [party, counters] : by_party) {
+    JsonValue row = JsonValue::object();
+    row.set("party", party_label(party));
+    row.set("compute_s",
+            compute_s.count(party) ? compute_s.at(party) : 0.0);
+    row.set("spans",
+            span_counts.count(party) ? span_counts.at(party) : std::size_t{0});
+    JsonValue counter_obj = JsonValue::object();
+    for (const auto& [name, value] : counters) counter_obj.set(name, value);
+    row.set("counters", std::move(counter_obj));
+    parties.push(std::move(row));
+  }
+
+  // The invariant the acceptance test leans on: per-party shard sums equal
+  // the global counters exactly, for every sharded counter.
+  JsonValue totals = JsonValue::object();
+  for (const auto& [name, parties_map] : shards) {
+    std::int64_t sharded = 0;
+    for (const auto& [party, value] : parties_map) sharded += value;
+    JsonValue entry = JsonValue::object();
+    entry.set("global", registry.counter(name));
+    entry.set("sharded_sum", sharded);
+    totals.set(name, std::move(entry));
+  }
+
+  JsonValue out = JsonValue::object();
+  out.set("parties", std::move(parties));
+  out.set("counter_totals", std::move(totals));
   return out;
 }
 

@@ -32,10 +32,25 @@ std::map<std::string, SpanStats> aggregate_spans(const Tracer& tracer);
 /// {"<name>": {"count":, "total_s":, "median_s":, "min_s":, "max_s":}, ...}
 JsonValue span_stats_json(const Tracer& tracer);
 
-/// {"counters": {...}, "gauges": {...}, "series": {"name": [...], ...}}
-/// (histograms are omitted — they belong in the CSV export; reports want
-/// the scalar rollups).
+/// {"counters": {...}, "gauges": {...}, "series": {"name": [...], ...},
+///  "histograms": {"name": {"count":, "sum":, "min":, "max":, "p50":,
+///  "p95":, "p99":}, ...}} — histogram tails are interpolated estimates
+/// from the fixed buckets (HistogramSnapshot::quantile); the full bucket
+/// vectors stay in the CSV export.
 JsonValue metrics_json(const MetricsRegistry& registry);
+
+/// Per-party rollup of one finished run — the paper's locality claim as a
+/// table. For every party that appears in a span tag or counter shard
+/// (mapper ids, "reducer", plus "unattributed" for untagged work):
+///   {"parties": [{"party": "0", "compute_s":, "spans":,
+///                 "counters": {"net.bytes":, ...}}, ...],
+///    "counter_totals": {"net.bytes": {"global":, "sharded_sum":}, ...}}
+/// compute_s sums closed spans whose party differs from their parent's
+/// (attribution roots), so nested same-party spans are not double-counted.
+/// Counter shard sums equal the global counters exactly by construction
+/// (MetricsRegistry::add); counter_totals exhibits that invariant.
+JsonValue party_report_json(const Tracer& tracer,
+                            const MetricsRegistry& registry);
 
 /// Write `value` to `path` as pretty-printed JSON (throws Error on IO
 /// failure so benches fail loudly instead of silently skipping the report).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "linalg/common.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 
 namespace ppml::obs {
@@ -35,6 +36,7 @@ Tracer::SpanId Tracer::begin(std::string name, std::string category) {
   record.tid = tid;
   record.parent = stack.empty() ? kInvalidSpan : stack.back();
   record.depth = static_cast<std::uint32_t>(stack.size());
+  record.party = current_party();
   record.start_ns = start;
   const SpanId id = records_.size();
   records_.push_back(std::move(record));
@@ -44,14 +46,51 @@ Tracer::SpanId Tracer::begin(std::string name, std::string category) {
 
 void Tracer::end(SpanId id) {
   const std::uint64_t stop = now_ns();
+  bool flight = false;
+  std::string flight_label;
+  double flight_duration = 0.0;
+  int flight_party = kNoParty;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PPML_CHECK(id < records_.size(), "Tracer::end: unknown span id");
+    SpanRecord& record = records_[id];
+    PPML_CHECK(record.end_ns == 0, "Tracer::end: span already closed");
+    record.end_ns = std::max<std::uint64_t>(stop, record.start_ns);
+    auto& stack = open_stacks_[record.tid];
+    const auto it = std::find(stack.rbegin(), stack.rend(), id);
+    if (it != stack.rend()) stack.erase(std::next(it).base());
+    if (flight_recorder() != nullptr) {
+      flight = true;
+      flight_label = record.name;
+      flight_duration =
+          static_cast<double>(record.end_ns - record.start_ns) / 1e9;
+      flight_party = record.party;
+    }
+  }
+  // Recorded outside the tracer lock: the recorder is wait-free, but the
+  // other direction (recorder → tracer) never happens, so no lock cycle.
+  if (flight)
+    flight_event(FlightEventKind::kSpanClose, flight_label, flight_duration,
+                 /*trace_id=*/0, flight_party);
+}
+
+std::uint64_t Tracer::new_flow_id() {
+  return next_flow_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Tracer::flow(char phase, std::uint64_t id, std::string name) {
+  PPML_CHECK(phase == 's' || phase == 't' || phase == 'f',
+             "Tracer::flow: phase must be 's', 't' or 'f'");
+  PPML_CHECK(id != 0, "Tracer::flow: id must come from new_flow_id()");
+  const std::uint64_t now = now_ns();
   std::lock_guard<std::mutex> lock(mutex_);
-  PPML_CHECK(id < records_.size(), "Tracer::end: unknown span id");
-  SpanRecord& record = records_[id];
-  PPML_CHECK(record.end_ns == 0, "Tracer::end: span already closed");
-  record.end_ns = std::max<std::uint64_t>(stop, record.start_ns);
-  auto& stack = open_stacks_[record.tid];
-  const auto it = std::find(stack.rbegin(), stack.rend(), id);
-  if (it != stack.rend()) stack.erase(std::next(it).base());
+  FlowRecord record;
+  record.name = std::move(name);
+  record.id = id;
+  record.phase = phase;
+  record.tid = tid_locked(std::this_thread::get_id());
+  record.t_ns = now;
+  flows_.push_back(std::move(record));
 }
 
 void Tracer::set_arg(SpanId id, std::string key, double value) {
@@ -63,6 +102,11 @@ void Tracer::set_arg(SpanId id, std::string key, double value) {
 std::vector<Tracer::SpanRecord> Tracer::records() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return records_;
+}
+
+std::vector<Tracer::FlowRecord> Tracer::flows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return flows_;
 }
 
 std::size_t Tracer::span_count() const {
@@ -78,12 +122,18 @@ std::size_t Tracer::open_span_count() const {
 }
 
 void Tracer::write_chrome_trace(std::ostream& os) const {
-  const std::uint64_t now = now_ns();
   JsonValue events = JsonValue::array();
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    // Snapshot "now" under the lock: a span begun between an earlier
+    // snapshot and lock acquisition would have start_ns > now, and the
+    // unsigned subtraction below would export a garbage duration for it.
+    const std::uint64_t now = now_ns();
     for (const SpanRecord& record : records_) {
-      const std::uint64_t end = record.end_ns == 0 ? now : record.end_ns;
+      // Open spans (a crashed or mid-run export) end "now"; the clamp
+      // keeps the duration non-negative even against clock jitter.
+      const std::uint64_t end =
+          record.end_ns == 0 ? std::max(now, record.start_ns) : record.end_ns;
       JsonValue event = JsonValue::object();
       event.set("name", record.name);
       if (!record.category.empty()) event.set("cat", record.category);
@@ -92,11 +142,28 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
       event.set("tid", static_cast<std::size_t>(record.tid));
       event.set("ts", static_cast<double>(record.start_ns) / 1e3);
       event.set("dur", static_cast<double>(end - record.start_ns) / 1e3);
-      if (!record.args.empty()) {
+      if (record.party != kNoParty || !record.args.empty()) {
         JsonValue args = JsonValue::object();
+        if (record.party != kNoParty)
+          args.set("party", party_label(record.party));
         for (const auto& [key, value] : record.args) args.set(key, value);
         event.set("args", std::move(args));
       }
+      events.push(std::move(event));
+    }
+    for (const FlowRecord& record : flows_) {
+      JsonValue event = JsonValue::object();
+      event.set("name", record.name);
+      event.set("cat", "flow");
+      event.set("ph", std::string(1, record.phase));
+      event.set("id", static_cast<std::size_t>(record.id));
+      event.set("pid", 1);
+      event.set("tid", static_cast<std::size_t>(record.tid));
+      event.set("ts", static_cast<double>(record.t_ns) / 1e3);
+      // Bind to the ENCLOSING slice (default binding is the next slice to
+      // begin on the thread, which is the wrong span for a point emitted
+      // mid-span).
+      event.set("bp", "e");
       events.push(std::move(event));
     }
   }
@@ -110,6 +177,7 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
 void Tracer::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   records_.clear();
+  flows_.clear();
   open_stacks_.clear();
   // tids_ kept: thread identities are stable for the tracer's lifetime.
 }

@@ -9,8 +9,16 @@
 // chrome://tracing or https://ui.perfetto.dev (docs/observability.md has a
 // walkthrough). One mutex guards the record vector; a span costs roughly a
 // lock + vector push, which the disabled path in obs.h never pays.
+//
+// Cluster-scope additions (docs/observability.md, "Party attribution" and
+// "Following a contribution across the fabric"): every span latches the
+// calling thread's obs::PartyScope tag at begin(), and flow events
+// (ph "s"/"t"/"f", matched by id) connect a producer span on one thread to
+// its consumer span on another — e.g. a mapper's contribution to the
+// reducer's reduce step, across the simulated fabric.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -19,6 +27,8 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/party.h"
 
 namespace ppml::obs {
 
@@ -33,10 +43,22 @@ class Tracer {
     std::uint32_t tid = 0;   ///< small dense id, 0 = first thread seen
     SpanId parent = kInvalidSpan;
     std::uint32_t depth = 0;  ///< 0 = root of its thread's stack
+    int party = kNoParty;     ///< obs::current_party() at begin()
     std::uint64_t start_ns = 0;  ///< since tracer construction
     std::uint64_t end_ns = 0;    ///< 0 while the span is still open
     /// Numeric annotations shown in the trace viewer (bytes, counts, ...).
     std::vector<std::pair<std::string, double>> args;
+  };
+
+  /// One flow-event point: "s" starts a flow, "t" is an intermediate step
+  /// (e.g. a retried send), "f" finishes it. Points sharing an id draw one
+  /// arrow chain in Perfetto, bound to the span enclosing each point.
+  struct FlowRecord {
+    std::string name;        ///< constant per flow ("contribution", ...)
+    std::uint64_t id = 0;    ///< from new_flow_id()
+    char phase = 's';        ///< 's' | 't' | 'f'
+    std::uint32_t tid = 0;
+    std::uint64_t t_ns = 0;  ///< since tracer construction
   };
 
   Tracer();
@@ -52,8 +74,18 @@ class Tracer {
   /// Attach a numeric annotation to an open or closed span.
   void set_arg(SpanId id, std::string key, double value);
 
+  /// Allocate a fresh nonzero flow id (process-unique for this tracer).
+  std::uint64_t new_flow_id();
+
+  /// Record a flow point on the calling thread. `phase` is 's' (start),
+  /// 't' (step) or 'f' (finish); use the same `name` for every point of a
+  /// flow so viewers chain them. Emit points *inside* the span they should
+  /// attach to (the export binds them to the enclosing slice).
+  void flow(char phase, std::uint64_t id, std::string name);
+
   /// Snapshot of all records so far (open spans have end_ns == 0).
   std::vector<SpanRecord> records() const;
+  std::vector<FlowRecord> flows() const;
 
   std::size_t span_count() const;
   std::size_t open_span_count() const;
@@ -74,6 +106,8 @@ class Tracer {
   std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mutex_;
   std::vector<SpanRecord> records_;
+  std::vector<FlowRecord> flows_;
+  std::atomic<std::uint64_t> next_flow_id_{1};
   std::map<std::thread::id, std::uint32_t> tids_;
   std::map<std::uint32_t, std::vector<SpanId>> open_stacks_;  ///< per tid
 };

@@ -30,7 +30,7 @@ KernelCache::KernelCache(std::size_t n, RowEvaluator evaluator,
              "KernelCache: evaluator must be callable");
 }
 
-KernelCache::~KernelCache() { flush_counters(); }
+KernelCache::~KernelCache() { flush_stats(); }
 
 std::span<const double> KernelCache::row(std::size_t i) {
   PPML_CHECK(i < n_, "KernelCache::row: index out of range");
@@ -61,8 +61,12 @@ double KernelCache::hit_rate() const noexcept {
   return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
 }
 
-void KernelCache::flush_counters() {
+void KernelCache::flush_stats() {
   if (hits_ == 0 && misses_ == 0 && evictions_ == 0) return;
+  // No registry, no flush: keep the counts so a later flush (or a later
+  // session) still sees them instead of silently zeroing them — the cache
+  // routinely outlives the obs session in trainer teardown.
+  if (obs::metrics() == nullptr) return;
   obs::count("qp.cache.hits", hits_);
   obs::count("qp.cache.misses", misses_);
   obs::count("qp.cache.evictions", evictions_);

@@ -67,9 +67,12 @@ class KernelCache {
   double hit_rate() const noexcept;
 
   /// Emit the counters to the obs session and reset them to zero. Called by
-  /// the destructor; callable earlier to attribute counts to a narrower
-  /// metrics scope.
-  void flush_counters();
+  /// the destructor as a safety net and by qp::solve_smo's callers at solve
+  /// end; call it explicitly whenever the cache may outlive the session —
+  /// a destructor-time flush after obs::uninstall() would find no registry
+  /// (so it keeps the counts instead of dropping them, waiting for either
+  /// a session or another flush).
+  void flush_stats();
 
  private:
   struct Entry {

@@ -129,6 +129,10 @@ KernelModel train_kernel_svm(const data::Dataset& dataset,
   const Vector p(n, 1.0);
   const qp::Result result =
       qp::solve_smo(cache, p, y, options.c, /*delta=*/0.0, qp_options);
+  // Flush qp.cache.* while the caller's obs session is guaranteed to still
+  // be installed — the cache object itself may be destroyed after
+  // obs::uninstall(), where a destructor-time flush finds no registry.
+  cache.flush_stats();
 
   // f0_i = sum_j lambda_j y_j K_ij, recovered from the solver's final
   // gradient: g = Qx - p with Q_ij = y_i y_j K_ij gives

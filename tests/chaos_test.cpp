@@ -8,10 +8,15 @@
 // is asserted against a recording of what each learner actually produced.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <mutex>
+#include <sstream>
+#include <string_view>
 
 #include "core/cluster_trainers.h"
 #include "core/consensus.h"
@@ -19,6 +24,8 @@
 #include "crypto/secure_sum.h"
 #include "data/generators.h"
 #include "data/standardize.h"
+#include "obs/flight_recorder.h"
+#include "obs/obs.h"
 #include "svm/metrics.h"
 
 namespace ppml::core {
@@ -253,6 +260,74 @@ TEST(Chaos, SurvivorSumCorrectionIsBitExact) {
     crypto::ring_add_inplace(acc, encoded);
   }
   EXPECT_EQ(event.corrected_sum, codec.decode_vector(acc));
+}
+
+/// ISSUE acceptance: a chaos run with an injected mid-job drop produces a
+/// flight-recorder dump whose events include the crash fault followed by
+/// the dropout-recovery span that corrected it.
+TEST(Chaos, FlightRecorderCapturesTheFaultThenTheRecovery) {
+  const auto split = cancer_split();
+  AdmmParams params;
+  params.max_iterations = 8;
+  const std::size_t drop_round = 3;
+  const auto partition = data::partition_horizontally(split.train, 4, 7);
+
+  mapreduce::ClusterConfig config = cluster_config(5);
+  config.fault_plan.crashes.push_back(mapreduce::NodeEvent{drop_round, 1});
+  mapreduce::Cluster cluster(config);
+  mapreduce::JobConfig job_config;
+  job_config.tolerate_mapper_loss = true;
+
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  obs::FlightRecorder recorder;
+  const char* dump_path = "chaos_flight_dump.json";
+  std::remove(dump_path);
+  recorder.arm_auto_dump(dump_path);
+  {
+    obs::Session session(&tracer, &metrics, &recorder);
+    train_linear_horizontal_on_cluster(cluster, partition, params, job_config);
+    ASSERT_TRUE(recorder.dump_now("chaos_run_complete"));
+  }
+
+  // The ring holds the crash fault and, later, the recovery span close.
+  const auto events = recorder.snapshot();
+  std::size_t fault_at = events.size();
+  std::size_t recovery_at = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const std::string_view label(events[i].label);
+    if (events[i].kind == obs::FlightEventKind::kFault &&
+        label == "crash:node1" && fault_at == events.size()) {
+      fault_at = i;
+      EXPECT_EQ(events[i].value, static_cast<double>(drop_round));
+    }
+    if (events[i].kind == obs::FlightEventKind::kSpanClose &&
+        label == "dropout_recovery") {
+      recovery_at = i;
+    }
+  }
+  ASSERT_LT(fault_at, events.size()) << "crash fault never hit the ring";
+  ASSERT_GT(recovery_at, 0u) << "dropout_recovery span never hit the ring";
+  EXPECT_LT(fault_at, recovery_at);
+
+  // The driver also marked the mapper as dropped.
+  const bool marked = std::any_of(
+      events.begin(), events.end(), [](const obs::FlightEvent& e) {
+        return e.kind == obs::FlightEventKind::kMark &&
+               std::string_view(e.label) == "mapper.dropped:1";
+      });
+  EXPECT_TRUE(marked);
+
+  // ...and the on-disk dump carries the same story.
+  std::ifstream in(dump_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string dump = buffer.str();
+  EXPECT_NE(dump.find("\"reason\": \"chaos_run_complete\""), std::string::npos);
+  EXPECT_NE(dump.find("crash:node1"), std::string::npos);
+  EXPECT_NE(dump.find("dropout_recovery"), std::string::npos);
+  std::remove(dump_path);
 }
 
 TEST(Chaos, DroppedLearnerRejoinsOnReplicaUnderFreshEpoch) {

@@ -131,6 +131,48 @@ TEST(ClusterIntegration, TracingDoesNotPerturbTraining) {
   EXPECT_GT(metrics.counter("crypto.masked_contributions"), 0);
 }
 
+TEST(ClusterIntegration, PartyRollupSumsMatchGlobalCountersExactly) {
+  // The party shards are a decomposition of the global counters, not an
+  // independent tally: summing `net.bytes{party=*}` (and every other
+  // sharded counter) must reproduce the global value exactly. This holds
+  // by construction — MetricsRegistry::add bumps both under one lock — and
+  // this test pins it across a real cluster run, where mapper threads,
+  // the reducer scope, and ambient driver code all contribute shards.
+  const auto split = cancer_split();
+  AdmmParams params;
+  params.max_iterations = 10;
+
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  mapreduce::Cluster cluster(cluster_config(5));
+  {
+    obs::Session session(&tracer, &metrics);
+    run_linear_horizontal_on_cluster(split, params, cluster);
+  }
+
+  const auto shards = metrics.party_counters();
+  for (const auto& [name, global] : metrics.counters()) {
+    const auto it = shards.find(name);
+    ASSERT_NE(it, shards.end()) << name << " has no party shards";
+    std::int64_t sum = 0;
+    for (const auto& [party, value] : it->second) sum += value;
+    EXPECT_EQ(sum, global) << name << " shards do not sum to the global";
+  }
+
+  // The interesting counters really are split across the cluster: all four
+  // mapper parties generated masks, and the reducer (not the mappers)
+  // absorbed the contribution traffic.
+  const auto& masks = shards.at("crypto.masks_generated");
+  for (int party = 0; party < 4; ++party) {
+    const auto it = masks.find(party);
+    ASSERT_NE(it, masks.end()) << "party " << party << " generated no masks";
+    EXPECT_GT(it->second, 0);
+  }
+  EXPECT_EQ(metrics.party_counter("crypto.masks_generated", obs::kNoParty), 0);
+  EXPECT_GT(metrics.party_counter("net.bytes", obs::kReducerParty), 0);
+  EXPECT_GT(metrics.party_counter("net.bytes.in", obs::kReducerParty), 0);
+}
+
 TEST(ClusterIntegration, LearnsOnTheCluster) {
   const auto split = cancer_split();
   AdmmParams params;

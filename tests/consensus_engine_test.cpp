@@ -14,7 +14,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <future>
+#include <sstream>
 #include <thread>
 
 #include "core/consensus.h"
@@ -787,6 +790,125 @@ TEST(ConsensusEngineCounters, MetricsDoNotPerturbTraining) {
   }
   expect_identical(bare, instrumented);
   EXPECT_FALSE(metrics.series("admm.z_delta_sq").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Divergence watchdog.
+// ---------------------------------------------------------------------------
+
+TEST(DivergenceWatchdog, TripsOnMonotonePrimalGrowth) {
+  DivergenceWatchdog dog(DivergenceWatchdog::Config{4, 1e-3, 1e-8});
+  EXPECT_FALSE(dog.feed(1.0, 1.0));
+  EXPECT_FALSE(dog.feed(2.0, 0.5));
+  EXPECT_FALSE(dog.feed(3.0, 1.5));  // window not yet full
+  EXPECT_TRUE(dog.feed(4.0, 0.7));   // 4 strictly growing primals
+  EXPECT_TRUE(dog.tripped());
+  EXPECT_EQ(dog.reason(), "divergence:primal");
+  EXPECT_FALSE(dog.feed(5.0, 0.8));  // latched: reports once
+}
+
+TEST(DivergenceWatchdog, TripsOnMonotoneDualGrowth) {
+  DivergenceWatchdog dog(DivergenceWatchdog::Config{3, 1e-3, 1e-8});
+  EXPECT_FALSE(dog.feed(5.0, 1.0));
+  EXPECT_FALSE(dog.feed(1.0, 2.0));  // primal non-monotone
+  EXPECT_TRUE(dog.feed(6.0, 3.0));
+  EXPECT_EQ(dog.reason(), "divergence:dual");
+}
+
+TEST(DivergenceWatchdog, TripsOnStallAboveFloor) {
+  DivergenceWatchdog dog(DivergenceWatchdog::Config{4, 1e-3, 1e-8});
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(dog.feed(5.0, 1.0));
+  EXPECT_TRUE(dog.feed(5.0, 1.0));  // flat for a full window, above floor
+  EXPECT_EQ(dog.reason(), "stall");
+}
+
+TEST(DivergenceWatchdog, SilentOnConvergenceAndBelowTheFloor) {
+  // A geometrically decaying residual series — the healthy Fig. 4 shape —
+  // must never trip, including its flat tail once it sinks under the floor.
+  DivergenceWatchdog dog(DivergenceWatchdog::Config{4, 1e-3, 1e-8});
+  double primal = 1.0;
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_FALSE(dog.feed(primal, primal * 0.5)) << "round " << i;
+    primal = std::max(primal * 0.5, 1e-12);  // plateaus below stall_floor
+  }
+  EXPECT_FALSE(dog.tripped());
+}
+
+TEST(DivergenceWatchdog, RejectsDegenerateConfig) {
+  EXPECT_THROW(DivergenceWatchdog(DivergenceWatchdog::Config{2, 1e-3, 0.0}),
+               Error);
+  EXPECT_THROW(DivergenceWatchdog(DivergenceWatchdog::Config{4, 0.0, 0.0}),
+               Error);
+}
+
+TEST(DivergenceWatchdog, EngineStaysSilentOnAConvergentRun) {
+  const auto partition = make_partition(4);
+  AdmmParams params = base_params(17);
+  params.max_iterations = 12;
+  params.watchdog_window = 5;
+  auto learners = make_learners(partition, params);
+  AveragingCoordinator coordinator(partition.shards.front().features() + 1);
+  FullParticipation policy;
+  ConsensusEngine engine(learners, coordinator, params, policy);
+  obs::MetricsRegistry metrics;
+  {
+    obs::Session session(nullptr, &metrics);
+    InMemoryTransport transport;
+    engine.run(transport);
+  }
+  ASSERT_NE(engine.watchdog(), nullptr);
+  EXPECT_FALSE(engine.watchdog()->tripped());
+  EXPECT_EQ(metrics.counter("admm.watchdog.trips"), 0);
+}
+
+TEST(DivergenceWatchdog, EngineTripReportsOnceAndDumpsTheRing) {
+  const auto partition = make_partition(4);
+  AdmmParams params = base_params(17);
+  params.max_iterations = 8;
+  params.watchdog_window = 3;
+  // Accept-anything stall threshold: the watchdog must trip on the first
+  // full window, deterministically — this pins the engine-side reporting
+  // (counter, flight event, automatic dump), not the detector thresholds.
+  params.watchdog_stall_epsilon = 1e9;
+  params.watchdog_stall_floor = 0.0;
+  auto learners = make_learners(partition, params);
+  AveragingCoordinator coordinator(partition.shards.front().features() + 1);
+  FullParticipation policy;
+  ConsensusEngine engine(learners, coordinator, params, policy);
+  obs::MetricsRegistry metrics;
+  obs::FlightRecorder recorder(256);
+  const std::string dump_path = "engine_watchdog_dump.json";
+  std::remove(dump_path.c_str());
+  recorder.arm_auto_dump(dump_path);
+  {
+    obs::Session session(nullptr, &metrics, &recorder);
+    InMemoryTransport transport;
+    engine.run(transport);
+  }
+  ASSERT_NE(engine.watchdog(), nullptr);
+  EXPECT_TRUE(engine.watchdog()->tripped());
+  EXPECT_EQ(metrics.counter("admm.watchdog.trips"), 1);  // latched
+  bool saw_watchdog_event = false;
+  for (const auto& event : recorder.snapshot())
+    saw_watchdog_event |= event.kind == obs::FlightEventKind::kWatchdog;
+  EXPECT_TRUE(saw_watchdog_event);
+  std::ifstream dump(dump_path);
+  ASSERT_TRUE(dump.good()) << "watchdog trip did not dump the ring";
+  std::stringstream buffer;
+  buffer << dump.rdbuf();
+  EXPECT_NE(buffer.str().find("\"reason\": \"watchdog:stall\""),
+            std::string::npos);
+  std::remove(dump_path.c_str());
+}
+
+TEST(DivergenceWatchdog, DisabledByDefault) {
+  const auto partition = make_partition(4);
+  const AdmmParams params = base_params(17);
+  auto learners = make_learners(partition, params);
+  AveragingCoordinator coordinator(partition.shards.front().features() + 1);
+  FullParticipation policy;
+  ConsensusEngine engine(learners, coordinator, params, policy);
+  EXPECT_EQ(engine.watchdog(), nullptr);
 }
 
 }  // namespace

@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -394,6 +397,265 @@ TEST(Session, NestedInstallThrows) {
   MetricsRegistry registry;
   Session session(&tracer, &registry);
   EXPECT_THROW(install(&tracer, &registry), Error);
+}
+
+// --- party attribution ----------------------------------------------------
+
+TEST(Party, ScopeSavesAndRestores) {
+  EXPECT_EQ(current_party(), kNoParty);
+  {
+    PartyScope outer(std::size_t{3});
+    EXPECT_EQ(current_party(), 3);
+    {
+      PartyScope inner(kReducerParty);
+      EXPECT_EQ(current_party(), kReducerParty);
+    }
+    EXPECT_EQ(current_party(), 3);
+  }
+  EXPECT_EQ(current_party(), kNoParty);
+  EXPECT_EQ(party_label(0), "0");
+  EXPECT_EQ(party_label(kReducerParty), "reducer");
+  EXPECT_EQ(party_label(kNoParty), "unattributed");
+}
+
+TEST(Party, SpansLatchThePartyAtBegin) {
+  Tracer tracer;
+  Tracer::SpanId tagged;
+  {
+    PartyScope scope(std::size_t{2});
+    tagged = tracer.begin("work");
+  }
+  tracer.end(tagged);  // closing outside the scope must not re-read it
+  const auto plain = tracer.begin("other");
+  tracer.end(plain);
+  const auto records = tracer.records();
+  EXPECT_EQ(records[tagged].party, 2);
+  EXPECT_EQ(records[plain].party, kNoParty);
+
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  EXPECT_TRUE(JsonChecker(os.str()).valid()) << os.str();
+  EXPECT_NE(os.str().find("\"party\": \"2\""), std::string::npos);
+}
+
+TEST(Party, ShardSumsEqualGlobalUnderConcurrentMixedScopes) {
+  MetricsRegistry registry;
+  mapreduce::Executor executor(4);
+  constexpr std::size_t kTasks = 96;
+  executor.parallel_for(kTasks, [&](std::size_t i) {
+    if (i % 5 == 0) {
+      registry.add("net.bytes", 7);  // unattributed shard
+    } else {
+      PartyScope scope(i % 3);
+      registry.add("net.bytes", static_cast<std::int64_t>(i));
+      registry.add("crypto.masks", 2);
+    }
+  });
+  for (const auto& [name, shards] : registry.party_counters()) {
+    std::int64_t sum = 0;
+    for (const auto& [party, value] : shards) sum += value;
+    EXPECT_EQ(sum, registry.counter(name)) << name;
+  }
+  // Spot-check a shard is reachable by tag too.
+  EXPECT_GT(registry.party_counter("crypto.masks", 1), 0);
+  EXPECT_GT(registry.party_counter("net.bytes", kNoParty), 0);
+  EXPECT_EQ(registry.party_counter("net.bytes", kReducerParty), 0);
+}
+
+// --- flow events ----------------------------------------------------------
+
+TEST(Trace, FlowEventsExportAndRoundTrip) {
+  Tracer tracer;
+  const std::uint64_t flow_id = tracer.new_flow_id();
+  EXPECT_NE(flow_id, 0u);
+  {
+    const auto producer = tracer.begin("map_task");
+    tracer.flow('s', flow_id, "contribution");
+    tracer.end(producer);
+  }
+  tracer.flow('t', flow_id, "contribution");
+  {
+    const auto consumer = tracer.begin("reduce");
+    tracer.flow('f', flow_id, "contribution");
+    tracer.end(consumer);
+  }
+  const auto flows = tracer.flows();
+  ASSERT_EQ(flows.size(), 3u);
+  EXPECT_EQ(flows[0].phase, 's');
+  EXPECT_EQ(flows[1].phase, 't');
+  EXPECT_EQ(flows[2].phase, 'f');
+  for (const auto& f : flows) EXPECT_EQ(f.id, flow_id);
+
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  const std::string text = os.str();
+  EXPECT_TRUE(JsonChecker(text).valid()) << text;
+  EXPECT_NE(text.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\": \"t\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\": \"f\""), std::string::npos);
+  // Binding-point "enclosing slice" is what makes the arrows attach to the
+  // producer/consumer spans rather than to whatever slice follows them.
+  EXPECT_NE(text.find("\"bp\": \"e\""), std::string::npos);
+  EXPECT_NE(text.find("\"cat\": \"flow\""), std::string::npos);
+}
+
+TEST(Trace, FlowValidationRejectsBadPhaseAndZeroId) {
+  Tracer tracer;
+  EXPECT_THROW(tracer.flow('x', 1, "bad"), Error);
+  EXPECT_THROW(tracer.flow('s', 0, "bad"), Error);
+}
+
+TEST(Trace, OpenSpanExportNeverUnderflows) {
+  // Regression: write_chrome_trace used to snapshot "now" before taking the
+  // lock, so a span begun in between had start_ns > now and its unsigned
+  // duration wrapped to ~5e11 seconds. The clamp keeps every exported dur
+  // finite and non-negative; 1e12 us (~11 days) is far above any real span
+  // and far below the wrapped value (~1.8e13 us).
+  Tracer tracer;
+  const auto open = tracer.begin("open-span");
+  (void)open;
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  const std::string text = os.str();
+  std::size_t pos = 0;
+  std::size_t durs = 0;
+  while ((pos = text.find("\"dur\": ", pos)) != std::string::npos) {
+    pos += 7;
+    EXPECT_NE(text[pos], '-');
+    const double dur = std::stod(text.substr(pos));
+    EXPECT_LT(dur, 1e12) << "wrapped duration in export";
+    ++durs;
+  }
+  EXPECT_GE(durs, 1u);
+}
+
+// --- histogram quantiles --------------------------------------------------
+
+TEST(Metrics, HistogramQuantilesInterpolateWithinBuckets) {
+  MetricsRegistry registry;
+  registry.declare_histogram("lat", {1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 50; ++i) registry.observe("lat", 0.5);   // bucket <=1
+  for (int i = 0; i < 40; ++i) registry.observe("lat", 3.0);   // bucket <=4
+  for (int i = 0; i < 10; ++i) registry.observe("lat", 16.0);  // overflow
+  const HistogramSnapshot snap = registry.histogram("lat");
+  const double p50 = snap.quantile(0.50);
+  EXPECT_GE(p50, 0.5);
+  EXPECT_LE(p50, 1.0);  // rank 50 falls at the top of the first bucket
+  const double p95 = snap.quantile(0.95);
+  EXPECT_GE(p95, 8.0);  // rank 95 lands in the overflow bucket
+  EXPECT_LE(p95, 16.0);  // clamped by the observed max
+  // Degenerate cases: empty histogram and out-of-range q stay finite.
+  EXPECT_DOUBLE_EQ(HistogramSnapshot{}.quantile(0.5), 0.0);
+  EXPECT_LE(snap.quantile(0.0), snap.quantile(1.0));
+}
+
+TEST(Metrics, CsvCarriesQuantileAndPartyRows) {
+  MetricsRegistry registry;
+  registry.observe("lat", 2.0);
+  {
+    PartyScope scope(std::size_t{1});
+    registry.add("net.bytes", 64);
+  }
+  registry.add("unsharded.count", 1);  // only the kNoParty shard: no rows
+  std::ostringstream os;
+  registry.write_csv(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("histogram,lat,p50,"), std::string::npos);
+  EXPECT_NE(text.find("histogram,lat,p95,"), std::string::npos);
+  EXPECT_NE(text.find("histogram,lat,p99,"), std::string::npos);
+  EXPECT_NE(text.find("party_counter,net.bytes,1,64"), std::string::npos);
+  EXPECT_EQ(text.find("party_counter,unsharded.count"), std::string::npos);
+}
+
+// --- flight recorder ------------------------------------------------------
+
+TEST(FlightRecorder, RingWrapsAtCapacityKeepingNewest) {
+  FlightRecorder recorder(8);
+  for (int i = 0; i < 20; ++i)
+    recorder.record(FlightEventKind::kMark, "e" + std::to_string(i),
+                    static_cast<double>(i));
+  EXPECT_EQ(recorder.recorded(), 20u);
+  const auto events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  for (std::size_t k = 0; k < events.size(); ++k) {
+    EXPECT_EQ(events[k].seq, 12 + k);  // oldest surviving first
+    EXPECT_EQ(std::string(events[k].label), "e" + std::to_string(12 + k));
+  }
+}
+
+TEST(FlightRecorder, DumpJsonIsValidAndCarriesReason) {
+  FlightRecorder recorder(16);
+  {
+    PartyScope scope(std::size_t{2});
+    recorder.record(FlightEventKind::kFault, "drop:contribution", 128.0,
+                    /*trace_id=*/42);
+  }
+  std::ostringstream os;
+  recorder.dump_json(os, "unit_test");
+  const std::string text = os.str();
+  EXPECT_TRUE(JsonChecker(text).valid()) << text;
+  EXPECT_NE(text.find("\"reason\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(text.find("\"kind\": \"fault\""), std::string::npos);
+  EXPECT_NE(text.find("\"party\": \"2\""), std::string::npos);
+  EXPECT_NE(text.find("\"trace_id\": 42"), std::string::npos);
+}
+
+TEST(FlightRecorder, SessionFeedsSpanCloseAndCounterEvents) {
+  Tracer tracer;
+  MetricsRegistry registry;
+  FlightRecorder recorder(64);
+  {
+    Session session(&tracer, &registry, &recorder);
+    PartyScope scope(std::size_t{1});
+    { Span span("map_task", "mapreduce"); }
+    count("net.bytes", 9);
+    append("admm.primal_residual_sq", 0.5);
+  }
+  const auto events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, FlightEventKind::kSpanClose);
+  EXPECT_EQ(std::string(events[0].label), "map_task");
+  EXPECT_EQ(events[0].party, 1);
+  EXPECT_EQ(events[1].kind, FlightEventKind::kCounter);
+  EXPECT_DOUBLE_EQ(events[1].value, 9.0);
+  EXPECT_EQ(events[2].kind, FlightEventKind::kSeries);
+}
+
+TEST(FlightRecorder, CheckFailureHookDumpsTheRing) {
+  Tracer tracer;
+  MetricsRegistry registry;
+  FlightRecorder recorder(32);
+  const std::string path = "obs_test_check_dump.json";
+  std::remove(path.c_str());
+  recorder.arm_auto_dump(path);
+  {
+    Session session(&tracer, &registry, &recorder);
+    recorder.record(FlightEventKind::kMark, "before_failure");
+    EXPECT_THROW(PPML_CHECK(false, "synthetic check failure"), Error);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "check failure did not dump to the armed path";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  EXPECT_TRUE(JsonChecker(text).valid()) << text;
+  EXPECT_NE(text.find("ppml_check_failure"), std::string::npos);
+  // The full what() is longer than the fixed 80-char label; the dump keeps
+  // the (truncated) head, which is enough to identify the check site.
+  EXPECT_NE(text.find("PPML_CHECK failed"), std::string::npos);
+  EXPECT_NE(text.find("\"kind\": \"check_failure\""), std::string::npos);
+  EXPECT_NE(text.find("before_failure"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, TruncatesLongLabelsAndRejectsZeroCapacity) {
+  EXPECT_THROW(FlightRecorder(0), Error);
+  FlightRecorder recorder(4);
+  const std::string longer(200, 'x');
+  recorder.record(FlightEventKind::kMark, longer);
+  const auto events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::string(events[0].label), std::string(79, 'x'));
 }
 
 }  // namespace

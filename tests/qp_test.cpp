@@ -3,6 +3,7 @@
 #include <random>
 
 #include "linalg/blas.h"
+#include "obs/obs.h"
 #include "qp/box_qp.h"
 #include "qp/diagonal_qp.h"
 #include "qp/projected_gradient.h"
@@ -384,6 +385,71 @@ TEST(KernelCache, RowContentsMatchEvaluator) {
   // Unlimited budget: second pass is all hits, nothing re-evaluated.
   for (int c : counts) EXPECT_EQ(c, 1);
   EXPECT_EQ(cache.evictions(), 0);
+}
+
+TEST(KernelCache, DestructorFlushesStatsIntoALiveSession) {
+  const std::size_t n = 4;
+  const Matrix q = random_spd(n, 25);
+  std::vector<int> counts(n, 0);
+  obs::MetricsRegistry metrics;
+  {
+    obs::Session session(nullptr, &metrics);
+    {
+      KernelCache cache(n, CountingEvaluator{&q, &counts}, 0);
+      cache.row(0);
+      cache.row(0);
+      cache.row(1);
+    }  // cache destroyed while the session is installed: dtor flush lands
+  }
+  EXPECT_EQ(metrics.counter("qp.cache.hits"), 1);
+  EXPECT_EQ(metrics.counter("qp.cache.misses"), 2);
+  EXPECT_EQ(metrics.counter("qp.cache.evictions"), 0);
+}
+
+TEST(KernelCache, FlushSurvivesCacheOutlivingTheSession) {
+  // The teardown-order hazard this API exists for: a cache that outlives
+  // the obs session must not silently drop its counts. flush_stats() with
+  // no registry installed keeps the tallies, so an explicit in-session
+  // flush — or a flush under a *later* session — still lands them.
+  const std::size_t n = 4;
+  const Matrix q = random_spd(n, 26);
+  std::vector<int> counts(n, 0);
+  KernelCache cache(n, CountingEvaluator{&q, &counts}, 0);
+
+  obs::MetricsRegistry first;
+  {
+    obs::Session session(nullptr, &first);
+    cache.row(0);
+    cache.row(0);
+    cache.row(1);
+    cache.flush_stats();  // what svm::train_kernel_svm does post-solve
+  }
+  EXPECT_EQ(first.counter("qp.cache.hits"), 1);
+  EXPECT_EQ(first.counter("qp.cache.misses"), 2);
+
+  // More traffic after the session is gone: a no-registry flush keeps the
+  // counts instead of zeroing them...
+  cache.row(2);
+  cache.row(2);
+  cache.flush_stats();
+
+  // ...so a later session still receives them in full.
+  obs::MetricsRegistry second;
+  {
+    obs::Session session(nullptr, &second);
+    cache.flush_stats();
+  }
+  EXPECT_EQ(second.counter("qp.cache.hits"), 1);
+  EXPECT_EQ(second.counter("qp.cache.misses"), 1);
+
+  // Flushing is draining: nothing double-counts on a further flush.
+  obs::MetricsRegistry third;
+  {
+    obs::Session session(nullptr, &third);
+    cache.flush_stats();
+  }
+  EXPECT_EQ(third.counter("qp.cache.hits"), 0);
+  EXPECT_EQ(third.counter("qp.cache.misses"), 0);
 }
 
 // ------------------------------------------------- cached + shrinking SMO
