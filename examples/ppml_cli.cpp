@@ -39,6 +39,10 @@ struct CliOptions {
   double train_fraction = 0.5;
   std::uint64_t seed = 7;
   std::string mask_variant = "seeded";
+  double async_quorum = 0.0;
+  double async_deadline = 0.0;
+  std::size_t max_staleness = 4;
+  double stale_decay = 0.5;
   bool use_cluster = false;
   std::optional<std::string> save_path;
   std::optional<std::string> trace_path;
@@ -61,6 +65,14 @@ void usage() {
       "  --mask-variant seeded|exchanged   secure-sum masking (default "
       "seeded)\n"
       "  --cluster          run as a simulated MapReduce job\n"
+      "  --async-quorum F   0 = synchronous rounds (default). In (0, 1]:\n"
+      "                     bounded-staleness async rounds that close once\n"
+      "                     ceil(F x M) parties delivered a fresh step\n"
+      "  --async-deadline D per-round deadline in nominal step times\n"
+      "                     (async only; 0 = wait for the quorum)\n"
+      "  --max-staleness K  carried values older than K rounds drop the\n"
+      "                     party into Shamir recovery (default 4)\n"
+      "  --stale-decay B    geometric stale-weight base in (0, 1]\n"
       "  --save PATH        write the trained model (horizontal schemes)\n"
       "  --trace PATH       write a Chrome trace_event JSON (open in Perfetto)\n"
       "  --metrics PATH     write run metrics as CSV\n"
@@ -100,6 +112,12 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       else if (flag == "--split") options.train_fraction = std::stod(value);
       else if (flag == "--seed") options.seed = std::stoull(value);
       else if (flag == "--mask-variant") options.mask_variant = value;
+      else if (flag == "--async-quorum") options.async_quorum = std::stod(value);
+      else if (flag == "--async-deadline")
+        options.async_deadline = std::stod(value);
+      else if (flag == "--max-staleness")
+        options.max_staleness = std::stoul(value);
+      else if (flag == "--stale-decay") options.stale_decay = std::stod(value);
       else if (flag == "--save") options.save_path = value;
       else if (flag == "--trace") options.trace_path = value;
       else if (flag == "--metrics") options.metrics_path = value;
@@ -146,6 +164,18 @@ void report(const char* what, double accuracy, std::size_t rounds) {
               accuracy * 100.0, rounds);
 }
 
+void report_run(const core::ConsensusRunResult& run) {
+  if (run.watchdog_tripped)
+    std::printf("watchdog: tripped (%s)\n", run.watchdog_reason.c_str());
+  if (run.async_seconds > 0.0 || run.deadline_expirations > 0 ||
+      run.staleness_drops > 0) {
+    std::printf(
+        "async: %.3f simulated s, %zu deadline expirations, %zu staleness "
+        "drops\n",
+        run.async_seconds, run.deadline_expirations, run.staleness_drops);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -170,6 +200,10 @@ int main(int argc, char** argv) {
     params.max_iterations = options.iterations;
     params.landmarks = options.landmarks;
     params.seed = options.seed;
+    params.async_quorum_fraction = options.async_quorum;
+    params.async_round_deadline = options.async_deadline;
+    params.max_staleness = options.max_staleness;
+    params.stale_decay = options.stale_decay;
     if (options.mask_variant == "exchanged") {
       params.mask_variant = crypto::MaskVariant::kExchangedMasks;
     } else if (options.mask_variant != "seeded") {
@@ -223,6 +257,7 @@ int main(int argc, char** argv) {
                svm::accuracy(result.model.predict_all(split.test.x),
                              split.test.y),
                result.cluster.job.rounds);
+        report_run(result.cluster.run);
         const auto totals = cluster.network().totals();
         std::printf("network: %zu messages, %zu bytes, %.4f simulated s\n",
                     totals.messages, totals.bytes,
@@ -233,6 +268,7 @@ int main(int argc, char** argv) {
             core::train_linear_horizontal(partition, params, &split.test);
         report("linear-h", result.trace.final_accuracy(),
                result.run.iterations);
+        report_run(result.run);
         save_linear(result.model);
       }
     } else if (options.scheme == "kernel-h") {
@@ -247,12 +283,14 @@ int main(int argc, char** argv) {
                svm::accuracy(result.model.predict_all(split.test.x),
                              split.test.y),
                result.cluster.job.rounds);
+        report_run(result.cluster.run);
         save_kernel(result.model);
       } else {
         const auto result = core::train_kernel_horizontal(partition, kernel,
                                                           params, &split.test);
         report("kernel-h", result.trace.final_accuracy(),
                result.run.iterations);
+        report_run(result.run);
         save_kernel(result.model);
       }
     } else if (options.scheme == "linear-v") {
@@ -266,11 +304,13 @@ int main(int argc, char** argv) {
                svm::accuracy(result.model.predict_all(split.test.x),
                              split.test.y),
                result.cluster.job.rounds);
+        report_run(result.cluster.run);
       } else {
         const auto result =
             core::train_linear_vertical(partition, params, &split.test);
         report("linear-v", result.trace.final_accuracy(),
                result.run.iterations);
+        report_run(result.run);
       }
     } else if (options.scheme == "kernel-v") {
       const auto partition = data::partition_vertically(
@@ -284,11 +324,13 @@ int main(int argc, char** argv) {
                svm::accuracy(result.model.predict_all(split.test.x),
                              split.test.y),
                result.cluster.job.rounds);
+        report_run(result.cluster.run);
       } else {
         const auto result = core::train_kernel_vertical(partition, kernel,
                                                         params, &split.test);
         report("kernel-v", result.trace.final_accuracy(),
                result.run.iterations);
+        report_run(result.run);
       }
     } else {
       std::fprintf(stderr, "unknown scheme '%s'\n", options.scheme.c_str());

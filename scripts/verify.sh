@@ -9,8 +9,9 @@
 # into LRU-managed storage and ring arithmetic — exactly where ASan/UBSan
 # earn their keep), a bench smoke run that checks BENCH_qp.json is
 # well-formed (no performance gating), a bench regression gate that diffs
-# BENCH_fig4.json / BENCH_scalability.json / BENCH_qp.json against
-# bench/baselines/ via scripts/bench_check.py, then the doc link check.
+# BENCH_fig4.json / BENCH_scalability.json / BENCH_qp.json /
+# BENCH_async.json against bench/baselines/ via scripts/bench_check.py,
+# then the doc link check.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,7 +24,8 @@ ctest --test-dir build --output-on-failure -j"$jobs" -LE tier1
 
 cmake -B build-asan -S . -DPPML_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j"$jobs" --target mapreduce_test chaos_test \
-  dropout_recovery_test obs_test qp_test linalg_test consensus_engine_test
+  dropout_recovery_test obs_test qp_test linalg_test consensus_engine_test \
+  async_consensus_test
 ./build-asan/tests/mapreduce_test
 ./build-asan/tests/chaos_test
 ./build-asan/tests/dropout_recovery_test
@@ -31,6 +33,7 @@ cmake --build build-asan -j"$jobs" --target mapreduce_test chaos_test \
 ./build-asan/tests/qp_test
 ./build-asan/tests/linalg_test
 ./build-asan/tests/consensus_engine_test
+./build-asan/tests/async_consensus_test
 
 # Bench smoke: skip the timed google-benchmark cases (empty filter), run
 # only the cache-budget sweep, and require a parseable report with the
@@ -57,12 +60,17 @@ PYEOF
 # fail on catastrophic drift — policy in scripts/bench_check.py.
 (cd build && ./bench/fig4_linear_horizontal >/dev/null)
 (cd build && ./bench/scalability >/dev/null)
+# ablation_straggler also self-checks the ISSUE acceptance bound: async
+# objective within 1e-3 of sync in at most half the sync wall-clock.
+(cd build && ./bench/ablation_straggler >/dev/null)
 python3 scripts/bench_check.py build/BENCH_fig4.json \
   bench/baselines/BENCH_fig4.json
 python3 scripts/bench_check.py build/BENCH_scalability.json \
   bench/baselines/BENCH_scalability.json
 python3 scripts/bench_check.py build/BENCH_qp.json \
   bench/baselines/BENCH_qp.json
+python3 scripts/bench_check.py build/BENCH_async.json \
+  bench/baselines/BENCH_async.json
 
 scripts/check_docs.sh
 

@@ -14,6 +14,15 @@ ConsensusRunResult run_consensus_in_memory(
     std::vector<std::shared_ptr<ConsensusLearner>>& learners,
     ConsensusCoordinator& coordinator, const AdmmParams& params,
     const RoundObserver& observer) {
+  // Opting into async_quorum_fraction swaps the paper's bulk-synchronous
+  // loop for bounded-staleness rounds; the default stays FullParticipation,
+  // bit-identical to before the async knobs existed.
+  if (params.asynchronous()) {
+    BoundedStalenessPolicy policy(params.dropout_threshold);
+    ConsensusEngine engine(learners, coordinator, params, policy);
+    InMemoryTransport transport;
+    return engine.run(transport, observer);
+  }
   FullParticipation policy;
   ConsensusEngine engine(learners, coordinator, params, policy);
   InMemoryTransport transport;

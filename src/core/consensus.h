@@ -23,6 +23,7 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <string>
 
 #include "core/params.h"
 #include "linalg/matrix.h"
@@ -84,6 +85,19 @@ using RoundObserver = std::function<void(std::size_t iteration)>;
 struct ConsensusRunResult {
   std::size_t iterations = 0;
   bool converged = false;  ///< stopped early via convergence_tolerance
+
+  /// Divergence-watchdog verdict, surfaced here so callers can assert on it
+  /// directly — a trip on the final round used to be visible only through
+  /// the metrics/flight-recorder side channel, after this result was
+  /// already produced. Empty reason while untripped.
+  bool watchdog_tripped = false;
+  std::string watchdog_reason;
+
+  // Asynchronous (bounded-staleness) rounds only — all zero in synchronous
+  // runs. See docs/async_consensus.md.
+  double async_seconds = 0.0;  ///< simulated wall-clock of the async run
+  std::size_t deadline_expirations = 0;  ///< rounds closed by the deadline
+  std::size_t staleness_drops = 0;  ///< parties dropped past max_staleness
 };
 
 /// In-memory driver: runs the loop with the real secure-summation protocol

@@ -30,12 +30,17 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <string>
 
 #include "core/consensus.h"
 #include "crypto/secure_sum_session.h"
+
+namespace ppml::mapreduce {
+struct FaultPlan;
+}  // namespace ppml::mapreduce
 
 namespace ppml::core {
 
@@ -60,22 +65,30 @@ class DivergenceWatchdog {
     double stall_epsilon = 1e-3;  ///< relative spread considered "flat"
     double stall_floor = 1e-8;    ///< primal² below this is converging, not
                                   ///< stalled — never trip underneath it
+    /// Asynchronous runs only: trip with reason "staleness" when the mean
+    /// per-party contribution staleness, averaged over the window, exceeds
+    /// this (the cohort is chronically lagging, so the residual series is
+    /// no longer trustworthy). 0 disables (every synchronous run).
+    double staleness_limit = 0.0;
   };
 
   explicit DivergenceWatchdog(Config config);
 
-  /// Record one round's squared residuals. Returns true exactly once: on
-  /// the feed that trips the watchdog.
-  bool feed(double primal_sq, double dual_sq);
+  /// Record one round's squared residuals (and, async, the round's mean
+  /// contribution staleness). Returns true exactly once: on the feed that
+  /// trips the watchdog.
+  bool feed(double primal_sq, double dual_sq, double mean_staleness = 0.0);
 
   bool tripped() const noexcept { return tripped_; }
-  /// "divergence:primal", "divergence:dual" or "stall" once tripped.
+  /// "divergence:primal", "divergence:dual", "staleness" or "stall" once
+  /// tripped.
   const std::string& reason() const noexcept { return reason_; }
 
  private:
   Config config_;
   std::vector<double> primal_;  ///< sliding window, oldest first
   std::vector<double> dual_;
+  std::vector<double> staleness_;
   bool tripped_ = false;
   std::string reason_;
 };
@@ -125,6 +138,12 @@ class RoundPolicy {
   /// read only when wants_recovery().
   virtual std::size_t recovery_threshold_request() const { return 0; }
   virtual std::uint64_t recovery_sharing_seed() const { return 0xD509; }
+
+  /// Whether rounds close asynchronously (quorum/deadline instead of the
+  /// full-barrier step_round). Transports dispatch on this: the in-memory
+  /// transport runs step_round_async, the fabric bounds its contribution
+  /// wait. Only BoundedStalenessPolicy returns true.
+  virtual bool asynchronous() const { return false; }
 };
 
 /// Every live learner takes part in every round (the paper's Fig. 1 loop).
@@ -180,6 +199,40 @@ class ScheduledDropout final : public RoundPolicy {
   DropoutSchedule schedule_;
 };
 
+/// Asynchronous bounded-staleness rounds (FDML / Hu et al. 1907.07735):
+/// a round closes once a quorum of ceil(async_quorum_fraction * live)
+/// parties has delivered a fresh local step OR the per-round deadline
+/// expires. Stragglers are not dropped: their last completed value is
+/// carried forward and re-masked each round with a weight that decays in
+/// its staleness s (AdmmParams::stale_weight_mode), until s exceeds
+/// max_staleness — then the party is presumed dead and the Shamir
+/// dropout-recovery path corrects the round, exactly like ScheduledDropout.
+/// With quorum Q = M and no deadline every round closes on the full fresh
+/// cohort and the run is bit-identical to FullParticipation (pinned).
+/// Seeded masks, M >= 3. All tuning lives in AdmmParams (the async_* and
+/// stale_* knobs); see docs/async_consensus.md.
+class BoundedStalenessPolicy final : public RoundPolicy {
+ public:
+  explicit BoundedStalenessPolicy(std::size_t threshold_request = 0,
+                                  std::uint64_t sharing_seed = 0xD509);
+
+  const char* name() const override { return "bounded-staleness"; }
+  void validate(std::size_t num_learners,
+                const AdmmParams& params) const override;
+  bool wants_recovery() const override { return true; }
+  std::size_t recovery_threshold_request() const override {
+    return threshold_request_;
+  }
+  std::uint64_t recovery_sharing_seed() const override {
+    return sharing_seed_;
+  }
+  bool asynchronous() const override { return true; }
+
+ private:
+  std::size_t threshold_request_;
+  std::uint64_t sharing_seed_;
+};
+
 /// WHERE the rounds execute. A transport owns scheduling (loop, placement,
 /// fault injection) and calls back into the engine for every piece of
 /// protocol work.
@@ -191,11 +244,25 @@ class Transport {
 };
 
 /// Trivial transport: drive the learners in-process, one step_round() per
-/// iteration. Fast path for benches/tests and the in-memory trainers.
+/// iteration (step_round_async under an asynchronous policy). Fast path for
+/// benches/tests and the in-memory trainers.
 class InMemoryTransport final : public Transport {
  public:
+  InMemoryTransport() = default;
+  /// Asynchronous runs simulate per-party compute delays from `plan`:
+  /// the ComputeDelay schedule scales a party's step time, and the
+  /// "contribution" channel's probabilistic delay adds
+  /// extra_delay_seconds per (party, round) hit — all deterministic in
+  /// plan->seed. `plan` must outlive the transport; ignored (and the
+  /// simulation runs delay-free) when null or under a synchronous policy.
+  explicit InMemoryTransport(const mapreduce::FaultPlan* plan)
+      : plan_(plan) {}
+
   ConsensusRunResult run(ConsensusEngine& engine,
                          const RoundObserver& observer) override;
+
+ private:
+  const mapreduce::FaultPlan* plan_ = nullptr;
 };
 
 /// The engine: one ADMM round body (local steps → batched secure sum →
@@ -223,11 +290,46 @@ class ConsensusEngine {
   /// broadcast. In-process engines only.
   const Vector& step_round(std::size_t round);
 
+  /// One asynchronous bounded-staleness round (in-process engines under a
+  /// BoundedStalenessPolicy): advance the simulated event clock to the
+  /// earlier of quorum-complete and the round deadline, harvest the local
+  /// steps that finished, carry stragglers' last values forward with
+  /// stale-decayed weight, drop parties past max_staleness into the Shamir
+  /// recovery path, then aggregate/combine exactly like step_round. With
+  /// Q = live and no deadline this is bit-identical to step_round.
+  const Vector& step_round_async(std::size_t round);
+
+  /// Install the simulated per-party delay model for step_round_async
+  /// (FaultPlan::compute_delays schedule + probabilistic extra delay on the
+  /// "contribution" channel, deterministic in plan->seed). Null = unit-time
+  /// steps for everyone. `plan` must outlive the engine.
+  void configure_async_delays(const mapreduce::FaultPlan* plan);
+
+  /// Copy the engine's end-of-run verdicts (watchdog trip + reason, async
+  /// clock and counters) into `result`. Transports call this once after the
+  /// loop; fills only the fields the engine owns.
+  void finalize_result(ConsensusRunResult& result) const;
+
   /// Outcome of a reducer-side round (distributed transports).
   struct ReduceOutcome {
     Vector broadcast;  ///< the next consensus state to send out
     crypto::SecureSumSession::ReduceAudit audit;  ///< recovery bookkeeping
+    // Asynchronous rounds only (all empty/zero in synchronous rounds):
+    std::size_t fresh = 0;  ///< parties whose contribution was this round's
+    std::vector<std::size_t> carried;  ///< parties re-sending a stale value
+    double weight_total = 0.0;    ///< sum of stale weights entering the avg
+    bool deadline_expired = false;  ///< round closed by deadline, not quorum
   };
+
+  /// The previous async round's outcome (valid after step_round_async).
+  const ReduceOutcome& last_async_outcome() const noexcept {
+    return async_outcome_;
+  }
+  double async_seconds() const noexcept { return async_clock_; }
+  std::size_t deadline_expirations() const noexcept {
+    return deadline_expirations_;
+  }
+  std::size_t staleness_drops() const noexcept { return staleness_drops_; }
 
   /// Reducer-side round body: aggregate `contributions` (indexed by party,
   /// empty = absent) masked against `mask_set`, recovering any party in
@@ -274,6 +376,23 @@ class ConsensusEngine {
   Vector combine_and_record(const Vector& average, const Vector& z_prev,
                             const std::vector<std::size_t>* active);
 
+  /// One party's view of the asynchronous simulation: the local step it is
+  /// busy computing (value fixed at dispatch, revealed at busy_until), and
+  /// its last completed value available for stale carry-forward.
+  struct AsyncPartyState {
+    Vector pending;              ///< value being computed (eager evaluation)
+    std::size_t pending_round = 0;   ///< broadcast round `pending` consumed
+    double busy_until = 0.0;     ///< simulated finish time of `pending`
+    bool busy = false;
+    Vector value;                ///< last completed local step
+    std::size_t value_round = 0;     ///< broadcast round `value` consumed
+    bool has_value = false;
+  };
+
+  /// Per-party simulated duration of the local step dispatched at `round`.
+  double async_step_seconds(std::size_t round, std::size_t party) const;
+  double stale_weight(std::size_t staleness) const;
+
   std::vector<std::shared_ptr<ConsensusLearner>>* learners_;  // null = remote
   ConsensusCoordinator& coordinator_;
   AdmmParams params_;
@@ -287,6 +406,16 @@ class ConsensusEngine {
   bool fabric_recovery_ = false;
   std::size_t fabric_threshold_request_ = 0;
   std::optional<DivergenceWatchdog> watchdog_;
+
+  // Asynchronous (bounded-staleness) state — untouched by synchronous runs.
+  const mapreduce::FaultPlan* async_plan_ = nullptr;
+  std::vector<AsyncPartyState> async_parties_;
+  double async_clock_ = 0.0;       ///< simulated event clock (seconds)
+  double pending_staleness_ = 0.0;  ///< this round's mean staleness (for the
+                                    ///< watchdog feed in combine_and_record)
+  std::size_t deadline_expirations_ = 0;
+  std::size_t staleness_drops_ = 0;
+  ReduceOutcome async_outcome_;
 };
 
 }  // namespace ppml::core

@@ -198,10 +198,8 @@ GlmHorizontalResult run_glm(
     }
     result.trace.records.push_back(record);
   };
-  FullParticipation policy;
-  ConsensusEngine engine(learners, coordinator, params.as_admm(), policy);
-  InMemoryTransport transport;
-  result.run = engine.run(transport, observer);
+  result.run =
+      run_consensus_in_memory(learners, coordinator, params.as_admm(), observer);
   result.model = svm::LinearModel{coordinator.z(), coordinator.s()};
   return result;
 }

@@ -159,10 +159,7 @@ GlmVerticalResult run_vertical_glm(const data::VerticalPartition& partition,
     result.trace.records.push_back(record);
   };
 
-  FullParticipation policy;
-  ConsensusEngine engine(learners, coordinator, admm, policy);
-  InMemoryTransport transport;
-  result.run = engine.run(transport, observer);
+  result.run = run_consensus_in_memory(learners, coordinator, admm, observer);
   result.model.feature_indices = partition.feature_indices;
   result.model.b = bias();
   for (const auto& learner : typed)

@@ -247,10 +247,7 @@ KernelHorizontalResult train_kernel_horizontal(
     result.trace.records.push_back(record);
   };
 
-  FullParticipation policy;
-  ConsensusEngine engine(learners, coordinator, params, policy);
-  InMemoryTransport transport;
-  result.run = engine.run(transport, observer);
+  result.run = run_consensus_in_memory(learners, coordinator, params, observer);
   result.model = typed.front()->build_model();
   return result;
 }

@@ -167,10 +167,7 @@ LinearHorizontalResult train_linear_horizontal(
     result.trace.records.push_back(record);
   };
 
-  FullParticipation policy;
-  ConsensusEngine engine(learners, coordinator, params, policy);
-  InMemoryTransport transport;
-  result.run = engine.run(transport, observer);
+  result.run = run_consensus_in_memory(learners, coordinator, params, observer);
   result.model = svm::LinearModel{coordinator.z(), coordinator.s()};
   return result;
 }

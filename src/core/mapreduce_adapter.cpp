@@ -246,6 +246,16 @@ ConsensusRunResult FabricTransport::run(ConsensusEngine& engine,
   PPML_CHECK(reducer_node_ < cluster_.num_nodes(),
              "FabricTransport: reducer node out of range");
   const AdmmParams& params = engine.params();
+  if (params.asynchronous()) {
+    // Bounded-staleness on the fabric = a deadline-bounded contribution
+    // wait: the job drops (and later rejoins) mappers that blow the round
+    // budget, and the engine's recovery path corrects their woven-in masks.
+    // The carry-forward algebra stays in-memory only — the fabric's rejoin
+    // machinery plays the same role with real key epochs.
+    job_config_.tolerate_mapper_loss = true;
+    if (params.async_round_deadline > 0.0)
+      job_config_.round_deadline_factor = params.async_round_deadline;
+  }
   if (job_config_.tolerate_mapper_loss) {
     PPML_CHECK(params.mask_variant == crypto::MaskVariant::kSeededMasks,
                "FabricTransport: tolerate_mapper_loss requires the "
@@ -282,6 +292,8 @@ ConsensusRunResult FabricTransport::run(ConsensusEngine& engine,
   ConsensusRunResult result;
   result.iterations = job_stats_.rounds;
   result.converged = job_stats_.converged;
+  engine.finalize_result(result);
+  result.deadline_expirations = job_stats_.deadline_misses;
   return result;
 }
 
@@ -291,7 +303,11 @@ ClusterTrainResult run_consensus_on_cluster(
     std::size_t consensus_dim, mapreduce::NodeId reducer_node,
     const AdmmParams& params, mapreduce::JobConfig job_config) {
   (void)consensus_dim;
-  FullParticipation policy;
+  FullParticipation full_policy;
+  BoundedStalenessPolicy async_policy(params.dropout_threshold);
+  RoundPolicy& policy = params.asynchronous()
+                            ? static_cast<RoundPolicy&>(async_policy)
+                            : static_cast<RoundPolicy&>(full_policy);
   ConsensusEngine engine(shards.size(), coordinator, params, policy);
   FabricTransport transport(cluster, shards, factory, reducer_node,
                             job_config);

@@ -11,6 +11,15 @@
 
 namespace ppml::core {
 
+/// Weight of a carried-forward (stale) contribution in asynchronous
+/// bounded-staleness rounds, as a function of its staleness s (rounds since
+/// the broadcast it consumed). Fresh contributions (s = 0) always weigh 1.
+enum class StaleWeight {
+  kGeometric,  ///< stale_decay^s — the FDML-style exponential fade
+  kInverse,    ///< 1 / (1 + s)
+  kUniform,    ///< 1 while s <= max_staleness (pure bounded-delay ADMM)
+};
+
 /// ADMM + protocol knobs. Defaults are the paper's §VI settings.
 struct AdmmParams {
   double c = 50.0;     ///< slack penalty (paper: C = 50)
@@ -54,6 +63,32 @@ struct AdmmParams {
   std::size_t watchdog_window = 0;
   double watchdog_stall_epsilon = 1e-3;
   double watchdog_stall_floor = 1e-8;
+
+  // --- Asynchronous bounded-staleness rounds (core::BoundedStalenessPolicy,
+  // docs/async_consensus.md). All opt-in: the defaults keep every driver on
+  // the paper's bulk-synchronous loop, bit-identical to before these knobs
+  // existed.
+
+  /// 0 = synchronous (default). In (0, 1]: rounds close as soon as
+  /// ceil(fraction * live) parties (clamped to [2, live]) have delivered a
+  /// fresh local step; stragglers' last values are carried forward with
+  /// stale-decayed weight instead of barriering the round.
+  double async_quorum_fraction = 0.0;
+  /// Per-round deadline in units of the nominal local-step time (the
+  /// in-memory simulation's unit step; the fabric scales by the median live
+  /// node). A round closes at min(quorum time, deadline). 0 = no deadline:
+  /// wait for the quorum however long it takes.
+  double async_round_deadline = 0.0;
+  /// A carried contribution older than this many rounds means the party is
+  /// presumed dead: it is dropped and the Shamir dropout-recovery path
+  /// corrects the round. Must be >= 1 in async mode.
+  std::size_t max_staleness = 4;
+  /// How a carried contribution's weight decays with staleness.
+  StaleWeight stale_weight_mode = StaleWeight::kGeometric;
+  /// Base of the geometric decay (weight = stale_decay^s), in (0, 1].
+  double stale_decay = 0.5;
+
+  bool asynchronous() const noexcept { return async_quorum_fraction > 0.0; }
 };
 
 /// One row of the paper's Fig. 4 series for a run.

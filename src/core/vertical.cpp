@@ -207,10 +207,7 @@ LinearVerticalResult train_linear_vertical(
     result.trace.records.push_back(record);
   };
 
-  FullParticipation policy;
-  ConsensusEngine engine(learners, coordinator, params, policy);
-  InMemoryTransport transport;
-  result.run = engine.run(transport, observer);
+  result.run = run_consensus_in_memory(learners, coordinator, params, observer);
   for (const auto& learner : typed)
     result.model.w_blocks.push_back(learner->w());
   result.model.b = coordinator.bias();
@@ -266,10 +263,7 @@ KernelVerticalResult train_kernel_vertical(
     result.trace.records.push_back(record);
   };
 
-  FullParticipation policy;
-  ConsensusEngine engine(learners, coordinator, params, policy);
-  InMemoryTransport transport;
-  result.run = engine.run(transport, observer);
+  result.run = run_consensus_in_memory(learners, coordinator, params, observer);
 
   result.model.kernel = kernel;
   result.model.feature_indices = partition.feature_indices;

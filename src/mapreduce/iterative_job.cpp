@@ -71,6 +71,15 @@ IterativeJob::IterativeJob(Cluster& cluster, JobConfig config)
   PPML_CHECK(config_.speculation_factor == 0.0 ||
                  config_.speculation_factor >= 1.0,
              "IterativeJob: speculation_factor must be 0 (off) or >= 1");
+  PPML_CHECK(config_.round_deadline_factor == 0.0 ||
+                 config_.round_deadline_factor >= 1.0,
+             "IterativeJob: round_deadline_factor must be 0 (off) or >= 1");
+  PPML_CHECK(config_.round_deadline_factor == 0.0 ||
+                 config_.tolerate_mapper_loss,
+             "IterativeJob: round_deadline_factor requires "
+             "tolerate_mapper_loss (a late mapper is a post-map loss)");
+  PPML_CHECK(config_.deadline_retry_backoff >= 0.0,
+             "IterativeJob: deadline_retry_backoff must be >= 0");
 }
 
 void IterativeJob::add_mapper(std::shared_ptr<IterativeMapper> mapper,
@@ -453,6 +462,43 @@ JobStats IterativeJob::run(Bytes initial_broadcast) {
       if (any_speculation) ++stats.round_timeouts;
     }
 
+    // Deadline-bounded contribution wait (async consensus): with
+    // round_deadline_factor set, the reducer stops waiting once
+    // factor x the (lower) median live node's map time has elapsed. A
+    // mapper outside the budget — even after its speculative backup — gets
+    // ONE retry extension of (1 + deadline_retry_backoff) x the budget;
+    // still outside means its contribution will never be consumed this
+    // round. Like speculation, the verdict is a pure function of the
+    // configured node speed factors, so it is reproducible run to run;
+    // only the simulated clock uses wall time.
+    std::vector<bool> deadline_late(m, false);
+    double deadline_time_factor = 0.0;  ///< round budget / median map time
+    if (config_.round_deadline_factor > 0.0 && active.size() >= 2) {
+      std::vector<double> factors;
+      for (std::size_t i : active)
+        factors.push_back(cluster_.node_speed_factor(mapper_nodes_[i]));
+      const double median_f = lower_median(factors);
+      const auto effective_factor = [&](std::size_t i) {
+        const double own = cluster_.node_speed_factor(mapper_nodes_[i]);
+        return backup_factor[i] > 0.0 ? std::min(own, backup_factor[i]) : own;
+      };
+      deadline_time_factor = config_.round_deadline_factor;
+      bool any_late = false;
+      for (std::size_t i : active)
+        if (effective_factor(i) > deadline_time_factor * median_f)
+          any_late = true;
+      if (any_late) {
+        // The single bounded retry: everyone gets the extended budget.
+        ++stats.deadline_retry_waits;
+        deadline_time_factor *= 1.0 + config_.deadline_retry_backoff;
+      }
+      for (std::size_t i : active) {
+        if (effective_factor(i) <= deadline_time_factor * median_f) continue;
+        deadline_late[i] = true;
+        ++stats.deadline_misses;
+      }
+    }
+
     // 3. Map in parallel on the live set. Each task's wall time, scaled by
     //    its node's speed factor, feeds the simulated clock; the
     //    synchronous barrier takes the per-round max. A speculated task's
@@ -508,6 +554,11 @@ JobStats IterativeJob::run(Bytes initial_broadcast) {
                                config_.speculation_factor * median_t +
                                    wall_seconds[i] * backup_factor[i]);
         }
+        // A deadline-dropped mapper stops gating the barrier at the
+        // (possibly retry-extended) budget — that is the whole point of
+        // the bounded wait.
+        if (deadline_late[i])
+          effective = std::min(effective, deadline_time_factor * median_t);
         critical_path = std::max(critical_path, effective);
       }
       stats.simulated_compute_seconds += critical_path;
@@ -540,6 +591,23 @@ JobStats IterativeJob::run(Bytes initial_broadcast) {
         postmap_lost.push_back(i);
         mark_lost(i, stats);
       }
+    }
+
+    // Deadline drops land with the crashes: the mapper computed and masked,
+    // but the reducer stopped waiting — a post-map loss on the slow node's
+    // side, corrected by the same dropout-recovery path. The mapper may
+    // rejoin next round under a fresh epoch (its block is still live).
+    for (std::size_t i : active) {
+      if (!deadline_late[i] || !live_[i]) continue;
+      contributions[i].clear();
+      postmap_lost.push_back(i);
+      mark_lost(i, stats);
+      if (obs::metrics() != nullptr)
+        obs::count("consensus.round.deadline_expired");
+      obs::flight_event(obs::FlightEventKind::kMark,
+                        "deadline.drop:" + std::to_string(i),
+                        static_cast<double>(round), /*trace_id=*/0,
+                        static_cast<int>(i));
     }
 
     // 4. Contributions to the reducer node, CRC-framed with verified
@@ -639,6 +707,8 @@ JobStats IterativeJob::run(Bytes initial_broadcast) {
                      static_cast<std::int64_t>(stats.speculative_attempts));
   counters.increment("job.round_timeouts",
                      static_cast<std::int64_t>(stats.round_timeouts));
+  counters.increment("job.deadline_misses",
+                     static_cast<std::int64_t>(stats.deadline_misses));
   counters.increment("job.frames_rejected",
                      static_cast<std::int64_t>(stats.frames_rejected));
   counters.increment(

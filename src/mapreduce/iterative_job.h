@@ -129,6 +129,20 @@ struct JobConfig {
   /// fastest other live replica of its block; the simulated round clock
   /// takes min(original, factor x median attempt time + backup time).
   double speculation_factor = 0.0;
+  /// 0 = block forever on contributions (the synchronous barrier).
+  /// Otherwise must be >= 1: the reducer waits at most factor x the (lower)
+  /// median live node's map time for contributions each round. A mapper
+  /// outside the budget gets ONE retry extension of
+  /// (1 + deadline_retry_backoff) x the budget; still late means it is
+  /// treated as a post-map loss (its masks are already woven in, so the
+  /// dropout-recovery path corrects the sum) and may rejoin later under a
+  /// fresh epoch. Decisions are pure functions of configured node speed
+  /// factors — never wall time — so they are reproducible run to run.
+  /// Requires tolerate_mapper_loss. Set by the async consensus drivers from
+  /// AdmmParams::async_round_deadline.
+  double round_deadline_factor = 0.0;
+  /// Fractional budget extension granted by the single deadline retry.
+  double deadline_retry_backoff = 0.5;
 };
 
 /// Liveness state machine of one mapper (docs/fault_tolerance.md):
@@ -153,6 +167,8 @@ struct JobStats {
   std::size_t mappers_rejoined = 0;
   std::size_t speculative_attempts = 0;
   std::size_t round_timeouts = 0;     ///< rounds where a straggler blew the deadline
+  std::size_t deadline_misses = 0;    ///< mappers dropped past the round deadline
+  std::size_t deadline_retry_waits = 0;  ///< rounds that used the retry extension
   std::size_t message_retries = 0;    ///< driver-level frame re-sends
   std::size_t frames_rejected = 0;    ///< CRC failures detected on drain
   FaultStats network_faults;          ///< what the fabric actually injected

@@ -54,6 +54,17 @@ bool FaultPlan::partitioned(std::size_t round, NodeId a, NodeId b) const {
   return false;
 }
 
+double FaultPlan::compute_delay_factor(std::size_t round,
+                                       std::size_t party) const {
+  double factor = 1.0;
+  for (const ComputeDelay& delay : compute_delays) {
+    if (delay.party == party && round >= delay.from_round &&
+        round < delay.until_round)
+      factor *= delay.factor;
+  }
+  return factor;
+}
+
 bool FaultPlan::injects_message_faults() const {
   if (all_channels.any() || !partitions.empty()) return true;
   for (const auto& [channel, faults] : per_channel)
@@ -80,6 +91,9 @@ void Network::set_fault_plan(FaultPlan plan) {
   check(plan.all_channels, "all_channels");
   for (const auto& [channel, faults] : plan.per_channel)
     check(faults, "channel '" + channel + "'");
+  for (const ComputeDelay& delay : plan.compute_delays)
+    PPML_CHECK(delay.factor > 0.0,
+               "FaultPlan: compute_delays factors must be > 0");
   std::lock_guard<std::mutex> lock(mutex_);
   plan_ = std::move(plan);
   faults_enabled_ = plan_.injects_message_faults();

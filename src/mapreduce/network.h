@@ -84,6 +84,18 @@ struct NetworkPartition {
   std::vector<NodeId> island;
 };
 
+/// A scheduled per-party compute slowdown (a "delay storm"): during rounds
+/// [from_round, until_round), `party`'s local step takes `factor` x its
+/// nominal time. Consumed by the asynchronous consensus simulation
+/// (core::InMemoryTransport's bounded-staleness clock) — the synchronous
+/// cluster models slow nodes via ClusterConfig::node_speed_factors instead.
+struct ComputeDelay {
+  std::size_t from_round = 0;
+  std::size_t until_round = static_cast<std::size_t>(-1);  ///< exclusive
+  std::size_t party = 0;
+  double factor = 1.0;
+};
+
 /// Everything that can go wrong, scheduled deterministically from `seed`.
 struct FaultPlan {
   std::uint64_t seed = 0xFA17;
@@ -92,10 +104,14 @@ struct FaultPlan {
   std::vector<NodeEvent> crashes;
   std::vector<NodeEvent> revivals;
   std::vector<NetworkPartition> partitions;
+  std::vector<ComputeDelay> compute_delays;  ///< per-party step slowdowns
 
   const ChannelFaults& faults_for(const std::string& channel) const;
   bool partitioned(std::size_t round, NodeId a, NodeId b) const;
   bool injects_message_faults() const;
+  /// Product of every compute_delays entry matching (round, party); 1.0
+  /// when none match.
+  double compute_delay_factor(std::size_t round, std::size_t party) const;
 };
 
 /// Counts of injected faults (the fabric's ground truth; the driver's CRC

@@ -1,0 +1,315 @@
+// Behavior suite for the asynchronous bounded-staleness consensus mode
+// (core::BoundedStalenessPolicy + ConsensusEngine::step_round_async).
+//
+// The bit-identity contract (async with Q = M and no deadline == sync,
+// exactly) is pinned in consensus_engine_test.cpp; this suite covers the
+// genuinely asynchronous behaviors: quorum closes that skip a straggler,
+// deadline-bounded rounds, stale-weighted carry-forward (with the exact
+// renormalization mass), chronic-straggler drops feeding the Shamir
+// recovery path exactly once, the staleness watchdog channel staying
+// silent on healthy runs, and the async observability surface.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/consensus_engine.h"
+#include "core/linear_horizontal.h"
+#include "data/generators.h"
+#include "data/partition.h"
+#include "data/standardize.h"
+#include "linalg/blas.h"
+#include "mapreduce/network.h"
+#include "obs/flight_recorder.h"
+#include "obs/obs.h"
+
+namespace ppml::core {
+namespace {
+
+data::HorizontalPartition make_partition(std::size_t m) {
+  data::GaussianTaskConfig task;
+  task.samples = 160;
+  task.features = 6;
+  task.separation = 1.6;
+  task.seed = 11;
+  task.name = "async-consensus";
+  data::Dataset train = data::make_gaussian_task(task);
+  data::StandardScaler scaler;
+  scaler.fit(train.x);
+  scaler.transform(train.x);
+  return data::partition_horizontally(train, m, 5);
+}
+
+std::vector<std::shared_ptr<ConsensusLearner>> make_learners(
+    const data::HorizontalPartition& partition, const AdmmParams& params) {
+  std::vector<std::shared_ptr<ConsensusLearner>> learners;
+  for (const data::Dataset& shard : partition.shards)
+    learners.push_back(std::make_shared<LinearHorizontalLearner>(
+        shard, partition.learners(), params));
+  return learners;
+}
+
+AdmmParams async_params(std::size_t rounds, double quorum_fraction) {
+  AdmmParams params;
+  params.max_iterations = rounds;
+  params.convergence_tolerance = 0.0;
+  params.protocol_seed = 0x5eedULL;
+  params.async_quorum_fraction = quorum_fraction;
+  return params;
+}
+
+/// One permanently slow party: every round, `party` computes at `factor`
+/// times the nominal step time.
+mapreduce::FaultPlan storm_plan(std::size_t party, double factor) {
+  mapreduce::FaultPlan plan;
+  plan.seed = 7;
+  mapreduce::ComputeDelay delay;
+  delay.party = party;
+  delay.factor = factor;
+  plan.compute_delays.push_back(delay);
+  return plan;
+}
+
+struct AsyncRun {
+  ConsensusRunResult run;
+  Vector z;
+  double s = 0.0;
+  /// Rounds on which the reduce audit reported recovered (dropped) parties.
+  std::vector<std::size_t> recovery_rounds;
+  /// last_async_outcome snapshots per round: (fresh, carried, weight_total).
+  std::vector<std::size_t> fresh_per_round;
+  std::vector<std::vector<std::size_t>> carried_per_round;
+  std::vector<double> weight_total_per_round;
+};
+
+AsyncRun run_async(const data::HorizontalPartition& partition,
+                   const AdmmParams& params, const mapreduce::FaultPlan* plan) {
+  auto learners = make_learners(partition, params);
+  AveragingCoordinator coordinator(partition.shards.front().features() + 1);
+  BoundedStalenessPolicy policy;
+  ConsensusEngine engine(learners, coordinator, params, policy);
+  InMemoryTransport transport(plan);
+  AsyncRun out;
+  const RoundObserver observer = [&](std::size_t round) {
+    const ConsensusEngine::ReduceOutcome& outcome = engine.last_async_outcome();
+    if (!outcome.audit.dropped.empty()) out.recovery_rounds.push_back(round);
+    out.fresh_per_round.push_back(outcome.fresh);
+    out.carried_per_round.push_back(outcome.carried);
+    out.weight_total_per_round.push_back(outcome.weight_total);
+  };
+  out.run = engine.run(transport, observer);
+  out.z = coordinator.z();
+  out.s = coordinator.s();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Quorum close: the straggler no longer sets the round clock.
+// ---------------------------------------------------------------------------
+
+TEST(AsyncConsensus, QuorumCloseRunsAtNominalRateUnderDelayStorm) {
+  const auto partition = make_partition(5);
+  AdmmParams params = async_params(8, 0.8);  // quorum 4 of 5
+  params.max_staleness = 10;
+  const mapreduce::FaultPlan plan = storm_plan(0, 4.0);
+  const AsyncRun run = run_async(partition, params, &plan);
+
+  EXPECT_EQ(run.run.iterations, 8u);
+  // Every round closes at the 4th fresh finish = 1 nominal second; the 4x
+  // straggler never holds the clock.
+  EXPECT_EQ(run.run.async_seconds, 8.0);
+  EXPECT_EQ(run.run.deadline_expirations, 0u);
+  EXPECT_EQ(run.run.staleness_drops, 0u);
+  EXPECT_FALSE(run.run.watchdog_tripped);
+  for (std::size_t fresh : run.fresh_per_round) EXPECT_EQ(fresh, 4u);
+}
+
+TEST(AsyncConsensus, StaleWeightedCarryRenormalizesByExactWeightMass) {
+  const auto partition = make_partition(5);
+  AdmmParams params = async_params(5, 0.8);
+  params.max_staleness = 10;
+  params.stale_weight_mode = StaleWeight::kGeometric;
+  params.stale_decay = 0.5;
+  const mapreduce::FaultPlan plan = storm_plan(0, 4.0);
+  const AsyncRun run = run_async(partition, params, &plan);
+
+  // Party 0 (dispatched at t=0, 4s step) is harvested on round 3 with its
+  // round-0 value: staleness 3, weight 0.5^3 — the carried set and the
+  // renormalization mass are fully deterministic.
+  ASSERT_EQ(run.carried_per_round.size(), 5u);
+  EXPECT_EQ(run.carried_per_round[3], (std::vector<std::size_t>{0}));
+  EXPECT_EQ(run.weight_total_per_round[3], 4.0 + 0.125);
+  // Rounds 0-2: party 0 has no value yet — zero-weight placeholder, mass 4.
+  EXPECT_EQ(run.weight_total_per_round[1], 4.0);
+  EXPECT_EQ(run.carried_per_round[1], (std::vector<std::size_t>{0}));
+}
+
+TEST(AsyncConsensus, UniformWeightsConvergeToTheSyncFixedPoint) {
+  const auto partition = make_partition(4);
+  // The straggler's subproblem advances 5x slower, so the async run gets
+  // proportionally more (nominal-second) rounds; both runs then sit at the
+  // shared fixed point, where a carried value equals a fresh one.
+  AdmmParams sync = async_params(400, 0.0);
+  sync.async_quorum_fraction = 0.0;  // synchronous baseline
+  AdmmParams async = async_params(1200, 0.75);
+  async.max_staleness = 32;
+  async.stale_weight_mode = StaleWeight::kUniform;
+
+  auto sync_learners = make_learners(partition, sync);
+  AveragingCoordinator sync_coordinator(
+      partition.shards.front().features() + 1);
+  FullParticipation sync_policy;
+  ConsensusEngine sync_engine(sync_learners, sync_coordinator, sync,
+                              sync_policy);
+  InMemoryTransport sync_transport;
+  sync_engine.run(sync_transport);
+
+  const mapreduce::FaultPlan plan = storm_plan(0, 5.0);
+  const AsyncRun async_run = run_async(partition, async, &plan);
+
+  Vector diff = sync_coordinator.z();
+  linalg::axpy(-1.0, async_run.z, diff);
+  const double gap = linalg::norm(diff) /
+                     std::max(1e-12, linalg::norm(sync_coordinator.z()));
+  EXPECT_LT(gap, 5e-3) << "async consensus drifted from the sync fixed point";
+  EXPECT_FALSE(async_run.run.watchdog_tripped);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines.
+// ---------------------------------------------------------------------------
+
+TEST(AsyncConsensus, DeadlineClosesRoundsBeforeTheStraggler) {
+  const auto partition = make_partition(4);
+  AdmmParams params = async_params(6, 1.0);  // quorum = M: only the deadline
+  params.async_round_deadline = 1.5;         // can close a round early
+  params.max_staleness = 10;
+  const mapreduce::FaultPlan plan = storm_plan(0, 3.0);
+
+  obs::MetricsRegistry metrics;
+  AsyncRun run;
+  {
+    obs::Session session(nullptr, &metrics);
+    run = run_async(partition, params, &plan);
+  }
+  EXPECT_GE(run.run.deadline_expirations, 1u);
+  EXPECT_EQ(metrics.counter("consensus.round.deadline_expired"),
+            static_cast<std::int64_t>(run.run.deadline_expirations));
+  EXPECT_EQ(run.run.staleness_drops, 0u);
+  EXPECT_EQ(run.run.iterations, 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Chronic stragglers: staleness cap -> drop -> Shamir recovery, once.
+// ---------------------------------------------------------------------------
+
+TEST(AsyncConsensus, ChronicStragglerIsDroppedOnceAndMasksRecovered) {
+  const auto partition = make_partition(5);
+  AdmmParams params = async_params(8, 0.8);
+  params.max_staleness = 2;
+  const mapreduce::FaultPlan plan = storm_plan(0, 1000.0);
+
+  obs::MetricsRegistry metrics;
+  obs::FlightRecorder recorder(256);
+  AsyncRun run;
+  {
+    obs::Session session(nullptr, &metrics, &recorder);
+    run = run_async(partition, params, &plan);
+  }
+  // Party 0 never produces a value; at round 3 its staleness (3) exceeds
+  // the cap and it leaves the cohort — its woven-in masks corrected by the
+  // recovery path exactly once, on exactly that round.
+  EXPECT_EQ(run.run.staleness_drops, 1u);
+  EXPECT_EQ(run.recovery_rounds, (std::vector<std::size_t>{3}));
+  EXPECT_EQ(run.run.iterations, 8u);
+  EXPECT_FALSE(run.run.watchdog_tripped);
+
+  std::size_t drop_marks = 0;
+  for (const auto& event : recorder.snapshot())
+    if (event.kind == obs::FlightEventKind::kMark &&
+        std::string(event.label) == "async.staleness_drop")
+      ++drop_marks;
+  EXPECT_EQ(drop_marks, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Observability surface.
+// ---------------------------------------------------------------------------
+
+TEST(AsyncConsensus, EmitsQuorumSeriesStalenessHistogramAndFlightMarks) {
+  const auto partition = make_partition(5);
+  AdmmParams params = async_params(6, 0.8);
+  params.max_staleness = 10;
+  const mapreduce::FaultPlan plan = storm_plan(0, 4.0);
+
+  obs::MetricsRegistry metrics;
+  obs::FlightRecorder recorder(256);
+  {
+    obs::Session session(nullptr, &metrics, &recorder);
+    (void)run_async(partition, params, &plan);
+  }
+  const auto quorum_series = metrics.series("consensus.round.quorum_size");
+  ASSERT_EQ(quorum_series.size(), 6u);
+  for (double fresh : quorum_series) EXPECT_EQ(fresh, 4.0);
+
+  const obs::HistogramSnapshot staleness =
+      metrics.histogram("consensus.contribution.staleness");
+  EXPECT_GT(staleness.total, 0u);
+  EXPECT_GT(staleness.max, 0.0);  // the straggler's carried values
+
+  std::size_t close_marks = 0;
+  for (const auto& event : recorder.snapshot())
+    if (event.kind == obs::FlightEventKind::kMark &&
+        std::string(event.label) == "async.quorum_close")
+      ++close_marks;
+  EXPECT_EQ(close_marks, 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Validation.
+// ---------------------------------------------------------------------------
+
+TEST(AsyncConsensus, PolicyRejectsDegenerateConfigs) {
+  const auto partition = make_partition(4);
+  const auto construct = [&](const AdmmParams& params) {
+    auto learners = make_learners(partition, params);
+    AveragingCoordinator coordinator(partition.shards.front().features() + 1);
+    BoundedStalenessPolicy policy;
+    ConsensusEngine engine(learners, coordinator, params, policy);
+  };
+
+  AdmmParams over_quorum = async_params(4, 1.5);
+  EXPECT_THROW(construct(over_quorum), Error);
+
+  AdmmParams negative_deadline = async_params(4, 0.5);
+  negative_deadline.async_round_deadline = -1.0;
+  EXPECT_THROW(construct(negative_deadline), Error);
+
+  AdmmParams zero_staleness = async_params(4, 0.5);
+  zero_staleness.max_staleness = 0;
+  EXPECT_THROW(construct(zero_staleness), Error);
+
+  AdmmParams bad_decay = async_params(4, 0.5);
+  bad_decay.stale_decay = 0.0;
+  EXPECT_THROW(construct(bad_decay), Error);
+
+  AdmmParams exchanged = async_params(4, 0.5);
+  exchanged.mask_variant = crypto::MaskVariant::kExchangedMasks;
+  EXPECT_THROW(construct(exchanged), Error);
+
+  // M = 2 cannot arm Shamir recovery for staleness drops.
+  const auto pair_partition = make_partition(2);
+  const AdmmParams pair_params = async_params(4, 1.0);
+  auto pair_learners = make_learners(pair_partition, pair_params);
+  AveragingCoordinator pair_coordinator(
+      pair_partition.shards.front().features() + 1);
+  BoundedStalenessPolicy policy;
+  EXPECT_THROW(ConsensusEngine(pair_learners, pair_coordinator, pair_params,
+                               policy),
+               Error);
+}
+
+}  // namespace
+}  // namespace ppml::core

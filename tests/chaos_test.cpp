@@ -20,6 +20,7 @@
 
 #include "core/cluster_trainers.h"
 #include "core/consensus.h"
+#include "core/consensus_engine.h"
 #include "crypto/fixed_point.h"
 #include "crypto/secure_sum.h"
 #include "data/generators.h"
@@ -447,6 +448,128 @@ TEST(Chaos, InMemoryDropoutDriverDegradesGracefully) {
   const double degraded_acc =
       test_accuracy(svm::LinearModel{degraded.z(), degraded.s()}, split);
   EXPECT_GE(degraded_acc, clean_acc - 0.02);
+}
+
+// --- Async bounded-staleness consensus under chaos ----------------------
+
+TEST(Chaos, AsyncQuorumConvergesWhereTheSyncBarrierBlowsTheClock) {
+  const auto split = acceptance_split();
+  AdmmParams params;
+  params.max_iterations = 30;
+  const auto partition = data::partition_horizontally(split.train, 5, 7);
+  const std::size_t k = split.train.features();
+
+  // Clean synchronous baseline, no storm.
+  AveragingCoordinator clean(k + 1);
+  auto plain = make_learners(partition, params);
+  run_consensus_in_memory(plain, clean, params);
+  const double clean_acc =
+      test_accuracy(svm::LinearModel{clean.z(), clean.s()}, split);
+
+  // Delay storm: party 0 computes 50x slower every round. The synchronous
+  // barrier waits on it, so the sync wall-clock is analytic — 50 s per
+  // round, 1500 s for the job — blowing a 2-minute deadline by 12x. The
+  // async engine closes every round at a 4-of-5 quorum on the nominal
+  // clock instead.
+  mapreduce::FaultPlan plan;
+  plan.seed = 2015;
+  mapreduce::ComputeDelay storm;
+  storm.party = 0;
+  storm.factor = 50.0;
+  plan.compute_delays.push_back(storm);
+
+  AdmmParams async = params;
+  async.async_quorum_fraction = 0.8;
+  async.max_staleness = 3;  // the 50x straggler exceeds this -> dropped
+  async.watchdog_window = 4;
+
+  auto learners = make_learners(partition, async);
+  AveragingCoordinator coordinator(k + 1);
+  BoundedStalenessPolicy policy;
+  ConsensusEngine engine(learners, coordinator, async, policy);
+  InMemoryTransport transport(&plan);
+  std::vector<std::size_t> recovery_rounds;
+  const RoundObserver observer = [&](std::size_t round) {
+    if (!engine.last_async_outcome().audit.dropped.empty())
+      recovery_rounds.push_back(round);
+  };
+  obs::MetricsRegistry metrics;  // the watchdog feed is observational
+  ConsensusRunResult result;
+  {
+    obs::Session session(nullptr, &metrics);
+    result = engine.run(transport, observer);
+  }
+
+  const double budget_s = 120.0;
+  const double sync_wall =
+      storm.factor * static_cast<double>(params.max_iterations);
+  EXPECT_GT(sync_wall, budget_s);  // the sync barrier blows the deadline...
+  EXPECT_LT(result.async_seconds, budget_s);  // ...the quorum does not
+  EXPECT_DOUBLE_EQ(result.async_seconds,
+                   static_cast<double>(params.max_iterations));
+  EXPECT_EQ(result.iterations, 30u);
+  EXPECT_FALSE(result.watchdog_tripped);
+  EXPECT_EQ(result.watchdog_reason, "");
+
+  // The chronic straggler never produces a value, so its staleness tracks
+  // the round number: with max_staleness = 3 it is presumed dead at round
+  // 4, exactly once, and the Shamir recovery corrects that round's sum.
+  EXPECT_EQ(result.staleness_drops, 1u);
+  EXPECT_EQ(recovery_rounds, (std::vector<std::size_t>{4}));
+
+  // The survivors still train a usable model.
+  const double async_acc =
+      test_accuracy(svm::LinearModel{coordinator.z(), coordinator.s()}, split);
+  EXPECT_GE(async_acc, clean_acc - 0.02);
+}
+
+TEST(Chaos, FabricDeadlineDropsTheChronicStragglerAndStillTrains) {
+  const auto split = acceptance_split();
+  AdmmParams params;
+  params.max_iterations = 20;
+  const auto partition = data::partition_horizontally(split.train, 5, 7);
+
+  // Clean synchronous fabric baseline.
+  mapreduce::Cluster clean(cluster_config(6));
+  const auto baseline =
+      train_linear_horizontal_on_cluster(clean, partition, params);
+  const double baseline_acc = test_accuracy(baseline.model, split);
+
+  // Mapper 0's node runs 10x slower than the cohort. On the fabric the
+  // async round deadline becomes IterativeJob's deadline-bounded
+  // contribution wait: 2x the median map time, one 1.5x retry extension,
+  // and 10x is still outside — so every round the job drops mapper 0
+  // post-map (the dropout correction fixes the masked sum) and the rejoin
+  // machinery readmits it next round under a fresh key epoch.
+  AdmmParams async = params;
+  async.async_quorum_fraction = 0.8;
+  async.async_round_deadline = 2.0;
+
+  mapreduce::ClusterConfig config = cluster_config(6, /*replication=*/2);
+  config.node_speed_factors = {10.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+  mapreduce::Cluster cluster(config);
+  const auto result =
+      train_linear_horizontal_on_cluster(cluster, partition, async);
+  const mapreduce::JobStats& job = result.cluster.job;
+
+  EXPECT_EQ(job.rounds, 20u);
+  EXPECT_GE(job.deadline_misses, 1u);
+  EXPECT_GE(job.deadline_retry_waits, 1u);
+  EXPECT_GE(job.mappers_rejoined, 1u);
+  // The adapter surfaces the fabric's deadline verdicts on the run result.
+  EXPECT_EQ(result.cluster.run.deadline_expirations, job.deadline_misses);
+
+  // Every drop is post-map: the straggler had already woven its masks in,
+  // so the reducer must (and does) correct each affected sum.
+  ASSERT_GE(result.cluster.dropout_events.size(), 1u);
+  for (const DropoutEvent& event : result.cluster.dropout_events) {
+    EXPECT_EQ(event.mapper, 0u);
+    EXPECT_TRUE(event.corrected);
+  }
+
+  // Degraded, not destroyed: within 2 points of the clean run even though
+  // the straggler's shard never lands a contribution.
+  EXPECT_GE(test_accuracy(result.model, split), baseline_acc - 0.02);
 }
 
 }  // namespace

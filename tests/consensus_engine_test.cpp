@@ -709,6 +709,58 @@ TEST(ConsensusEngineBitIdentity, FabricMatchesInMemoryZeroFaultExchanged) {
 }
 
 // ---------------------------------------------------------------------------
+// Async bounded staleness: Q = M with no deadline degenerates to sync.
+// ---------------------------------------------------------------------------
+
+AdmmParams async_degenerate_params(std::uint64_t seed) {
+  AdmmParams params = base_params(seed);
+  params.async_quorum_fraction = 1.0;  // quorum = M: every round closes full
+  params.async_round_deadline = 0.0;   // and no deadline ever fires
+  return params;
+}
+
+TEST(AsyncConsensusBitIdentity, QuorumMNoDeadlineEqualsSyncInMemory) {
+  const auto partition = make_partition(4);
+  for (const std::uint64_t seed : kProtocolSeeds) {
+    const AdmmParams sync_params = base_params(seed);
+    const AdmmParams async_params = async_degenerate_params(seed);
+    const RunRecord sync_run = run_driver(
+        partition, sync_params,
+        [&](auto& learners, auto& coordinator, const RoundObserver& observer) {
+          FullParticipation policy;
+          ConsensusEngine engine(learners, coordinator, sync_params, policy);
+          InMemoryTransport transport;
+          return engine.run(transport, observer);
+        });
+    const RunRecord async_run = run_driver(
+        partition, async_params,
+        [&](auto& learners, auto& coordinator, const RoundObserver& observer) {
+          BoundedStalenessPolicy policy;
+          ConsensusEngine engine(learners, coordinator, async_params, policy);
+          InMemoryTransport transport;
+          return engine.run(transport, observer);
+        });
+    expect_identical(sync_run, async_run);
+    // Delay-free async ticks exactly one nominal second per round and never
+    // expires a deadline or drops a party.
+    EXPECT_EQ(async_run.run.async_seconds,
+              static_cast<double>(async_run.run.iterations));
+    EXPECT_EQ(async_run.run.deadline_expirations, 0u);
+    EXPECT_EQ(async_run.run.staleness_drops, 0u);
+  }
+}
+
+TEST(AsyncConsensusBitIdentity, QuorumMNoDeadlineEqualsSyncOnFabric) {
+  const auto partition = make_partition(4);
+  for (const std::uint64_t seed : kProtocolSeeds) {
+    const RunRecord sync_run = run_on_cluster(partition, base_params(seed));
+    const RunRecord async_run =
+        run_on_cluster(partition, async_degenerate_params(seed));
+    expect_identical(sync_run, async_run);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Batched-session counters: the refactor's measurable win.
 // ---------------------------------------------------------------------------
 
@@ -832,6 +884,49 @@ TEST(DivergenceWatchdog, SilentOnConvergenceAndBelowTheFloor) {
     primal = std::max(primal * 0.5, 1e-12);  // plateaus below stall_floor
   }
   EXPECT_FALSE(dog.tripped());
+}
+
+TEST(DivergenceWatchdog, TripsOnSustainedStaleness) {
+  DivergenceWatchdog::Config config{3, 1e-3, 1e-8};
+  config.staleness_limit = 2.0;
+  DivergenceWatchdog dog(config);
+  // Healthy residual decay — only the staleness channel is unhealthy.
+  EXPECT_FALSE(dog.feed(1.0, 0.9, 5.0));
+  EXPECT_FALSE(dog.feed(0.5, 0.4, 5.0));  // window not yet full
+  EXPECT_TRUE(dog.feed(0.25, 0.2, 5.0));  // window mean 5 > limit 2
+  EXPECT_EQ(dog.reason(), "staleness");
+}
+
+TEST(DivergenceWatchdog, StalenessDisabledByDefault) {
+  DivergenceWatchdog dog(DivergenceWatchdog::Config{3, 1e-3, 1e-8});
+  EXPECT_FALSE(dog.feed(1.0, 0.9, 100.0));
+  EXPECT_FALSE(dog.feed(0.5, 0.4, 100.0));
+  EXPECT_FALSE(dog.feed(0.25, 0.2, 100.0));
+  EXPECT_FALSE(dog.tripped());
+}
+
+// Satellite bugfix: a tripped watchdog's reason must surface in the
+// ConsensusRunResult, not only on the engine accessor.
+TEST(DivergenceWatchdog, TripReasonSurfacesInRunResult) {
+  const auto partition = make_partition(4);
+  AdmmParams params = base_params(17);
+  params.max_iterations = 8;
+  params.watchdog_window = 3;
+  params.watchdog_stall_epsilon = 1e9;  // accept-anything: trip on window 1
+  params.watchdog_stall_floor = 0.0;
+  auto learners = make_learners(partition, params);
+  AveragingCoordinator coordinator(partition.shards.front().features() + 1);
+  FullParticipation policy;
+  ConsensusEngine engine(learners, coordinator, params, policy);
+  obs::MetricsRegistry metrics;
+  ConsensusRunResult result;
+  {
+    obs::Session session(nullptr, &metrics);  // watchdog is observational
+    InMemoryTransport transport;
+    result = engine.run(transport);
+  }
+  EXPECT_TRUE(result.watchdog_tripped);
+  EXPECT_EQ(result.watchdog_reason, "stall");
 }
 
 TEST(DivergenceWatchdog, RejectsDegenerateConfig) {
