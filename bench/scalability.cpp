@@ -13,9 +13,11 @@
 // session, so the reported wall times exercise (and measure) the disabled
 // instrumentation path.
 #include <chrono>
+#include <cmath>
 
 #include "bench/bench_common.h"
 #include "core/linear_horizontal.h"
+#include "crypto/grouped_ring.h"
 #include "core/mapreduce_adapter.h"
 #include "data/partition.h"
 #include "obs/obs.h"
@@ -72,6 +74,113 @@ RunStats run_job(const data::SplitDataset& split, std::size_t m,
   const svm::LinearModel model{coordinator.z(), coordinator.s()};
   stats.accuracy = svm::accuracy(model.predict_all(split.test.x), split.test.y);
   return stats;
+}
+
+/// One (M, topology) cell of the large-M masking sweep: R full secure-sum
+/// rounds at the session level (contribute + reduce for every party, no
+/// trainers — the QP cost would drown the crypto at M=512), with
+/// crypto.masks_generated captured from a private metrics session.
+struct TopologyStats {
+  std::size_t group_size = 0;  ///< resolved (auto = ceil(sqrt(M)))
+  std::size_t groups = 0;      ///< 1 under pairwise
+  std::size_t edges = 0;       ///< mask edges |E|
+  std::int64_t masks_generated = 0;  ///< total over all rounds
+  std::int64_t masks_per_round = 0;
+  std::size_t mask_stream_bytes = 0;  ///< masks * dim * 8 — the wire mask
+                                      ///< traffic an exchanged-style
+                                      ///< protocol would pay per job
+  double setup_seconds = 0.0;  ///< DH pairwise key agreement
+  double wall_seconds = 0.0;   ///< the masking + reduce rounds
+  double max_abs_diff_vs_pairwise = 0.0;  ///< must be exactly 0
+};
+
+TopologyStats run_topology_cell(std::size_t m,
+                                crypto::AggregationTopology topology,
+                                std::size_t group_size, std::size_t rounds,
+                                std::size_t dim,
+                                const std::vector<double>* pairwise_sum,
+                                std::vector<double>* sum_out) {
+  // Deterministic per-party values: the decoded sums must agree bit-for-bit
+  // across topologies, which is the whole point of the sweep's self-check.
+  std::vector<std::vector<double>> values(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    values[i].resize(dim);
+    for (std::size_t j = 0; j < dim; ++j)
+      values[i][j] = 0.5 * static_cast<double>(i + 1) -
+                     0.03125 * static_cast<double>(j) *
+                         (i % 2 == 0 ? 1.0 : -1.0);
+  }
+
+  crypto::SecureSumConfig config;
+  config.num_parties = m;
+  config.protocol_seed = 0xC0FFEE;
+  config.topology = topology;
+  config.group_size = group_size;
+
+  TopologyStats stats;
+  const bool grouped = topology == crypto::AggregationTopology::kGroupedRing;
+  stats.group_size = grouped ? crypto::resolve_group_size(group_size, m) : m;
+  stats.groups =
+      grouped ? (m + stats.group_size - 1) / stats.group_size : 1;
+  stats.edges = grouped ? crypto::grouped_mask_edges(m, group_size)
+                        : m * (m - 1) / 2;
+
+  const auto setup_start = std::chrono::steady_clock::now();
+  crypto::SecureSumSession session(config);
+  stats.setup_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - setup_start)
+                            .count();
+
+  std::vector<std::size_t> everyone(m);
+  for (std::size_t i = 0; i < m; ++i) everyone[i] = i;
+  const std::vector<crypto::SecureSumSession::Tensor> tensors(values.begin(),
+                                                              values.end());
+
+  obs::MetricsRegistry metrics;
+  std::vector<double> sum;
+  {
+    obs::Session obs_session(nullptr, &metrics);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t round = 0; round < rounds; ++round) {
+      std::vector<std::vector<std::uint64_t>> wire(m);
+      for (std::size_t i = 0; i < m; ++i)
+        wire[i] = session.contribute(i, {&tensors[i], 1}, round, everyone);
+      crypto::SecureSumSession::ReduceAudit audit;
+      (void)session.reduce_average(round, everyone, everyone, wire, &audit);
+      sum = std::move(audit.decoded_sum);
+    }
+    stats.wall_seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  }
+  stats.masks_generated = metrics.counter("crypto.masks_generated");
+  stats.masks_per_round =
+      stats.masks_generated / static_cast<std::int64_t>(rounds);
+  stats.mask_stream_bytes =
+      static_cast<std::size_t>(stats.masks_generated) * dim * 8;
+  if (pairwise_sum != nullptr)
+    for (std::size_t j = 0; j < dim; ++j)
+      stats.max_abs_diff_vs_pairwise = std::max(
+          stats.max_abs_diff_vs_pairwise, std::abs(sum[j] - (*pairwise_sum)[j]));
+  if (sum_out != nullptr) *sum_out = std::move(sum);
+  return stats;
+}
+
+obs::JsonValue topology_row(std::size_t m, const char* topology,
+                            const TopologyStats& s) {
+  obs::JsonValue row = obs::JsonValue::object();
+  row.set("learners", m);
+  row.set("topology", topology);
+  row.set("group_size", s.group_size);
+  row.set("groups", s.groups);
+  row.set("edges", s.edges);
+  row.set("masks_generated", s.masks_generated);
+  row.set("masks_per_round", s.masks_per_round);
+  row.set("mask_stream_bytes", s.mask_stream_bytes);
+  row.set("setup_seconds", s.setup_seconds);
+  row.set("wall_seconds", s.wall_seconds);
+  row.set("max_abs_diff_vs_pairwise", s.max_abs_diff_vs_pairwise);
+  return row;
 }
 
 obs::JsonValue stats_row(std::size_t sweep_value, const char* key,
@@ -142,6 +251,52 @@ int main() {
     sweep_n.push(stats_row(n, "train_rows", s));
   }
   report.set("sweep_rows_seeded", std::move(sweep_n));
+
+  // Large-M topology sweep: where the O(M^2) pairwise masking wall bites
+  // and where the grouped-ring topology breaks it. Session-level secure-sum
+  // rounds (no trainers): the sums are asserted bit-identical across
+  // topologies, the mask counters are exact and deterministic, and only the
+  // timings carry noise. grouped-auto uses groups of ceil(sqrt(M)) (~M^1.5
+  // masks per round); grouped-g8 pins the group size to 8, making the mask
+  // count strictly linear in M.
+  {
+    constexpr std::size_t kRounds = 3;
+    constexpr std::size_t kDim = 32;
+    std::printf(
+        "\n## Topology sweep: per-round mask streams, pairwise vs "
+        "grouped-ring (%zu secure-sum rounds, dim=%zu)\n",
+        kRounds, kDim);
+    std::printf("%5s %-13s %6s %8s %12s %12s %10s %10s\n", "M", "topology",
+                "groups", "edges", "masks/round", "mask_bytes", "setup_s",
+                "wall_s");
+    obs::JsonValue sweep_topology = obs::JsonValue::array();
+    for (std::size_t m : {64, 128, 256, 512}) {
+      std::vector<double> pairwise_sum;
+      const auto emit = [&](const char* label, const TopologyStats& s) {
+        std::printf("%5zu %-13s %6zu %8zu %12lld %12zu %10.4f %10.4f\n", m,
+                    label, s.groups, s.edges,
+                    static_cast<long long>(s.masks_per_round),
+                    s.mask_stream_bytes, s.setup_seconds, s.wall_seconds);
+        sweep_topology.push(topology_row(m, label, s));
+        if (s.max_abs_diff_vs_pairwise != 0.0) {
+          std::fprintf(stderr,
+                       "FATAL: %s sum differs from pairwise at M=%zu\n",
+                       label, m);
+          std::exit(1);
+        }
+      };
+      emit("pairwise",
+           run_topology_cell(m, crypto::AggregationTopology::kPairwise, 0,
+                             kRounds, kDim, nullptr, &pairwise_sum));
+      emit("grouped-auto",
+           run_topology_cell(m, crypto::AggregationTopology::kGroupedRing, 0,
+                             kRounds, kDim, &pairwise_sum, nullptr));
+      emit("grouped-g8",
+           run_topology_cell(m, crypto::AggregationTopology::kGroupedRing, 8,
+                             kRounds, kDim, &pairwise_sum, nullptr));
+    }
+    report.set("sweep_topology", std::move(sweep_topology));
+  }
 
   // One extra instrumented run for per-phase medians. Kept out of the
   // sweeps above so their wall times keep measuring the disabled path.

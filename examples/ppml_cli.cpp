@@ -39,6 +39,8 @@ struct CliOptions {
   double train_fraction = 0.5;
   std::uint64_t seed = 7;
   std::string mask_variant = "seeded";
+  std::string agg_topology = "pairwise";
+  std::size_t agg_group_size = 0;
   double async_quorum = 0.0;
   double async_deadline = 0.0;
   std::size_t max_staleness = 4;
@@ -64,6 +66,11 @@ void usage() {
       "  --seed S           partition/protocol seed\n"
       "  --mask-variant seeded|exchanged   secure-sum masking (default "
       "seeded)\n"
+      "  --agg-topology pairwise|grouped-ring   secure-sum edge set\n"
+      "                     (default pairwise; grouped-ring masks inside\n"
+      "                     ~sqrt(M) groups + a leader ring — same sums,\n"
+      "                     ~linear mask work; seeded variant only)\n"
+      "  --agg-group-size G grouped-ring group size (0 = auto ceil(sqrt(M)))\n"
       "  --cluster          run as a simulated MapReduce job\n"
       "  --async-quorum F   0 = synchronous rounds (default). In (0, 1]:\n"
       "                     bounded-staleness async rounds that close once\n"
@@ -112,6 +119,9 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       else if (flag == "--split") options.train_fraction = std::stod(value);
       else if (flag == "--seed") options.seed = std::stoull(value);
       else if (flag == "--mask-variant") options.mask_variant = value;
+      else if (flag == "--agg-topology") options.agg_topology = value;
+      else if (flag == "--agg-group-size")
+        options.agg_group_size = std::stoul(value);
       else if (flag == "--async-quorum") options.async_quorum = std::stod(value);
       else if (flag == "--async-deadline")
         options.async_deadline = std::stod(value);
@@ -211,6 +221,14 @@ int main(int argc, char** argv) {
                    options.mask_variant.c_str());
       return 2;
     }
+    if (options.agg_topology == "grouped-ring") {
+      params.agg_topology = crypto::AggregationTopology::kGroupedRing;
+    } else if (options.agg_topology != "pairwise") {
+      std::fprintf(stderr, "unknown --agg-topology %s\n",
+                   options.agg_topology.c_str());
+      return 2;
+    }
+    params.agg_group_size = options.agg_group_size;
 
     const auto save_linear = [&](const svm::LinearModel& model) {
       if (!options.save_path) return;

@@ -25,7 +25,7 @@ ctest --test-dir build --output-on-failure -j"$jobs" -LE tier1
 cmake -B build-asan -S . -DPPML_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j"$jobs" --target mapreduce_test chaos_test \
   dropout_recovery_test obs_test qp_test linalg_test consensus_engine_test \
-  async_consensus_test
+  async_consensus_test grouped_ring_test
 ./build-asan/tests/mapreduce_test
 ./build-asan/tests/chaos_test
 ./build-asan/tests/dropout_recovery_test
@@ -34,6 +34,7 @@ cmake --build build-asan -j"$jobs" --target mapreduce_test chaos_test \
 ./build-asan/tests/linalg_test
 ./build-asan/tests/consensus_engine_test
 ./build-asan/tests/async_consensus_test
+./build-asan/tests/grouped_ring_test
 
 # Bench smoke: skip the timed google-benchmark cases (empty filter), run
 # only the cache-budget sweep, and require a parseable report with the

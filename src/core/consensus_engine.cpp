@@ -222,6 +222,8 @@ crypto::SecureSumConfig ConsensusEngine::build_config(std::size_t num_learners,
   config.codec_terms = policy.codec_terms(num_learners);
   config.variant = params.mask_variant;
   config.protocol_seed = params.protocol_seed;
+  config.topology = params.agg_topology;
+  config.group_size = params.agg_group_size;
   return config;
 }
 

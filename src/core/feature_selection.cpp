@@ -79,6 +79,8 @@ FeatureSelectionResult secure_fisher_scores(
   config.fixed_point_bits = params.fixed_point_bits;
   config.variant = params.mask_variant;
   config.protocol_seed = params.protocol_seed;
+  config.topology = params.agg_topology;
+  config.group_size = params.agg_group_size;
   // Historical constant: this path has always derived its exchanged-variant
   // party seeds with secure_average's multiplier.
   config.exchanged_seed_mult = 0x2545f4914f6cdd1dULL;

@@ -106,13 +106,21 @@ class SecureConsensusMapper final : public mapreduce::IterativeMapper {
 
     std::vector<std::uint64_t> masked;
     if (config_.variant == crypto::MaskVariant::kSeededMasks) {
-      // Against a shrunken cohort, mask only over the live set — exactly
-      // the partial-participation algebra, so the survivors' masks cancel
-      // without any reducer-side correction.
-      masked = live_.size() < num_learners_
-                   ? party_->masked_contribution_subset(contribution, round,
-                                                        live_)
-                   : party_->masked_contribution(contribution, round);
+      if (config_.topology == crypto::AggregationTopology::kGroupedRing) {
+        // Every mapper derives the identical group layout from the sorted
+        // live set, so mapper- and reducer-side edge sets always agree.
+        masked = party_->masked_contribution_subset(
+            contribution, round,
+            crypto::grouped_mask_set(live_, config_.group_size, index_));
+      } else if (live_.size() < num_learners_) {
+        // Against a shrunken cohort, mask only over the live set — exactly
+        // the partial-participation algebra, so the survivors' masks cancel
+        // without any reducer-side correction.
+        masked = party_->masked_contribution_subset(contribution, round,
+                                                    live_);
+      } else {
+        masked = party_->masked_contribution(contribution, round);
+      }
     } else {
       std::vector<std::vector<std::uint64_t>> received(peer_messages.size());
       for (std::size_t j = 0; j < peer_messages.size(); ++j) {

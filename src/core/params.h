@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "crypto/grouped_ring.h"
 #include "crypto/secure_sum.h"
 #include "svm/kernel.h"
 
@@ -40,6 +41,17 @@ struct AdmmParams {
   unsigned fixed_point_bits = 20;
   crypto::MaskVariant mask_variant = crypto::MaskVariant::kSeededMasks;
   std::uint64_t protocol_seed = 0xC0FFEE;
+
+  /// Which edge set the seeded-mask secure sum masks over
+  /// (docs/secure_aggregation.md). kPairwise is the paper's dense protocol
+  /// — every pair masks, M(M-1) streams per round. kGroupedRing masks only
+  /// inside ~sqrt(M)-sized groups plus a ring of group leaders: ~linear
+  /// mask work at large M with bit-identical decoded sums. Flows into
+  /// every trainer, secure prediction and feature selection unchanged.
+  crypto::AggregationTopology agg_topology =
+      crypto::AggregationTopology::kPairwise;
+  /// Grouped-ring group size (0 = auto ceil(sqrt(M))).
+  std::size_t agg_group_size = 0;
 
   /// Shamir threshold for dropout recovery (survivors needed to
   /// reconstruct a dropped learner's pairwise seeds). 0 = auto:

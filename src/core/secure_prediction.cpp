@@ -25,6 +25,8 @@ Vector combine_partials(const std::vector<Vector>& partials, double bias,
   config.fixed_point_bits = protocol.fixed_point_bits;
   config.variant = crypto::MaskVariant::kSeededMasks;
   config.protocol_seed = protocol.protocol_seed;
+  config.topology = protocol.agg_topology;
+  config.group_size = protocol.agg_group_size;
   crypto::SecureSumSession session(config);
 
   const std::vector<crypto::SecureSumSession::Tensor> tensors(

@@ -21,6 +21,11 @@ SecureSumSession::SecureSumSession(const SecureSumConfig& config,
     : config_(config), codec_(codec), epoch_(epoch) {
   PPML_CHECK(config_.num_parties >= 2,
              "SecureSumSession: need >= 2 parties");
+  PPML_CHECK(config_.topology == AggregationTopology::kPairwise ||
+                 config_.variant == MaskVariant::kSeededMasks,
+             "SecureSumSession: the grouped-ring topology requires the "
+             "seeded-mask variant (its sparse edge set rides on the "
+             "pairwise-seed matrix)");
   const std::size_t m = config_.num_parties;
   parties_.reserve(m);
   if (config_.variant == MaskVariant::kSeededMasks) {
@@ -83,6 +88,22 @@ void SecureSumSession::arm_recovery(std::size_t threshold,
                     sharing_seed);
 }
 
+void SecureSumSession::set_topology(AggregationTopology topology,
+                                    std::size_t group_size) {
+  PPML_CHECK(!epoch_active_,
+             "SecureSumSession::set_topology: the aggregation topology is "
+             "pinned for the lifetime of a key-agreement epoch — masks "
+             "already expanded this epoch assume the current edge set, so "
+             "switching now would leave uncancelled streams in every "
+             "in-flight round. Rekey (new epoch) before changing topology");
+  PPML_CHECK(topology == AggregationTopology::kPairwise ||
+                 config_.variant == MaskVariant::kSeededMasks,
+             "SecureSumSession::set_topology: the grouped-ring topology "
+             "requires the seeded-mask variant");
+  config_.topology = topology;
+  config_.group_size = group_size;
+}
+
 std::size_t SecureSumSession::recovery_threshold() const {
   PPML_CHECK(recovery_.has_value(),
              "SecureSumSession: recovery not armed");
@@ -117,7 +138,15 @@ std::vector<std::uint64_t> SecureSumSession::contribute(
   // Mask expansion bills to the contributing party even when the caller
   // (e.g. the in-memory ConsensusEngine) runs every party on one thread.
   obs::PartyScope scope(party);
+  epoch_active_ = true;
   const std::span<const double> values = batch(tensors);
+  if (config_.topology == AggregationTopology::kGroupedRing) {
+    // Mask only against this party's grouped-ring neighbors within the
+    // round's participant set — the subset algebra guarantees every edge's
+    // streams cancel once both endpoints contribute.
+    return parties_[party].masked_contribution_subset(
+        values, round, grouped_mask_set(mask_set, config_.group_size, party));
+  }
   if (mask_set.size() == config_.num_parties)
     return parties_[party].masked_contribution(values, round);
   return parties_[party].masked_contribution_subset(values, round, mask_set);
@@ -126,6 +155,7 @@ std::vector<std::uint64_t> SecureSumSession::contribute(
 void SecureSumSession::exchange_round(std::size_t round, std::size_t dim) {
   PPML_CHECK(config_.variant == MaskVariant::kExchangedMasks,
              "SecureSumSession::exchange_round: exchanged variant only");
+  epoch_active_ = true;
   sent_.resize(config_.num_parties);
   for (std::size_t i = 0; i < config_.num_parties; ++i) {
     obs::PartyScope scope(i);  // each party expands its own mask streams
@@ -173,6 +203,7 @@ std::vector<double> SecureSumSession::reduce_average(
                                "contributions present");
   // Unmasking and dropout recovery are reducer work by definition.
   obs::PartyScope scope(obs::kReducerParty);
+  epoch_active_ = true;
   std::vector<std::uint64_t> acc;
   for (std::size_t i : present) {
     PPML_CHECK(i < contributions.size() && !contributions[i].empty(),
@@ -199,22 +230,40 @@ std::vector<double> SecureSumSession::reduce_average(
                "SecureSumSession::reduce_average: fewer survivors than the "
                "Shamir threshold — cannot reconstruct the dropped seeds");
     const std::vector<std::size_t> survivors(present.begin(), present.end());
+    // Grouped topology: a dropped party's uncancelled masks live only on
+    // its grouped-ring edges, so only the seeds it shares with SURVIVING
+    // NEIGHBORS need reconstruction. (An edge whose two endpoints both
+    // dropped contributed no stream to the accumulator at all.) The share
+    // HOLDERS stay the first `threshold` survivors of the full present set
+    // — Shamir custody is topology-independent.
+    std::optional<GroupLayout> layout;
+    if (config_.topology == AggregationTopology::kGroupedRing)
+      layout = build_group_layout(mask_set, config_.group_size);
     for (std::size_t d : dropped) {
+      std::vector<std::size_t> correction_set = survivors;
+      if (layout) {
+        const std::vector<std::size_t> neighbors = mask_peers(*layout, d);
+        correction_set.clear();
+        for (std::size_t j : survivors)
+          if (std::binary_search(neighbors.begin(), neighbors.end(), j))
+            correction_set.push_back(j);
+        if (correction_set.empty()) continue;  // whole neighborhood dropped
+      }
       // Reducer side: `threshold` survivors reveal their shares of the
       // dropped party's seeds; reconstruct and strip the stale masks.
       obs::Span recovery_span("dropout_recovery", "crypto");
       recovery_span.arg("dropped_party", static_cast<double>(d));
       std::vector<std::uint64_t> reconstructed(config_.num_parties, 0);
-      for (std::size_t j : survivors) {
+      for (std::size_t j : correction_set) {
         std::vector<ShamirShare> shares;
         shares.reserve(recovery_->threshold());
         for (std::size_t h = 0; h < recovery_->threshold(); ++h)
           shares.push_back(recovery_->share(survivors[h], d, j));
         reconstructed[j] = DropoutRecoverySession::reconstruct_seed(shares);
       }
-      ring_add_inplace(acc,
-                       DropoutRecoverySession::mask_correction(
-                           d, survivors, reconstructed, round, acc.size()));
+      ring_add_inplace(acc, DropoutRecoverySession::mask_correction(
+                                d, correction_set, reconstructed, round,
+                                acc.size()));
     }
   }
 

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "crypto/dropout_recovery.h"
+#include "crypto/grouped_ring.h"
 #include "crypto/secure_sum.h"
 
 namespace ppml::crypto {
@@ -54,6 +55,14 @@ struct SecureSumConfig {
   /// configurable because crypto::secure_average historically used a
   /// different constant than the consensus drivers).
   std::uint64_t exchanged_seed_mult = 0x9e3779b97f4a7c15ULL;
+  /// Which edge set the seeded variant masks over (crypto/grouped_ring.h).
+  /// kGroupedRing cuts per-round mask expansion from M(M-1) streams to
+  /// 2|E| over intra-group cliques plus the leader ring; the decoded sums
+  /// are bit-identical either way. Seeded variant only.
+  AggregationTopology topology = AggregationTopology::kPairwise;
+  /// Grouped-ring group size (0 = auto ceil(sqrt(M))). Ignored under
+  /// kPairwise.
+  std::size_t group_size = 0;
 };
 
 /// One key-agreement epoch of the batched protocol: mapper-side masking and
@@ -76,6 +85,20 @@ class SecureSumSession {
   std::size_t num_parties() const noexcept { return config_.num_parties; }
   MaskVariant variant() const noexcept { return config_.variant; }
   std::size_t epoch() const noexcept { return epoch_; }
+  AggregationTopology topology() const noexcept { return config_.topology; }
+
+  /// Whether any contribution was masked or reduced under the current
+  /// key-agreement epoch. Once true the topology is pinned until rekey.
+  bool epoch_active() const noexcept { return epoch_active_; }
+
+  /// Switch the aggregation topology (and group size, 0 = auto) for this
+  /// session. Only legal while the current epoch is UNUSED: masks already
+  /// expanded this epoch assume one fixed edge set, so flipping mid-epoch
+  /// would leave uncancelled streams in every in-flight round — the call
+  /// throws (PPML_CHECK) once contribute/exchange/reduce has run. Rebuild
+  /// or rekey the session to change topology afterwards. Grouped-ring
+  /// requires the seeded-mask variant.
+  void set_topology(AggregationTopology topology, std::size_t group_size = 0);
 
   /// Pairwise seed matrix of this epoch (seeded variant; empty otherwise).
   /// Row i is what party i would hold after key agreement.
@@ -119,6 +142,8 @@ class SecureSumSession {
   /// Batched masked contribution of `party` for `round`: concatenates
   /// `tensors`, encodes once, masks once against the sorted `mask_set`
   /// (which must contain `party`; pass the full cohort for full rounds).
+  /// Under kGroupedRing the mask_set names the round's PARTICIPANTS and
+  /// the party masks only against its grouped-ring neighbors within it.
   /// Seeded variant only.
   std::vector<std::uint64_t> contribute(std::size_t party,
                                         std::span<const Tensor> tensors,
@@ -177,6 +202,8 @@ class SecureSumSession {
   std::vector<std::vector<std::uint64_t>> seeds_;  ///< seeded variant
   std::vector<SecureSumParty> parties_;
   std::optional<DropoutRecoverySession> recovery_;
+
+  bool epoch_active_ = false;  ///< any masking/reduction this epoch yet?
 
   // Exchanged-variant per-round mask cache: sent_[i][peer].
   std::size_t exchange_round_ = static_cast<std::size_t>(-1);

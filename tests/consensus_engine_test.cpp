@@ -1006,5 +1006,135 @@ TEST(DivergenceWatchdog, DisabledByDefault) {
   EXPECT_EQ(engine.watchdog(), nullptr);
 }
 
+// ---------------------------------------------------------------------------
+// Grouped-ring aggregation topology vs pairwise: every mask edge cancels in
+// the reducer's ring sum either way, so full training runs must be
+// bit-identical — per-round deltas, final z, final s, all EXPECT_EQ.
+// ---------------------------------------------------------------------------
+
+RunRecord run_full_participation(const data::HorizontalPartition& partition,
+                                 const AdmmParams& params) {
+  return run_driver(
+      partition, params,
+      [&](auto& learners, auto& coordinator, const RoundObserver& observer) {
+        FullParticipation policy;
+        ConsensusEngine engine(learners, coordinator, params, policy);
+        InMemoryTransport transport;
+        return engine.run(transport, observer);
+      });
+}
+
+TEST(GroupedRingTopology, MatchesPairwiseM4MultiSeed) {
+  const auto partition = make_partition(4);
+  for (const std::uint64_t seed : kProtocolSeeds) {
+    const AdmmParams pairwise = base_params(seed);
+    AdmmParams grouped = pairwise;
+    grouped.agg_topology = crypto::AggregationTopology::kGroupedRing;
+    expect_identical(run_full_participation(partition, pairwise),
+                     run_full_participation(partition, grouped));
+  }
+}
+
+TEST(GroupedRingTopology, MatchesPairwiseM8MultiSeedAndGroupSizes) {
+  const auto partition = make_partition(8);
+  for (const std::uint64_t seed : kProtocolSeeds) {
+    const AdmmParams pairwise = base_params(seed);
+    const RunRecord reference = run_full_participation(partition, pairwise);
+    // 0 = auto ceil(sqrt(8)) = 3 (ragged groups 3/3/2); 2 and 5 exercise
+    // the even cut and an oversized last group.
+    for (const std::size_t group_size : {0u, 2u, 5u}) {
+      AdmmParams grouped = pairwise;
+      grouped.agg_topology = crypto::AggregationTopology::kGroupedRing;
+      grouped.agg_group_size = group_size;
+      expect_identical(reference, run_full_participation(partition, grouped));
+    }
+  }
+}
+
+TEST(GroupedRingTopology, PartialParticipationMatchesPairwise) {
+  // Per-round participant subsets re-derive the group layout every round;
+  // the sampler sequence is topology-independent, so the runs must agree.
+  const auto partition = make_partition(6);
+  for (const std::uint64_t seed : kProtocolSeeds) {
+    const AdmmParams pairwise = base_params(seed);
+    AdmmParams grouped = pairwise;
+    grouped.agg_topology = crypto::AggregationTopology::kGroupedRing;
+    grouped.agg_group_size = 2;
+    const auto partial_driver = [&](const AdmmParams& params) {
+      return run_driver(
+          partition, params,
+          [&](auto& learners, auto& coordinator,
+              const RoundObserver& observer) {
+            PartialParticipation policy(/*participants_per_round=*/4,
+                                        /*sampling_seed=*/99);
+            ConsensusEngine engine(learners, coordinator, params, policy);
+            InMemoryTransport transport;
+            return engine.run(transport, observer);
+          });
+    };
+    expect_identical(partial_driver(pairwise), partial_driver(grouped));
+  }
+}
+
+TEST(GroupedRingTopology, ScheduledDropoutMatchesPairwise) {
+  // A post-mask drop under the grouped topology takes the sparse recovery
+  // path (only the victim's edge neighbors' seeds are reconstructed); the
+  // corrected rounds must still match pairwise recovery bit for bit.
+  const auto partition = make_partition(6);
+  DropoutSchedule schedule;
+  schedule.drops[2] = {1};
+  schedule.drops[4] = {5};
+  for (const std::uint64_t seed : kProtocolSeeds) {
+    const AdmmParams pairwise = base_params(seed);
+    AdmmParams grouped = pairwise;
+    grouped.agg_topology = crypto::AggregationTopology::kGroupedRing;
+    grouped.agg_group_size = 3;
+    const auto dropout_driver = [&](const AdmmParams& params) {
+      return run_driver(
+          partition, params,
+          [&](auto& learners, auto& coordinator,
+              const RoundObserver& observer) {
+            ScheduledDropout policy(schedule);
+            ConsensusEngine engine(learners, coordinator, params, policy);
+            InMemoryTransport transport;
+            return engine.run(transport, observer);
+          });
+    };
+    expect_identical(dropout_driver(pairwise), dropout_driver(grouped));
+  }
+}
+
+TEST(GroupedRingTopology, FabricMatchesInMemoryZeroFault) {
+  // Zero call-site changes: the fabric mappers derive the grouped edge set
+  // from the engine's session config and must reproduce the in-memory
+  // grouped run exactly.
+  const auto partition = make_partition(8);
+  for (const std::uint64_t seed : kProtocolSeeds) {
+    AdmmParams params = base_params(seed);
+    params.agg_topology = crypto::AggregationTopology::kGroupedRing;
+    const RunRecord in_memory = run_full_participation(partition, params);
+    const RunRecord fabric = run_on_cluster(partition, params);
+    expect_identical(in_memory, fabric);
+  }
+}
+
+TEST(GroupedRingTopology, EngineRekeyPreservesTopology) {
+  // The rekey path rebuilds the session from its own config: the topology
+  // (and group size) must survive the epoch change, and the fresh epoch is
+  // unpinned again.
+  AveragingCoordinator coordinator(3);
+  AdmmParams params = base_params(0x5eed);
+  params.agg_topology = crypto::AggregationTopology::kGroupedRing;
+  params.agg_group_size = 3;
+  FullParticipation policy;
+  ConsensusEngine engine(/*num_learners=*/9, coordinator, params, policy);
+  engine.rekey(/*epoch=*/1);
+  EXPECT_EQ(engine.session().topology(),
+            crypto::AggregationTopology::kGroupedRing);
+  EXPECT_EQ(engine.session().config().group_size, 3u);
+  EXPECT_EQ(engine.session().epoch(), 1u);
+  EXPECT_FALSE(engine.session().epoch_active());
+}
+
 }  // namespace
 }  // namespace ppml::core
