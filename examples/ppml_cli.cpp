@@ -6,15 +6,25 @@
 //   ppml_cli --scheme kernel-h --data my.csv --kernel rbf --gamma 0.1 \
 //            --landmarks 60 --save model.txt
 //   ppml_cli --scheme linear-v --data higgs --cluster   # simulated cluster
+//   ppml_cli --scheme kernel-v --data cancer --serve 20000 --serve-batch 32
 //
 // Schemes: linear-h | kernel-h | linear-v | kernel-v.
+//
+// Vertical schemes can follow training with a secure prediction serving
+// run (--serve N): test rows are replayed as an open-loop query stream
+// through core::PredictionServer — micro-batched secure summation, token
+// bucket admission, cross-batch kernel-row reuse (docs/serving.md).
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/cluster_trainers.h"
+#include "core/prediction_server.h"
 #include "data/generators.h"
 #include "data/io.h"
 #include "data/standardize.h"
@@ -46,6 +56,13 @@ struct CliOptions {
   std::size_t max_staleness = 4;
   double stale_decay = 0.5;
   bool use_cluster = false;
+  std::size_t serve = 0;  ///< 0 = no serving stage
+  std::size_t serve_batch = 64;
+  double serve_linger = 0.002;
+  double serve_qps = 20000.0;
+  double serve_rate = 0.0;
+  std::size_t serve_clients = 4;
+  std::size_t serve_cache = 128;
   std::optional<std::string> save_path;
   std::optional<std::string> trace_path;
   std::optional<std::string> metrics_path;
@@ -80,6 +97,18 @@ void usage() {
       "  --max-staleness K  carried values older than K rounds drop the\n"
       "                     party into Shamir recovery (default 4)\n"
       "  --stale-decay B    geometric stale-weight base in (0, 1]\n"
+      "  --serve N          after training a VERTICAL scheme, serve N\n"
+      "                     secure prediction queries (test rows replayed\n"
+      "                     as an open-loop stream, docs/serving.md)\n"
+      "  --serve-batch B    micro-batch size (default 64)\n"
+      "  --serve-linger S   max linger before a partial flush, virtual\n"
+      "                     seconds (default 0.002)\n"
+      "  --serve-qps R      offered arrival rate, virtual qps (default 20000)\n"
+      "  --serve-rate R     per-client admitted qps, 0 = no admission\n"
+      "                     control (default 0)\n"
+      "  --serve-clients K  simulated clients (default 4)\n"
+      "  --serve-cache S    kernel-row cache slots, kernel-v only\n"
+      "                     (default 128, 0 disables)\n"
       "  --save PATH        write the trained model (horizontal schemes)\n"
       "  --trace PATH       write a Chrome trace_event JSON (open in Perfetto)\n"
       "  --metrics PATH     write run metrics as CSV\n"
@@ -128,6 +157,15 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       else if (flag == "--max-staleness")
         options.max_staleness = std::stoul(value);
       else if (flag == "--stale-decay") options.stale_decay = std::stod(value);
+      else if (flag == "--serve") options.serve = std::stoul(value);
+      else if (flag == "--serve-batch") options.serve_batch = std::stoul(value);
+      else if (flag == "--serve-linger")
+        options.serve_linger = std::stod(value);
+      else if (flag == "--serve-qps") options.serve_qps = std::stod(value);
+      else if (flag == "--serve-rate") options.serve_rate = std::stod(value);
+      else if (flag == "--serve-clients")
+        options.serve_clients = std::stoul(value);
+      else if (flag == "--serve-cache") options.serve_cache = std::stoul(value);
       else if (flag == "--save") options.save_path = value;
       else if (flag == "--trace") options.trace_path = value;
       else if (flag == "--metrics") options.metrics_path = value;
@@ -184,6 +222,71 @@ void report_run(const core::ConsensusRunResult& run) {
         "drops\n",
         run.async_seconds, run.deadline_expirations, run.staleness_drops);
   }
+}
+
+/// The CLI's serving stage: replay test rows as an open-loop stream through
+/// PredictionServer and report the latency/throughput/admission picture.
+template <typename ModelView>
+void run_serving(const ModelView& model, const core::AdmmParams& params,
+                 const CliOptions& options, const linalg::Matrix& x) {
+  core::ServingConfig config;
+  config.max_batch = options.serve_batch;
+  config.max_linger = options.serve_linger;
+  config.client_rate = options.serve_rate;
+  config.cache_slots = options.serve_cache;
+  core::PredictionServer server(model, params, config);
+
+  const double dt = 1.0 / options.serve_qps;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < options.serve; ++i) {
+    const double now = static_cast<double>(i) * dt;
+    server.advance(now);
+    server.submit(i % options.serve_clients, x.row(i % x.rows()), now);
+  }
+  server.drain(static_cast<double>(options.serve) * dt);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const auto results = server.take_results();
+  std::vector<double> latency;
+  latency.reserve(results.size());
+  std::size_t positive = 0;
+  for (const auto& r : results) {
+    latency.push_back(r.serve_time - r.submit_time + r.compute_seconds);
+    if (r.decision_value >= 0.0) ++positive;
+  }
+  std::sort(latency.begin(), latency.end());
+  const auto quantile_ms = [&](double q) {
+    if (latency.empty()) return 0.0;
+    return latency[static_cast<std::size_t>(
+               q * static_cast<double>(latency.size() - 1))] *
+           1e3;
+  };
+
+  const auto& s = server.stats();
+  std::printf(
+      "serve: %zu queries -> %zu served / %zu shed (rate %zu, queue %zu)\n",
+      s.submitted, s.served, s.shed_rate + s.shed_queue, s.shed_rate,
+      s.shed_queue);
+  std::printf(
+      "serve: %zu batches, mean occupancy %.1f (%zu full / %zu linger / %zu "
+      "drain flushes)\n",
+      s.batches, s.mean_occupancy(), s.full_flushes, s.linger_flushes,
+      s.drain_flushes);
+  std::printf("serve: %.0f qps real, latency p50 %.3f / p95 %.3f / p99 %.3f "
+              "ms (virtual wait + batch compute)\n",
+              wall == 0.0 ? 0.0 : static_cast<double>(s.served) / wall,
+              quantile_ms(0.50), quantile_ms(0.95), quantile_ms(0.99));
+  if (server.is_kernel() && options.serve_cache > 0)
+    std::printf("serve: kernel-row cache hit rate %.4f (%lld hits, %zu "
+                "bypassed queries)\n",
+                server.cache_hit_rate(),
+                static_cast<long long>(server.cache_hits()), s.cache_bypass);
+  if (!results.empty())
+    std::printf("serve: %.1f%% of served queries classified +1\n",
+                100.0 * static_cast<double>(positive) /
+                    static_cast<double>(results.size()));
 }
 
 }  // namespace
@@ -264,6 +367,14 @@ int main(int argc, char** argv) {
     if (observe) session.emplace(&tracer, &metrics, &recorder);
     obs::Span run_span("run", "cli");
 
+    if (options.serve > 0 && options.scheme != "linear-v" &&
+        options.scheme != "kernel-v") {
+      std::fprintf(stderr,
+                   "--serve needs a vertical scheme (linear-v | kernel-v): "
+                   "serving runs the vertical secure prediction protocol\n");
+      return 2;
+    }
+
     if (options.scheme == "linear-h") {
       const auto partition = data::partition_horizontally(
           split.train, options.learners, options.seed);
@@ -323,12 +434,16 @@ int main(int argc, char** argv) {
                              split.test.y),
                result.cluster.job.rounds);
         report_run(result.cluster.run);
+        if (options.serve > 0)
+          run_serving(result.model, params, options, split.test.x);
       } else {
         const auto result =
             core::train_linear_vertical(partition, params, &split.test);
         report("linear-v", result.trace.final_accuracy(),
                result.run.iterations);
         report_run(result.run);
+        if (options.serve > 0)
+          run_serving(result.model, params, options, split.test.x);
       }
     } else if (options.scheme == "kernel-v") {
       const auto partition = data::partition_vertically(
@@ -343,12 +458,16 @@ int main(int argc, char** argv) {
                              split.test.y),
                result.cluster.job.rounds);
         report_run(result.cluster.run);
+        if (options.serve > 0)
+          run_serving(result.model, params, options, split.test.x);
       } else {
         const auto result = core::train_kernel_vertical(partition, kernel,
                                                         params, &split.test);
         report("kernel-v", result.trace.final_accuracy(),
                result.run.iterations);
         report_run(result.run);
+        if (options.serve > 0)
+          run_serving(result.model, params, options, split.test.x);
       }
     } else {
       std::fprintf(stderr, "unknown scheme '%s'\n", options.scheme.c_str());

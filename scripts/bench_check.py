@@ -16,7 +16,8 @@ get two very different treatments:
   noise.
 
 * Time-like values — keys ending in `_s`/`_seconds`, containing `wall`,
-  or quantile keys like `p50`/`p95`/`p99`, plus everything inside a
+  quantile keys like `p50`/`p95`/`p99`, throughput (`qps`, a pure
+  function of wall time), plus everything inside a
   `histograms` subtree (histogram sums accumulate in thread order, so
   their low bits are not reproducible) — only fail when they drift by
   more than TIME_RATIO x in either direction AND the absolute difference
@@ -38,7 +39,7 @@ import sys
 TIME_RATIO = 4.0  # fail when current/baseline (or inverse) exceeds this...
 TIME_ABS_SLACK = 0.25  # ...and the absolute drift is more than this (s)
 
-TIME_KEY = re.compile(r"(_s|seconds)$|wall|^p\d+$")
+TIME_KEY = re.compile(r"(_s|seconds)$|wall|^p\d+$|^qps$")
 
 NUMERIC = (int, float)
 

@@ -7,10 +7,11 @@
 # UndefinedBehaviorSanitizer (the chaos, tracing, kernel-cache,
 # threaded-gemm and consensus-engine paths exercise threads, retries, spans
 # into LRU-managed storage and ring arithmetic — exactly where ASan/UBSan
-# earn their keep), a bench smoke run that checks BENCH_qp.json is
-# well-formed (no performance gating), a bench regression gate that diffs
-# BENCH_fig4.json / BENCH_scalability.json / BENCH_qp.json /
-# BENCH_async.json against bench/baselines/ via scripts/bench_check.py,
+# earn their keep), bench smoke runs that check BENCH_qp.json and a
+# reduced-load BENCH_serving.json are well-formed (no performance gating),
+# a bench regression gate that diffs BENCH_fig4.json /
+# BENCH_scalability.json / BENCH_qp.json / BENCH_async.json /
+# BENCH_serving.json against bench/baselines/ via scripts/bench_check.py,
 # then the doc link check.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,7 +26,7 @@ ctest --test-dir build --output-on-failure -j"$jobs" -LE tier1
 cmake -B build-asan -S . -DPPML_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j"$jobs" --target mapreduce_test chaos_test \
   dropout_recovery_test obs_test qp_test linalg_test consensus_engine_test \
-  async_consensus_test grouped_ring_test
+  async_consensus_test grouped_ring_test serving_test
 ./build-asan/tests/mapreduce_test
 ./build-asan/tests/chaos_test
 ./build-asan/tests/dropout_recovery_test
@@ -35,6 +36,9 @@ cmake --build build-asan -j"$jobs" --target mapreduce_test chaos_test \
 ./build-asan/tests/consensus_engine_test
 ./build-asan/tests/async_consensus_test
 ./build-asan/tests/grouped_ring_test
+# serving_test drives spans and flows into deque/LRU-managed storage while
+# batches recycle KernelCache rows — prime ASan territory.
+./build-asan/tests/serving_test
 
 # Bench smoke: skip the timed google-benchmark cases (empty filter), run
 # only the cache-budget sweep, and require a parseable report with the
@@ -54,6 +58,27 @@ for size in report["cache_sweep"]:
 print("bench smoke: BENCH_qp.json OK")
 PYEOF
 
+# Serving smoke: reduced query count, shape + invariants only (the real
+# load level runs in the regression gate below and overwrites this file).
+(cd build && ./bench/serving --queries 2000 >/dev/null)
+python3 - <<'PYEOF'
+import json
+report = json.load(open("build/BENCH_serving.json"))
+assert report["bench"] == "serving", report
+assert len(report["linear_batch_sweep"]) == 3
+for row in report["linear_batch_sweep"]:
+    assert row["served"] == report["queries"], row
+    assert row["p99_latency_s"] > 0.0, row
+cache = report["kernel_cache"]
+assert cache["cache_hit_rate"] > 0.5, cache
+overload = report["overload"]
+assert overload["shed_rate"] > 0, overload
+assert overload["served"] + overload["shed_rate"] + overload["shed_queue"] \
+    == overload["submitted"], overload
+assert report["counters_instrumented"]["serve.admission.queued"] > 0
+print("bench smoke: BENCH_serving.json OK")
+PYEOF
+
 # Bench regression gate: regenerate the deterministic reports and diff
 # them against the committed baselines (BENCH_qp.json was just written by
 # the smoke run above). Deterministic numerics
@@ -64,6 +89,10 @@ PYEOF
 # ablation_straggler also self-checks the ISSUE acceptance bound: async
 # objective within 1e-3 of sync in at most half the sync wall-clock.
 (cd build && ./bench/ablation_straggler >/dev/null)
+# serving self-checks batched-vs-per-query bit identity and admission
+# accounting; its virtual-clock numerics (batching, sheds, cache traffic)
+# are gated exactly, only wall/qps/latency keys get timing slack.
+(cd build && ./bench/serving >/dev/null)
 python3 scripts/bench_check.py build/BENCH_fig4.json \
   bench/baselines/BENCH_fig4.json
 python3 scripts/bench_check.py build/BENCH_scalability.json \
@@ -72,6 +101,8 @@ python3 scripts/bench_check.py build/BENCH_qp.json \
   bench/baselines/BENCH_qp.json
 python3 scripts/bench_check.py build/BENCH_async.json \
   bench/baselines/BENCH_async.json
+python3 scripts/bench_check.py build/BENCH_serving.json \
+  bench/baselines/BENCH_serving.json
 
 scripts/check_docs.sh
 

@@ -1,40 +1,11 @@
 #include "core/secure_prediction.h"
 
-#include "crypto/secure_sum_session.h"
 #include "linalg/blas.h"
 #include "svm/kernel.h"
 
 namespace ppml::core {
 
 namespace {
-
-/// Run one secure-sum round over the per-learner partial-score vectors and
-/// add the bias. Prediction is a one-shot round, so the session always uses
-/// the seeded variant: the DH agreement is paid exactly once regardless of
-/// the training-time mask variant.
-Vector combine_partials(const std::vector<Vector>& partials, double bias,
-                        const AdmmParams& protocol) {
-  const std::size_t m = partials.size();
-  PPML_CHECK(m >= 2, "secure prediction: need >= 2 learners");
-  const std::size_t batch = partials.front().size();
-  for (const Vector& p : partials)
-    PPML_CHECK(p.size() == batch, "secure prediction: batch size mismatch");
-
-  crypto::SecureSumConfig config;
-  config.num_parties = m;
-  config.fixed_point_bits = protocol.fixed_point_bits;
-  config.variant = crypto::MaskVariant::kSeededMasks;
-  config.protocol_seed = protocol.protocol_seed;
-  config.topology = protocol.agg_topology;
-  config.group_size = protocol.agg_group_size;
-  crypto::SecureSumSession session(config);
-
-  const std::vector<crypto::SecureSumSession::Tensor> tensors(
-      partials.begin(), partials.end());
-  Vector decisions = session.sum_once(tensors, /*round=*/0);
-  for (double& v : decisions) v += bias;
-  return decisions;
-}
 
 Vector to_labels(Vector decisions) {
   for (double& v : decisions) v = v >= 0.0 ? 1.0 : -1.0;
@@ -43,41 +14,106 @@ Vector to_labels(Vector decisions) {
 
 }  // namespace
 
+crypto::SecureSumConfig prediction_session_config(std::size_t num_learners,
+                                                  const AdmmParams& protocol) {
+  // Prediction always runs the seeded variant: the DH agreement is paid
+  // exactly once per session regardless of the training-time mask variant.
+  crypto::SecureSumConfig config;
+  config.num_parties = num_learners;
+  config.fixed_point_bits = protocol.fixed_point_bits;
+  config.variant = crypto::MaskVariant::kSeededMasks;
+  config.protocol_seed = protocol.protocol_seed;
+  config.topology = protocol.agg_topology;
+  config.group_size = protocol.agg_group_size;
+  return config;
+}
+
+Vector linear_partial_scores(const VerticalLinearModelView& model,
+                             const linalg::Matrix& x_full,
+                             std::size_t learner) {
+  const auto& idx = model.feature_indices[learner];
+  Vector partial(x_full.rows(), 0.0);
+  for (std::size_t i = 0; i < x_full.rows(); ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < idx.size(); ++j)
+      acc += model.w_blocks[learner][j] * x_full(i, idx[j]);
+    partial[i] = acc;
+  }
+  return partial;
+}
+
+Vector kernel_partial_scores(const VerticalKernelModelView& model,
+                             const linalg::Matrix& x_full,
+                             std::size_t learner) {
+  const auto& idx = model.feature_indices[learner];
+  Vector partial(x_full.rows(), 0.0);
+  std::vector<double> projected(idx.size());
+  for (std::size_t i = 0; i < x_full.rows(); ++i) {
+    for (std::size_t j = 0; j < idx.size(); ++j)
+      projected[j] = x_full(i, idx[j]);
+    const Vector krow =
+        svm::kernel_row(model.kernel, projected, model.train_blocks[learner]);
+    partial[i] = linalg::dot(krow, model.alphas[learner]);
+  }
+  return partial;
+}
+
+Vector combine_partial_scores(crypto::SecureSumSession& session,
+                              const std::vector<Vector>& partials, double bias,
+                              std::size_t round) {
+  const std::size_t m = partials.size();
+  PPML_CHECK(m >= 2, "secure prediction: need >= 2 learners");
+  PPML_CHECK(m == session.num_parties(),
+             "secure prediction: session arity != learner count");
+  const std::size_t batch = partials.front().size();
+  for (const Vector& p : partials)
+    PPML_CHECK(p.size() == batch, "secure prediction: batch size mismatch");
+
+  const std::vector<crypto::SecureSumSession::Tensor> tensors(
+      partials.begin(), partials.end());
+  Vector decisions = session.sum_once(tensors, round);
+  for (double& v : decisions) v += bias;
+  return decisions;
+}
+
+Vector secure_vertical_decision_values(const VerticalLinearModelView& model,
+                                       const linalg::Matrix& x_full,
+                                       crypto::SecureSumSession& session,
+                                       std::size_t round) {
+  const std::size_t m = model.w_blocks.size();
+  std::vector<Vector> partials;
+  partials.reserve(m);
+  for (std::size_t learner = 0; learner < m; ++learner)
+    partials.push_back(linear_partial_scores(model, x_full, learner));
+  return combine_partial_scores(session, partials, model.b, round);
+}
+
+Vector secure_vertical_decision_values(const VerticalKernelModelView& model,
+                                       const linalg::Matrix& x_full,
+                                       crypto::SecureSumSession& session,
+                                       std::size_t round) {
+  const std::size_t m = model.train_blocks.size();
+  std::vector<Vector> partials;
+  partials.reserve(m);
+  for (std::size_t learner = 0; learner < m; ++learner)
+    partials.push_back(kernel_partial_scores(model, x_full, learner));
+  return combine_partial_scores(session, partials, model.b, round);
+}
+
 Vector secure_vertical_decision_values(const VerticalLinearModelView& model,
                                        const linalg::Matrix& x_full,
                                        const AdmmParams& protocol) {
-  const std::size_t m = model.w_blocks.size();
-  std::vector<Vector> partials(m, Vector(x_full.rows(), 0.0));
-  for (std::size_t learner = 0; learner < m; ++learner) {
-    const auto& idx = model.feature_indices[learner];
-    for (std::size_t i = 0; i < x_full.rows(); ++i) {
-      double acc = 0.0;
-      for (std::size_t j = 0; j < idx.size(); ++j)
-        acc += model.w_blocks[learner][j] * x_full(i, idx[j]);
-      partials[learner][i] = acc;
-    }
-  }
-  return combine_partials(partials, model.b, protocol);
+  crypto::SecureSumSession session(
+      prediction_session_config(model.w_blocks.size(), protocol));
+  return secure_vertical_decision_values(model, x_full, session, /*round=*/0);
 }
 
 Vector secure_vertical_decision_values(const VerticalKernelModelView& model,
                                        const linalg::Matrix& x_full,
                                        const AdmmParams& protocol) {
-  const std::size_t m = model.train_blocks.size();
-  std::vector<Vector> partials(m, Vector(x_full.rows(), 0.0));
-  std::vector<double> projected;
-  for (std::size_t learner = 0; learner < m; ++learner) {
-    const auto& idx = model.feature_indices[learner];
-    projected.resize(idx.size());
-    for (std::size_t i = 0; i < x_full.rows(); ++i) {
-      for (std::size_t j = 0; j < idx.size(); ++j)
-        projected[j] = x_full(i, idx[j]);
-      const Vector krow =
-          svm::kernel_row(model.kernel, projected, model.train_blocks[learner]);
-      partials[learner][i] = linalg::dot(krow, model.alphas[learner]);
-    }
-  }
-  return combine_partials(partials, model.b, protocol);
+  crypto::SecureSumSession session(
+      prediction_session_config(model.train_blocks.size(), protocol));
+  return secure_vertical_decision_values(model, x_full, session, /*round=*/0);
 }
 
 Vector secure_vertical_predict(const VerticalLinearModelView& model,

@@ -91,6 +91,19 @@ class SecureSumSession {
   /// key-agreement epoch. Once true the topology is pinned until rekey.
   bool epoch_active() const noexcept { return epoch_active_; }
 
+  /// Allocate the next unused round number of this session (0, 1, 2, ...).
+  /// Long-lived callers that run MANY protocol rounds on one key epoch —
+  /// the prediction serving layer runs one round per micro-batch for the
+  /// server's whole lifetime — must never mask two different value vectors
+  /// under the same (epoch, round): PRG(s_ij, r) is a stream cipher pad,
+  /// and pad reuse would let the reducer difference two batches' masked
+  /// wire vectors. Drawing rounds from this counter makes reuse impossible
+  /// by construction. Explicit-round callers (the consensus engine, whose
+  /// round index is the ADMM iteration) are unaffected.
+  std::size_t next_round() noexcept { return next_round_++; }
+  /// Rounds handed out by next_round() so far.
+  std::size_t rounds_allocated() const noexcept { return next_round_; }
+
   /// Switch the aggregation topology (and group size, 0 = auto) for this
   /// session. Only legal while the current epoch is UNUSED: masks already
   /// expanded this epoch assume one fixed edge set, so flipping mid-epoch
@@ -204,6 +217,7 @@ class SecureSumSession {
   std::optional<DropoutRecoverySession> recovery_;
 
   bool epoch_active_ = false;  ///< any masking/reduction this epoch yet?
+  std::size_t next_round_ = 0;  ///< next_round() allocator state
 
   // Exchanged-variant per-round mask cache: sent_[i][peer].
   std::size_t exchange_round_ = static_cast<std::size_t>(-1);

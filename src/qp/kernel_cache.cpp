@@ -9,11 +9,12 @@ namespace ppml::qp {
 
 namespace {
 
-std::size_t capacity_from_budget(std::size_t n, std::size_t budget_bytes) {
+std::size_t capacity_from_budget(std::size_t n, std::size_t row_len,
+                                 std::size_t budget_bytes) {
   if (n == 0) return 0;
   if (budget_bytes == 0) return n;  // unlimited: every row fits
-  const std::size_t row_bytes = n * sizeof(double);
-  const std::size_t fit = budget_bytes / row_bytes;
+  const std::size_t row_bytes = row_len * sizeof(double);
+  const std::size_t fit = row_bytes == 0 ? n : budget_bytes / row_bytes;
   // At least two rows so an SMO step can hold rows i and j simultaneously.
   return std::clamp(fit, std::min<std::size_t>(2, n), n);
 }
@@ -21,10 +22,11 @@ std::size_t capacity_from_budget(std::size_t n, std::size_t budget_bytes) {
 }  // namespace
 
 KernelCache::KernelCache(std::size_t n, RowEvaluator evaluator,
-                         std::size_t budget_bytes)
+                         std::size_t budget_bytes, std::size_t row_length)
     : n_(n),
+      row_len_(row_length == 0 ? n : row_length),
       evaluator_(std::move(evaluator)),
-      capacity_(capacity_from_budget(n, budget_bytes)),
+      capacity_(capacity_from_budget(n, row_len_, budget_bytes)),
       slot_(n, lru_.end()) {
   PPML_CHECK(static_cast<bool>(evaluator_),
              "KernelCache: evaluator must be callable");
@@ -38,7 +40,7 @@ std::span<const double> KernelCache::row(std::size_t i) {
   if (it != lru_.end()) {
     ++hits_;
     lru_.splice(lru_.begin(), lru_, it);  // move to front; iterators stable
-    return {it->data.data(), n_};
+    return {it->data.data(), row_len_};
   }
   ++misses_;
   if (resident_ >= capacity_) {
@@ -48,12 +50,12 @@ std::span<const double> KernelCache::row(std::size_t i) {
     --resident_;
     ++evictions_;
   }
-  lru_.push_front(Entry{i, Vector(n_)});
+  lru_.push_front(Entry{i, Vector(row_len_)});
   ++resident_;
   slot_[i] = lru_.begin();
   Entry& entry = lru_.front();
-  evaluator_(i, {entry.data.data(), n_});
-  return {entry.data.data(), n_};
+  evaluator_(i, {entry.data.data(), row_len_});
+  return {entry.data.data(), row_len_};
 }
 
 double KernelCache::hit_rate() const noexcept {

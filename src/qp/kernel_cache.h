@@ -9,6 +9,12 @@
 // variables — so even a small budget gets high hit rates (see
 // docs/performance.md, "Cache budget sizing").
 //
+// The implicit matrix need not be square: the serving layer
+// (core/prediction_server.h) caches rows of the (query pool) x (support
+// vectors) cross-kernel block, so popular queries re-use their kernel row
+// across micro-batches. Pass `row_length` for a rectangular n x row_length
+// matrix; the default 0 keeps the historical square n x n shape.
+//
 // Guarantees relied on by the SMO step (which holds rows i and j at once):
 //  - each cached row owns its storage, so evicting one row never moves or
 //    invalidates another row's span;
@@ -33,19 +39,21 @@ using linalg::Vector;
 
 class KernelCache {
  public:
-  /// Fills `out` (length n) with row i of the implicit matrix. Must be a
-  /// pure function of i: the cache assumes re-evaluating a row reproduces
-  /// it bit-for-bit.
+  /// Fills `out` (length row_length()) with row i of the implicit matrix.
+  /// Must be a pure function of i: the cache assumes re-evaluating a row
+  /// reproduces it bit-for-bit.
   using RowEvaluator = std::function<void(std::size_t, std::span<double>)>;
 
-  /// @param n             dimension of the implicit n x n matrix
+  /// @param n             number of rows of the implicit matrix
   /// @param evaluator     row filler, see RowEvaluator
   /// @param budget_bytes  cache budget; 0 means "unlimited" (all n rows fit,
   ///                      equivalent to a lazily-built dense matrix). A
   ///                      nonzero budget is converted to a row capacity of
-  ///                      clamp(budget / (n * 8), min(2, n), n).
+  ///                      clamp(budget / (row_length * 8), min(2, n), n).
+  /// @param row_length    columns of the implicit matrix; 0 = n (square,
+  ///                      the SMO Q-matrix shape)
   KernelCache(std::size_t n, RowEvaluator evaluator,
-              std::size_t budget_bytes = 0);
+              std::size_t budget_bytes = 0, std::size_t row_length = 0);
   ~KernelCache();
 
   KernelCache(const KernelCache&) = delete;
@@ -57,6 +65,7 @@ class KernelCache {
   std::span<const double> row(std::size_t i);
 
   std::size_t size() const noexcept { return n_; }
+  std::size_t row_length() const noexcept { return row_len_; }
   std::size_t capacity_rows() const noexcept { return capacity_; }
   std::size_t cached_rows() const noexcept { return resident_; }
 
@@ -81,6 +90,7 @@ class KernelCache {
   };
 
   std::size_t n_;
+  std::size_t row_len_;
   RowEvaluator evaluator_;
   std::size_t capacity_;
   std::size_t resident_ = 0;
