@@ -14,14 +14,18 @@
 // instrumentation path.
 #include <chrono>
 #include <cmath>
+#include <random>
 
 #include "bench/bench_common.h"
 #include "core/linear_horizontal.h"
 #include "crypto/grouped_ring.h"
 #include "core/mapreduce_adapter.h"
 #include "data/partition.h"
+#include "linalg/blas.h"
+#include "linalg/microkernel.h"
 #include "obs/obs.h"
 #include "obs/report.h"
+#include "svm/kernel.h"
 
 using namespace ppml;
 
@@ -53,7 +57,7 @@ RunStats run_job(const data::SplitDataset& split, std::size_t m,
   core::AveragingCoordinator coordinator(k + 1);
   const core::AdmmParams captured = params;
   const core::LearnerFactory factory = [captured, m](
-                                           const mapreduce::Bytes& payload,
+                                           mapreduce::BytesView payload,
                                            std::size_t) {
     return std::make_shared<core::LinearHorizontalLearner>(
         core::deserialize_horizontal_shard(payload), m, captured);
@@ -183,6 +187,131 @@ obs::JsonValue topology_row(std::size_t m, const char* topology,
   return row;
 }
 
+/// One ISA cell of the microkernel speedup head-to-head: the blocked
+/// gemm_nt plus an RBF gram — the two dense primitives the trainer and
+/// kernel caches ride through.
+struct SimdStats {
+  double scalar_seconds = 0.0;
+  double dispatch_seconds = 0.0;
+  double speedup = 0.0;
+  double max_abs_diff_vs_scalar = 0.0;  ///< must be exactly 0 (bit-identity)
+  std::string isa;                      ///< the dispatched level
+};
+
+SimdStats run_simd_cell() {
+  constexpr std::size_t kRows = 768;
+  constexpr std::size_t kCols = 256;
+  constexpr std::size_t kReps = 4;
+  std::mt19937_64 rng(0x51D0u);
+  linalg::Matrix a(kRows, kCols);
+  linalg::Matrix b(kRows, kCols);
+  std::normal_distribution<double> normal(0.0, 1.0);
+  for (double& v : a.data()) v = normal(rng);
+  for (double& v : b.data()) v = normal(rng);
+  const svm::Kernel rbf = svm::Kernel::rbf(1.0 / static_cast<double>(kCols));
+
+  linalg::Matrix gemm_out;
+  linalg::Matrix gram_out;
+  const auto run_once = [&]() {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t rep = 0; rep < kReps; ++rep)
+      gemm_out = linalg::gemm_nt(a, b);
+    gram_out = svm::gram(rbf, a);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  SimdStats stats;
+  linalg::force_isa(linalg::Isa::kScalar);
+  stats.scalar_seconds = run_once();
+  const linalg::Matrix scalar_gemm = gemm_out;
+  const linalg::Matrix scalar_gram = gram_out;
+
+  linalg::clear_forced_isa();  // back to the cpuid-probed level
+  stats.dispatch_seconds = run_once();
+  stats.isa = linalg::active_isa_name();
+  stats.speedup = stats.dispatch_seconds > 0.0
+                      ? stats.scalar_seconds / stats.dispatch_seconds
+                      : 1.0;
+  for (std::size_t i = 0; i < gemm_out.size(); ++i)
+    stats.max_abs_diff_vs_scalar =
+        std::max(stats.max_abs_diff_vs_scalar,
+                 std::abs(gemm_out.data()[i] - scalar_gemm.data()[i]));
+  for (std::size_t i = 0; i < gram_out.size(); ++i)
+    stats.max_abs_diff_vs_scalar =
+        std::max(stats.max_abs_diff_vs_scalar,
+                 std::abs(gram_out.data()[i] - scalar_gram.data()[i]));
+  return stats;
+}
+
+/// The HIGGS-scale row: n = 10^6 synthetic-HIGGS rows as a full cluster job
+/// with a blockstore budget far below the serialized shards, so the map
+/// phase streams spilled partitions off mmap. The matrix-free factored dual
+/// solver keeps the QP O(nk) — a dense Q at this n would need ~TBs.
+struct HiggsScaleStats {
+  RunStats run;
+  mapreduce::SpillStats spill;
+  std::size_t peak_rss_bytes = 0;
+  std::string isa;
+};
+
+HiggsScaleStats run_higgs_scale(std::size_t rows, std::size_t learners,
+                                std::size_t iterations,
+                                std::size_t qp_sweeps,
+                                std::size_t budget_bytes) {
+  core::AdmmParams params = bench::paper_params(iterations);
+  params.qp_max_sweeps = qp_sweeps;  // fixed compute budget, deterministic
+
+  // Counter-seeded generator: each shard slice is generated independently
+  // and serialized immediately — the full training set never has to sit in
+  // this address space at once.
+  std::vector<mapreduce::Bytes> shards;
+  const std::size_t per = rows / learners;
+  for (std::size_t m = 0; m < learners; ++m) {
+    data::Dataset shard = data::make_higgs_scale_rows(
+        7, m * per, m + 1 == learners ? rows : (m + 1) * per);
+    shards.push_back(core::serialize_horizontal_shard(shard));
+  }
+  const data::Dataset test =
+      data::make_higgs_scale_rows(7, rows, rows + 20000);
+
+  mapreduce::ClusterConfig config;
+  config.num_nodes = learners + 1;
+  config.blockstore_budget_bytes = budget_bytes;
+  mapreduce::Cluster cluster(config);
+
+  constexpr std::size_t kFeatures = 28;
+  core::AveragingCoordinator coordinator(kFeatures + 1);
+  const core::AdmmParams captured = params;
+  const core::LearnerFactory factory = [captured, learners](
+                                           mapreduce::BytesView payload,
+                                           std::size_t) {
+    return std::make_shared<core::LinearHorizontalLearner>(
+        core::deserialize_horizontal_shard(payload), learners, captured);
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = core::run_consensus_on_cluster(
+      cluster, shards, factory, coordinator, kFeatures + 1,
+      /*reducer_node=*/learners, params);
+  const auto stop = std::chrono::steady_clock::now();
+
+  HiggsScaleStats out;
+  out.run.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  out.run.network_seconds = result.job.simulated_network_seconds;
+  const auto totals = cluster.network().totals();
+  out.run.bytes = totals.bytes;
+  out.run.messages = totals.messages;
+  const svm::LinearModel model{coordinator.z(), coordinator.s()};
+  out.run.accuracy =
+      svm::accuracy(model.predict_all(test.x), test.y);
+  out.spill = cluster.storage().spill_stats();
+  out.peak_rss_bytes = obs::process_peak_rss_bytes();
+  out.isa = linalg::active_isa_name();
+  return out;
+}
+
 obs::JsonValue stats_row(std::size_t sweep_value, const char* key,
                          const RunStats& s) {
   obs::JsonValue row = obs::JsonValue::object();
@@ -296,6 +425,74 @@ int main() {
                              kRounds, kDim, &pairwise_sum, nullptr));
     }
     report.set("sweep_topology", std::move(sweep_topology));
+  }
+
+  // SIMD microkernel head-to-head: scalar-pinned vs runtime-dispatched on
+  // the dense primitives. Outputs are asserted bit-identical — only the
+  // wall time may move.
+  {
+    std::printf("\n## SIMD microkernels: scalar vs dispatched (gemm_nt + RBF "
+                "gram, bit-identity enforced)\n");
+    const SimdStats s = run_simd_cell();
+    std::printf("%-8s %12s %14s %9s %14s\n", "isa", "scalar_s", "dispatch_s",
+                "speedup", "max_abs_diff");
+    std::printf("%-8s %12.4f %14.4f %8.2fx %14.1e\n", s.isa.c_str(),
+                s.scalar_seconds, s.dispatch_seconds, s.speedup,
+                s.max_abs_diff_vs_scalar);
+    if (s.max_abs_diff_vs_scalar != 0.0) {
+      std::fprintf(stderr,
+                   "FATAL: dispatched microkernels differ from scalar\n");
+      return 1;
+    }
+    obs::JsonValue simd = obs::JsonValue::object();
+    simd.set("isa", s.isa);
+    simd.set("scalar_seconds", s.scalar_seconds);
+    simd.set("dispatch_seconds", s.dispatch_seconds);
+    simd.set("speedup", s.speedup);
+    simd.set("max_abs_diff_vs_scalar", s.max_abs_diff_vs_scalar);
+    report.set("simd", std::move(simd));
+  }
+
+  // HIGGS scale: the paper's headline n. One n=10^6 cluster job whose
+  // shards are generated slice-by-slice, spilled to disk by a blockstore
+  // budget far below their serialized size, and solved matrix-free.
+  {
+    constexpr std::size_t kHiggsRows = 1'000'000;
+    constexpr std::size_t kHiggsLearners = 4;
+    constexpr std::size_t kHiggsIterations = 3;
+    constexpr std::size_t kHiggsQpSweeps = 30;
+    constexpr std::size_t kHiggsBudget = 64ull << 20;  // 64 MiB
+    std::printf(
+        "\n## HIGGS scale: n=%zu, M=%zu, %zu iterations (out-of-core "
+        "blockstore, %zu MiB budget, factored dual)\n",
+        kHiggsRows, kHiggsLearners, kHiggsIterations, kHiggsBudget >> 20);
+    const HiggsScaleStats s =
+        run_higgs_scale(kHiggsRows, kHiggsLearners, kHiggsIterations,
+                        kHiggsQpSweeps, kHiggsBudget);
+    std::printf("%8s %10s %9s %12s %12s %10s %12s\n", "N", "wall_s",
+                "accuracy", "spill_blks", "spill_bytes", "mmap_reads",
+                "peak_rss");
+    std::printf("%8zu %10.3f %8.1f%% %12zu %12zu %10zu %9zu MB\n", kHiggsRows,
+                s.run.wall_seconds, s.run.accuracy * 100.0,
+                s.spill.spilled_blocks, s.spill.spilled_bytes,
+                s.spill.mapped_reads, s.peak_rss_bytes >> 20);
+    obs::JsonValue row = obs::JsonValue::object();
+    row.set("train_rows", kHiggsRows);
+    row.set("learners", kHiggsLearners);
+    row.set("iterations", kHiggsIterations);
+    row.set("qp_max_sweeps", kHiggsQpSweeps);
+    row.set("blockstore_budget_bytes", kHiggsBudget);
+    row.set("wall_seconds", s.run.wall_seconds);
+    row.set("network_seconds", s.run.network_seconds);
+    row.set("bytes", s.run.bytes);
+    row.set("messages", s.run.messages);
+    row.set("accuracy", s.run.accuracy);
+    row.set("spill_blocks", s.spill.spilled_blocks);
+    row.set("spill_bytes", s.spill.spilled_bytes);
+    row.set("spill_mapped_reads", s.spill.mapped_reads);
+    row.set("peak_rss_bytes", s.peak_rss_bytes);
+    row.set("isa", s.isa);
+    report.set("higgs_scale", std::move(row));
   }
 
   // One extra instrumented run for per-phase medians. Kept out of the

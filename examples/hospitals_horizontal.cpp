@@ -51,7 +51,7 @@ int main() {
   core::AveragingCoordinator coordinator(k + 1);
   const core::AdmmParams captured = params;
   const core::LearnerFactory factory =
-      [captured, hospitals = kHospitals](const mapreduce::Bytes& payload,
+      [captured, hospitals = kHospitals](mapreduce::BytesView payload,
                                          std::size_t) {
         return std::make_shared<core::LinearHorizontalLearner>(
             core::deserialize_horizontal_shard(payload), hospitals, captured);

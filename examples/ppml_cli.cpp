@@ -28,6 +28,7 @@
 #include "data/generators.h"
 #include "data/io.h"
 #include "data/standardize.h"
+#include "linalg/microkernel.h"
 #include "obs/obs.h"
 #include "obs/report.h"
 #include "svm/metrics.h"
@@ -367,6 +368,11 @@ int main(int argc, char** argv) {
     if (observe) session.emplace(&tracer, &metrics, &recorder);
     obs::Span run_span("run", "cli");
 
+    // One-line ISA attribution (PPML_FORCE_ISA=scalar|avx2 overrides the
+    // cpuid probe): timings in --metrics output are meaningless without
+    // knowing which microkernel table served them.
+    std::printf("simd isa: %s\n", linalg::active_isa_name());
+
     if (options.serve > 0 && options.scheme != "linear-v" &&
         options.scheme != "kernel-v") {
       std::fprintf(stderr,
@@ -474,6 +480,11 @@ int main(int argc, char** argv) {
       usage();
       return 1;
     }
+
+    // Land the process high-water mark in the metrics while the session is
+    // still installed, so `--metrics` runs record peak RSS next to the
+    // training counters.
+    obs::gauge_process_peak_rss();
     } catch (const std::exception&) {
       // The run died: preserve the ring's last moments (the armed path)
       // before the outer handler turns this into an exit code. PPML_CHECK

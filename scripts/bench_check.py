@@ -38,8 +38,17 @@ import sys
 
 TIME_RATIO = 4.0  # fail when current/baseline (or inverse) exceeds this...
 TIME_ABS_SLACK = 0.25  # ...and the absolute drift is more than this (s)
+RSS_RATIO = 8.0  # peak RSS gates only on order-of-magnitude blowups
 
-TIME_KEY = re.compile(r"(_s|seconds)$|wall|^p\d+$|^qps$")
+TIME_KEY = re.compile(r"(_s|seconds)$|wall|^p\d+$|^qps$|^speedup$")
+
+# Informational keys: environment-dependent measurements that legitimately
+# differ between the machine that committed the baseline and the machine
+# running the check. Their presence/absence never fails the key-shape
+# check; `peak_rss_bytes` gates only with the generous RSS_RATIO slack and
+# an `isa` mismatch just warns (a baseline recorded on an AVX2 box must not
+# fail on a scalar-only one, and vice versa).
+INFO_KEYS = {"peak_rss_bytes", "isa"}
 
 NUMERIC = (int, float)
 
@@ -59,13 +68,21 @@ def check_time(path, current, baseline, problems):
             f"(>{TIME_RATIO}x and >{TIME_ABS_SLACK}s)")
 
 
+def check_rss(path, current, baseline, problems):
+    lo, hi = sorted([abs(current), abs(baseline)])
+    if lo == 0 or hi / lo > RSS_RATIO:
+        problems.append(
+            f"{path}: peak RSS drifted {baseline!r} -> {current!r} "
+            f"(>{RSS_RATIO}x)")
+
+
 def compare(path, current, baseline, problems, in_histogram=False):
     if isinstance(baseline, dict):
         if not isinstance(current, dict):
             problems.append(f"{path}: expected object, got {type(current).__name__}")
             return
-        missing = sorted(baseline.keys() - current.keys())
-        extra = sorted(current.keys() - baseline.keys())
+        missing = sorted(baseline.keys() - current.keys() - INFO_KEYS)
+        extra = sorted(current.keys() - baseline.keys() - INFO_KEYS)
         if missing:
             problems.append(f"{path}: missing keys {missing}")
         if extra:
@@ -85,13 +102,20 @@ def compare(path, current, baseline, problems, in_histogram=False):
             compare(f"{path}[{i}]", c, b, problems, in_histogram)
     elif isinstance(baseline, bool) or not isinstance(baseline, NUMERIC):
         if current != baseline:
-            problems.append(f"{path}: {baseline!r} -> {current!r}")
+            key = path.rsplit(".", 1)[-1].split("[")[0]
+            if key in INFO_KEYS:
+                print(f"bench_check: note: {path}: {baseline!r} -> "
+                      f"{current!r} (informational)")
+            else:
+                problems.append(f"{path}: {baseline!r} -> {current!r}")
     else:  # numeric leaf: int/float are interchangeable kinds (0 vs 0.0)
         if isinstance(current, bool) or not isinstance(current, NUMERIC):
             problems.append(f"{path}: expected number, got {current!r}")
             return
         key = path.rsplit(".", 1)[-1].split("[")[0]
-        if is_time_like(key, in_histogram):
+        if key == "peak_rss_bytes":
+            check_rss(path, current, baseline, problems)
+        elif is_time_like(key, in_histogram):
             check_time(path, current, baseline, problems)
         elif current != baseline:
             problems.append(f"{path}: {baseline!r} -> {current!r}")

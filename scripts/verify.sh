@@ -25,14 +25,21 @@ ctest --test-dir build --output-on-failure -j"$jobs" -LE tier1
 
 cmake -B build-asan -S . -DPPML_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j"$jobs" --target mapreduce_test chaos_test \
-  dropout_recovery_test obs_test qp_test linalg_test consensus_engine_test \
-  async_consensus_test grouped_ring_test serving_test
+  dropout_recovery_test obs_test qp_test linalg_test microkernel_test \
+  consensus_engine_test async_consensus_test grouped_ring_test serving_test
+# mapreduce_test covers the out-of-core blockstore: spill/mmap/LRU paths
+# hand out spans into unlinked mapped files — ASan watches the lifetimes.
 ./build-asan/tests/mapreduce_test
 ./build-asan/tests/chaos_test
 ./build-asan/tests/dropout_recovery_test
 ./build-asan/tests/obs_test
 ./build-asan/tests/qp_test
 ./build-asan/tests/linalg_test
+# SIMD microkernels under ASan/UBSan, once dispatched and once pinned to
+# the scalar table: tail-lane loads at awkward shapes and the cpuid/env
+# dispatcher are exactly where out-of-bounds reads would hide.
+./build-asan/tests/microkernel_test
+PPML_FORCE_ISA=scalar ./build-asan/tests/microkernel_test
 ./build-asan/tests/consensus_engine_test
 ./build-asan/tests/async_consensus_test
 ./build-asan/tests/grouped_ring_test

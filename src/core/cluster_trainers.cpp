@@ -28,7 +28,7 @@ LinearHorizontalClusterResult train_linear_horizontal_on_cluster(
   AveragingCoordinator coordinator(k + 1);
   const AdmmParams captured = params;
   const LearnerFactory factory = [captured, m](
-                                     const mapreduce::Bytes& payload,
+                                     mapreduce::BytesView payload,
                                      std::size_t) {
     return std::make_shared<LinearHorizontalLearner>(
         deserialize_horizontal_shard(payload), m, captured);
@@ -65,7 +65,7 @@ KernelHorizontalClusterResult train_kernel_horizontal_on_cluster(
   const AdmmParams captured = params;
   const LearnerFactory factory =
       [captured, m, kernel, landmarks, &typed](
-          const mapreduce::Bytes& payload, std::size_t index) {
+          mapreduce::BytesView payload, std::size_t index) {
         auto learner = std::make_shared<KernelHorizontalLearner>(
             deserialize_horizontal_shard(payload), landmarks, kernel, m,
             captured);
@@ -98,7 +98,7 @@ LinearVerticalClusterResult train_linear_vertical_on_cluster(
   std::vector<std::shared_ptr<LinearVerticalLearner>> typed(m);
   const AdmmParams captured = params;
   const LearnerFactory factory = [captured, &typed](
-                                     const mapreduce::Bytes& payload,
+                                     mapreduce::BytesView payload,
                                      std::size_t index) {
     auto learner = std::make_shared<LinearVerticalLearner>(
         deserialize_vertical_block(payload), captured);
@@ -136,7 +136,7 @@ KernelVerticalClusterResult train_kernel_vertical_on_cluster(
   std::vector<std::shared_ptr<KernelVerticalLearner>> typed(m);
   const AdmmParams captured = params;
   const LearnerFactory factory = [captured, kernel, &typed](
-                                     const mapreduce::Bytes& payload,
+                                     mapreduce::BytesView payload,
                                      std::size_t index) {
     auto learner = std::make_shared<KernelVerticalLearner>(
         deserialize_vertical_block(payload), kernel, captured);

@@ -34,16 +34,35 @@ LinearHorizontalLearner::LinearHorizontalLearner(data::Dataset shard,
       rho_(params.rho),
       a_(static_cast<double>(num_learners) /
          (1.0 + params.rho * static_cast<double>(num_learners))),
-      solver_(build_dual_q(shard_, a_, params.rho), 0.0, params.c) {
+      dense_q_row_limit_(params.dense_q_row_limit) {
   PPML_CHECK(num_learners >= 2, "LinearHorizontalLearner: need M >= 2");
   PPML_CHECK(params.c > 0.0 && params.rho > 0.0,
              "LinearHorizontalLearner: C and rho must be positive");
   shard_.validate();
   qp_options_.tolerance = params.qp_tolerance;
   qp_options_.max_iterations = params.qp_max_sweeps;
+  rebuild_solver();
   gamma_.assign(features_, 0.0);
   w_.assign(features_, 0.0);
   lambda_.assign(shard_.size(), 0.0);
+}
+
+void LinearHorizontalLearner::rebuild_solver() {
+  if (shard_.size() <= dense_q_row_limit_) {
+    factored_solver_.reset();
+    dense_solver_.emplace(build_dual_q(shard_, a_, rho_), 0.0, c_);
+  } else {
+    // HIGGS-scale shard: never form the n x n Q. Same dual, written as
+    // Q = a (YX)(YX)^T + (1/rho) y y^T and solved through the implicit
+    // factorization (O(nk) per sweep instead of O(n^2)).
+    dense_solver_.reset();
+    factored_solver_.emplace(shard_.x, shard_.y, a_, 1.0 / rho_, 0.0, c_);
+  }
+}
+
+qp::Result LinearHorizontalLearner::solve_dual(const Vector& p) {
+  if (dense_solver_) return dense_solver_->solve(p, lambda_, qp_options_);
+  return factored_solver_->solve(p, lambda_, qp_options_);
 }
 
 void LinearHorizontalLearner::on_cohort_resize(std::size_t live_learners) {
@@ -52,7 +71,7 @@ void LinearHorizontalLearner::on_cohort_resize(std::size_t live_learners) {
   if (live_learners == m_) return;
   m_ = live_learners;
   a_ = static_cast<double>(m_) / (1.0 + rho_ * static_cast<double>(m_));
-  solver_ = qp::BoxQpSolver(build_dual_q(shard_, a_, rho_), 0.0, c_);
+  rebuild_solver();
 }
 
 Vector LinearHorizontalLearner::local_step(const Vector& broadcast) {
@@ -76,14 +95,17 @@ Vector LinearHorizontalLearner::local_step(const Vector& broadcast) {
   Vector v = linalg::sub(z, gamma_);
   const double u = s - beta_;
 
-  // Linear term: p_i = 1 - a*rho*y_i <x_i, v> - u*y_i.
+  // Linear term: p_i = 1 - a*rho*y_i <x_i, v> - u*y_i. The <x_i, v> values
+  // come from one gemv over the shard (microkernel row-batched; each row's
+  // accumulation order matches the scalar dot, so p is bit-identical to the
+  // per-row formulation this replaces).
+  const Vector xv = linalg::gemv(shard_.x, v);
   Vector p(n);
   for (std::size_t i = 0; i < n; ++i) {
-    p[i] = 1.0 - a_ * rho_ * shard_.y[i] * linalg::dot(shard_.x.row(i), v) -
-           u * shard_.y[i];
+    p[i] = 1.0 - a_ * rho_ * shard_.y[i] * xv[i] - u * shard_.y[i];
   }
 
-  const qp::Result solved = solver_.solve(p, lambda_, qp_options_);
+  const qp::Result solved = solve_dual(p);
   lambda_ = solved.x;
   last_objective_ = solved.objective;
 

@@ -13,9 +13,12 @@
 // b_m + beta_m) into (z, s) and feeds them back (paper eq. (13)).
 #pragma once
 
+#include <optional>
+
 #include "core/consensus.h"
 #include "data/partition.h"
 #include "qp/box_qp.h"
+#include "qp/factored_qp.h"
 #include "svm/model.h"
 #include "svm/trainer.h"
 
@@ -44,16 +47,28 @@ class LinearHorizontalLearner final : public ConsensusLearner {
   const Vector& w() const noexcept { return w_; }
   double b() const noexcept { return b_; }
   const Vector& lambda() const noexcept { return lambda_; }
+  /// True when the shard exceeded AdmmParams::dense_q_row_limit and the
+  /// learner solves the dual matrix-free (qp::FactoredBoxQpSolver) instead
+  /// of materializing the n x n Q.
+  bool uses_factored_qp() const noexcept { return factored_solver_.has_value(); }
 
  private:
+  void rebuild_solver();
+  qp::Result solve_dual(const Vector& p);
+
   data::Dataset shard_;
   std::size_t m_;          // number of learners
   std::size_t features_;   // k
   double c_;
   double rho_;
   double a_;               // M / (1 + rho M)
+  std::size_t dense_q_row_limit_;
   qp::Options qp_options_;
-  qp::BoxQpSolver solver_;  // constant Q, built once
+  // Exactly one of these is engaged, chosen by shard size: dense Q for
+  // small shards (bit-pinned legacy path), implicit factored Q above
+  // dense_q_row_limit_. Rebuilt on cohort resize (a depends on M).
+  std::optional<qp::BoxQpSolver> dense_solver_;
+  std::optional<qp::FactoredBoxQpSolver> factored_solver_;
 
   Vector gamma_;  // k-dim residual for w
   double beta_ = 0.0;

@@ -57,8 +57,10 @@ class SecureConsensusMapper final : public mapreduce::IterativeMapper {
 
   void configure(const mapreduce::BlockStore& storage,
                  mapreduce::NodeId node) override {
-    // Locality-enforcing read: throws if this node holds no replica.
-    const Bytes& payload = storage.read_local(home_block_, node);
+    // Locality-enforcing read: throws if this node holds no replica. The
+    // view may point into an mmap of a spilled split; the factory
+    // deserializes it straight from the mapping (streaming, no heap copy).
+    const mapreduce::BytesView payload = storage.read_local(home_block_, node);
     learner_ = factory_(payload, index_);
     PPML_CHECK(learner_ != nullptr,
                "SecureConsensusMapper: factory returned null");
@@ -335,7 +337,7 @@ Bytes serialize_horizontal_shard(const data::Dataset& shard) {
   return writer.take();
 }
 
-data::Dataset deserialize_horizontal_shard(const Bytes& payload) {
+data::Dataset deserialize_horizontal_shard(mapreduce::BytesView payload) {
   Reader reader(payload);
   data::Dataset shard;
   shard.name = reader.get_string();
@@ -351,7 +353,7 @@ Bytes serialize_vertical_block(const linalg::Matrix& block) {
   return writer.take();
 }
 
-linalg::Matrix deserialize_vertical_block(const Bytes& payload) {
+linalg::Matrix deserialize_vertical_block(mapreduce::BytesView payload) {
   Reader reader(payload);
   return reader.get_matrix();
 }

@@ -26,9 +26,12 @@
 namespace ppml::core {
 
 /// Builds a learner from its shard payload once the mapper knows it is
-/// running data-local. Receives (shard bytes, learner index).
+/// running data-local. Receives (shard bytes, learner index). The payload
+/// is a view — possibly straight into the block store's mmap of a spilled
+/// split — valid only for the duration of the call; deserialize what you
+/// need rather than keeping the span.
 using LearnerFactory = std::function<std::shared_ptr<ConsensusLearner>(
-    const mapreduce::Bytes&, std::size_t)>;
+    mapreduce::BytesView, std::size_t)>;
 
 /// One permanent learner loss observed by the reducer.
 struct DropoutEvent {
@@ -113,11 +116,12 @@ ClusterTrainResult run_consensus_on_cluster(
     std::size_t consensus_dim, mapreduce::NodeId reducer_node,
     const AdmmParams& params, mapreduce::JobConfig job_config = {});
 
-/// Shard payload helpers shared by the trainers and tests.
+/// Shard payload helpers shared by the trainers and tests. Deserializers
+/// take views so a mapper can stream a spilled split's mmap directly.
 mapreduce::Bytes serialize_horizontal_shard(const data::Dataset& shard);
-data::Dataset deserialize_horizontal_shard(const mapreduce::Bytes& payload);
+data::Dataset deserialize_horizontal_shard(mapreduce::BytesView payload);
 
 mapreduce::Bytes serialize_vertical_block(const linalg::Matrix& block);
-linalg::Matrix deserialize_vertical_block(const mapreduce::Bytes& payload);
+linalg::Matrix deserialize_vertical_block(mapreduce::BytesView payload);
 
 }  // namespace ppml::core

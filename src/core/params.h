@@ -33,6 +33,14 @@ struct AdmmParams {
   // Inner QP controls.
   double qp_tolerance = 1e-6;
   std::size_t qp_max_sweeps = 2000;
+  /// Largest shard (rows) for which the linear-horizontal learner
+  /// materializes the dense n x n dual Q (qp::BoxQpSolver). Bigger shards
+  /// switch to the matrix-free qp::FactoredBoxQpSolver — O(nk) memory and
+  /// sweep cost instead of O(n^2) — which is deterministic but not
+  /// bit-identical to the dense path (different accumulation order). The
+  /// default keeps every existing run/baseline on the dense, bit-pinned
+  /// path; HIGGS-scale shards (10^6 rows would need ~TBs dense) cross it.
+  std::size_t dense_q_row_limit = 20000;
 
   // Kernel-horizontal specifics (paper §IV-B).
   std::size_t landmarks = 50;  ///< l — size of the reduced consensus space

@@ -233,19 +233,28 @@ std::vector<linalg::Vector> PredictionServer::batch_partials(
     return partials;
   }
   // Cached path: pooled queries fetch their (query, support-vector) kernel
-  // row from the per-learner cache; bypass queries compute it inline. Both
-  // run the same projected -> kernel_row -> dot pipeline as
+  // rows in one bulk prefetch per learner; bypass queries compute theirs
+  // inline. Both run the same projected -> kernel_row -> dot pipeline as
   // kernel_partial_scores, so the decision values cannot diverge.
+  std::vector<std::size_t> pooled;  // batch positions that hold a pool slot
+  std::vector<std::size_t> pooled_slots;
+  for (std::size_t i = 0; i < batch_x.rows(); ++i) {
+    if (slots[i] == kNoSlot) continue;
+    pooled.push_back(i);
+    pooled_slots.push_back(slots[i]);
+  }
   for (std::size_t m = 0; m < num_learners_; ++m) {
     const auto& idx = model.feature_indices[m];
     Vector partial(batch_x.rows(), 0.0);
+    linalg::Matrix rows(pooled.size(), row_caches_[m]->row_length());
+    const auto batch = row_caches_[m]->fill_rows(pooled_slots, rows);
+    cache_hits_ += batch.hits;
+    cache_misses_ += batch.misses;
+    for (std::size_t j = 0; j < pooled.size(); ++j)
+      partial[pooled[j]] = linalg::dot(rows.row(j), model.alphas[m]);
     std::vector<double> projected(idx.size());
     for (std::size_t i = 0; i < batch_x.rows(); ++i) {
-      if (slots[i] != kNoSlot) {
-        partial[i] =
-            linalg::dot(row_caches_[m]->row(slots[i]), model.alphas[m]);
-        continue;
-      }
+      if (slots[i] != kNoSlot) continue;
       for (std::size_t j = 0; j < idx.size(); ++j)
         projected[j] = batch_x(i, idx[j]);
       const Vector krow =
@@ -330,15 +339,11 @@ void PredictionServer::flush_batch(std::size_t count, double now,
 }
 
 std::int64_t PredictionServer::cache_hits() const noexcept {
-  std::int64_t total = 0;
-  for (const auto& cache : row_caches_) total += cache->hits();
-  return total;
+  return cache_hits_;
 }
 
 std::int64_t PredictionServer::cache_misses() const noexcept {
-  std::int64_t total = 0;
-  for (const auto& cache : row_caches_) total += cache->misses();
-  return total;
+  return cache_misses_;
 }
 
 double PredictionServer::cache_hit_rate() const noexcept {

@@ -205,6 +205,13 @@ class PredictionServer {
   std::vector<Vector> pool_;
   std::unordered_map<std::uint64_t, std::vector<std::size_t>> slot_by_hash_;
   std::vector<std::unique_ptr<qp::KernelCache>> row_caches_;
+
+  // Running totals of the per-batch BatchStats returned by
+  // KernelCache::fill_rows. Every cache touch goes through fill_rows (which
+  // drains the caches' own counters into the obs session per batch), so
+  // these are the authoritative tallies behind cache_hits()/cache_misses().
+  std::int64_t cache_hits_ = 0;
+  std::int64_t cache_misses_ = 0;
 };
 
 }  // namespace ppml::core

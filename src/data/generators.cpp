@@ -115,6 +115,53 @@ Dataset make_higgs_like(std::uint64_t seed, std::size_t samples) {
   return make_gaussian_task(config);
 }
 
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Dataset make_higgs_scale_rows(std::uint64_t seed, std::size_t begin_row,
+                              std::size_t end_row) {
+  PPML_CHECK(begin_row < end_row, "make_higgs_scale_rows: empty row range");
+  constexpr std::size_t kFeatures = 28;
+  constexpr double kSeparation = 1.05;  // Phi(d/2) ~ 0.70, as make_higgs_like
+
+  // The class direction depends only on the seed, so every slice of the
+  // same logical dataset shares it.
+  std::mt19937_64 dir_rng(splitmix64(seed));
+  const Vector direction = random_unit_direction(kFeatures, dir_rng);
+
+  const std::size_t n = end_row - begin_row;
+  Dataset out;
+  out.name = "higgs_scale";
+  out.x.resize(n, kFeatures);
+  out.y.resize(n);
+  const double half = kSeparation / 2.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t row = begin_row + i;
+    // Counter-seeded per-row stream: row contents never depend on which
+    // slice they were generated in.
+    std::mt19937_64 rng(splitmix64(seed ^ splitmix64(row + 1)));
+    std::normal_distribution<double> normal(0.0, 1.0);
+    const double label = (rng() & 1u) != 0 ? 1.0 : -1.0;
+    out.y[i] = label;
+    auto xr = out.x.row(i);
+    for (std::size_t j = 0; j < kFeatures; ++j)
+      xr[j] = normal(rng) + label * half * direction[j];
+  }
+  return out;
+}
+
+Dataset make_higgs_scale(std::uint64_t seed, std::size_t samples) {
+  return make_higgs_scale_rows(seed, 0, samples);
+}
+
 Dataset make_ocr_like(std::uint64_t seed, std::size_t samples) {
   GaussianTaskConfig config;
   config.samples = samples;

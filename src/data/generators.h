@@ -45,6 +45,19 @@ Dataset make_cancer_like(std::uint64_t seed = 1);
 /// for quick tests.
 Dataset make_higgs_like(std::uint64_t seed = 1, std::size_t samples = 11000);
 
+/// Synthetic HIGGS at the paper's headline scale (10^6–10^7 rows, 28
+/// features, same class overlap as make_higgs_like). Row i is a pure
+/// function of (seed, i) via a counter-seeded per-row RNG, so
+/// make_higgs_scale_rows(seed, a, b) materializes just the slice [a, b) —
+/// learners generate their own shards independently and the full dataset
+/// never has to exist in one address space. O((b - a) * k) time, no
+/// shuffle pass (rows are already exchangeable by construction).
+Dataset make_higgs_scale_rows(std::uint64_t seed, std::size_t begin_row,
+                              std::size_t end_row);
+
+/// Convenience: the first `samples` rows, make_higgs_scale_rows(seed, 0, n).
+Dataset make_higgs_scale(std::uint64_t seed, std::size_t samples);
+
 /// Optdigits-like: many correlated features (paper: 98% centralized),
 /// pixel-like values saturated to [0, 16].
 Dataset make_ocr_like(std::uint64_t seed = 1, std::size_t samples = 5620);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/microkernel.h"
 #include "linalg/parallel.h"
 
 namespace ppml::linalg {
@@ -40,6 +41,11 @@ void run_row_blocks(std::size_t rows, std::size_t flops,
 
 }  // namespace
 
+// dot stays a plain scalar loop on purpose: it is a single reduction into
+// one accumulator, and the microkernel bit-identity contract (one SIMD lane
+// per OUTPUT element, ascending-k feed) has nothing to vectorize across when
+// there is only one output. Splitting the accumulator would change the
+// summation order and break every bit-identity pin in the repo.
 double dot(std::span<const double> x, std::span<const double> y) {
   PPML_CHECK(x.size() == y.size(), "dot: size mismatch");
   double acc = 0.0;
@@ -53,7 +59,9 @@ double norm(std::span<const double> x) { return std::sqrt(squared_norm(x)); }
 
 void axpy(double alpha, std::span<const double> x, std::span<double> y) {
   PPML_CHECK(x.size() == y.size(), "axpy: size mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  // Per-element mul+add — vectorizable bit-identically (each y[i] is its own
+  // output element), so this rides the dispatched microkernel.
+  microkernels().axpy(alpha, x.data(), y.data(), x.size());
 }
 
 void scale(double alpha, std::span<double> x) {
@@ -73,7 +81,10 @@ double squared_distance(std::span<const double> x, std::span<const double> y) {
 void gemv(const Matrix& a, std::span<const double> x, std::span<double> out) {
   PPML_CHECK(a.cols() == x.size() && a.rows() == out.size(),
              "gemv: shape mismatch");
-  for (std::size_t i = 0; i < a.rows(); ++i) out[i] = dot(a.row(i), x);
+  // out[i] = dot(a.row(i), x): one accumulator per output row, ascending k —
+  // exactly the dot_rows microkernel shape, bit-identical to the dot() loop.
+  microkernels().dot_rows(x.data(), a.data().data(), a.cols(), a.rows(),
+                          a.cols(), out.data());
 }
 
 Vector gemv(const Matrix& a, std::span<const double> x) {
@@ -122,7 +133,9 @@ Matrix gemm(const Matrix& a, const Matrix& b) {
   // Blocked ikj: for each C row block (one task) and each column tile, the
   // k-loop accumulates a_ik * b_kj in ascending k per element — the same
   // per-element order as gemm_naive, so the result is bit-identical to the
-  // reference regardless of tiling or thread count.
+  // reference regardless of tiling, thread count or ISA level (the axpy
+  // microkernel keeps one lane per C element; see microkernel.h).
+  const Microkernels& mk = microkernels();
   run_row_blocks(m, 2 * m * kk * nn, [&](std::size_t block) {
     const std::size_t i0 = block * kRowBlock;
     const std::size_t i1 = std::min(i0 + kRowBlock, m);
@@ -132,9 +145,9 @@ Matrix gemm(const Matrix& a, const Matrix& b) {
         auto crow = c.row(i);
         for (std::size_t k = 0; k < kk; ++k) {
           const double aik = a(i, k);
-          if (aik == 0.0) continue;
+          if (aik == 0.0) continue;  // same skip as gemm_naive's axpy guard
           const auto brow = b.row(k);
-          for (std::size_t j = j0; j < j1; ++j) crow[j] += aik * brow[j];
+          mk.axpy(aik, brow.data() + j0, crow.data() + j0, j1 - j0);
         }
       }
     }
@@ -161,16 +174,18 @@ Matrix gemm_nt(const Matrix& a, const Matrix& b) {
   count("linalg.gemm.flops", static_cast<std::int64_t>(2 * m * kk * nn));
   if (m == 0 || nn == 0) return c;
   // Row-tile both operands so a block of B rows stays cache-resident while
-  // the A rows of one task stream past it. Each element is one dot() call,
-  // identical to gemm_nt_naive.
+  // the A rows of one task stream past it. Each element keeps one ascending-k
+  // accumulator (dot_rows evaluates a strip of B rows against one A row),
+  // identical to gemm_nt_naive's per-element dot() calls.
+  const Microkernels& mk = microkernels();
   run_row_blocks(m, 2 * m * kk * nn, [&](std::size_t block) {
     const std::size_t i0 = block * kRowBlock;
     const std::size_t i1 = std::min(i0 + kRowBlock, m);
     for (std::size_t j0 = 0; j0 < nn; j0 += kRowBlock) {
       const std::size_t j1 = std::min(j0 + kRowBlock, nn);
       for (std::size_t i = i0; i < i1; ++i)
-        for (std::size_t j = j0; j < j1; ++j)
-          c(i, j) = dot(a.row(i), b.row(j));
+        mk.dot_rows(a.row(i).data(), b.data().data() + j0 * kk, kk, j1 - j0,
+                    kk, c.row(i).data() + j0);
     }
   });
   return c;
@@ -178,12 +193,15 @@ Matrix gemm_nt(const Matrix& a, const Matrix& b) {
 
 Matrix gram_at_a(const Matrix& a) {
   Matrix c(a.cols(), a.cols());
+  const Microkernels& mk = microkernels();
   for (std::size_t r = 0; r < a.rows(); ++r) {
     const auto row = a.row(r);
     for (std::size_t i = 0; i < a.cols(); ++i) {
       const double v = row[i];
       if (v == 0.0) continue;
-      for (std::size_t j = i; j < a.cols(); ++j) c(i, j) += v * row[j];
+      // c(i, j >= i) += v * row[j] — an axpy over the upper-triangle strip,
+      // per-element mul+add in the original j order.
+      mk.axpy(v, row.data() + i, c.row(i).data() + i, a.cols() - i);
     }
   }
   for (std::size_t i = 0; i < a.cols(); ++i)
@@ -201,16 +219,17 @@ Matrix syrk(const Matrix& a) {
   // Upper triangle only, mirrored. A task owns C rows [i0, i1): it writes
   // c(i, j >= i) and the mirror c(j, i) — disjoint elements across tasks,
   // so the parallel path is race-free and bit-identical to the serial one.
+  const Microkernels& mk = microkernels();
   run_row_blocks(m, m * (m + 1) * kk, [&](std::size_t block) {
     const std::size_t i0 = block * kRowBlock;
     const std::size_t i1 = std::min(i0 + kRowBlock, m);
     for (std::size_t i = i0; i < i1; ++i) {
       const auto ri = a.row(i);
-      for (std::size_t j = i; j < m; ++j) {
-        const double v = dot(ri, a.row(j));
-        c(i, j) = v;
-        c(j, i) = v;
-      }
+      // One dot_rows call fills c(i, j >= i): per-element accumulation is
+      // the same ascending-k dot() the serial loop computed.
+      mk.dot_rows(ri.data(), a.data().data() + i * kk, kk, m - i, kk,
+                  c.row(i).data() + i);
+      for (std::size_t j = i + 1; j < m; ++j) c(j, i) = c(i, j);
     }
   });
   return c;

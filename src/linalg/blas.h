@@ -37,8 +37,10 @@ void gemv_t(const Matrix& a, std::span<const double> x, std::span<double> out);
 Vector gemv_t(const Matrix& a, std::span<const double> x);
 
 /// C = A * B (A: m x k, B: k x n). Blocked and, when a linalg parallel
-/// backend is installed (linalg/parallel.h), threaded over row tiles.
-/// Bit-identical to gemm_naive for any tile/thread configuration.
+/// backend is installed (linalg/parallel.h), threaded over row tiles. The
+/// tile loops run through the runtime-dispatched SIMD microkernels
+/// (linalg/microkernel.h); bit-identical to gemm_naive for any tile,
+/// thread or ISA configuration.
 Matrix gemm(const Matrix& a, const Matrix& b);
 
 /// Unblocked single-threaded reference for gemm; kept as the equivalence

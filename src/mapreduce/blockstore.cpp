@@ -1,12 +1,137 @@
 #include "mapreduce/blockstore.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+
+#include "obs/obs.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PPML_BLOCKSTORE_HAS_SPILL 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
 
 namespace ppml::mapreduce {
 
+namespace {
+
+void count_if_enabled(const char* key, std::int64_t value) {
+  if (obs::metrics() != nullptr) obs::count(key, value);
+}
+
+}  // namespace
+
 BlockStore::BlockStore(std::size_t num_nodes)
-    : num_nodes_(num_nodes), alive_(num_nodes, true) {
-  PPML_CHECK(num_nodes >= 1, "BlockStore: need >= 1 node");
+    : BlockStore(BlockStoreConfig{num_nodes, 0, {}}) {}
+
+BlockStore::BlockStore(BlockStoreConfig config)
+    : num_nodes_(config.num_nodes),
+      config_(std::move(config)),
+      alive_(config_.num_nodes, true) {
+  PPML_CHECK(num_nodes_ >= 1, "BlockStore: need >= 1 node");
+#if !defined(PPML_BLOCKSTORE_HAS_SPILL)
+  // No mmap on this platform: degrade to the all-in-RAM store.
+  config_.memory_budget_bytes = 0;
+#endif
+}
+
+BlockStore::~BlockStore() {
+#if defined(PPML_BLOCKSTORE_HAS_SPILL)
+  for (auto& [id, stored] : blocks_)
+    if (stored.map != nullptr && stored.map_len > 0)
+      ::munmap(const_cast<std::uint8_t*>(stored.map), stored.map_len);
+  if (owns_spill_dir_ && !spill_dir_.empty()) {
+    std::error_code ec;  // spill files are unlinked already; best effort
+    std::filesystem::remove_all(spill_dir_, ec);
+  }
+#endif
+}
+
+const std::string& BlockStore::ensure_spill_dir() {
+  if (!spill_dir_.empty()) return spill_dir_;
+  if (!config_.spill_dir.empty()) {
+    std::filesystem::create_directories(config_.spill_dir);
+    spill_dir_ = config_.spill_dir;
+    return spill_dir_;
+  }
+#if defined(PPML_BLOCKSTORE_HAS_SPILL)
+  const char* tmp = std::getenv("TMPDIR");
+  std::string pattern =
+      std::string(tmp != nullptr && tmp[0] != '\0' ? tmp : "/tmp") +
+      "/ppml-blockstore-XXXXXX";
+  std::vector<char> buf(pattern.begin(), pattern.end());
+  buf.push_back('\0');
+  PPML_CHECK(::mkdtemp(buf.data()) != nullptr,
+             "BlockStore: mkdtemp failed for spill directory");
+  spill_dir_.assign(buf.data());
+  owns_spill_dir_ = true;
+#endif
+  return spill_dir_;
+}
+
+void BlockStore::spill(Stored& stored) {
+#if defined(PPML_BLOCKSTORE_HAS_SPILL)
+  if (stored.data.empty()) {
+    // Zero-byte block: nothing to move; just stop tracking it as resident
+    // so the eviction loop makes progress.
+    if (stored.lru_pos) {
+      lru_.erase(*stored.lru_pos);
+      stored.lru_pos.reset();
+    }
+    return;
+  }
+  const std::string path =
+      ensure_spill_dir() + "/block_" + std::to_string(stored.info.id) + ".bin";
+  const int fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_TRUNC, 0600);
+  PPML_CHECK(fd >= 0, "BlockStore: cannot create spill file " + path);
+  std::size_t written = 0;
+  while (written < stored.data.size()) {
+    const ::ssize_t n = ::write(fd, stored.data.data() + written,
+                                stored.data.size() - written);
+    if (n < 0) {
+      ::close(fd);
+      PPML_CHECK(false, "BlockStore: short write to spill file " + path);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  void* map = ::mmap(nullptr, stored.data.size(), PROT_READ, MAP_SHARED, fd, 0);
+  // The mapping keeps the inode alive; unlink + close now so nothing
+  // outlives the store even on abnormal exit.
+  ::unlink(path.c_str());
+  ::close(fd);
+  PPML_CHECK(map != MAP_FAILED, "BlockStore: mmap of spill file failed");
+  stored.map = static_cast<const std::uint8_t*>(map);
+  stored.map_len = stored.data.size();
+
+  resident_bytes_ -= stored.data.size();
+  spilled_blocks_ += 1;
+  spilled_bytes_ += stored.data.size();
+  count_if_enabled("blockstore.spill.blocks", 1);
+  count_if_enabled("blockstore.spill.bytes",
+                   static_cast<std::int64_t>(stored.data.size()));
+  Bytes().swap(stored.data);  // actually release the heap buffer
+  if (stored.lru_pos) {
+    lru_.erase(*stored.lru_pos);
+    stored.lru_pos.reset();
+  }
+  stored.info.spilled = true;
+#else
+  (void)stored;
+#endif
+}
+
+void BlockStore::enforce_budget() {
+  if (config_.memory_budget_bytes == 0) return;
+  while (resident_bytes_ > config_.memory_budget_bytes && !lru_.empty()) {
+    const BlockId victim = lru_.back();
+    spill(blocks_.at(victim));
+  }
+}
+
+void BlockStore::touch(const Stored& stored) const {
+  if (stored.lru_pos) lru_.splice(lru_.begin(), lru_, *stored.lru_pos);
 }
 
 BlockId BlockStore::put(std::string name, Bytes data,
@@ -21,9 +146,17 @@ BlockId BlockStore::put(std::string name, Bytes data,
   std::lock_guard<std::mutex> lock(mutex_);
   const BlockId id = next_id_++;
   Stored stored;
-  stored.info = BlockInfo{id, std::move(name), data.size(), std::move(replicas)};
+  stored.info = BlockInfo{id, std::move(name), data.size(), std::move(replicas),
+                          /*spilled=*/false};
+  resident_bytes_ += data.size();
   stored.data = std::move(data);
-  blocks_.emplace(id, std::move(stored));
+  auto [it, inserted] = blocks_.emplace(id, std::move(stored));
+  lru_.push_front(id);
+  it->second.lru_pos = lru_.begin();
+  enforce_budget();
+  if (obs::metrics() != nullptr)
+    obs::gauge("blockstore.resident_bytes",
+               static_cast<double>(resident_bytes_));
   return id;
 }
 
@@ -41,7 +174,7 @@ BlockId BlockStore::put_with_locality(std::string name, Bytes data,
   return put(std::move(name), std::move(data), std::move(replicas));
 }
 
-const Bytes& BlockStore::read_local(BlockId block, NodeId node) const {
+BytesView BlockStore::read_local(BlockId block, NodeId node) const {
   std::lock_guard<std::mutex> lock(mutex_);
   PPML_CHECK(node < num_nodes_, "BlockStore::read_local: node out of range");
   PPML_CHECK(alive_[node], "BlockStore::read_local: node " +
@@ -54,7 +187,20 @@ const Bytes& BlockStore::read_local(BlockId block, NodeId node) const {
              "BlockStore::read_local: data-locality violation — node " +
                  std::to_string(node) + " holds no replica of block '" +
                  it->second.info.name + "'");
-  return it->second.data;
+  const Stored& stored = it->second;
+  if (stored.map != nullptr) {
+#if defined(PPML_BLOCKSTORE_HAS_SPILL)
+    // Mapper reads deserialize front-to-back: tell the kernel so read-ahead
+    // streams the spill file and cold pages drop out behind the cursor.
+    ::madvise(const_cast<std::uint8_t*>(stored.map), stored.map_len,
+              MADV_SEQUENTIAL);
+#endif
+    ++mapped_reads_;
+    count_if_enabled("blockstore.spill.reads", 1);
+    return {stored.map, stored.map_len};
+  }
+  touch(it->second);
+  return {stored.data.data(), stored.data.size()};
 }
 
 BlockInfo BlockStore::info(BlockId block) const {
@@ -95,6 +241,17 @@ bool BlockStore::is_alive(NodeId node) const {
 std::size_t BlockStore::block_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return blocks_.size();
+}
+
+SpillStats BlockStore::spill_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SpillStats stats;
+  stats.spilled_blocks = spilled_blocks_;
+  stats.spilled_bytes = spilled_bytes_;
+  stats.mapped_reads = mapped_reads_;
+  stats.resident_bytes = resident_bytes_;
+  stats.resident_blocks = lru_.size();
+  return stats;
 }
 
 }  // namespace ppml::mapreduce

@@ -1,4 +1,5 @@
-// HDFS-like replicated block storage with locality metadata.
+// HDFS-like replicated block storage with locality metadata and an
+// out-of-core byte budget.
 //
 // Each learner's private shard is written as a block pinned to that
 // learner's own node(s) — this is the paper's central privacy argument:
@@ -6,9 +7,21 @@
 // training data never crosses the network. The store enforces exactly that:
 // reads must name the node they run on, and a read of a block with no
 // replica on that node throws (tests assert this).
+//
+// Out-of-core: with a non-zero memory_budget_bytes the store keeps an
+// in-RAM LRU of hot splits and spills cold ones to unlinked files in a
+// spill directory. Spilled blocks are served through a read-only mmap with
+// MADV_SEQUENTIAL, so a mapper deserializing its shard streams the bytes
+// through the page cache instead of holding a second heap copy — map phases
+// can stream partitions larger than RAM. Spilled reads are byte-identical
+// to in-RAM reads (pinned in mapreduce_test), and the budget only moves
+// bytes between RAM and disk — placement, locality and liveness semantics
+// are unchanged. Counters: blockstore.spill.{blocks,bytes,reads} and the
+// blockstore.resident_bytes gauge (emitted when an obs session is up).
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -27,16 +40,44 @@ struct BlockInfo {
   std::string name;            ///< human-readable label
   std::size_t size_bytes = 0;
   std::vector<NodeId> replicas;  ///< nodes holding a copy
+  bool spilled = false;          ///< currently on disk rather than in RAM
+};
+
+struct BlockStoreConfig {
+  std::size_t num_nodes = 1;
+  /// Byte budget for in-RAM block payloads. 0 = unlimited (never spill).
+  /// Best effort: the most recently touched blocks stay resident; when even
+  /// a single block exceeds the budget it is spilled and served via mmap.
+  std::size_t memory_budget_bytes = 0;
+  /// Directory for spill files ("" = a fresh mkdtemp under $TMPDIR or /tmp,
+  /// removed on destruction). Spill files are unlinked immediately after
+  /// mapping, so nothing survives a crash either way.
+  std::string spill_dir;
+};
+
+/// Cumulative spill activity (monotonic counters + current residency).
+struct SpillStats {
+  std::size_t spilled_blocks = 0;  ///< spill events (block moved to disk)
+  std::size_t spilled_bytes = 0;   ///< total bytes written to spill files
+  std::size_t mapped_reads = 0;    ///< read_local calls served via mmap
+  std::size_t resident_bytes = 0;  ///< current in-RAM payload bytes
+  std::size_t resident_blocks = 0;
 };
 
 class BlockStore {
  public:
   explicit BlockStore(std::size_t num_nodes);
+  explicit BlockStore(BlockStoreConfig config);
+  ~BlockStore();
+
+  BlockStore(const BlockStore&) = delete;
+  BlockStore& operator=(const BlockStore&) = delete;
 
   std::size_t num_nodes() const noexcept { return num_nodes_; }
 
   /// Store `data` replicated on the given nodes (deduplicated, must be
-  /// non-empty and within range). Returns the new block id.
+  /// non-empty and within range). Returns the new block id. May spill cold
+  /// blocks (including this one) to stay within the byte budget.
   BlockId put(std::string name, Bytes data, std::vector<NodeId> replicas);
 
   /// Convenience: place `replication` replicas starting at `preferred`
@@ -45,7 +86,11 @@ class BlockStore {
                             std::size_t replication);
 
   /// Locality-enforcing read: `node` must hold a replica and be alive.
-  const Bytes& read_local(BlockId block, NodeId node) const;
+  /// Returns a view of the payload — either the in-RAM buffer or a
+  /// sequential-advise mmap of the spill file. The view stays valid until
+  /// the next put() (which may spill the backing buffer) or the store's
+  /// destruction; consume it before storing more blocks.
+  BytesView read_local(BlockId block, NodeId node) const;
 
   /// Metadata lookup (throws on unknown block).
   BlockInfo info(BlockId block) const;
@@ -61,17 +106,37 @@ class BlockStore {
 
   std::size_t block_count() const;
 
+  SpillStats spill_stats() const;
+
  private:
   struct Stored {
     BlockInfo info;
-    Bytes data;
+    Bytes data;                    ///< payload when resident (else empty)
+    const std::uint8_t* map = nullptr;  ///< mmap base when spilled
+    std::size_t map_len = 0;
+    /// Position in lru_ when resident.
+    std::optional<std::list<BlockId>::iterator> lru_pos;
   };
 
+  void touch(const Stored& stored) const;    // move to LRU front
+  void enforce_budget();                     // spill LRU tail past budget
+  void spill(Stored& stored);                // move one block to disk
+  const std::string& ensure_spill_dir();
+
   std::size_t num_nodes_;
+  BlockStoreConfig config_;
   mutable std::mutex mutex_;
   std::map<BlockId, Stored> blocks_;
+  /// Resident blocks, most recently touched first.
+  mutable std::list<BlockId> lru_;
   std::vector<bool> alive_;
   BlockId next_id_ = 1;
+  std::string spill_dir_;      ///< resolved directory ("" until first spill)
+  bool owns_spill_dir_ = false;
+  std::size_t resident_bytes_ = 0;
+  std::size_t spilled_blocks_ = 0;
+  std::size_t spilled_bytes_ = 0;
+  mutable std::size_t mapped_reads_ = 0;
 };
 
 }  // namespace ppml::mapreduce

@@ -5,7 +5,9 @@ namespace ppml::mapreduce {
 Cluster::Cluster(ClusterConfig config)
     : config_(config),
       network_(config.num_nodes, config.latency),
-      storage_(config.num_nodes) {
+      storage_(BlockStoreConfig{config.num_nodes,
+                                config.blockstore_budget_bytes,
+                                config.blockstore_spill_dir}) {
   PPML_CHECK(config_.num_nodes >= 1, "Cluster: need >= 1 node");
   PPML_CHECK(config_.replication >= 1 &&
                  config_.replication <= config_.num_nodes,

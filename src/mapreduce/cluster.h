@@ -26,6 +26,12 @@ struct ClusterConfig {
   /// speed factors model slow-but-correct nodes, the fault plan models a
   /// hostile fabric and dying nodes.
   FaultPlan fault_plan;
+  /// Byte budget for in-RAM block payloads in the cluster's block store.
+  /// 0 = unlimited. Cold splits spill to disk and are served via mmap —
+  /// results are byte-identical either way; see blockstore.h.
+  std::size_t blockstore_budget_bytes = 0;
+  /// Spill directory for the block store ("" = fresh temp dir).
+  std::string blockstore_spill_dir;
 };
 
 class Cluster {

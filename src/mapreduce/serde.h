@@ -20,6 +20,12 @@ namespace ppml::mapreduce {
 
 using Bytes = std::vector<std::uint8_t>;
 
+/// Non-owning view of a byte payload. BlockStore::read_local returns views
+/// so spilled blocks can be served straight from their mmap without a heap
+/// copy; Reader consumes views directly, so deserialization streams the
+/// mapping instead of materializing the buffer.
+using BytesView = std::span<const std::uint8_t>;
+
 /// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) over `data`. Chainable:
 /// pass a previous result as `crc` to extend it over a second span.
 std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t crc = 0);

@@ -1,7 +1,15 @@
 #include "obs/obs.h"
 
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
 #include "linalg/common.h"
 #include "linalg/parallel.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 namespace ppml::obs {
 
@@ -40,6 +48,38 @@ void install(Tracer* tracer, MetricsRegistry* metrics,
   linalg::set_counter_hook(&forward_linalg_counter);
   if (recorder != nullptr)
     ppml::detail::set_check_failure_hook(&on_check_failure);
+}
+
+std::size_t process_peak_rss_bytes() {
+#if defined(__linux__)
+  // VmHWM is the kernel's own high-water mark, in kB.
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      const std::size_t kb = std::strtoull(line.c_str() + 6, nullptr, 10);
+      if (kb > 0) return kb * 1024;
+      break;
+    }
+  }
+#endif
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (::getrusage(RUSAGE_SELF, &usage) == 0 && usage.ru_maxrss > 0) {
+#if defined(__APPLE__)
+    return static_cast<std::size_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+    return static_cast<std::size_t>(usage.ru_maxrss) * 1024;  // kB elsewhere
+#endif
+  }
+#endif
+  return 0;
+}
+
+void gauge_process_peak_rss() {
+  if (metrics() == nullptr) return;
+  const std::size_t peak = process_peak_rss_bytes();
+  if (peak > 0) gauge("process.peak_rss_bytes", static_cast<double>(peak));
 }
 
 void uninstall() {

@@ -66,6 +66,17 @@ void install(Tracer* tracer, MetricsRegistry* metrics,
              FlightRecorder* recorder = nullptr);
 void uninstall();
 
+/// Peak resident set size of this process in bytes — the high-water mark
+/// over the whole process lifetime (VmHWM from /proc/self/status on Linux,
+/// getrusage ru_maxrss elsewhere). Returns 0 where neither is available.
+/// Benches record it after the measured work to show what the out-of-core
+/// data path actually held in RAM.
+std::size_t process_peak_rss_bytes();
+
+/// Read the peak RSS and publish it as the `process.peak_rss_bytes` gauge
+/// (no-op without an installed metrics session).
+void gauge_process_peak_rss();
+
 /// RAII session guard.
 class Session {
  public:

@@ -1,0 +1,58 @@
+// Matrix-free cyclic coordinate descent for box-constrained QPs whose Q is
+// a low-rank factor Gram plus a rank-one term:
+//
+//   Q = alpha * (S X)(S X)^T + beta * s s^T,   S = diag(s)
+//   min_x  1/2 x^T Q x - p^T x    s.t.  lo <= x_i <= hi
+//
+// This is exactly the per-mapper ADMM dual of the horizontal linear SVM
+// (alpha = M/(1 + rho M), s = y, beta = 1/rho): Q_ij = alpha y_i y_j
+// <x_i, x_j> + y_i y_j / rho. BoxQpSolver materializes that n x n matrix —
+// ~125 GB for a 10^6-row HIGGS shard split four ways — while this solver
+// never forms Q: it maintains t = X^T S x (k-dim) and sigma = s^T x, so one
+// coordinate visit costs O(k) instead of O(n) and a full sweep is O(nk).
+//
+// Determinism: the sweep order, update formulas and stopping rules are
+// fixed, so results are reproducible run to run. They are NOT bit-identical
+// to BoxQpSolver on the same problem — the dense solver accumulates
+// (Qx)_i over j while this one accumulates over features — which is why
+// the linear-horizontal learner only switches to this path above
+// AdmmParams::dense_q_row_limit (existing small-n runs stay on the dense,
+// bit-pinned path).
+#pragma once
+
+#include <optional>
+
+#include "qp/qp.h"
+
+namespace ppml::qp {
+
+/// Box-QP solver over the implicit Q above. Keeps a REFERENCE to `x_rows`
+/// (the n x k data matrix); the caller must keep it alive and unchanged for
+/// the solver's lifetime. Construct once, solve many times (only p changes
+/// across ADMM iterations; warm starts carry over).
+class FactoredBoxQpSolver {
+ public:
+  /// `s` must have one entry per row of `x_rows`.
+  FactoredBoxQpSolver(const Matrix& x_rows, Vector s, double alpha,
+                      double beta, double lo, double hi);
+
+  std::size_t dim() const noexcept { return s_.size(); }
+
+  /// Solve with linear term `p`. Warm-start semantics match BoxQpSolver:
+  /// the start point is projected into the box; without one, start at 0
+  /// clipped into the box.
+  Result solve(std::span<const double> p,
+               std::optional<Vector> warm_start = std::nullopt,
+               const Options& options = {}) const;
+
+ private:
+  const Matrix& x_;  ///< borrowed n x k row data
+  Vector s_;
+  double alpha_;
+  double beta_;
+  double lo_;
+  double hi_;
+  Vector diag_;  ///< Q_ii = alpha s_i^2 ||x_i||^2 + beta s_i^2
+};
+
+}  // namespace ppml::qp

@@ -58,6 +58,22 @@ std::span<const double> KernelCache::row(std::size_t i) {
   return {entry.data.data(), row_len_};
 }
 
+KernelCache::BatchStats KernelCache::fill_rows(
+    std::span<const std::size_t> indices, linalg::Matrix& out) {
+  PPML_CHECK(out.rows() == indices.size() && out.cols() == row_len_,
+             "KernelCache::fill_rows: out must be indices.size() x "
+             "row_length()");
+  const BatchStats before{hits_, misses_, evictions_};
+  for (std::size_t j = 0; j < indices.size(); ++j) {
+    const auto src = row(indices[j]);
+    std::copy(src.begin(), src.end(), out.row(j).begin());
+  }
+  const BatchStats batch{hits_ - before.hits, misses_ - before.misses,
+                         evictions_ - before.evictions};
+  flush_stats();
+  return batch;
+}
+
 double KernelCache::hit_rate() const noexcept {
   const std::int64_t total = hits_ + misses_;
   return total == 0 ? 0.0 : static_cast<double>(hits_) / total;

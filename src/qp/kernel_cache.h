@@ -64,6 +64,25 @@ class KernelCache {
   /// other rows.
   std::span<const double> row(std::size_t i);
 
+  /// Per-batch traffic breakdown returned by fill_rows().
+  struct BatchStats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t evictions = 0;
+  };
+
+  /// Bulk fill: copies rows `indices[j]` into `out.row(j)` for every j,
+  /// going through the same hit/miss/evict machinery as row(). Because the
+  /// results are copied out, the batch can be arbitrarily larger than
+  /// capacity_rows() — a fetched row only has to survive its own copy, not
+  /// the whole batch. Flushes the stat counters before returning so
+  /// `qp.cache.*` stays exact per batch even when the cache outlives the
+  /// caller's obs session (the batch is often the last cache touch before
+  /// session teardown); the returned BatchStats carries this batch's
+  /// traffic for callers that keep their own running totals.
+  BatchStats fill_rows(std::span<const std::size_t> indices,
+                       linalg::Matrix& out);
+
   std::size_t size() const noexcept { return n_; }
   std::size_t row_length() const noexcept { return row_len_; }
   std::size_t capacity_rows() const noexcept { return capacity_; }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "linalg/blas.h"
+#include "linalg/microkernel.h"
 #include "linalg/parallel.h"
 
 namespace ppml::svm {
@@ -14,6 +15,41 @@ namespace {
 // and an elementwise transform. The transform applies the exact scalar
 // formula from Kernel::operator() to the exact dot() value that operator()
 // would compute, so batch and pairwise evaluation agree bit for bit.
+// Evaluate one sample x against a strip of rows b[r0, r0+rows) directly into
+// `out`, through the dispatched microkernels (linalg/microkernel.h). The
+// inner products / squared distances keep one ascending-k accumulator per
+// row and the elementwise transform applies Kernel::operator()'s exact
+// scalar formula, so every element is bit-identical to a pairwise
+// kernel(x, b.row(j)) loop at any ISA level.
+void kernel_strip(const Kernel& kernel, std::span<const double> x,
+                  const Matrix& b, std::size_t r0, std::size_t rows,
+                  double* out) {
+  const auto& mk = linalg::microkernels();
+  const double* base = b.data().data() + r0 * b.cols();
+  if (kernel.type == KernelType::kRbf) {
+    mk.sqdist_rows(x.data(), base, b.cols(), rows, b.cols(), out);
+    for (std::size_t r = 0; r < rows; ++r)
+      out[r] = std::exp(-kernel.gamma * out[r]);
+    return;
+  }
+  mk.dot_rows(x.data(), base, b.cols(), rows, b.cols(), out);
+  switch (kernel.type) {
+    case KernelType::kLinear:
+      return;
+    case KernelType::kPolynomial:
+      for (std::size_t r = 0; r < rows; ++r)
+        out[r] = std::pow(kernel.a * out[r] + kernel.b, kernel.degree);
+      return;
+    case KernelType::kSigmoid:
+      for (std::size_t r = 0; r < rows; ++r)
+        out[r] = std::tanh(kernel.a * out[r] + kernel.c);
+      return;
+    case KernelType::kRbf:
+      break;
+  }
+  throw InvalidArgument("Kernel: unknown kernel type");
+}
+
 void apply_kernel_elementwise(const Kernel& kernel, Matrix& g) {
   switch (kernel.type) {
     case KernelType::kLinear:
@@ -108,15 +144,13 @@ Matrix gram(const Kernel& kernel, const Matrix& a) {
   // RBF keeps the pairwise exp(-gamma ||x_i - x_j||^2) form (it does not
   // factor through a single dot product), parallelized over rows. Row i
   // owns out(i, j >= i) plus the mirror out(j, i) — disjoint across rows,
-  // and each element is computed exactly as the serial loop would.
+  // and each element is computed exactly as the serial loop would (the
+  // sqdist_rows microkernel keeps one ascending-k accumulator per element).
   Matrix out(n, n);
+  linalg::microkernels();  // resolve the ISA once, outside the thread pool
   linalg::parallel_for(n, [&](std::size_t i) {
-    const auto ri = a.row(i);
-    for (std::size_t j = i; j < n; ++j) {
-      const double v = kernel(ri, a.row(j));
-      out(i, j) = v;
-      out(j, i) = v;
-    }
+    kernel_strip(kernel, a.row(i), a, i, n - i, out.row(i).data() + i);
+    for (std::size_t j = i + 1; j < n; ++j) out(j, i) = out(i, j);
   });
   return out;
 }
@@ -129,19 +163,24 @@ Matrix cross_gram(const Kernel& kernel, const Matrix& a, const Matrix& b) {
     return out;
   }
   Matrix out(a.rows(), b.rows());
+  linalg::microkernels();  // resolve the ISA once, outside the thread pool
   linalg::parallel_for(a.rows(), [&](std::size_t i) {
-    const auto ri = a.row(i);
-    for (std::size_t j = 0; j < b.rows(); ++j)
-      out(i, j) = kernel(ri, b.row(j));
+    kernel_strip(kernel, a.row(i), b, 0, b.rows(), out.row(i).data());
   });
   return out;
 }
 
+void kernel_row(const Kernel& kernel, std::span<const double> x,
+                const Matrix& b, std::span<double> out) {
+  PPML_CHECK(x.size() == b.cols(), "kernel_row: feature width mismatch");
+  PPML_CHECK(out.size() == b.rows(), "kernel_row: output length mismatch");
+  kernel_strip(kernel, x, b, 0, b.rows(), out.data());
+}
+
 Vector kernel_row(const Kernel& kernel, std::span<const double> x,
                   const Matrix& b) {
-  PPML_CHECK(x.size() == b.cols(), "kernel_row: feature width mismatch");
   Vector out(b.rows());
-  for (std::size_t j = 0; j < b.rows(); ++j) out[j] = kernel(x, b.row(j));
+  kernel_row(kernel, x, b, out);
   return out;
 }
 

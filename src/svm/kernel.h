@@ -50,7 +50,16 @@ Matrix gram(const Kernel& kernel, const Matrix& a);
 Matrix cross_gram(const Kernel& kernel, const Matrix& a, const Matrix& b);
 
 /// Kernel row k(x, B) for a single sample against a matrix of rows.
+/// Evaluated through the runtime-dispatched SIMD microkernels
+/// (linalg/microkernel.h); bit-identical to a pairwise kernel(x, b.row(j))
+/// loop at every ISA level. qp::KernelCache row fills and
+/// core::PredictionServer scoring both ride through here.
 Vector kernel_row(const Kernel& kernel, std::span<const double> x,
                   const Matrix& b);
+
+/// In-place variant: out.size() must equal b.rows(). Avoids an allocation
+/// per row fill on cache-refill hot paths.
+void kernel_row(const Kernel& kernel, std::span<const double> x,
+                const Matrix& b, std::span<double> out);
 
 }  // namespace ppml::svm

@@ -82,6 +82,7 @@ LinearModel train_linear_svm(const data::Dataset& dataset,
   PPML_CHECK(dataset.size() >= 2 && dataset.features() >= 1,
              "train_linear_svm: need >= 2 rows and >= 1 feature");
   PPML_CHECK(options.c > 0.0, "train_linear_svm: C must be positive");
+  if (options.force_isa) linalg::force_isa(*options.force_isa);
   const Matrix k = linalg::gram_a_at(dataset.x);
   const qp::Result result = solve_dual(k, dataset.y, options);
 
@@ -108,19 +109,20 @@ KernelModel train_kernel_svm(const data::Dataset& dataset,
   PPML_CHECK(dataset.size() >= 2 && dataset.features() >= 1,
              "train_kernel_svm: need >= 2 rows and >= 1 feature");
   PPML_CHECK(options.c > 0.0, "train_kernel_svm: C must be positive");
+  if (options.force_isa) linalg::force_isa(*options.force_isa);
   // Never materialize the n x n Gram: SMO pulls rows of Q_ij = y_i y_j K_ij
-  // through an LRU cache. The evaluator's expression matches the dense
-  // builder in solve_dual term for term, so the cached solve is
-  // bit-identical to the dense one (pinned by svm_test).
+  // through an LRU cache. The row fill rides the SIMD-dispatched
+  // kernel_row, then applies the same y_i*y_j scaling as the dense builder
+  // in solve_dual — term for term, so the cached solve is bit-identical to
+  // the dense one at every ISA level (pinned by svm_test).
   const std::size_t n = dataset.size();
   const Matrix& x = dataset.x;
   const Vector& y = dataset.y;
   qp::KernelCache cache(
       n,
       [&](std::size_t i, std::span<double> out) {
-        const auto xi = x.row(i);
-        for (std::size_t j = 0; j < n; ++j)
-          out[j] = y[i] * y[j] * kernel(xi, x.row(j));
+        kernel_row(kernel, x.row(i), x, out);
+        for (std::size_t j = 0; j < n; ++j) out[j] = y[i] * y[j] * out[j];
       },
       options.kernel_cache_bytes);
   qp::Options qp_options;

@@ -225,7 +225,7 @@ TEST(Chaos, SurvivorSumCorrectionIsBitExact) {
   AveragingCoordinator coordinator(k + 1);
   const AdmmParams captured = params;
   const LearnerFactory factory =
-      [&log, &log_mutex, captured](const Bytes& payload, std::size_t index)
+      [&log, &log_mutex, captured](mapreduce::BytesView payload, std::size_t index)
       -> std::shared_ptr<ConsensusLearner> {
     auto inner = std::make_shared<LinearHorizontalLearner>(
         deserialize_horizontal_shard(payload), 4, captured);

@@ -67,7 +67,7 @@ ClusterRun run_linear_horizontal_on_cluster(
   const std::size_t k = split.train.features();
   AveragingCoordinator coordinator(k + 1);
   const AdmmParams captured = params;
-  const LearnerFactory factory = [captured](const Bytes& payload,
+  const LearnerFactory factory = [captured](mapreduce::BytesView payload,
                                             std::size_t) {
     return std::make_shared<LinearHorizontalLearner>(
         deserialize_horizontal_shard(payload), 4, captured);
@@ -129,6 +129,33 @@ TEST(ClusterIntegration, TracingDoesNotPerturbTraining) {
   // And the session actually observed the job.
   EXPECT_GT(tracer.span_count(), 0u);
   EXPECT_GT(metrics.counter("crypto.masked_contributions"), 0);
+}
+
+TEST(ClusterIntegration, SpillingBlockstoreDoesNotPerturbTraining) {
+  // Out-of-core storage must be purely a memory-management concern: a run
+  // whose every shard block is spilled to disk and mmap-served produces a
+  // bit-identical model to the all-in-RAM run.
+  const auto split = cancer_split();
+  AdmmParams params;
+  params.max_iterations = 15;
+
+  mapreduce::Cluster in_ram(cluster_config(5));
+  const ClusterRun reference =
+      run_linear_horizontal_on_cluster(split, params, in_ram);
+
+  mapreduce::ClusterConfig budgeted = cluster_config(5);
+  budgeted.blockstore_budget_bytes = 1024;  // far below one serialized shard
+  mapreduce::Cluster spilled_cluster(budgeted);
+  const ClusterRun spilled =
+      run_linear_horizontal_on_cluster(split, params, spilled_cluster);
+
+  EXPECT_EQ(spilled.model.w, reference.model.w);  // bit-identical
+  EXPECT_EQ(spilled.model.b, reference.model.b);
+  EXPECT_EQ(spilled.result.delta_trace, reference.result.delta_trace);
+
+  const mapreduce::SpillStats stats = spilled_cluster.storage().spill_stats();
+  EXPECT_GT(stats.spilled_blocks, 0u);
+  EXPECT_GT(stats.mapped_reads, 0u);
 }
 
 TEST(ClusterIntegration, PartyRollupSumsMatchGlobalCountersExactly) {
@@ -275,7 +302,7 @@ TEST(ClusterIntegration, VerticalSchemeRunsOnCluster) {
   VerticalCoordinator coordinator(partition.y, 4, params);
   const AdmmParams captured = params;
   std::vector<std::shared_ptr<LinearVerticalLearner>> learners(4);
-  const LearnerFactory factory = [captured, &learners](const Bytes& payload,
+  const LearnerFactory factory = [captured, &learners](mapreduce::BytesView payload,
                                                        std::size_t index) {
     auto learner = std::make_shared<LinearVerticalLearner>(
         deserialize_vertical_block(payload), captured);

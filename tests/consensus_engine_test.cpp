@@ -655,7 +655,7 @@ RunRecord run_on_cluster(const data::HorizontalPartition& partition,
   shards.reserve(m);
   for (const data::Dataset& shard : partition.shards)
     shards.push_back(serialize_horizontal_shard(shard));
-  const LearnerFactory factory = [&](const mapreduce::Bytes& payload,
+  const LearnerFactory factory = [&](mapreduce::BytesView payload,
                                      std::size_t) {
     return std::make_shared<LinearHorizontalLearner>(
         deserialize_horizontal_shard(payload), m, params);

@@ -69,6 +69,36 @@ TEST(LinearHorizontal, DeltaZDecreasesOverall) {
   EXPECT_LT(late, early * 1e-1);  // Fig. 4(a): steady decay
 }
 
+TEST(LinearHorizontal, FactoredDualMatchesDenseDualClosely) {
+  // Forcing every shard onto the matrix-free FactoredBoxQpSolver (as a
+  // HIGGS-scale shard would be) must reproduce the dense-Q model to within
+  // solver tolerance — deterministic, but not bit-identical by design.
+  const auto split = cancer_split();
+  const auto partition = data::partition_horizontally(split.train, 4, 7);
+
+  AdmmParams dense = fast_params(30);
+  AdmmParams factored = fast_params(30);
+  factored.dense_q_row_limit = 0;  // every shard takes the implicit path
+
+  const auto a = train_linear_horizontal(partition, dense, nullptr);
+  const auto b = train_linear_horizontal(partition, factored, nullptr);
+  for (std::size_t j = 0; j < a.model.w.size(); ++j)
+    EXPECT_NEAR(a.model.w[j], b.model.w[j], 1e-3) << j;
+  EXPECT_NEAR(a.model.b, b.model.b, 1e-3);
+}
+
+TEST(LinearHorizontal, LearnerPicksSolverByShardSize) {
+  const auto split = cancer_split();
+  const auto partition = data::partition_horizontally(split.train, 2, 7);
+  AdmmParams params = fast_params(5);
+  const LinearHorizontalLearner dense(partition.shards[0], 2, params);
+  EXPECT_FALSE(dense.uses_factored_qp());  // default limit is generous
+
+  params.dense_q_row_limit = 1;
+  const LinearHorizontalLearner factored(partition.shards[0], 2, params);
+  EXPECT_TRUE(factored.uses_factored_qp());
+}
+
 TEST(LinearHorizontal, MaskVariantsProduceSameModel) {
   const auto split = cancer_split();
   const auto partition = data::partition_horizontally(split.train, 3, 3);

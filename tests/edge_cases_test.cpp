@@ -135,7 +135,7 @@ TEST(GlmOnCluster, LogisticRunsThroughMapReduceAdapter) {
   core::AveragingCoordinator coordinator(split.train.features() + 1);
   const core::GlmParams captured = glm;
   const core::LearnerFactory factory = [captured](
-                                           const mapreduce::Bytes& payload,
+                                           mapreduce::BytesView payload,
                                            std::size_t) {
     return std::make_shared<core::LogisticHorizontalLearner>(
         core::deserialize_horizontal_shard(payload), 3, captured);
@@ -169,7 +169,7 @@ TEST(GlmOnCluster, MatchesInMemoryLogistic) {
   core::AveragingCoordinator coordinator(split.train.features() + 1);
   const core::GlmParams captured = glm;
   const core::LearnerFactory factory = [captured](
-                                           const mapreduce::Bytes& payload,
+                                           mapreduce::BytesView payload,
                                            std::size_t) {
     return std::make_shared<core::LogisticHorizontalLearner>(
         core::deserialize_horizontal_shard(payload), 3, captured);

@@ -10,6 +10,7 @@
 #include "mapreduce/iterative_job.h"
 #include "mapreduce/network.h"
 #include "mapreduce/serde.h"
+#include "obs/obs.h"
 
 namespace ppml::mapreduce {
 namespace {
@@ -257,10 +258,16 @@ TEST(Network, ResetStatsClearsEverything) {
   EXPECT_DOUBLE_EQ(network.simulated_seconds(), 0.0);
 }
 
+// read_local returns a view (possibly into a spill mmap); materialize for
+// gtest comparisons.
+Bytes to_bytes(mapreduce::BytesView view) {
+  return Bytes(view.begin(), view.end());
+}
+
 TEST(BlockStore, LocalityEnforcedOnReads) {
   BlockStore store(3);
   const BlockId block = store.put("shard0", Bytes{1, 2, 3}, {0});
-  EXPECT_EQ(store.read_local(block, 0), (Bytes{1, 2, 3}));
+  EXPECT_EQ(to_bytes(store.read_local(block, 0)), (Bytes{1, 2, 3}));
   // Node 1 holds no replica: the data-locality guard must trip.
   EXPECT_THROW(store.read_local(block, 1), InvalidArgument);
 }
@@ -295,6 +302,102 @@ TEST(BlockStore, DuplicateReplicasDeduplicated) {
   BlockStore store(2);
   const BlockId block = store.put("b", Bytes{1}, {1, 1, 1});
   EXPECT_EQ(store.info(block).replicas, (std::vector<NodeId>{1}));
+}
+
+// ---------------------------------------------------- out-of-core spilling
+
+Bytes pattern_bytes(std::size_t n, std::uint8_t seed) {
+  Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = static_cast<std::uint8_t>(seed + i * 31u);
+  return out;
+}
+
+BlockStoreConfig budgeted(std::size_t nodes, std::size_t budget_bytes) {
+  BlockStoreConfig config;
+  config.num_nodes = nodes;
+  config.memory_budget_bytes = budget_bytes;
+  return config;
+}
+
+TEST(BlockStoreSpill, EvictsColdBlocksAndServesByteIdenticalReads) {
+  BlockStore store(budgeted(1, 256));
+  const Bytes a = pattern_bytes(128, 1);
+  const Bytes b = pattern_bytes(128, 2);
+  const Bytes c = pattern_bytes(128, 3);
+  const BlockId ba = store.put("a", a, {0});
+  const BlockId bb = store.put("b", b, {0});
+  const BlockId bc = store.put("c", c, {0});  // 384 resident > 256: a spills
+
+  EXPECT_TRUE(store.info(ba).spilled);
+  EXPECT_FALSE(store.info(bb).spilled);
+  EXPECT_FALSE(store.info(bc).spilled);
+
+  // The spill only moves bytes between RAM and disk: reads through the mmap
+  // are byte-identical to what was stored.
+  EXPECT_EQ(to_bytes(store.read_local(ba, 0)), a);
+  EXPECT_EQ(to_bytes(store.read_local(bb, 0)), b);
+  EXPECT_EQ(to_bytes(store.read_local(bc, 0)), c);
+
+  const SpillStats stats = store.spill_stats();
+  EXPECT_EQ(stats.spilled_blocks, 1u);
+  EXPECT_EQ(stats.spilled_bytes, 128u);
+  EXPECT_EQ(stats.mapped_reads, 1u);
+  EXPECT_EQ(stats.resident_blocks, 2u);
+  EXPECT_EQ(stats.resident_bytes, 256u);
+}
+
+TEST(BlockStoreSpill, ReadsRefreshLruRecency) {
+  BlockStore store(budgeted(1, 256));
+  const BlockId ba = store.put("a", pattern_bytes(128, 1), {0});
+  const BlockId bb = store.put("b", pattern_bytes(128, 2), {0});
+  // Touch a, making b the LRU tail: the next put must evict b, not a.
+  store.read_local(ba, 0);
+  const BlockId bc = store.put("c", pattern_bytes(128, 3), {0});
+  EXPECT_FALSE(store.info(ba).spilled);
+  EXPECT_TRUE(store.info(bb).spilled);
+  EXPECT_FALSE(store.info(bc).spilled);
+}
+
+TEST(BlockStoreSpill, BlockLargerThanBudgetSpillsImmediately) {
+  BlockStore store(budgeted(1, 64));
+  const Bytes big = pattern_bytes(1024, 7);
+  const BlockId block = store.put("big", big, {0});
+  EXPECT_TRUE(store.info(block).spilled);
+  EXPECT_EQ(to_bytes(store.read_local(block, 0)), big);
+  EXPECT_EQ(store.spill_stats().resident_bytes, 0u);
+}
+
+TEST(BlockStoreSpill, UnlimitedBudgetNeverSpills) {
+  BlockStore store(budgeted(1, 0));
+  for (std::uint8_t i = 0; i < 8; ++i)
+    store.put("b" + std::to_string(i), pattern_bytes(4096, i), {0});
+  const SpillStats stats = store.spill_stats();
+  EXPECT_EQ(stats.spilled_blocks, 0u);
+  EXPECT_EQ(stats.mapped_reads, 0u);
+  EXPECT_EQ(stats.resident_blocks, 8u);
+  EXPECT_EQ(stats.resident_bytes, 8u * 4096u);
+}
+
+TEST(BlockStoreSpill, SpilledReadsDoNotDisturbLocalitySemantics) {
+  BlockStore store(budgeted(3, 16));
+  const BlockId block = store.put("s", pattern_bytes(64, 9), {0, 1});
+  ASSERT_TRUE(store.info(block).spilled);
+  EXPECT_THROW(store.read_local(block, 2), InvalidArgument);  // no replica
+  store.kill_node(0);
+  EXPECT_THROW(store.read_local(block, 0), InvalidArgument);  // dead node
+  EXPECT_EQ(to_bytes(store.read_local(block, 1)), pattern_bytes(64, 9));
+}
+
+TEST(BlockStoreSpill, EmitsSpillCountersIntoALiveSession) {
+  obs::MetricsRegistry metrics;
+  obs::Session session(nullptr, &metrics);
+  BlockStore store(budgeted(1, 64));
+  const BlockId block = store.put("a", pattern_bytes(128, 1), {0});
+  store.read_local(block, 0);
+  EXPECT_EQ(metrics.counter("blockstore.spill.blocks"), 1);
+  EXPECT_EQ(metrics.counter("blockstore.spill.bytes"), 128);
+  EXPECT_EQ(metrics.counter("blockstore.spill.reads"), 1);
 }
 
 TEST(Executor, RunsAllTasks) {
@@ -502,6 +605,63 @@ TEST(IterativeJob, InjectedTaskFailuresAreRetried) {
   EXPECT_EQ(stats.rounds, 3u);
   EXPECT_GT(stats.task_retries, 0u);
   EXPECT_GT(stats.map_task_attempts, 6u);  // more attempts than tasks
+}
+
+/// Mapper that re-reads its home shard through the store on every configure
+/// and contributes a digest of the bytes it saw — exercising whichever
+/// backing (RAM buffer or spill mmap) served the read.
+class ShardCrcMapper final : public IterativeMapper {
+ public:
+  explicit ShardCrcMapper(BlockId home_block) : home_block_(home_block) {}
+
+  void configure(const BlockStore& storage, NodeId node) override {
+    shard_crc_ = crc32(storage.read_local(home_block_, node));
+  }
+
+  Bytes map(std::size_t, const Bytes&, const std::vector<Bytes>&) override {
+    Writer w;
+    w.put_u64(shard_crc_);
+    return w.take();
+  }
+
+ private:
+  BlockId home_block_;
+  std::uint32_t shard_crc_ = 0;
+};
+
+TEST(IterativeJob, SpilledShardsAreBitIdenticalToAllInRam) {
+  // The same job once with an unlimited blockstore and once with a budget
+  // far below a single shard, so every mapper read is served off the spill
+  // mmap. Mapper outputs (shard digests) must match bit for bit.
+  auto run = [](std::size_t budget_bytes) {
+    ClusterConfig config = make_config(4);
+    config.blockstore_budget_bytes = budget_bytes;
+    Cluster cluster(config);
+    IterativeJob job(cluster, JobConfig{});
+    for (std::size_t i = 0; i < 3; ++i) {
+      Writer w;
+      std::vector<double> payload(256);
+      for (std::size_t j = 0; j < payload.size(); ++j)
+        payload[j] = 0.25 * static_cast<double>(i + 1) *
+                         static_cast<double>(j) -
+                     3.5;
+      w.put_double_vector(payload);
+      const BlockId block =
+          cluster.store_shard("s" + std::to_string(i), w.take(), i);
+      job.add_mapper(std::make_shared<ShardCrcMapper>(block), block);
+    }
+    auto reducer = std::make_shared<SummingReducer>(2);
+    job.set_reducer(reducer, 3);
+    job.run({});
+    return std::make_pair(reducer->sums, cluster.storage().spill_stats());
+  };
+
+  const auto [in_ram_sums, in_ram_stats] = run(0);
+  const auto [spilled_sums, spilled_stats] = run(64);
+  EXPECT_EQ(spilled_sums, in_ram_sums);
+  EXPECT_EQ(in_ram_stats.spilled_blocks, 0u);
+  EXPECT_EQ(spilled_stats.spilled_blocks, 3u);  // every shard went to disk
+  EXPECT_GT(spilled_stats.mapped_reads, 0u);
 }
 
 TEST(IterativeJob, ValidatesRegistration) {

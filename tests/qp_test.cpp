@@ -6,6 +6,7 @@
 #include "obs/obs.h"
 #include "qp/box_qp.h"
 #include "qp/diagonal_qp.h"
+#include "qp/factored_qp.h"
 #include "qp/projected_gradient.h"
 #include "qp/smo.h"
 
@@ -120,6 +121,120 @@ INSTANTIATE_TEST_SUITE_P(
     RandomProblems, BoxQpCrossCheck,
     ::testing::Combine(::testing::Values(2, 5, 10, 25, 60),
                        ::testing::Values(1u, 2u, 3u)));
+
+// ------------------------------------------------------------ factored QP
+
+/// Random n x k data matrix (rows = data points).
+Matrix random_rows(std::size_t n, std::size_t k, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> normal;
+  Matrix x(n, k);
+  for (double& v : x.data()) v = normal(rng);
+  return x;
+}
+
+Vector random_signs(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Vector s(n);
+  for (double& v : s) v = (rng() & 1u) != 0 ? 1.0 : -1.0;
+  return s;
+}
+
+/// Materialize Q = alpha (SX)(SX)^T + beta s s^T as the dense oracle.
+Matrix materialize_factored_q(const Matrix& x, const Vector& s, double alpha,
+                              double beta) {
+  const std::size_t n = x.rows();
+  Matrix q(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      q(i, j) =
+          s[i] * s[j] * (alpha * linalg::dot(x.row(i), x.row(j)) + beta);
+  return q;
+}
+
+class FactoredQpRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FactoredQpRandom, AgreesWithDenseBoxSolver) {
+  const std::uint64_t seed = GetParam();
+  // k > n keeps alpha (SX)(SX)^T full rank, so the minimizer is unique and
+  // both representations must land on it.
+  const std::size_t n = 24;
+  const std::size_t k = 30;
+  const Matrix x = random_rows(n, k, seed);
+  const Vector s = random_signs(n, seed ^ 0x5eed);
+  const double alpha = 0.8;
+  const double beta = 0.25;
+  const Vector p = random_vector(n, seed ^ 0xabc);
+
+  Options options;
+  options.tolerance = 1e-10;
+  options.max_iterations = 100'000;
+
+  BoxQpSolver dense(materialize_factored_q(x, s, alpha, beta), 0.0, 2.0);
+  FactoredBoxQpSolver factored(x, s, alpha, beta, 0.0, 2.0);
+  const Result a = dense.solve(p, std::nullopt, options);
+  const Result b = factored.solve(p, std::nullopt, options);
+  ASSERT_TRUE(a.converged);
+  ASSERT_TRUE(b.converged);
+  // Same problem through two representations: agreement to tolerance, not
+  // bit-identity — the accumulation orders differ by design.
+  EXPECT_NEAR(a.objective, b.objective, 1e-7);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(a.x[i], b.x[i], 1e-5) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(MultiSeed, FactoredQpRandom,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u));
+
+TEST(FactoredQp, RepeatSolvesAreBitIdentical) {
+  const Matrix x = random_rows(20, 8, 9);
+  const Vector s = random_signs(20, 10);
+  FactoredBoxQpSolver solver(x, s, 0.7, 0.3, 0.0, 1.5);
+  const Vector p = random_vector(20, 11);
+  const Result a = solver.solve(p);
+  const Result b = solver.solve(p);
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.objective, b.objective);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(FactoredQp, DegenerateZeroRowMovesToFavoredBound) {
+  Matrix x(2, 3);  // all-zero rows with beta = 0: the objective is linear
+  Vector s{1.0, -1.0};
+  FactoredBoxQpSolver solver(x, s, 1.0, 0.0, 0.0, 2.0);
+  const Result r = solver.solve(Vector{1.0, -1.0});
+  EXPECT_NEAR(r.x[0], 2.0, 1e-12);  // -p^T x minimized at the upper bound
+  EXPECT_NEAR(r.x[1], 0.0, 1e-12);
+}
+
+TEST(FactoredQp, WarmStartReducesSweeps) {
+  const std::size_t n = 40;
+  const Matrix x = random_rows(n, 50, 21);
+  const Vector s = random_signs(n, 22);
+  FactoredBoxQpSolver solver(x, s, 1.0, 0.2, 0.0, 5.0);
+  const Vector p = random_vector(n, 23);
+  const Result cold = solver.solve(p);
+  ASSERT_TRUE(cold.converged);
+
+  Vector p2 = p;
+  for (double& v : p2) v += 1e-3;
+  const Result cold2 = solver.solve(p2);
+  const Result warm = solver.solve(p2, cold.x);
+  ASSERT_TRUE(warm.converged);
+  EXPECT_LE(warm.iterations, cold2.iterations);
+  EXPECT_NEAR(warm.objective, cold2.objective, 1e-6);
+}
+
+TEST(FactoredQp, ValidatesInputs) {
+  Matrix x(3, 2);
+  EXPECT_THROW(FactoredBoxQpSolver(x, Vector{1.0, -1.0}, 1.0, 0.0, 0.0, 1.0),
+               InvalidArgument);  // s size mismatch
+  EXPECT_THROW(FactoredBoxQpSolver(x, Vector{1.0, 1.0, 1.0}, 1.0, 0.0, 1.0,
+                                   0.0),
+               InvalidArgument);  // empty box
+  EXPECT_THROW(FactoredBoxQpSolver(x, Vector{1.0, 1.0, 1.0}, -1.0, 0.0, 0.0,
+                                   1.0),
+               InvalidArgument);  // indefinite Q
+}
 
 TEST(ProjectedGradient, HandlesAllActiveBox) {
   Matrix q = Matrix::identity(3);
@@ -450,6 +565,45 @@ TEST(KernelCache, FlushSurvivesCacheOutlivingTheSession) {
   }
   EXPECT_EQ(third.counter("qp.cache.hits"), 0);
   EXPECT_EQ(third.counter("qp.cache.misses"), 0);
+}
+
+TEST(KernelCache, FillRowsFlushesCountersBeforeReturning) {
+  // The batched-fill contract: qp.cache.* counters land in the obs session
+  // BEFORE fill_rows returns, so per-batch metric snapshots stay exact —
+  // no traffic is left stranded in the cache waiting for a destructor
+  // flush that may happen after the session closes.
+  const std::size_t n = 6;
+  const Matrix q = random_spd(n, 27);
+  std::vector<int> counts(n, 0);
+  obs::MetricsRegistry metrics;
+  obs::Session session(nullptr, &metrics);
+  // Budget for exactly 2 resident rows of the 6.
+  KernelCache cache(n, CountingEvaluator{&q, &counts},
+                    2 * n * sizeof(double));
+  cache.row(1);  // warm one row so the batch sees a hit
+  cache.flush_stats();
+
+  // The batch is LARGER than the cache capacity: copied-out rows stay
+  // valid even after their cache entry is evicted mid-batch.
+  const std::size_t ids[] = {1, 3, 1, 5};
+  Matrix out(4, n);
+  const auto batch = cache.fill_rows(ids, out);
+  for (std::size_t j = 0; j < 4; ++j)
+    for (std::size_t c = 0; c < n; ++c) EXPECT_EQ(out(j, c), q(ids[j], c));
+
+  // hit(1), miss(3), hit(1), miss(5) evicting the LRU row 3.
+  EXPECT_EQ(batch.hits, 2);
+  EXPECT_EQ(batch.misses, 2);
+  EXPECT_EQ(batch.evictions, 1);
+
+  // Already flushed: the session holds the full tallies (including the
+  // warm-up miss) and the cache's own counters are drained.
+  EXPECT_EQ(metrics.counter("qp.cache.hits"), 2);
+  EXPECT_EQ(metrics.counter("qp.cache.misses"), 3);
+  EXPECT_EQ(metrics.counter("qp.cache.evictions"), 1);
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.misses(), 0);
+  EXPECT_EQ(cache.evictions(), 0);
 }
 
 // ------------------------------------------------- cached + shrinking SMO
