@@ -68,7 +68,9 @@ struct CliOptions {
   std::optional<std::string> trace_path;
   std::optional<std::string> metrics_path;
   std::optional<std::string> flight_recorder_path;
+  std::optional<std::string> flight_dump_path;
   std::optional<std::string> party_report_path;
+  std::optional<std::string> privacy_report_path;
 };
 
 void usage() {
@@ -116,7 +118,13 @@ void usage() {
       "  --flight-recorder PATH  keep a flight-recorder ring; dump it to\n"
       "                     PATH on watchdog trips, check failures, fatal\n"
       "                     errors and at run end\n"
-      "  --party-report PATH     write the per-party rollup JSON\n");
+      "  --flight-dump PATH      write the flight-recorder ring to PATH at\n"
+      "                     run end, on demand (unlike --flight-recorder it\n"
+      "                     needs no trip to fire)\n"
+      "  --party-report PATH     write the per-party rollup JSON\n"
+      "  --privacy-report PATH   write the privacy audit ledger JSON: pads,\n"
+      "                     Shamir exposure, masked-vs-cleartext leakage,\n"
+      "                     reconciled against the crypto.* counters\n");
 }
 
 bool parse_args(int argc, char** argv, CliOptions& options) {
@@ -171,7 +179,9 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       else if (flag == "--trace") options.trace_path = value;
       else if (flag == "--metrics") options.metrics_path = value;
       else if (flag == "--flight-recorder") options.flight_recorder_path = value;
+      else if (flag == "--flight-dump") options.flight_dump_path = value;
       else if (flag == "--party-report") options.party_report_path = value;
+      else if (flag == "--privacy-report") options.privacy_report_path = value;
       else {
         std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
         return false;
@@ -357,15 +367,18 @@ int main(int argc, char** argv) {
     // is the only half that pays off precisely when the run dies early.
     const bool observe = options.trace_path || options.metrics_path ||
                          options.flight_recorder_path ||
-                         options.party_report_path;
+                         options.flight_dump_path ||
+                         options.party_report_path ||
+                         options.privacy_report_path;
     obs::Tracer tracer;
     obs::MetricsRegistry metrics;
     obs::FlightRecorder recorder;
+    obs::PrivacyLedger ledger;
     if (options.flight_recorder_path)
       recorder.arm_auto_dump(*options.flight_recorder_path);
     try {
     std::optional<obs::Session> session;
-    if (observe) session.emplace(&tracer, &metrics, &recorder);
+    if (observe) session.emplace(&tracer, &metrics, &recorder, &ledger);
     obs::Span run_span("run", "cli");
 
     // One-line ISA attribution (PPML_FORCE_ISA=scalar|avx2 overrides the
@@ -521,11 +534,32 @@ int main(int argc, char** argv) {
                     options.flight_recorder_path->c_str(),
                     static_cast<unsigned long long>(recorder.recorded()));
     }
+    if (options.flight_dump_path) {
+      std::ofstream out(*options.flight_dump_path);
+      recorder.dump_json(out, "on_demand");
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     options.flight_dump_path->c_str());
+        return 1;
+      }
+      std::printf("flight dump written to %s (%llu events recorded)\n",
+                  options.flight_dump_path->c_str(),
+                  static_cast<unsigned long long>(recorder.recorded()));
+    }
     if (options.party_report_path) {
       obs::write_json_file(*options.party_report_path,
                            obs::party_report_json(tracer, metrics));
       std::printf("party report written to %s\n",
                   options.party_report_path->c_str());
+    }
+    if (options.privacy_report_path) {
+      const obs::JsonValue report = obs::privacy_report_json(ledger, &metrics);
+      obs::write_json_file(*options.privacy_report_path, report);
+      std::printf("privacy report written to %s (%s)\n",
+                  options.privacy_report_path->c_str(),
+                  obs::privacy_reconciled(ledger, &metrics)
+                      ? "reconciled with crypto.* counters"
+                      : "RECONCILIATION MISMATCH — see report");
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -25,6 +25,12 @@ get two very different treatments:
   micro-second-scale phases is huge; this gates catastrophic slowdowns
   without flaking on noise.
 
+* Overhead percentages — keys ending in `_pct` (the privacy-ledger cell's
+  `ledger_overhead_pct` in BENCH_crypto.json) are ratios of two timings,
+  so baseline equality is meaningless; they gate on an absolute ceiling
+  (PCT_CEILING) instead. The generating bench applies its own, tighter
+  budget first — this is the backstop.
+
 The report structure itself (keys, array lengths, value kinds) must match
 exactly: a missing phase or counter means instrumentation silently broke.
 
@@ -39,6 +45,7 @@ import sys
 TIME_RATIO = 4.0  # fail when current/baseline (or inverse) exceeds this...
 TIME_ABS_SLACK = 0.25  # ...and the absolute drift is more than this (s)
 RSS_RATIO = 8.0  # peak RSS gates only on order-of-magnitude blowups
+PCT_CEILING = 3.5  # *_pct overhead keys fail only above this ceiling
 
 TIME_KEY = re.compile(r"(_s|seconds)$|wall|^p\d+$|^qps$|^speedup$")
 
@@ -66,6 +73,13 @@ def check_time(path, current, baseline, problems):
         problems.append(
             f"{path}: timing drifted {baseline!r} -> {current!r} "
             f"(>{TIME_RATIO}x and >{TIME_ABS_SLACK}s)")
+
+
+def check_pct(path, current, problems):
+    if abs(current) > PCT_CEILING:
+        problems.append(
+            f"{path}: overhead {current!r}% exceeds the {PCT_CEILING}% "
+            f"ceiling")
 
 
 def check_rss(path, current, baseline, problems):
@@ -115,6 +129,8 @@ def compare(path, current, baseline, problems, in_histogram=False):
         key = path.rsplit(".", 1)[-1].split("[")[0]
         if key == "peak_rss_bytes":
             check_rss(path, current, baseline, problems)
+        elif key.endswith("_pct"):
+            check_pct(path, current, problems)
         elif is_time_like(key, in_histogram):
             check_time(path, current, baseline, problems)
         elif current != baseline:

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Documentation drift check: fail if any doc contains a dead relative
 # markdown link, a backticked path to a file that does not exist, or a
-# backticked symbol that appears nowhere in the code. Run by verify.sh;
-# cheap enough to run on every commit.
+# backticked symbol that appears nowhere in the code — and, in the other
+# direction, if the runtime emits a counter/gauge/histogram/series name
+# that docs/observability.md does not list. Run by verify.sh; cheap
+# enough to run on every commit.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -136,6 +138,45 @@ for doc in DOCS:
             continue
         if CAMEL_RE.match(token) and not symbol_exists(token):
             errors.append(f"{doc}: unknown symbol -> {token}")
+
+# Reverse drift: every literal dotted metric name the runtime emits must
+# be documented in docs/observability.md. Doc entries may use `{a,b}`
+# brace alternation and `<placeholder>` segments; bare `x.*` tokens are
+# prose shorthand, not documentation of a concrete name. Only src/ is
+# scanned — tests and benches mint synthetic names on purpose.
+EMIT_RE = re.compile(
+    r"\b(?:count_for|count_if_enabled|count|gauge|observe|append|add|"
+    r"increment|party_counter|declare_histogram)\s*\(\s*\""
+    r"([a-z][a-z0-9_]*(?:\.[a-z0-9_]+)+)\"")
+emitted = set()
+for root, _, files in os.walk("src"):
+    for f in files:
+        if f.endswith((".h", ".cpp")):
+            with open(os.path.join(root, f), errors="replace") as fh:
+                emitted |= set(EMIT_RE.findall(fh.read()))
+
+with open(os.path.join("docs", "observability.md")) as fh:
+    obs_doc = fh.read()
+documented, doc_patterns = set(), []
+for m in TICK_RE.finditer(obs_doc):
+    token = m.group(1).strip().rstrip(".,;:")
+    if "*" in token or "." not in token:
+        continue
+    if not re.fullmatch(r"[a-z0-9_{},.<>]+", token):
+        continue
+    for t in expand_braces(token):
+        if "<" in t:
+            pat = re.sub(r"<[^>]+>", "\x00", t)
+            doc_patterns.append(re.compile(
+                re.escape(pat).replace("\x00", r"[a-z0-9_]+")))
+        else:
+            documented.add(t)
+for name in sorted(emitted):
+    if name in documented:
+        continue
+    if any(p.fullmatch(name) for p in doc_patterns):
+        continue
+    errors.append(f"docs/observability.md: undocumented metric -> {name}")
 
 if errors:
     for e in errors:

@@ -11,8 +11,8 @@
 # reduced-load BENCH_serving.json are well-formed (no performance gating),
 # a bench regression gate that diffs BENCH_fig4.json /
 # BENCH_scalability.json / BENCH_qp.json / BENCH_async.json /
-# BENCH_serving.json against bench/baselines/ via scripts/bench_check.py,
-# then the doc link check.
+# BENCH_serving.json / BENCH_crypto.json against bench/baselines/ via
+# scripts/bench_check.py, then the doc link check.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,7 +26,8 @@ ctest --test-dir build --output-on-failure -j"$jobs" -LE tier1
 cmake -B build-asan -S . -DPPML_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j"$jobs" --target mapreduce_test chaos_test \
   dropout_recovery_test obs_test qp_test linalg_test microkernel_test \
-  consensus_engine_test async_consensus_test grouped_ring_test serving_test
+  consensus_engine_test async_consensus_test grouped_ring_test serving_test \
+  privacy_ledger_test
 # mapreduce_test covers the out-of-core blockstore: spill/mmap/LRU paths
 # hand out spans into unlinked mapped files — ASan watches the lifetimes.
 ./build-asan/tests/mapreduce_test
@@ -46,6 +47,10 @@ PPML_FORCE_ISA=scalar ./build-asan/tests/microkernel_test
 # serving_test drives spans and flows into deque/LRU-managed storage while
 # batches recycle KernelCache rows — prime ASan territory.
 ./build-asan/tests/serving_test
+# privacy_ledger_test injects pad replay and Shamir over-exposure: the
+# ledger's lock-free slot table and the check-failure flight dump run under
+# ASan/UBSan exactly where a racy or out-of-bounds probe would hide.
+./build-asan/tests/privacy_ledger_test
 
 # Bench smoke: skip the timed google-benchmark cases (empty filter), run
 # only the cache-budget sweep, and require a parseable report with the
@@ -100,6 +105,10 @@ PYEOF
 # accounting; its virtual-clock numerics (batching, sheds, cache traffic)
 # are gated exactly, only wall/qps/latency keys get timing slack.
 (cd build && ./bench/serving >/dev/null)
+# crypto_overhead's ledger cell (gbench cases skipped via empty filter)
+# self-enforces the <3% ledger-on budget and bit-identical sums, then the
+# bench_check backstop gates the written report.
+(cd build && ./bench/crypto_overhead --benchmark_filter='^$' >/dev/null)
 python3 scripts/bench_check.py build/BENCH_fig4.json \
   bench/baselines/BENCH_fig4.json
 python3 scripts/bench_check.py build/BENCH_scalability.json \
@@ -110,6 +119,8 @@ python3 scripts/bench_check.py build/BENCH_async.json \
   bench/baselines/BENCH_async.json
 python3 scripts/bench_check.py build/BENCH_serving.json \
   bench/baselines/BENCH_serving.json
+python3 scripts/bench_check.py build/BENCH_crypto.json \
+  bench/baselines/BENCH_crypto.json
 
 scripts/check_docs.sh
 

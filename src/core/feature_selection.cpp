@@ -1,8 +1,10 @@
 #include "core/feature_selection.h"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 
+#include "crypto/prng.h"
 #include "crypto/secure_sum_session.h"
 
 namespace ppml::core {
@@ -78,7 +80,18 @@ FeatureSelectionResult secure_fisher_scores(
   config.num_parties = m;
   config.fixed_point_bits = params.fixed_point_bits;
   config.variant = params.mask_variant;
-  config.protocol_seed = params.protocol_seed;
+  // One-shot round-0 session: domain-separate from the training seed (which
+  // also masks at round 0) and mix a per-call nonce so repeated selection
+  // runs never re-expand a previous call's pads over new statistics. The
+  // averaged sum is seed-independent — masks cancel exactly in the ring —
+  // so scores are unchanged.
+  static std::atomic<std::uint64_t> fisher_nonce{0};
+  config.protocol_seed =
+      crypto::Xoshiro256(params.protocol_seed ^
+                         (0x66697368657221ULL +
+                          fisher_nonce.fetch_add(1,
+                                                 std::memory_order_relaxed)))
+          .next();
   config.topology = params.agg_topology;
   config.group_size = params.agg_group_size;
   // Historical constant: this path has always derived its exchanged-variant

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <random>
 
+#include "crypto/prng.h"
+
 namespace ppml::core {
 
 MulticlassHorizontalPartition partition_multiclass_horizontally(
@@ -68,7 +70,17 @@ MulticlassHorizontalResult train_multiclass_linear_horizontal(
     for (const auto& shard : partition.shards)
       binary.shards.push_back(shard.binary_view(c));
 
-    auto trained = train_linear_horizontal(binary, params, nullptr);
+    // Each one-vs-rest trainer is its own secure-sum session; with a shared
+    // protocol_seed every class would mask round r with the SAME pads over
+    // DIFFERENT per-class contributions. Derive the per-class seed through
+    // the PRNG (not an xor of c) so no (class, epoch) pair of keyed rounds
+    // can collide either.
+    AdmmParams class_params = params;
+    class_params.protocol_seed =
+        crypto::Xoshiro256(params.protocol_seed ^
+                           (0x6F76722D636C7353ULL + c))
+            .next();
+    auto trained = train_linear_horizontal(binary, class_params, nullptr);
     result.model.models.push_back(std::move(trained.model));
     result.per_class_traces.push_back(std::move(trained.trace));
   }

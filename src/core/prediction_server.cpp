@@ -286,6 +286,8 @@ void PredictionServer::flush_batch(std::size_t count, double now,
   const auto t0 = std::chrono::steady_clock::now();
   const std::vector<Vector> partials = batch_partials(batch_x, slots);
   const std::size_t round = session_->next_round();
+  if (obs::PrivacyLedger* ledger = obs::privacy_ledger())
+    ledger->note_round_allocated(round);
   span.arg("round", static_cast<double>(round));
   Vector decisions;
   {

@@ -1,5 +1,8 @@
 #include "core/secure_prediction.h"
 
+#include <atomic>
+
+#include "crypto/prng.h"
 #include "linalg/blas.h"
 #include "svm/kernel.h"
 
@@ -12,6 +15,28 @@ Vector to_labels(Vector decisions) {
   return decisions;
 }
 
+// One-shot sessions always mask at round 0, so two one-shot calls under the
+// same params would expand the same round-0 pads over different inputs —
+// genuine pad reuse (the privacy ledger trips on it). A fresh nonce per
+// call gives each throwaway session its own pad stream; the decoded sum is
+// seed-independent (masks cancel exactly in the ring), so outputs are
+// untouched.
+std::uint64_t one_shot_nonce() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+crypto::SecureSumConfig one_shot_config(std::size_t num_learners,
+                                        const AdmmParams& protocol) {
+  crypto::SecureSumConfig config = prediction_session_config(num_learners,
+                                                             protocol);
+  config.protocol_seed =
+      crypto::Xoshiro256(config.protocol_seed ^
+                         (0x6F6E652D73686F74ULL + one_shot_nonce()))
+          .next();
+  return config;
+}
+
 }  // namespace
 
 crypto::SecureSumConfig prediction_session_config(std::size_t num_learners,
@@ -22,7 +47,14 @@ crypto::SecureSumConfig prediction_session_config(std::size_t num_learners,
   config.num_parties = num_learners;
   config.fixed_point_bits = protocol.fixed_point_bits;
   config.variant = crypto::MaskVariant::kSeededMasks;
-  config.protocol_seed = protocol.protocol_seed;
+  // Domain-separate from the training seed: reusing protocol_seed verbatim
+  // re-derives the training session's pairwise seeds, so prediction rounds
+  // would replay the training rounds' pads over different plaintexts — the
+  // privacy ledger flags exactly that. The nonlinear mix keeps distinct
+  // training seeds mapping to distinct prediction seeds.
+  config.protocol_seed =
+      crypto::Xoshiro256(protocol.protocol_seed ^ 0x7072656469637421ULL)
+          .next();
   config.topology = protocol.agg_topology;
   config.group_size = protocol.agg_group_size;
   return config;
@@ -104,7 +136,7 @@ Vector secure_vertical_decision_values(const VerticalLinearModelView& model,
                                        const linalg::Matrix& x_full,
                                        const AdmmParams& protocol) {
   crypto::SecureSumSession session(
-      prediction_session_config(model.w_blocks.size(), protocol));
+      one_shot_config(model.w_blocks.size(), protocol));
   return secure_vertical_decision_values(model, x_full, session, /*round=*/0);
 }
 
@@ -112,7 +144,7 @@ Vector secure_vertical_decision_values(const VerticalKernelModelView& model,
                                        const linalg::Matrix& x_full,
                                        const AdmmParams& protocol) {
   crypto::SecureSumSession session(
-      prediction_session_config(model.train_blocks.size(), protocol));
+      one_shot_config(model.train_blocks.size(), protocol));
   return secure_vertical_decision_values(model, x_full, session, /*round=*/0);
 }
 

@@ -9,7 +9,9 @@ namespace ppml::crypto {
 DropoutRecoverySession::DropoutRecoverySession(
     const std::vector<std::vector<std::uint64_t>>& pairwise_seeds,
     std::size_t threshold, std::uint64_t sharing_seed)
-    : parties_(pairwise_seeds.size()), threshold_(threshold) {
+    : parties_(pairwise_seeds.size()),
+      threshold_(threshold),
+      sharing_seed_(sharing_seed) {
   PPML_CHECK(parties_ >= 3,
              "DropoutRecoverySession: need >= 3 parties (someone must "
              "survive to reconstruct)");
@@ -32,6 +34,9 @@ DropoutRecoverySession::DropoutRecoverySession(
       shares_[owner][peer] = shamir_share(seed, parties_, threshold_, rng);
     }
   }
+  if (obs::PrivacyLedger* ledger = obs::privacy_ledger())
+    ledger->note_shares_dealt(sharing_seed_, parties_ * (parties_ - 1) / 2,
+                              parties_, threshold_);
 }
 
 ShamirShare DropoutRecoverySession::share(std::size_t holder,
@@ -42,12 +47,22 @@ ShamirShare DropoutRecoverySession::share(std::size_t holder,
   PPML_CHECK(owner != peer, "DropoutRecoverySession::share: no self-seed");
   const std::size_t lo = std::min(owner, peer);
   const std::size_t hi = std::max(owner, peer);
+  // A share leaving its holder is the protocol's only reveal primitive:
+  // the ledger counts it against pair (owner, peer)'s exposure budget and
+  // trips when a LIVE pair would cross the reconstruction threshold.
+  if (obs::PrivacyLedger* ledger = obs::privacy_ledger()) {
+    ledger->note_share_revealed(sharing_seed_, owner, peer, holder);
+    ledger->note_cleartext_for(static_cast<int>(holder),
+                               obs::ClearKind::kShamirShare, 1, 16);
+  }
   return shares_[lo][hi][holder];
 }
 
 std::uint64_t DropoutRecoverySession::reconstruct_seed(
     std::span<const ShamirShare> shares) {
   obs::count("crypto.shamir_reconstructions");
+  if (obs::PrivacyLedger* ledger = obs::privacy_ledger())
+    ledger->note_reconstruction();
   return shamir_reconstruct(shares);
 }
 
@@ -85,6 +100,11 @@ std::vector<double> recover_survivor_sum(
              "recover_survivor_sum: not enough survivors to reconstruct");
   PPML_CHECK(!survivor_contributions.empty(),
              "recover_survivor_sum: no survivors");
+  // Declare the dropout before any reveal: reconstruction of a DROPPED
+  // party's seeds is sanctioned; the identical reveals against a live pair
+  // would trip the ledger's exposure check.
+  if (obs::PrivacyLedger* ledger = obs::privacy_ledger())
+    ledger->note_party_dropped(session.sharing_seed(), dropped);
   const std::size_t dim = survivor_contributions.front().size();
 
   // Sum the survivors' masked contributions. Masks between survivors
@@ -105,6 +125,8 @@ std::vector<double> recover_survivor_sum(
     for (std::size_t r = 0; r < session.threshold(); ++r)
       revealed.push_back(session.share(survivors[r], dropped, j));
     reconstructed[j] = DropoutRecoverySession::reconstruct_seed(revealed);
+    if (obs::PrivacyLedger* ledger = obs::privacy_ledger())
+      ledger->note_seed_reconstructed(session.sharing_seed(), dropped, j);
   }
 
   ring_add_inplace(total,

@@ -42,6 +42,10 @@ class DropoutRecoverySession {
   std::size_t parties() const noexcept { return parties_; }
   std::size_t threshold() const noexcept { return threshold_; }
 
+  /// The sharing seed is also the privacy ledger's identity for this
+  /// sharing domain: dropout declarations and share reveals are keyed on it.
+  std::uint64_t sharing_seed() const noexcept { return sharing_seed_; }
+
   /// The share that party `holder` stores for the seed of pair
   /// (owner, peer). In deployment each party holds only its own row; this
   /// accessor is how the tests and the reducer-side demo fetch "revealed"
@@ -66,6 +70,7 @@ class DropoutRecoverySession {
  private:
   std::size_t parties_;
   std::size_t threshold_;
+  std::uint64_t sharing_seed_;
   // shares_[owner][peer][holder] — owner<peer canonical order.
   std::vector<std::vector<std::vector<ShamirShare>>> shares_;
 };

@@ -48,6 +48,8 @@ std::vector<std::vector<std::uint64_t>> SecureSumParty::outgoing_masks(
   }
   obs::count("crypto.masks_generated",
              static_cast<std::int64_t>(num_parties_ - 1));
+  if (obs::PrivacyLedger* ledger = obs::privacy_ledger())
+    ledger->note_masks(static_cast<std::int64_t>(num_parties_ - 1));
   return out;
 }
 
@@ -74,6 +76,14 @@ std::vector<std::uint64_t> SecureSumParty::masked_contribution(
     ring_sub_inplace(out, received[peer]);
   }
   obs::count("crypto.masked_contributions");
+  if (obs::PrivacyLedger* ledger = obs::privacy_ledger()) {
+    ledger->note_pad_use(detail::exchanged_pad_key(party_id_, sent),
+                         obs::PrivacyLedger::fingerprint(values),
+                         static_cast<int>(party_id_),
+                         static_cast<int>(party_id_), round, "exchanged");
+    ledger->note_contribution(static_cast<std::int64_t>(out.size()),
+                              static_cast<std::int64_t>(out.size() * 8));
+  }
   return out;
 }
 
@@ -99,6 +109,16 @@ std::vector<std::uint64_t> SecureSumParty::masked_contribution_cached(
     ring_sub_inplace(out, received[peer]);
   }
   obs::count("crypto.masked_contributions");
+  if (obs::PrivacyLedger* ledger = obs::privacy_ledger()) {
+    // No round parameter here — the pad identity IS the cached streams, so
+    // the key still collides with any other application of the same pads.
+    ledger->note_pad_use(detail::exchanged_pad_key(party_id_, sent),
+                         obs::PrivacyLedger::fingerprint(values),
+                         static_cast<int>(party_id_),
+                         static_cast<int>(party_id_), 0, "exchanged_cached");
+    ledger->note_contribution(static_cast<std::int64_t>(out.size()),
+                              static_cast<std::int64_t>(out.size() * 8));
+  }
   return out;
 }
 
@@ -123,6 +143,23 @@ std::vector<std::uint64_t> SecureSumParty::masked_contribution(
   obs::count("crypto.masks_generated",
              static_cast<std::int64_t>(num_parties_ - 1));
   obs::count("crypto.masked_contributions");
+  if (obs::PrivacyLedger* ledger = obs::privacy_ledger()) {
+    // One pad record per edge, keyed on the actual pairwise seed VALUE (not
+    // the caller's session identity): two sessions that derive the same
+    // seeds — a missed rekey, a protocol seed shared across instances —
+    // collide here even though each one's own bookkeeping looks clean.
+    const std::uint64_t fp = obs::PrivacyLedger::fingerprint(values);
+    for (std::size_t peer = 0; peer < num_parties_; ++peer) {
+      if (peer == party_id_) continue;
+      ledger->note_pad_use(
+          obs::PrivacyLedger::pad_key(pairwise_seeds_[peer], round, party_id_),
+          fp, static_cast<int>(party_id_), static_cast<int>(peer), round,
+          "seeded");
+    }
+    ledger->note_masks(static_cast<std::int64_t>(num_parties_ - 1));
+    ledger->note_contribution(static_cast<std::int64_t>(out.size()),
+                              static_cast<std::int64_t>(out.size() * 8));
+  }
   return out;
 }
 
@@ -154,6 +191,19 @@ std::vector<std::uint64_t> SecureSumParty::masked_contribution_subset(
   obs::count("crypto.masks_generated",
              static_cast<std::int64_t>(participants.size() - 1));
   obs::count("crypto.masked_contributions");
+  if (obs::PrivacyLedger* ledger = obs::privacy_ledger()) {
+    const std::uint64_t fp = obs::PrivacyLedger::fingerprint(values);
+    for (std::size_t peer : participants) {
+      if (peer == party_id_) continue;
+      ledger->note_pad_use(
+          obs::PrivacyLedger::pad_key(pairwise_seeds_[peer], round, party_id_),
+          fp, static_cast<int>(party_id_), static_cast<int>(peer), round,
+          "seeded_subset");
+    }
+    ledger->note_masks(static_cast<std::int64_t>(participants.size() - 1));
+    ledger->note_contribution(static_cast<std::int64_t>(out.size()),
+                              static_cast<std::int64_t>(out.size() * 8));
+  }
   return out;
 }
 
@@ -208,6 +258,23 @@ std::vector<std::vector<std::uint64_t>> agree_pairwise_seeds(
   }
   return seeds;
 }
+
+namespace detail {
+
+std::uint64_t exchanged_pad_key(
+    std::size_t party_id,
+    const std::vector<std::vector<std::uint64_t>>& sent) {
+  std::uint64_t key = obs::PrivacyLedger::combine(0xE5C4A97ED5B1A0C3ULL,
+                                                  party_id);
+  for (std::size_t peer = 0; peer < sent.size(); ++peer) {
+    if (peer == party_id) continue;
+    key = obs::PrivacyLedger::combine(
+        key, obs::PrivacyLedger::fingerprint_words(sent[peer]));
+  }
+  return key;
+}
+
+}  // namespace detail
 
 // secure_average lives in secure_sum_session.cpp: it is now a thin wrapper
 // over SecureSumSession::average_once.

@@ -123,6 +123,17 @@ class SecureSumAggregator {
 std::vector<std::vector<std::uint64_t>> agree_pairwise_seeds(
     std::size_t num_parties, std::uint64_t session_seed);
 
+namespace detail {
+/// Privacy-ledger pad key for an exchanged-variant wire vector: fingerprints
+/// the party's own sent mask streams (`sent` indexed by peer, self empty) —
+/// the pad material itself — so the legacy, cached and session-batched
+/// exchanged paths all collide on the same key when they reuse a round's
+/// streams for a second plaintext.
+std::uint64_t exchanged_pad_key(
+    std::size_t party_id,
+    const std::vector<std::vector<std::uint64_t>>& sent);
+}  // namespace detail
+
 /// Run the whole protocol in memory (used by the in-memory trainers and
 /// tests): returns the exact-codec average of the given per-party vectors.
 std::vector<double> secure_average(

@@ -32,6 +32,14 @@ SecureSumSession::SecureSumSession(const SecureSumConfig& config,
     seeds_ = agree_pairwise_seeds(m, epoch_key(config_.protocol_seed, epoch));
     for (std::size_t i = 0; i < m; ++i)
       parties_.emplace_back(i, m, codec_, seeds_[i]);
+    // DH setup leakage: each party broadcasts one public value per key
+    // agreement epoch (a deliberate protocol disclosure — shared secrets
+    // derive from it, the seeds themselves never travel).
+    if (obs::PrivacyLedger* ledger = obs::privacy_ledger()) {
+      for (std::size_t i = 0; i < m; ++i)
+        ledger->note_cleartext_for(static_cast<int>(i),
+                                   obs::ClearKind::kDhPublic, 1, 8);
+    }
   } else {
     // The exchanged variant regenerates masks every round and never re-keys,
     // so epochs do not mix into the per-party seeds.
@@ -191,6 +199,14 @@ std::vector<std::uint64_t> SecureSumSession::contribute_exchanged(
     ring_sub_inplace(out, sent_[peer][party]);
   }
   obs::count("crypto.masked_contributions");
+  if (obs::PrivacyLedger* ledger = obs::privacy_ledger()) {
+    ledger->note_pad_use(detail::exchanged_pad_key(party, sent_[party]),
+                         obs::PrivacyLedger::fingerprint(values),
+                         static_cast<int>(party), static_cast<int>(party),
+                         round, "exchanged_session");
+    ledger->note_contribution(static_cast<std::int64_t>(out.size()),
+                              static_cast<std::int64_t>(out.size() * 8));
+  }
   return out;
 }
 
@@ -229,6 +245,13 @@ std::vector<double> SecureSumSession::reduce_average(
     PPML_CHECK(present.size() >= recovery_->threshold(),
                "SecureSumSession::reduce_average: fewer survivors than the "
                "Shamir threshold — cannot reconstruct the dropped seeds");
+    // Declare the dropouts to the privacy ledger BEFORE any share is
+    // revealed: reconstructing a dropped party's seeds is the sanctioned
+    // recovery trade-off; the same reveals against a live pair would trip.
+    if (obs::PrivacyLedger* ledger = obs::privacy_ledger()) {
+      for (std::size_t d : dropped)
+        ledger->note_party_dropped(recovery_->sharing_seed(), d);
+    }
     const std::vector<std::size_t> survivors(present.begin(), present.end());
     // Grouped topology: a dropped party's uncancelled masks live only on
     // its grouped-ring edges, so only the seeds it shares with SURVIVING
@@ -260,6 +283,8 @@ std::vector<double> SecureSumSession::reduce_average(
         for (std::size_t h = 0; h < recovery_->threshold(); ++h)
           shares.push_back(recovery_->share(survivors[h], d, j));
         reconstructed[j] = DropoutRecoverySession::reconstruct_seed(shares);
+        if (obs::PrivacyLedger* ledger = obs::privacy_ledger())
+          ledger->note_seed_reconstructed(recovery_->sharing_seed(), d, j);
       }
       ring_add_inplace(acc, DropoutRecoverySession::mask_correction(
                                 d, correction_set, reconstructed, round,
@@ -268,6 +293,12 @@ std::vector<double> SecureSumSession::reduce_average(
   }
 
   const std::vector<double> sum = codec_.decode_vector(acc);
+  // The decoded round sum is the protocol's deliberate output disclosure —
+  // the one thing the reducer is SUPPOSED to learn. Account it.
+  if (obs::PrivacyLedger* ledger = obs::privacy_ledger())
+    ledger->note_cleartext(obs::ClearKind::kAggregate,
+                           static_cast<std::int64_t>(sum.size()),
+                           static_cast<std::int64_t>(sum.size() * 8));
   if (audit != nullptr) {
     audit->dropped = std::move(dropped);
     audit->decoded_sum = sum;

@@ -35,16 +35,19 @@ void on_check_failure(const char* what) {
 }  // namespace
 
 void install(Tracer* tracer, MetricsRegistry* metrics,
-             FlightRecorder* recorder) {
+             FlightRecorder* recorder, PrivacyLedger* ledger) {
   PPML_CHECK(detail::g_tracer.load(std::memory_order_relaxed) == nullptr &&
                  detail::g_metrics.load(std::memory_order_relaxed) ==
                      nullptr &&
-                 detail::g_recorder.load(std::memory_order_relaxed) == nullptr,
+                 detail::g_recorder.load(std::memory_order_relaxed) ==
+                     nullptr &&
+                 detail::g_privacy.load(std::memory_order_relaxed) == nullptr,
              "obs::install: a session is already installed (sessions do not "
              "nest — uninstall the previous one first)");
   detail::g_tracer.store(tracer, std::memory_order_release);
   detail::g_metrics.store(metrics, std::memory_order_release);
   detail::g_recorder.store(recorder, std::memory_order_release);
+  detail::g_privacy.store(ledger, std::memory_order_release);
   linalg::set_counter_hook(&forward_linalg_counter);
   if (recorder != nullptr)
     ppml::detail::set_check_failure_hook(&on_check_failure);
@@ -88,6 +91,7 @@ void uninstall() {
   detail::g_tracer.store(nullptr, std::memory_order_release);
   detail::g_metrics.store(nullptr, std::memory_order_release);
   detail::g_recorder.store(nullptr, std::memory_order_release);
+  detail::g_privacy.store(nullptr, std::memory_order_release);
 }
 
 }  // namespace ppml::obs

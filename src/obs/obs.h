@@ -32,6 +32,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/party.h"
+#include "obs/privacy_ledger.h"
 #include "obs/trace.h"
 
 namespace ppml::obs {
@@ -54,16 +55,19 @@ inline MetricsRegistry* metrics() noexcept {
 /// True when any part of the session is installed.
 inline bool enabled() noexcept {
   return tracer() != nullptr || metrics() != nullptr ||
-         flight_recorder() != nullptr;
+         flight_recorder() != nullptr || privacy_ledger() != nullptr;
 }
 
 /// Install / remove the process-wide session. Any pointer may be null
 /// (metrics without tracing and vice versa). The optional flight recorder
 /// (obs/flight_recorder.h) captures recent span closes, counter deltas and
 /// fault events for post-mortem dumps; installing it also arms the
-/// PPML_CHECK failure hook so a failed check dumps the ring. Non-owning.
+/// PPML_CHECK failure hook so a failed check dumps the ring. The optional
+/// privacy ledger (obs/privacy_ledger.h) receives pad/share/leakage
+/// accounting from every crypto-touching layer. Non-owning.
 void install(Tracer* tracer, MetricsRegistry* metrics,
-             FlightRecorder* recorder = nullptr);
+             FlightRecorder* recorder = nullptr,
+             PrivacyLedger* ledger = nullptr);
 void uninstall();
 
 /// Peak resident set size of this process in bytes — the high-water mark
@@ -81,8 +85,9 @@ void gauge_process_peak_rss();
 class Session {
  public:
   Session(Tracer* tracer, MetricsRegistry* metrics,
-          FlightRecorder* recorder = nullptr) {
-    install(tracer, metrics, recorder);
+          FlightRecorder* recorder = nullptr,
+          PrivacyLedger* ledger = nullptr) {
+    install(tracer, metrics, recorder, ledger);
   }
   ~Session() { uninstall(); }
   Session(const Session&) = delete;

@@ -1,0 +1,262 @@
+// Privacy audit ledger: runtime accounting of one-time pads, Shamir share
+// exposure and cleartext leakage across every secure round.
+//
+// PROTOCOLS.md §4 states the invariants the §V masking protocol's security
+// rests on — no (epoch, round) pad is ever applied to two different value
+// vectors, no live pair's Shamir-shared seed is ever revealed to threshold,
+// every value leaves a party either masked or as a deliberate protocol
+// output. This ledger is the machine check for those obligations: every
+// crypto-touching layer (SecureSumParty / SecureSumSession, dropout
+// recovery, DH setup, secure prediction, the serving round allocator)
+// reports into it when one is installed, and a violated invariant trips a
+// PPML_CHECK naming the offending party/edge — which, through the hook
+// obs::install wires up, also dumps the flight recorder ring.
+//
+// Recording style follows the flight recorder's seqlock ring: pad records
+// land in a preallocated open-addressed table of write-once slots (a CAS
+// to claim, a release-store to publish), so the hot masking path never
+// takes a lock and never allocates. Shamir and per-party tallies are
+// mutex-guarded — they sit on the cold setup/recovery paths.
+//
+// Pads are keyed on the ACTUAL pad identity, not on caller-declared round
+// numbers: the seeded variant keys (pairwise seed value, round, expanding
+// endpoint), the exchanged variant fingerprints the sent mask streams
+// themselves. Two sessions that accidentally derive the same seeds (a
+// missed rekey, a seed reused across protocol instances) therefore collide
+// in the table even though each session's own bookkeeping looks clean.
+// Each record carries a fingerprint of the masked plaintext: re-masking
+// the SAME values under the same pad (deterministic re-execution) is a
+// counted benign replay; a different plaintext under the same pad is the
+// real one-time-pad violation.
+//
+// The ledger is observational only: installing it never changes RNG
+// consumption or ring arithmetic, so consensus output is bit-identical
+// ledger-on vs ledger-off (pinned in tests/privacy_ledger_test.cpp).
+// Disabled cost is one relaxed atomic load per call site, like every
+// other obs hook. Report schema: docs/privacy_audit.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace ppml::obs {
+
+class MetricsRegistry;
+
+/// What kind of value crossed the trust boundary unmasked. Every kind is a
+/// deliberate protocol disclosure — the ledger's job is to make the volume
+/// visible, not to forbid it.
+enum class ClearKind : std::uint8_t {
+  kDhPublic,     ///< DH public values broadcast during key agreement
+  kShamirShare,  ///< a share revealed to the reducer for dropout recovery
+  kAggregate,    ///< a decoded round sum / decision vector (protocol output)
+};
+
+inline constexpr std::size_t kClearKinds = 3;
+const char* clear_kind_name(ClearKind kind);
+
+class PrivacyLedger {
+ public:
+  /// `pad_capacity` slots in the write-once pad table (rounded up to a
+  /// power of two). When the table fills, further pads are counted but no
+  /// longer checked, and the report says so (`pad_table_overflow`) —
+  /// overflow is loud, never silently wrong.
+  explicit PrivacyLedger(std::size_t pad_capacity = 1 << 17);
+
+  // --- pad usage -----------------------------------------------------------
+
+  /// Pad key for the seeded variant: PRG(pairwise_seed, round) as expanded
+  /// by `endpoint`. The same (seed, round) stream is legitimately expanded
+  /// by BOTH edge endpoints (one adds, one subtracts) — the endpoint id in
+  /// the key keeps those distinct.
+  static std::uint64_t pad_key(std::uint64_t pad_seed, std::size_t round,
+                               std::size_t endpoint);
+
+  /// Fingerprint of the plaintext a pad was applied to (order- and
+  /// bit-sensitive over the double bit patterns).
+  static std::uint64_t fingerprint(std::span<const double> values);
+  /// Fingerprint of raw ring words (used to key exchanged-variant pads on
+  /// the sent mask material itself).
+  static std::uint64_t fingerprint_words(std::span<const std::uint64_t> words);
+  /// Combine per-stream fingerprints into one key (order-sensitive).
+  static std::uint64_t combine(std::uint64_t h, std::uint64_t next);
+
+  /// Record one application of the pad identified by `key` to a plaintext
+  /// with fingerprint `value_fp`. `party` is the expanding endpoint and
+  /// `peer` the other edge endpoint (== party for whole-wire-vector keys);
+  /// both only label diagnostics — identity lives in `key`. A repeated key
+  /// with the same fingerprint counts as a benign replay; a repeated key
+  /// with a DIFFERENT fingerprint is pad reuse: the violation is recorded,
+  /// a flight-recorder mark is written, and a PPML_CHECK trips (throwing
+  /// InvalidArgument and, when a recorder is armed, dumping the ring).
+  void note_pad_use(std::uint64_t key, std::uint64_t value_fp, int party,
+                    int peer, std::size_t round, const char* site);
+
+  // --- per-party tallies (attributed to obs::current_party()) --------------
+
+  /// Mask streams expanded — mirrors `crypto.masks_generated` sites.
+  void note_masks(std::int64_t streams);
+  /// One masked wire vector produced (`values` ring words, `bytes` on the
+  /// wire) — mirrors `crypto.masked_contributions` sites.
+  void note_contribution(std::int64_t values, std::int64_t bytes);
+  /// One Shamir seed reconstruction — mirrors
+  /// `crypto.shamir_reconstructions`.
+  void note_reconstruction();
+  /// Values crossing the trust boundary in the clear, attributed to the
+  /// calling thread's party scope / to an explicit `party`.
+  void note_cleartext(ClearKind kind, std::int64_t values, std::int64_t bytes);
+  void note_cleartext_for(int party, ClearKind kind, std::int64_t values,
+                          std::int64_t bytes);
+  /// A serving-layer round allocation (PredictionServer's per-micro-batch
+  /// draw from SecureSumSession::next_round()).
+  void note_round_allocated(std::size_t round);
+
+  // --- Shamir exposure -----------------------------------------------------
+
+  /// A recovery session dealt its shares: `seeds` pairwise seeds, each
+  /// split into `holders` shares with reconstruction threshold `threshold`.
+  /// `sharing_seed` identifies the sharing domain (one per key epoch).
+  void note_shares_dealt(std::uint64_t sharing_seed, std::size_t seeds,
+                         std::size_t holders, std::size_t threshold);
+  /// `party` was declared dropped in `sharing_seed`'s epoch: its seeds may
+  /// now be reconstructed without tripping (the documented recovery
+  /// trade-off — the dropped party's data contribution was never sent).
+  void note_party_dropped(std::uint64_t sharing_seed, std::size_t party);
+  /// `holder`'s share of pair (owner, peer)'s seed was revealed. Distinct
+  /// holders are counted per pair; reaching `threshold` reveals while BOTH
+  /// endpoints are live is over-exposure: recorded, marked in the flight
+  /// ring, and tripped via PPML_CHECK. Also refreshes the
+  /// `privacy.shamir.exposure_margin` gauge (min over live pairs of
+  /// threshold − reveals).
+  void note_share_revealed(std::uint64_t sharing_seed, std::size_t owner,
+                           std::size_t peer, std::size_t holder);
+  /// Pair (owner, peer)'s seed was actually reconstructed.
+  void note_seed_reconstructed(std::uint64_t sharing_seed, std::size_t owner,
+                               std::size_t peer);
+
+  // --- snapshot / report ---------------------------------------------------
+
+  struct PartyTally {
+    std::int64_t masks = 0;            ///< mask streams expanded
+    std::int64_t contributions = 0;    ///< masked wire vectors produced
+    std::int64_t masked_values = 0;    ///< ring words sent masked
+    std::int64_t masked_bytes = 0;
+    std::int64_t reconstructions = 0;  ///< Shamir seeds reconstructed
+    std::int64_t clear_values = 0;     ///< values sent in the clear
+    std::int64_t clear_bytes = 0;
+    std::int64_t clear_by_kind[kClearKinds] = {0, 0, 0};
+  };
+
+  struct SharingSnapshot {
+    std::uint64_t sharing_seed = 0;
+    std::size_t threshold = 0;  ///< 0 = reveals seen before shares dealt
+    std::size_t holders = 0;
+    std::size_t seeds_dealt = 0;
+    std::size_t shares_dealt = 0;
+    std::size_t reveals = 0;              ///< total (pair, holder) reveals
+    std::size_t seeds_reconstructed = 0;
+    std::vector<std::size_t> dropped;     ///< sorted
+    /// threshold − max distinct-holder reveals over pairs with both
+    /// endpoints live; == threshold when no live pair was ever touched.
+    std::size_t min_live_margin = 0;
+  };
+
+  struct Violation {
+    std::string kind;    ///< "pad_reuse" | "share_over_exposure"
+    std::string detail;  ///< names the offending party/edge/round
+    int party = 0;
+  };
+
+  struct Snapshot {
+    std::uint64_t pads_recorded = 0;
+    std::uint64_t pads_distinct = 0;
+    std::uint64_t benign_replays = 0;
+    std::uint64_t pads_unchecked = 0;  ///< recorded after table overflow
+    std::size_t pad_table_capacity = 0;
+    bool pad_table_overflow = false;
+    std::uint64_t rounds_allocated = 0;  ///< serving round allocator draws
+    std::map<int, PartyTally> parties;
+    std::vector<SharingSnapshot> sharings;
+    std::vector<Violation> violations;
+  };
+
+  Snapshot snapshot() const;
+
+ private:
+  struct Slot {
+    /// 0 = empty; 1 = claim in progress; else the pad key.
+    std::atomic<std::uint64_t> key{0};
+    std::atomic<std::uint64_t> value_fp{0};
+  };
+
+  struct PairExposure {
+    std::set<std::size_t> holders;
+    bool reconstructed = false;
+  };
+
+  struct SharingState {
+    std::size_t threshold = 0;
+    std::size_t holders = 0;
+    std::size_t seeds_dealt = 0;
+    std::size_t shares_dealt = 0;
+    std::size_t reveals = 0;
+    std::size_t seeds_reconstructed = 0;
+    std::set<std::size_t> dropped;
+    std::map<std::pair<std::size_t, std::size_t>, PairExposure> pairs;
+  };
+
+  void record_violation(const char* kind, std::string detail, int party);
+  /// Recompute and publish the exposure-margin gauge (caller holds mutex_).
+  void refresh_margin_locked();
+
+  std::vector<Slot> slots_;
+  std::size_t slot_mask_ = 0;
+  std::atomic<std::uint64_t> pads_recorded_{0};
+  std::atomic<std::uint64_t> pads_distinct_{0};
+  std::atomic<std::uint64_t> benign_replays_{0};
+  std::atomic<std::uint64_t> pads_unchecked_{0};
+  std::atomic<bool> overflow_{false};
+  std::atomic<std::uint64_t> rounds_allocated_{0};
+
+  mutable std::mutex mutex_;
+  std::map<int, PartyTally> parties_;
+  std::map<std::uint64_t, SharingState> sharings_;
+  std::vector<Violation> violations_;
+};
+
+// --- process-global ledger (installed alongside the obs session) -----------
+
+namespace detail {
+inline std::atomic<PrivacyLedger*> g_privacy{nullptr};
+}  // namespace detail
+
+/// Currently installed ledger, or nullptr when auditing is disabled. Call
+/// sites grab the pointer once, compute fingerprints only when non-null.
+inline PrivacyLedger* privacy_ledger() noexcept {
+  return detail::g_privacy.load(std::memory_order_relaxed);
+}
+
+/// Privacy report: {"privacy_report": {"pads": ..., "parties": [...],
+/// "shamir": [...], "violations": [...], "reconciled": bool}}. When
+/// `registry` is non-null every party row carries a reconciliation block
+/// comparing the ledger's independent tally against the `crypto.*` counter
+/// shards — the two are kept equal by construction (same sites, same
+/// amounts, same ambient party scope), and `reconciled` is the AND over
+/// all rows. Schema: docs/privacy_audit.md.
+JsonValue privacy_report_json(const PrivacyLedger& ledger,
+                              const MetricsRegistry* registry);
+
+/// The report's `reconciled` flag alone (true when `registry` is null).
+bool privacy_reconciled(const PrivacyLedger& ledger,
+                        const MetricsRegistry* registry);
+
+}  // namespace ppml::obs
